@@ -1,0 +1,149 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * write-batch size vs the 1 µs frequency transitions (the Section
+//!   III-A1 arithmetic: 2 µs per switch must be amortized over
+//!   ~12 800 writes),
+//! * margin-aware vs margin-unaware module selection (Figure 11),
+//! * detection-only vs detect+correct ECC decode cost,
+//! * the naive channel-split DMR strawman vs same-channel Hetero-DMR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dram::PS_PER_US;
+use ecc::bamboo::BlockCodec;
+use hetero_dmr::monte_carlo::MonteCarlo;
+use hetero_dmr::{EvalConfig, MemoryDesign, NodeModel, UsageBucket};
+use margin::composition::SelectionPolicy;
+use memsim::config::HierarchyConfig;
+use memsim::NodeSim;
+use std::hint::black_box;
+use workloads::{Suite, TraceGen};
+
+/// Runs Hetero-DMR-style channel behaviour with an explicit write
+/// batch watermark and reports execution time.
+fn hdmr_exec_with_batch(watermark: usize) -> u64 {
+    let h = HierarchyConfig::hierarchy1();
+    let mut mode = MemoryDesign::HeteroDmr { margin_mts: 800 }.channel_mode();
+    mode.write_high_watermark = watermark;
+    mode.turnaround_penalty_ps = PS_PER_US;
+    let mut node = NodeSim::new(h, mode);
+    let streams: Vec<_> = (0..h.cores)
+        .map(|i| TraceGen::new(Suite::Hpcg.params(), 100 + i as u64, 4_000))
+        .collect();
+    let warm = node.l3_blocks_per_core();
+    for (i, s) in streams.iter().enumerate() {
+        node.prewarm_core(
+            i,
+            s.warmup_blocks(warm, Suite::Hpcg.params().write_fraction),
+        );
+    }
+    node.run(streams).exec_time_ps
+}
+
+/// The Section III-A1 ablation: small batches make the 1 µs
+/// transitions ruinous; the 12 800-write batches amortize them.
+fn ablation_batch_size(c: &mut Criterion) {
+    // Report the effect once (visible in bench output), then bench the
+    // sweep itself.
+    let small = hdmr_exec_with_batch(128);
+    let large = hdmr_exec_with_batch(12_800);
+    println!(
+        "[ablation] Hetero-DMR exec time with 128-write batches vs 12800: {:.3}x worse",
+        small as f64 / large as f64
+    );
+    assert!(
+        small >= large,
+        "large batches must not lose: small {small} vs large {large}"
+    );
+    let mut g = c.benchmark_group("ablation_write_batch");
+    g.sample_size(10);
+    for watermark in [128usize, 1_280, 12_800] {
+        g.bench_function(format!("batch_{watermark}"), |b| {
+            b.iter(|| black_box(hdmr_exec_with_batch(black_box(watermark))))
+        });
+    }
+    g.finish();
+}
+
+/// Margin-aware vs margin-unaware module selection (Figure 11's two
+/// curves as a single scalar: fraction of nodes ≥ 0.8 GT/s).
+fn ablation_margin_selection(c: &mut Criterion) {
+    let mc = MonteCarlo::default();
+    let aware = mc.node_fraction_at_least(SelectionPolicy::MarginAware, 800, 20_000, 1);
+    let unaware = mc.node_fraction_at_least(SelectionPolicy::MarginUnaware, 800, 20_000, 1);
+    println!("[ablation] nodes >=0.8GT/s: aware {aware:.3} vs unaware {unaware:.3}");
+    assert!(aware > unaware + 0.3, "selection policy must matter");
+    let mut g = c.benchmark_group("ablation_margin_selection");
+    for (name, policy) in [
+        ("aware", SelectionPolicy::MarginAware),
+        ("unaware", SelectionPolicy::MarginUnaware),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(mc.node_fraction_at_least(policy, 800, 2_000, black_box(2))))
+        });
+    }
+    g.finish();
+}
+
+/// Detection-only vs detect+correct decode throughput — the
+/// Section III-B optimization is also cheaper, not just safer.
+fn ablation_ecc_decode(c: &mut Criterion) {
+    let codec = BlockCodec::new();
+    let data = [0xA7u8; 64];
+    let clean = codec.encode(0x1000, &data);
+    let mut corrupt = clean;
+    corrupt.data[7] ^= 0x40;
+    let mut g = c.benchmark_group("ablation_ecc_decode");
+    g.bench_function("detect_only_clean", |b| {
+        b.iter(|| black_box(codec.detect(0x1000, black_box(&clean))))
+    });
+    g.bench_function("detect_only_corrupt", |b| {
+        b.iter(|| black_box(codec.detect(0x1000, black_box(&corrupt))))
+    });
+    g.bench_function("detect_and_correct_corrupt", |b| {
+        b.iter(|| {
+            let mut block = corrupt;
+            black_box(codec.correct(0x1000, &mut block).unwrap())
+        })
+    });
+    g.finish();
+}
+
+/// The Section III-A strawman: channel-split DMR (half the channels
+/// fast, mirrored writes) vs same-channel Hetero-DMR, on Hierarchy2
+/// (the strawman needs multiple channels).
+fn ablation_naive_dmr(c: &mut Criterion) {
+    let model = NodeModel::new(
+        HierarchyConfig::hierarchy2(),
+        EvalConfig {
+            ops_per_core: 2_000,
+            seed: 0xAB1A,
+        },
+    );
+    let naive = model.suite_average(MemoryDesign::NaiveDmr { margin_mts: 800 }, UsageBucket::Low);
+    let hdmr = model.suite_average(
+        MemoryDesign::HeteroDmr { margin_mts: 800 },
+        UsageBucket::Low,
+    );
+    println!("[ablation] naive channel-split DMR {naive:.3}x vs Hetero-DMR {hdmr:.3}x");
+    let mut g = c.benchmark_group("ablation_naive_dmr");
+    g.sample_size(10);
+    g.bench_function("naive_channel_split", |b| {
+        b.iter(|| {
+            black_box(model.normalized(
+                MemoryDesign::NaiveDmr { margin_mts: 800 },
+                Suite::Npb,
+                UsageBucket::Low,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_batch_size,
+    ablation_margin_selection,
+    ablation_ecc_decode,
+    ablation_naive_dmr
+);
+criterion_main!(ablations);

@@ -1,0 +1,40 @@
+//! Shared helpers for the benchmark harnesses.
+//!
+//! Each Criterion bench in `benches/` regenerates (a reduced instance
+//! of) one of the paper's tables or figures, so `cargo bench`
+//! exercises every experiment path end to end; `ablations` sweeps the
+//! design choices DESIGN.md calls out; `micro` measures the hot
+//! simulator primitives.
+
+use hetero_dmr::{EvalConfig, MemoryDesign, NodeModel, UsageBucket};
+use memsim::config::HierarchyConfig;
+use workloads::Suite;
+
+/// A reduced node model sized for benchmarking (small but large
+/// enough to exercise write drains and steady-state behaviour).
+pub fn bench_model(h: HierarchyConfig) -> NodeModel {
+    NodeModel::new(
+        h,
+        EvalConfig {
+            ops_per_core: 4_000,
+            seed: 0xBE7C,
+        },
+    )
+}
+
+/// One normalized-performance evaluation (the unit of Figures 5/12).
+pub fn one_cell(model: &NodeModel, design: MemoryDesign, suite: Suite) -> f64 {
+    model.normalized(design, suite, UsageBucket::Low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_helpers_run() {
+        let m = bench_model(HierarchyConfig::hierarchy1());
+        let v = one_cell(&m, MemoryDesign::ExploitFreqLat, Suite::Linpack);
+        assert!(v > 0.8 && v < 2.0);
+    }
+}

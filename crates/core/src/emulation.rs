@@ -1,0 +1,130 @@
+//! The real-system emulation of Section IV-B (Figure 16).
+//!
+//! The paper checks its simulations by emulating Hetero-DMR on the
+//! physical testbed with the identity
+//!
+//! ```text
+//! exec_time(Hetero-DMR) ≈ exec@unsafely_fast − wr@unsafely_fast + wr@safely_slow
+//! ```
+//!
+//! i.e. take the cherry-picked "Exploit Freq+Lat Margins" run and swap
+//! its DRAM-write time for write time at specification, since
+//! Hetero-DMR performs all writes at the safe setting. Write time is
+//! modelled as `written_bytes / bandwidth` because writebacks are
+//! independent (they do not stall one another the way dependent reads
+//! do).
+
+use dram::rate::DataRate;
+use dram::Picos;
+use memsim::SimResult;
+
+/// Inputs of the emulation formula, extracted from a measured (here:
+/// simulated) "Exploit Freq+Lat Margins" run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmulationInputs {
+    /// Execution time of the unsafely fast run.
+    pub exec_fast_ps: Picos,
+    /// Bytes written to DRAM during the run.
+    pub written_bytes: u64,
+    /// Data rate the fast run wrote at.
+    pub fast_rate: DataRate,
+    /// Specification data rate Hetero-DMR writes at.
+    pub slow_rate: DataRate,
+    /// Channels in the system.
+    pub channels: usize,
+    /// Fraction of peak bandwidth the write stream achieves
+    /// (batched writes stream well; the paper profiles the achieved
+    /// bandwidth with `perf`).
+    pub write_efficiency: f64,
+}
+
+impl EmulationInputs {
+    /// Builds the inputs from a simulated fast run.
+    pub fn from_fast_run(result: &SimResult, slow_rate: DataRate) -> EmulationInputs {
+        EmulationInputs {
+            exec_fast_ps: result.exec_time_ps,
+            written_bytes: result.controller.writes * 64,
+            fast_rate: result.read_rate,
+            slow_rate,
+            channels: result.channels.max(1),
+            write_efficiency: 0.7,
+        }
+    }
+
+    /// DRAM write time at `rate`, in picoseconds.
+    fn write_time_ps(&self, rate: DataRate) -> Picos {
+        let bw =
+            rate.peak_bandwidth_bytes_per_s() as f64 * self.channels as f64 * self.write_efficiency;
+        (self.written_bytes as f64 / bw * 1e12) as Picos
+    }
+
+    /// The emulated Hetero-DMR execution time:
+    /// `exec@fast − wr@fast + wr@slow`.
+    pub fn emulated_exec_ps(&self) -> Picos {
+        self.exec_fast_ps
+            .saturating_sub(self.write_time_ps(self.fast_rate))
+            + self.write_time_ps(self.slow_rate)
+    }
+
+    /// Emulated speedup over a baseline execution time.
+    pub fn emulated_speedup(&self, baseline_exec_ps: Picos) -> f64 {
+        baseline_exec_ps as f64 / self.emulated_exec_ps() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> EmulationInputs {
+        EmulationInputs {
+            exec_fast_ps: 1_000_000_000, // 1 ms
+            written_bytes: 6_400_000,    // 6.4 MB written
+            fast_rate: DataRate::MT4000,
+            slow_rate: DataRate::MT3200,
+            channels: 1,
+            write_efficiency: 1.0,
+        }
+    }
+
+    #[test]
+    fn slower_writes_lengthen_execution() {
+        let i = inputs();
+        assert!(i.emulated_exec_ps() > i.exec_fast_ps);
+        // The delta is exactly wr@3200 − wr@4000.
+        let delta = (i.emulated_exec_ps() - i.exec_fast_ps) as f64;
+        let wr_fast = 6_400_000.0 / 32e9 * 1e12;
+        let wr_slow = 6_400_000.0 / 25.6e9 * 1e12;
+        assert!((delta - (wr_slow - wr_fast)).abs() <= 1.0, "delta {delta}");
+    }
+
+    #[test]
+    fn same_rates_are_identity() {
+        let mut i = inputs();
+        i.slow_rate = i.fast_rate;
+        assert_eq!(i.emulated_exec_ps(), i.exec_fast_ps);
+    }
+
+    #[test]
+    fn speedup_against_baseline() {
+        let i = inputs();
+        let emulated = i.emulated_exec_ps();
+        assert!((i.emulated_speedup(2 * emulated) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_written_bytes_smaller_penalty() {
+        let big = inputs();
+        let mut small = inputs();
+        small.written_bytes /= 10;
+        assert!(small.emulated_exec_ps() < big.emulated_exec_ps());
+    }
+
+    #[test]
+    fn more_channels_shrink_write_time() {
+        let one = inputs();
+        let mut four = inputs();
+        four.channels = 4;
+        assert!(four.emulated_exec_ps() <= one.emulated_exec_ps());
+    }
+}

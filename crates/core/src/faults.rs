@@ -1,0 +1,120 @@
+//! Permanent-hardware-fault handling (Section III-E).
+//!
+//! A module that develops a permanent yet ECC-correctable fault (e.g.
+//! a stuck column) is a bad place for *copies*: every fast read of the
+//! afflicted block detects an error and triggers a costly pair of
+//! frequency transitions. The paper's remedy is role remapping: move
+//! the copies to the healthy module and let the faulty module hold
+//! originals, where the fault is silently absorbed by conventional
+//! ECC correction on the rare in-spec accesses.
+//!
+//! [`PermanentFaultTracker`] implements the detection side: it watches
+//! per-block recovery events and flags a block as permanently faulty
+//! once recoveries recur — a transient error is gone after the copy is
+//! repaired from the original, so a block that *keeps* erroring right
+//! after repair has hardware behind it.
+
+use std::collections::HashMap;
+
+/// Watches recovery events and recommends remapping.
+#[derive(Debug, Clone)]
+pub struct PermanentFaultTracker {
+    /// Recoveries seen per block offset.
+    recoveries: HashMap<u64, u32>,
+    /// Recoveries of one block before it is declared permanent.
+    threshold: u32,
+}
+
+impl Default for PermanentFaultTracker {
+    fn default() -> Self {
+        PermanentFaultTracker::new(3)
+    }
+}
+
+impl PermanentFaultTracker {
+    /// Creates a tracker that declares a block permanently faulty
+    /// after `threshold` recoveries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u32) -> PermanentFaultTracker {
+        assert!(threshold > 0, "threshold must be positive");
+        PermanentFaultTracker {
+            recoveries: HashMap::new(),
+            threshold,
+        }
+    }
+
+    /// Records that `block`'s copy needed recovery. Returns `true`
+    /// when the block has crossed the permanent-fault threshold and
+    /// the channel should remap module roles.
+    pub fn record_recovery(&mut self, block: u64) -> bool {
+        let count = self.recoveries.entry(block).or_insert(0);
+        *count += 1;
+        *count >= self.threshold
+    }
+
+    /// A successful fast (clean) read of `block` clears its suspicion:
+    /// the earlier errors were transient after all.
+    pub fn record_clean(&mut self, block: u64) {
+        self.recoveries.remove(&block);
+    }
+
+    /// Number of currently suspicious blocks.
+    pub fn suspects(&self) -> usize {
+        self.recoveries.len()
+    }
+
+    /// Resets all bookkeeping (after a remap, history is moot).
+    pub fn reset(&mut self) {
+        self.recoveries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_errors_never_trip_it() {
+        let mut t = PermanentFaultTracker::new(3);
+        for block in 0..100 {
+            assert!(!t.record_recovery(block));
+            t.record_clean(block);
+        }
+        assert_eq!(t.suspects(), 0);
+    }
+
+    #[test]
+    fn repeated_recovery_of_one_block_trips_it() {
+        let mut t = PermanentFaultTracker::new(3);
+        assert!(!t.record_recovery(7));
+        assert!(!t.record_recovery(7));
+        assert!(t.record_recovery(7));
+    }
+
+    #[test]
+    fn clean_read_resets_suspicion() {
+        let mut t = PermanentFaultTracker::new(2);
+        t.record_recovery(7);
+        t.record_clean(7);
+        assert!(!t.record_recovery(7), "history cleared by clean read");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = PermanentFaultTracker::default();
+        t.record_recovery(1);
+        t.record_recovery(2);
+        assert_eq!(t.suspects(), 2);
+        t.reset();
+        assert_eq!(t.suspects(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        let _ = PermanentFaultTracker::new(0);
+    }
+}

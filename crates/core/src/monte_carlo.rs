@@ -1,0 +1,214 @@
+//! Monte Carlo estimation of channel- and node-level frequency-margin
+//! distributions (Section III-D, Figure 11).
+//!
+//! Following the paper, per-module margins are drawn from a normal
+//! distribution fit to the Figure 2a measurements of 9 chips/rank
+//! modules, quantized to the 200 MT/s step and capped at the 800 MT/s
+//! the testbed could demonstrate. A channel's margin is the selected
+//! module's margin (max under margin-aware selection, first under
+//! margin-unaware); a node's margin is the minimum over its channels.
+
+use margin::composition::{channel_margin, node_margin, SelectionPolicy};
+use margin::population::quantize;
+use margin::stats::sample_normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-module margin distribution parameters and system shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarlo {
+    /// Mean of the module margin normal distribution, MT/s.
+    pub mean_mts: f64,
+    /// Standard deviation, MT/s.
+    pub std_mts: f64,
+    /// Demonstrated-margin cap, MT/s (the 4000 MT/s testbed ceiling
+    /// minus the 3200 MT/s label).
+    pub cap_mts: u32,
+    /// Modules per channel.
+    pub modules_per_channel: usize,
+    /// Channels per node.
+    pub channels_per_node: usize,
+}
+
+impl Default for MonteCarlo {
+    fn default() -> MonteCarlo {
+        MonteCarlo {
+            mean_mts: 906.0,
+            std_mts: 124.0,
+            cap_mts: 800,
+            modules_per_channel: 2,
+            channels_per_node: 12,
+        }
+    }
+}
+
+/// The node population split into the paper's three margin groups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginGroups {
+    /// Fraction of nodes usable at ≥ 0.8 GT/s extra.
+    pub at_800: f64,
+    /// Fraction usable at ≥ 0.6 GT/s (but < 0.8).
+    pub at_600: f64,
+    /// Fraction with no usable margin.
+    pub at_0: f64,
+}
+
+impl MarginGroups {
+    /// The group a node with `margin_mts` belongs to (800 / 600 / 0).
+    pub fn group_of(margin_mts: u32) -> u32 {
+        if margin_mts >= 800 {
+            800
+        } else if margin_mts >= 600 {
+            600
+        } else {
+            0
+        }
+    }
+}
+
+impl MonteCarlo {
+    /// Samples one module's measured margin.
+    fn sample_module(&self, rng: &mut StdRng) -> u32 {
+        let raw = sample_normal(rng, self.mean_mts, self.std_mts).max(0.0) as u32;
+        quantize(raw).min(self.cap_mts)
+    }
+
+    /// Samples one channel's margin under `policy`.
+    pub fn sample_channel(&self, rng: &mut StdRng, policy: SelectionPolicy) -> u32 {
+        let margins: Vec<u32> = (0..self.modules_per_channel)
+            .map(|_| self.sample_module(rng))
+            .collect();
+        channel_margin(&margins, policy)
+    }
+
+    /// Samples one node's margin under `policy`.
+    pub fn sample_node(&self, rng: &mut StdRng, policy: SelectionPolicy) -> u32 {
+        let channels: Vec<u32> = (0..self.channels_per_node)
+            .map(|_| self.sample_channel(rng, policy))
+            .collect();
+        node_margin(&channels)
+    }
+
+    /// Fraction of channels with margin ≥ `threshold_mts`.
+    pub fn channel_fraction_at_least(
+        &self,
+        policy: SelectionPolicy,
+        threshold_mts: u32,
+        trials: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hits = (0..trials)
+            .filter(|_| self.sample_channel(&mut rng, policy) >= threshold_mts)
+            .count();
+        hits as f64 / trials as f64
+    }
+
+    /// Fraction of nodes with margin ≥ `threshold_mts`.
+    pub fn node_fraction_at_least(
+        &self,
+        policy: SelectionPolicy,
+        threshold_mts: u32,
+        trials: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hits = (0..trials)
+            .filter(|_| self.sample_node(&mut rng, policy) >= threshold_mts)
+            .count();
+        hits as f64 / trials as f64
+    }
+
+    /// The node-group weights the rest of the paper uses (Hetero-DMR's
+    /// margin-aware selection): ≈ 62 % at 0.8 GT/s, 36 % at 0.6 GT/s,
+    /// 2 % at 0.
+    pub fn node_groups(&self, policy: SelectionPolicy, trials: usize, seed: u64) -> MarginGroups {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            match MarginGroups::group_of(self.sample_node(&mut rng, policy)) {
+                800 => counts[0] += 1,
+                600 => counts[1] += 1,
+                _ => counts[2] += 1,
+            }
+        }
+        MarginGroups {
+            at_800: counts[0] as f64 / trials as f64,
+            at_600: counts[1] as f64 / trials as f64,
+            at_0: counts[2] as f64 / trials as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRIALS: usize = 20_000;
+
+    #[test]
+    fn channel_fractions_match_figure_11() {
+        let mc = MonteCarlo::default();
+        let aware = mc.channel_fraction_at_least(SelectionPolicy::MarginAware, 800, TRIALS, 1);
+        let unaware = mc.channel_fraction_at_least(SelectionPolicy::MarginUnaware, 800, TRIALS, 2);
+        // Paper: 96 % (aware) vs 80 % (unaware) of channels ≥ 0.8 GT/s.
+        assert!((aware - 0.96).abs() < 0.03, "aware {aware}");
+        assert!((unaware - 0.80).abs() < 0.04, "unaware {unaware}");
+    }
+
+    #[test]
+    fn node_fractions_match_figure_11() {
+        let mc = MonteCarlo::default();
+        let aware_800 = mc.node_fraction_at_least(SelectionPolicy::MarginAware, 800, TRIALS, 3);
+        let aware_600 = mc.node_fraction_at_least(SelectionPolicy::MarginAware, 600, TRIALS, 4);
+        let unaware_800 = mc.node_fraction_at_least(SelectionPolicy::MarginUnaware, 800, TRIALS, 5);
+        let unaware_600 = mc.node_fraction_at_least(SelectionPolicy::MarginUnaware, 600, TRIALS, 6);
+        // Paper: 62 % / 98 % (aware), 7 % / 96 % (unaware).
+        assert!((aware_800 - 0.62).abs() < 0.08, "aware 800 {aware_800}");
+        assert!(aware_600 > 0.95, "aware 600 {aware_600}");
+        assert!(unaware_800 < 0.2, "unaware 800 {unaware_800}");
+        assert!(unaware_600 > 0.88, "unaware 600 {unaware_600}");
+    }
+
+    #[test]
+    fn aware_dominates_unaware() {
+        let mc = MonteCarlo::default();
+        for threshold in [600, 800] {
+            let aware =
+                mc.node_fraction_at_least(SelectionPolicy::MarginAware, threshold, 5_000, 7);
+            let unaware =
+                mc.node_fraction_at_least(SelectionPolicy::MarginUnaware, threshold, 5_000, 7);
+            assert!(aware >= unaware - 0.02, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn groups_sum_to_one_and_match_paper() {
+        let mc = MonteCarlo::default();
+        let g = mc.node_groups(SelectionPolicy::MarginAware, TRIALS, 8);
+        assert!((g.at_800 + g.at_600 + g.at_0 - 1.0).abs() < 1e-9);
+        assert!((g.at_800 - 0.62).abs() < 0.08, "at_800 {}", g.at_800);
+        assert!((g.at_600 - 0.36).abs() < 0.08, "at_600 {}", g.at_600);
+        assert!(g.at_0 < 0.06, "at_0 {}", g.at_0);
+    }
+
+    #[test]
+    fn group_classification() {
+        assert_eq!(MarginGroups::group_of(800), 800);
+        assert_eq!(MarginGroups::group_of(1000), 800);
+        assert_eq!(MarginGroups::group_of(600), 600);
+        assert_eq!(MarginGroups::group_of(799), 600);
+        assert_eq!(MarginGroups::group_of(599), 0);
+        assert_eq!(MarginGroups::group_of(0), 0);
+    }
+
+    #[test]
+    fn margins_are_quantized_and_capped() {
+        let mc = MonteCarlo::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let m = mc.sample_channel(&mut rng, SelectionPolicy::MarginAware);
+            assert!(m % 200 == 0 && m <= 800, "margin {m}");
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The node-level evaluation engine behind Figures 5, 12, 13, 14,
+//! and 15.
+//!
+//! Runs the [`memsim`] simulator for a (design, suite, hierarchy)
+//! triple, applies the paper's memory-usage fallback semantics
+//! (free-memory designs revert to the baseline above their
+//! threshold), and aggregates suite averages / usage-bucket weights /
+//! margin-group weights exactly as the paper's "average across six
+//! HPC benchmark suites" and "[0~100%]" bars do.
+
+use crate::designs::MemoryDesign;
+use crate::monte_carlo::MarginGroups;
+use dram::power::ActivityCounters;
+use energy::{EnergyBreakdown, EnergyModel};
+use memsim::config::HierarchyConfig;
+use memsim::{NodeSim, SimResult};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use workloads::{Suite, TraceGen};
+
+/// The paper's Figure 12 memory-usage buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UsageBucket {
+    /// `[0 – 25 %)` utilization.
+    Low,
+    /// `[25 – 50 %)`.
+    Mid,
+    /// `[50 – 100 %]`.
+    High,
+}
+
+impl UsageBucket {
+    /// All buckets in Figure 12 order.
+    pub const ALL: [UsageBucket; 3] = [UsageBucket::Low, UsageBucket::Mid, UsageBucket::High];
+
+    /// Figure 12's bucket label.
+    pub fn label(self) -> &'static str {
+        match self {
+            UsageBucket::Low => "[0~25%)",
+            UsageBucket::Mid => "[25~50%)",
+            UsageBucket::High => "[50~100%]",
+        }
+    }
+
+    /// A representative utilization within the bucket.
+    pub fn representative_utilization(self) -> f64 {
+        match self {
+            UsageBucket::Low => 0.15,
+            UsageBucket::Mid => 0.35,
+            UsageBucket::High => 0.75,
+        }
+    }
+}
+
+/// Simulation length and seeding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalConfig {
+    /// Memory operations simulated per core.
+    pub ops_per_core: usize,
+    /// Base RNG seed (per-core streams derive from it).
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> EvalConfig {
+        EvalConfig {
+            ops_per_core: 20_000,
+            seed: 0xD1A2,
+        }
+    }
+}
+
+/// The evaluation engine for one hierarchy, with run memoization.
+#[derive(Debug)]
+pub struct NodeModel {
+    hierarchy: HierarchyConfig,
+    config: EvalConfig,
+    cache: RefCell<HashMap<(MemoryDesign, Suite), SimResult>>,
+}
+
+impl NodeModel {
+    /// Creates an engine for `hierarchy`.
+    pub fn new(hierarchy: HierarchyConfig, config: EvalConfig) -> NodeModel {
+        NodeModel {
+            hierarchy,
+            config,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The hierarchy under evaluation.
+    pub fn hierarchy(&self) -> &HierarchyConfig {
+        &self.hierarchy
+    }
+
+    /// Runs (or recalls) the simulation of `design` on `suite` with
+    /// the design fully active.
+    pub fn run(&self, design: MemoryDesign, suite: Suite) -> SimResult {
+        if let Some(hit) = self.cache.borrow().get(&(design, suite)) {
+            return hit.clone();
+        }
+        let (modes, mirror) = design.per_channel_modes(self.hierarchy.memory.channels);
+        let mut node = NodeSim::with_modes(self.hierarchy, modes, mirror);
+        let streams: Vec<TraceGen> = (0..self.hierarchy.cores)
+            .map(|i| {
+                TraceGen::new(
+                    suite.params(),
+                    self.config.seed.wrapping_add(i as u64),
+                    self.config.ops_per_core,
+                )
+            })
+            .collect();
+        // Start in steady state: fill each core's LLC partition with
+        // its stream's recent past (the paper warms its gem5 caches
+        // before the measured interval), dirty at the store fraction.
+        // Every design gets the identical warm state so write volumes
+        // are comparable; Hetero-DMR's cleaning then drains the same
+        // dirty blocks in batches that eviction would have trickled.
+        let warm = node.l3_blocks_per_core();
+        for (i, stream) in streams.iter().enumerate() {
+            node.prewarm_core(i, stream.warmup_blocks(warm, suite.params().write_fraction));
+        }
+        let result = node.run(streams);
+        self.cache
+            .borrow_mut()
+            .insert((design, suite), result.clone());
+        result
+    }
+
+    /// The design actually in force in a usage bucket: free-memory
+    /// designs fall back when utilization crosses their threshold, and
+    /// Hetero-DMR+FMR regresses to plain Hetero-DMR in `[25, 50 %)`.
+    pub fn effective_design(design: MemoryDesign, bucket: UsageBucket) -> MemoryDesign {
+        let util = bucket.representative_utilization();
+        match design {
+            MemoryDesign::HeteroDmrFmr { margin_mts } if util >= 0.25 => {
+                Self::effective_design(MemoryDesign::HeteroDmr { margin_mts }, bucket)
+            }
+            d => match d.free_memory_threshold() {
+                Some(threshold) if util >= threshold => MemoryDesign::CommercialBaseline,
+                _ => d,
+            },
+        }
+    }
+
+    /// Performance of `design` on `suite` in `bucket`, normalized to
+    /// the Commercial Baseline (>1 is faster).
+    pub fn normalized(&self, design: MemoryDesign, suite: Suite, bucket: UsageBucket) -> f64 {
+        let effective = Self::effective_design(design, bucket);
+        if effective == MemoryDesign::CommercialBaseline
+            && design != MemoryDesign::CommercialBaseline
+        {
+            return 1.0;
+        }
+        let base = self.run(MemoryDesign::CommercialBaseline, suite);
+        let run = self.run(effective, suite);
+        run.speedup_over(&base)
+    }
+
+    /// Normalized performance averaged across the six suites
+    /// (each suite weighted equally, as the paper does).
+    pub fn suite_average(&self, design: MemoryDesign, bucket: UsageBucket) -> f64 {
+        Suite::ALL
+            .iter()
+            .map(|&s| self.normalized(design, s, bucket))
+            .sum::<f64>()
+            / Suite::ALL.len() as f64
+    }
+
+    /// Figure 12's `[0~100%]` bar: bucket averages weighted by the
+    /// fraction of jobs in each usage bucket.
+    pub fn usage_weighted(&self, design: MemoryDesign, bucket_weights: [f64; 3]) -> f64 {
+        UsageBucket::ALL
+            .iter()
+            .zip(bucket_weights)
+            .map(|(&b, w)| w * self.suite_average(design, b))
+            .sum()
+    }
+
+    /// The headline aggregation: usage-weighted performance further
+    /// weighted across node margin groups (0.8 / 0.6 / 0 GT/s), with
+    /// zero-margin nodes running the baseline.
+    pub fn margin_weighted<F>(
+        &self,
+        family: F,
+        groups: &MarginGroups,
+        bucket_weights: [f64; 3],
+    ) -> f64
+    where
+        F: Fn(u32) -> MemoryDesign,
+    {
+        groups.at_800 * self.usage_weighted(family(800), bucket_weights)
+            + groups.at_600 * self.usage_weighted(family(600), bucket_weights)
+            + groups.at_0
+    }
+
+    /// Energy of a run for Figure 13, including the self-refresh
+    /// residency of the original-holding modules under Hetero-DMR.
+    pub fn energy(
+        &self,
+        design: MemoryDesign,
+        suite: Suite,
+        model: &EnergyModel,
+    ) -> EnergyBreakdown {
+        let result = self.run(design, suite);
+        let mut activity: ActivityCounters = result.activity();
+        if matches!(
+            design,
+            MemoryDesign::HeteroDmr { .. } | MemoryDesign::HeteroDmrFmr { .. }
+        ) {
+            // One module per channel sits in self-refresh for ~95 % of
+            // the run (everything except write mode).
+            activity.self_refresh_time =
+                (result.exec_time_ps as f64 * 0.95) as u64 * self.hierarchy.memory.channels as u64;
+        }
+        let modules = self.hierarchy.memory.channels * self.hierarchy.memory.modules_per_channel;
+        model.energy(&activity, modules, result.instructions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(h: HierarchyConfig) -> NodeModel {
+        NodeModel::new(
+            h,
+            EvalConfig {
+                ops_per_core: 6_000,
+                seed: 42,
+            },
+        )
+    }
+
+    #[test]
+    fn fallback_semantics() {
+        use MemoryDesign as D;
+        let hdmr = D::HeteroDmr { margin_mts: 800 };
+        let both = D::HeteroDmrFmr { margin_mts: 800 };
+        assert_eq!(NodeModel::effective_design(hdmr, UsageBucket::Low), hdmr);
+        assert_eq!(NodeModel::effective_design(hdmr, UsageBucket::Mid), hdmr);
+        assert_eq!(
+            NodeModel::effective_design(hdmr, UsageBucket::High),
+            D::CommercialBaseline
+        );
+        assert_eq!(NodeModel::effective_design(both, UsageBucket::Low), both);
+        assert_eq!(NodeModel::effective_design(both, UsageBucket::Mid), hdmr);
+        assert_eq!(
+            NodeModel::effective_design(both, UsageBucket::High),
+            D::CommercialBaseline
+        );
+        // Margin-setting overclocking ignores utilization.
+        assert_eq!(
+            NodeModel::effective_design(D::ExploitFreqLat, UsageBucket::High),
+            D::ExploitFreqLat
+        );
+    }
+
+    #[test]
+    fn exploiting_margins_speeds_up_every_suite() {
+        let m = model(HierarchyConfig::hierarchy1());
+        for suite in Suite::ALL {
+            let s = m.normalized(MemoryDesign::ExploitFreqLat, suite, UsageBucket::Low);
+            assert!(
+                s > 1.02 && s < 1.45,
+                "{suite}: freq+lat speedup {s} out of plausible range"
+            );
+        }
+    }
+
+    #[test]
+    fn figure5_ordering_latency_lt_freq_lt_both() {
+        let m = model(HierarchyConfig::hierarchy1());
+        let lat = m.suite_average(MemoryDesign::ExploitLatency, UsageBucket::Low);
+        let freq = m.suite_average(MemoryDesign::ExploitFrequency, UsageBucket::Low);
+        let both = m.suite_average(MemoryDesign::ExploitFreqLat, UsageBucket::Low);
+        assert!(lat < freq, "latency {lat} vs freq {freq}");
+        assert!(freq <= both + 0.01, "freq {freq} vs both {both}");
+        // Paper: ~1.19x average for freq+lat.
+        assert!((both - 1.19).abs() < 0.08, "freq+lat average {both}");
+    }
+
+    #[test]
+    fn hetero_dmr_tracks_freq_lat_with_bounded_cost() {
+        let m = model(HierarchyConfig::hierarchy1());
+        let hdmr = m.suite_average(
+            MemoryDesign::HeteroDmr { margin_mts: 800 },
+            UsageBucket::Low,
+        );
+        let ideal = m.suite_average(MemoryDesign::ExploitFreqLat, UsageBucket::Low);
+        assert!(hdmr > 1.04, "Hetero-DMR speedup {hdmr}");
+        // Below the unprotected cherry-picked setting — the price of
+        // rigorous reliability (the paper measures 2-3%; our
+        // simulator's rank-consolidation penalty is harsher, see
+        // EXPERIMENTS.md) — but it must stay a clear net win.
+        assert!(hdmr < ideal, "protection is not free");
+        assert!(ideal - hdmr < 0.16, "hdmr {hdmr} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn lower_margin_lower_speedup() {
+        let m = model(HierarchyConfig::hierarchy1());
+        let hi = m.suite_average(
+            MemoryDesign::HeteroDmr { margin_mts: 800 },
+            UsageBucket::Low,
+        );
+        let lo = m.suite_average(
+            MemoryDesign::HeteroDmr { margin_mts: 600 },
+            UsageBucket::Low,
+        );
+        assert!(lo <= hi + 0.01, "600 MT/s {lo} vs 800 MT/s {hi}");
+        assert!(lo > 1.0, "600 MT/s margin still helps: {lo}");
+    }
+
+    #[test]
+    fn high_usage_bucket_is_baseline() {
+        let m = model(HierarchyConfig::hierarchy1());
+        let s = m.suite_average(
+            MemoryDesign::HeteroDmr { margin_mts: 800 },
+            UsageBucket::High,
+        );
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn usage_weighting_blends_buckets() {
+        let m = model(HierarchyConfig::hierarchy1());
+        let design = MemoryDesign::HeteroDmr { margin_mts: 800 };
+        let low = m.suite_average(design, UsageBucket::Low);
+        let blended = m.usage_weighted(design, [0.60, 0.15, 0.25]);
+        assert!(blended > 1.0 && blended < low);
+    }
+
+    #[test]
+    fn run_memoization_is_stable() {
+        let m = model(HierarchyConfig::hierarchy1());
+        let a = m.run(MemoryDesign::CommercialBaseline, Suite::Hpcg);
+        let b = m.run(MemoryDesign::CommercialBaseline, Suite::Hpcg);
+        assert_eq!(a.exec_time_ps, b.exec_time_ps);
+    }
+
+    #[test]
+    fn cleaning_overhead_is_small() {
+        // Figure 14: Hetero-DMR's extra DRAM accesses per instruction
+        // are ~1% on average.
+        let m = model(HierarchyConfig::hierarchy1());
+        let base = m.run(MemoryDesign::CommercialBaseline, Suite::Npb);
+        let hdmr = m.run(MemoryDesign::HeteroDmr { margin_mts: 800 }, Suite::Npb);
+        let overhead =
+            hdmr.dram_accesses_per_instruction() / base.dram_accesses_per_instruction() - 1.0;
+        assert!(overhead.abs() < 0.10, "accesses/instr overhead {overhead}");
+    }
+
+    #[test]
+    fn energy_improves_under_hetero_dmr() {
+        let m = model(HierarchyConfig::hierarchy1());
+        let em = EnergyModel::default();
+        let base = m.energy(MemoryDesign::CommercialBaseline, Suite::Hpcg, &em);
+        let hdmr = m.energy(
+            MemoryDesign::HeteroDmr { margin_mts: 800 },
+            Suite::Hpcg,
+            &em,
+        );
+        assert!(
+            hdmr.epi_nj() < base.epi_nj(),
+            "EPI should improve: {} vs {}",
+            hdmr.epi_nj(),
+            base.epi_nj()
+        );
+    }
+}

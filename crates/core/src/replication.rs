@@ -1,0 +1,204 @@
+//! Free-module tracking and opportunistic replication
+//! (Section III-E: "Activating and deactivating memory replication").
+//!
+//! When at least half of a channel's modules are free (not used by any
+//! software), Hetero-DMR replicates every in-use block into the free
+//! module(s) and starts operating those unsafely fast. When software
+//! demand grows past half, replication is dropped and the channel
+//! reverts to specification — the same software-usable capacity as a
+//! conventional system, always.
+
+/// What the manager decides after a utilization change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationAction {
+    /// Start replicating: copy every in-use block into the free
+    /// module, then enter heterogeneous operation.
+    Activate,
+    /// Stop replicating: hand the free module back to software and
+    /// revert the channel to specification.
+    Deactivate,
+    /// No state change.
+    None,
+}
+
+/// Tracks one channel's utilization and replication state.
+#[derive(Debug, Clone)]
+pub struct ReplicationManager {
+    /// Blocks per module (all modules identical).
+    blocks_per_module: u64,
+    /// Modules in the channel.
+    modules: usize,
+    /// Blocks currently used by software across the channel.
+    used_blocks: u64,
+    /// Whether replication is active.
+    active: bool,
+    /// Lifetime activation count (for statistics).
+    activations: u64,
+}
+
+impl ReplicationManager {
+    /// Creates a manager for a channel of `modules` modules with
+    /// `blocks_per_module` 64-byte blocks each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modules` is zero or `blocks_per_module` is zero.
+    pub fn new(modules: usize, blocks_per_module: u64) -> ReplicationManager {
+        assert!(modules > 0, "channel needs at least one module");
+        assert!(blocks_per_module > 0, "modules need capacity");
+        ReplicationManager {
+            blocks_per_module,
+            modules,
+            used_blocks: 0,
+            active: false,
+            activations: 0,
+        }
+    }
+
+    /// Total channel capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.blocks_per_module * self.modules as u64
+    }
+
+    /// Current channel utilization in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        self.used_blocks as f64 / self.capacity_blocks() as f64
+    }
+
+    /// Whether replication (and therefore heterogeneous operation) is
+    /// active.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Lifetime number of activations.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Whether the channel *could* replicate at `used` blocks: the
+    /// in-use data must fit outside at least half the modules.
+    pub fn can_replicate(&self, used: u64) -> bool {
+        used * 2 <= self.capacity_blocks()
+    }
+
+    /// Reports a new software memory demand for this channel and
+    /// returns the required action.
+    pub fn set_used_blocks(&mut self, used: u64) -> ReplicationAction {
+        self.used_blocks = used.min(self.capacity_blocks());
+        match (self.active, self.can_replicate(self.used_blocks)) {
+            (false, true) => {
+                self.active = true;
+                self.activations += 1;
+                ReplicationAction::Activate
+            }
+            (true, false) => {
+                self.active = false;
+                ReplicationAction::Deactivate
+            }
+            _ => ReplicationAction::None,
+        }
+    }
+
+    /// The block index in the Free Module that holds the copy of
+    /// location `block` of the in-use module. Broadcast writes require
+    /// the copy to live at the **same** offset (the address field of a
+    /// broadcast write is shared across ranks), so this is the
+    /// identity on the in-module offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is outside a single module's range — such a
+    /// block cannot be replicated under the same-offset constraint.
+    pub fn copy_offset(&self, block: u64) -> u64 {
+        assert!(
+            block < self.blocks_per_module,
+            "replicable blocks live in the in-use module's offset range"
+        );
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> ReplicationManager {
+        // Two 16 GB modules: 2^28 blocks each.
+        ReplicationManager::new(2, 1 << 28)
+    }
+
+    #[test]
+    fn activates_below_half_utilization() {
+        let mut m = manager();
+        assert!(!m.is_active());
+        let action = m.set_used_blocks(1 << 27); // 25% of channel
+        assert_eq!(action, ReplicationAction::Activate);
+        assert!(m.is_active());
+        assert_eq!(m.activations(), 1);
+    }
+
+    #[test]
+    fn deactivates_when_memory_needed() {
+        let mut m = manager();
+        m.set_used_blocks(1 << 27);
+        let action = m.set_used_blocks((1 << 28) + 1); // > 50%
+        assert_eq!(action, ReplicationAction::Deactivate);
+        assert!(!m.is_active());
+    }
+
+    #[test]
+    fn boundary_is_exactly_half() {
+        let mut m = manager();
+        // Exactly half still fits: copies occupy the other half.
+        assert_eq!(m.set_used_blocks(1 << 28), ReplicationAction::Activate);
+        assert_eq!(
+            m.set_used_blocks((1 << 28) + 1),
+            ReplicationAction::Deactivate
+        );
+        assert_eq!(m.set_used_blocks(1 << 28), ReplicationAction::Activate);
+        assert_eq!(m.activations(), 2);
+    }
+
+    #[test]
+    fn stable_states_report_none() {
+        let mut m = manager();
+        m.set_used_blocks(100);
+        assert_eq!(m.set_used_blocks(200), ReplicationAction::None);
+        m.set_used_blocks(m.capacity_blocks());
+        assert_eq!(
+            m.set_used_blocks(m.capacity_blocks()),
+            ReplicationAction::None
+        );
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut m = manager();
+        m.set_used_blocks(1 << 27);
+        assert!((m.utilization() - 0.25).abs() < 1e-12);
+        // Demand beyond capacity clamps.
+        m.set_used_blocks(u64::MAX);
+        assert_eq!(m.utilization(), 1.0);
+    }
+
+    #[test]
+    fn copy_offset_is_identity_within_module() {
+        let m = manager();
+        assert_eq!(m.copy_offset(0), 0);
+        assert_eq!(m.copy_offset(12345), 12345);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset range")]
+    fn copy_offset_rejects_out_of_module_blocks() {
+        let m = manager();
+        let _ = m.copy_offset(1 << 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one module")]
+    fn zero_modules_rejected() {
+        let _ = ReplicationManager::new(0, 8);
+    }
+}

@@ -1,0 +1,363 @@
+//! Per-bank state machine with timing-legality tracking.
+//!
+//! A [`Bank`] accepts DDR commands and enforces the intra-bank timing
+//! constraints (tRCD, tRP, tRAS, tRTP, tWR, tRFC). Inter-bank and
+//! rank-level constraints (tRRD, tFAW, bus occupancy) are enforced one
+//! level up in [`crate::rank::Rank`] and by the memory controller.
+
+use crate::command::Command;
+use crate::error::DramError;
+use crate::timing::TimingParams;
+use crate::Picos;
+
+/// The row-buffer state of a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankState {
+    /// All rows closed; an ACT is required before column commands.
+    Idle,
+    /// A row is open in the row buffer.
+    Active {
+        /// The open row index.
+        row: u64,
+    },
+}
+
+/// The outcome of successfully issuing a command to a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandOutcome {
+    /// When the command's effect completes. For reads this is when the
+    /// last data beat leaves the pins; for writes, when the burst has
+    /// been received; for ACT/PRE/REF, when the bank becomes usable.
+    pub done_at: Picos,
+    /// For data commands, when the data burst occupies the bus
+    /// (`start`, `end`); `None` for non-data commands.
+    pub bus_occupancy: Option<(Picos, Picos)>,
+}
+
+/// A single DRAM bank.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    state: BankState,
+    /// Earliest time an ACT may be issued.
+    act_allowed_at: Picos,
+    /// Earliest time a column RD/WR may be issued.
+    rw_allowed_at: Picos,
+    /// Earliest time a PRE may be issued.
+    pre_allowed_at: Picos,
+    /// Statistics: activates issued.
+    activates: u64,
+    /// Statistics: row-buffer hits (column command to already-open row).
+    row_hits: u64,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank::new()
+    }
+}
+
+impl Bank {
+    /// Creates an idle bank with no timing obligations.
+    pub fn new() -> Bank {
+        Bank {
+            state: BankState::Idle,
+            act_allowed_at: 0,
+            rw_allowed_at: 0,
+            pre_allowed_at: 0,
+            activates: 0,
+            row_hits: 0,
+        }
+    }
+
+    /// Current row-buffer state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// The row currently open, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        match self.state {
+            BankState::Active { row } => Some(row),
+            BankState::Idle => None,
+        }
+    }
+
+    /// Number of ACT commands this bank has received.
+    pub fn activates(&self) -> u64 {
+        self.activates
+    }
+
+    /// Number of column commands that hit the open row.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Earliest time `cmd` targeting `row` may legally be issued, or
+    /// `None` if the command is illegal in the current state regardless
+    /// of time (e.g. a read to a different row than the open one —
+    /// the controller must precharge first).
+    pub fn earliest_issue(&self, cmd: Command, row: u64) -> Option<Picos> {
+        match (cmd, self.state) {
+            (Command::Activate, BankState::Idle) => Some(self.act_allowed_at),
+            (Command::Activate, BankState::Active { .. }) => None,
+            (
+                Command::Read | Command::ReadAp | Command::Write | Command::WriteAp,
+                BankState::Active { row: open },
+            ) if open == row => Some(self.rw_allowed_at),
+            (Command::Read | Command::ReadAp | Command::Write | Command::WriteAp, _) => None,
+            (Command::Precharge, BankState::Active { .. }) => Some(self.pre_allowed_at),
+            // PRE to an idle bank is a legal no-op in DDR4.
+            (Command::Precharge, BankState::Idle) => Some(0),
+            (Command::Refresh, BankState::Idle) => Some(self.act_allowed_at),
+            (Command::Refresh, BankState::Active { .. }) => None,
+            // Self-refresh entry/exit is sequenced at the module level.
+            (Command::SelfRefreshEnter | Command::SelfRefreshExit, BankState::Idle) => {
+                Some(self.act_allowed_at)
+            }
+            (Command::SelfRefreshEnter | Command::SelfRefreshExit, _) => None,
+        }
+    }
+
+    /// Issues `cmd` to `row` at time `now` under timing set `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::StateViolation`] if the command is illegal
+    /// in the current bank state and [`DramError::TimingViolation`] if
+    /// issued before its earliest legal time.
+    pub fn issue(
+        &mut self,
+        cmd: Command,
+        row: u64,
+        now: Picos,
+        t: &TimingParams,
+    ) -> Result<CommandOutcome, DramError> {
+        let allowed = self
+            .earliest_issue(cmd, row)
+            .ok_or(DramError::StateViolation {
+                command: cmd,
+                reason: state_conflict_reason(cmd, self.state),
+            })?;
+        if now < allowed {
+            return Err(DramError::TimingViolation {
+                command: cmd,
+                issued_at: now,
+                allowed_at: allowed,
+            });
+        }
+        Ok(match cmd {
+            Command::Activate => {
+                self.state = BankState::Active { row };
+                self.activates += 1;
+                self.rw_allowed_at = now + t.t_rcd_ps();
+                self.pre_allowed_at = now + t.t_ras_ps();
+                CommandOutcome {
+                    done_at: now + t.t_rcd_ps(),
+                    bus_occupancy: None,
+                }
+            }
+            Command::Read | Command::ReadAp => {
+                self.row_hits += 1;
+                let burst_start = now + t.t_cas_ps();
+                let burst_end = burst_start + t.burst_ps();
+                self.pre_allowed_at = self.pre_allowed_at.max(now + t.t_rtp_ps());
+                if cmd.auto_precharges() {
+                    self.apply_auto_precharge(t);
+                }
+                CommandOutcome {
+                    done_at: burst_end,
+                    bus_occupancy: Some((burst_start, burst_end)),
+                }
+            }
+            Command::Write | Command::WriteAp => {
+                self.row_hits += 1;
+                let burst_start = now + t.t_cwl_ps();
+                let burst_end = burst_start + t.burst_ps();
+                self.pre_allowed_at = self.pre_allowed_at.max(burst_end + t.t_wr_ps());
+                if cmd.auto_precharges() {
+                    self.apply_auto_precharge(t);
+                }
+                CommandOutcome {
+                    done_at: burst_end,
+                    bus_occupancy: Some((burst_start, burst_end)),
+                }
+            }
+            Command::Precharge => {
+                self.state = BankState::Idle;
+                self.act_allowed_at = self.act_allowed_at.max(now + t.t_rp_ps());
+                CommandOutcome {
+                    done_at: now + t.t_rp_ps(),
+                    bus_occupancy: None,
+                }
+            }
+            Command::Refresh => {
+                self.act_allowed_at = self.act_allowed_at.max(now + t.t_rfc_ps());
+                CommandOutcome {
+                    done_at: now + t.t_rfc_ps(),
+                    bus_occupancy: None,
+                }
+            }
+            Command::SelfRefreshEnter => CommandOutcome {
+                done_at: now,
+                bus_occupancy: None,
+            },
+            Command::SelfRefreshExit => {
+                self.act_allowed_at = self.act_allowed_at.max(now + t.t_xs_ps());
+                CommandOutcome {
+                    done_at: now + t.t_xs_ps(),
+                    bus_occupancy: None,
+                }
+            }
+        })
+    }
+
+    /// Applies the precharge implied by an auto-precharge column
+    /// command at the earliest legal point.
+    fn apply_auto_precharge(&mut self, t: &TimingParams) {
+        let pre_at = self.pre_allowed_at;
+        self.state = BankState::Idle;
+        self.act_allowed_at = self.act_allowed_at.max(pre_at + t.t_rp_ps());
+    }
+
+    /// Forces the bank idle with no timing obligations, as after a
+    /// channel-level frequency transition (Figures 9–10 of the paper:
+    /// all banks are precharged before the clock is changed and the
+    /// transition time dwarfs every bank constraint).
+    pub fn reset_after_transition(&mut self, now: Picos) {
+        self.state = BankState::Idle;
+        self.act_allowed_at = now;
+        self.rw_allowed_at = now;
+        self.pre_allowed_at = now;
+    }
+}
+
+fn state_conflict_reason(cmd: Command, state: BankState) -> &'static str {
+    match (cmd, state) {
+        (Command::Activate, BankState::Active { .. }) => "activate while a row is already open",
+        (_, BankState::Idle) => "column command to an idle bank",
+        (_, BankState::Active { .. }) => "command conflicts with the open row",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::MemorySetting;
+
+    fn t() -> TimingParams {
+        MemorySetting::Specified.timing()
+    }
+
+    #[test]
+    fn activate_then_read_obeys_trcd() {
+        let t = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate, 7, 0, &t).unwrap();
+        // Reading immediately violates tRCD.
+        let err = bank.issue(Command::Read, 7, 1, &t).unwrap_err();
+        assert!(matches!(err, DramError::TimingViolation { .. }));
+        // Reading at tRCD succeeds.
+        let out = bank.issue(Command::Read, 7, t.t_rcd_ps(), &t).unwrap();
+        assert_eq!(out.done_at, t.t_rcd_ps() + t.t_cas_ps() + t.burst_ps());
+    }
+
+    #[test]
+    fn read_to_wrong_row_is_state_violation() {
+        let t = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate, 7, 0, &t).unwrap();
+        let err = bank.issue(Command::Read, 8, t.t_rcd_ps(), &t).unwrap_err();
+        assert!(matches!(err, DramError::StateViolation { .. }));
+    }
+
+    #[test]
+    fn precharge_respects_tras() {
+        let t = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate, 0, 0, &t).unwrap();
+        let err = bank
+            .issue(Command::Precharge, 0, t.t_rcd_ps(), &t)
+            .unwrap_err();
+        assert!(matches!(err, DramError::TimingViolation { allowed_at, .. }
+            if allowed_at == t.t_ras_ps()));
+        bank.issue(Command::Precharge, 0, t.t_ras_ps(), &t).unwrap();
+        assert_eq!(bank.state(), BankState::Idle);
+    }
+
+    #[test]
+    fn write_recovery_extends_precharge() {
+        let t = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate, 0, 0, &t).unwrap();
+        let wr_at = t.t_rcd_ps();
+        bank.issue(Command::Write, 0, wr_at, &t).unwrap();
+        let wr_done = wr_at + t.t_cwl_ps() + t.burst_ps();
+        let pre_earliest = bank.earliest_issue(Command::Precharge, 0).unwrap();
+        assert_eq!(pre_earliest, (wr_done + t.t_wr_ps()).max(t.t_ras_ps()));
+    }
+
+    #[test]
+    fn refresh_blocks_activates_for_trfc() {
+        let t = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Refresh, 0, 0, &t).unwrap();
+        assert_eq!(
+            bank.earliest_issue(Command::Activate, 0).unwrap(),
+            t.t_rfc_ps()
+        );
+    }
+
+    #[test]
+    fn refresh_requires_idle_bank() {
+        let t = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate, 3, 0, &t).unwrap();
+        assert!(bank.earliest_issue(Command::Refresh, 0).is_none());
+    }
+
+    #[test]
+    fn auto_precharge_closes_row() {
+        let t = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate, 5, 0, &t).unwrap();
+        bank.issue(Command::ReadAp, 5, t.t_rcd_ps(), &t).unwrap();
+        assert_eq!(bank.state(), BankState::Idle);
+        // Next activate must wait for the implicit precharge plus tRP.
+        let next_act = bank.earliest_issue(Command::Activate, 9).unwrap();
+        assert!(next_act >= t.t_ras_ps() + t.t_rp_ps());
+    }
+
+    #[test]
+    fn row_hit_counting() {
+        let t = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate, 5, 0, &t).unwrap();
+        let rd = t.t_rcd_ps();
+        bank.issue(Command::Read, 5, rd, &t).unwrap();
+        bank.issue(Command::Read, 5, rd + t.burst_ps(), &t).unwrap();
+        assert_eq!(bank.activates(), 1);
+        assert_eq!(bank.row_hits(), 2);
+    }
+
+    #[test]
+    fn reset_after_transition_clears_obligations() {
+        let t = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate, 5, 0, &t).unwrap();
+        bank.reset_after_transition(1_000_000);
+        assert_eq!(bank.state(), BankState::Idle);
+        assert_eq!(
+            bank.earliest_issue(Command::Activate, 0).unwrap(),
+            1_000_000
+        );
+    }
+
+    #[test]
+    fn precharge_idle_bank_is_noop() {
+        let t = t();
+        let mut bank = Bank::new();
+        let out = bank.issue(Command::Precharge, 0, 0, &t).unwrap();
+        assert_eq!(bank.state(), BankState::Idle);
+        assert!(out.bus_occupancy.is_none());
+    }
+}

@@ -1,0 +1,418 @@
+//! A memory channel with runtime frequency scaling and broadcast
+//! writes.
+//!
+//! The channel is where the paper's two key hardware mechanisms live:
+//!
+//! * **Frequency transitions** (Figures 9 and 10): scaling the
+//!   channel's CK_c/CK_t clock up or down takes ~1 µs end-to-end
+//!   (precharge, change clock, re-synchronize / DLL relock). The
+//!   channel models this as an opaque, exclusive transition window
+//!   during which no commands may issue.
+//! * **Broadcast writes** (Section III-A, reusing FMR's design): the
+//!   bus interconnection topology lets a single write transaction carry
+//!   identical command, address, and data to multiple ranks, so the
+//!   copy at the same location `i` of a Free Module is updated for free.
+
+use crate::command::Command;
+use crate::error::DramError;
+use crate::module::{Module, ModuleId};
+use crate::organization::ModuleOrganization;
+use crate::timing::TimingParams;
+use crate::{Picos, PS_PER_US};
+
+/// End-to-end cost of one channel frequency transition (the paper's
+/// measured ~1 µs, Section III-A1).
+pub const FREQUENCY_TRANSITION_PS: Picos = PS_PER_US;
+
+/// The channel's clock state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrequencyState {
+    /// Operating at manufacturer specification (safe for every module).
+    Safe,
+    /// Mid-transition from safe to fast; completes at the given time.
+    SpeedingUp {
+        /// When the transition completes.
+        until: Picos,
+    },
+    /// Operating beyond specification (only Free Modules are accessed).
+    UnsafelyFast,
+    /// Mid-transition from fast to safe; completes at the given time.
+    SlowingDown {
+        /// When the transition completes.
+        until: Picos,
+    },
+}
+
+/// Static configuration of a channel.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// Organization of every module in the channel (the paper populates
+    /// channels homogeneously: 2 modules/channel, 2 ranks/module).
+    pub organization: ModuleOrganization,
+    /// Number of module slots.
+    pub modules: usize,
+    /// Timing used in the safe state.
+    pub safe_timing: TimingParams,
+    /// Timing used in the unsafely fast state.
+    pub fast_timing: TimingParams,
+}
+
+impl ChannelConfig {
+    /// The paper's performance-experiment channel: two dual-rank
+    /// 9-chips/rank 3200 MT/s modules, safe at Table II row 1 and fast
+    /// at Table II row 4 (4000 MT/s + latency margins).
+    pub fn paper_default() -> ChannelConfig {
+        ChannelConfig {
+            organization: ModuleOrganization::ddr4_3200_9cpr_dual_rank(),
+            modules: 2,
+            safe_timing: crate::timing::MemorySetting::Specified.timing(),
+            fast_timing: crate::timing::MemorySetting::FreqLatMargin.timing(),
+        }
+    }
+}
+
+/// A memory channel: module slots sharing one command/data bus and one
+/// clock, with the Hetero-DMR frequency-scaling protocol.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    config: ChannelConfig,
+    modules: Vec<Module>,
+    state: FrequencyState,
+    /// Number of completed frequency transitions (both directions).
+    transitions: u64,
+    /// Number of broadcast write transactions.
+    broadcast_writes: u64,
+}
+
+impl Channel {
+    /// Creates a channel in the safe state with all slots populated.
+    pub fn new(config: ChannelConfig) -> Channel {
+        let modules = (0..config.modules)
+            .map(|i| Module::new(ModuleId(i), config.organization))
+            .collect();
+        Channel {
+            config,
+            modules,
+            state: FrequencyState::Safe,
+            transitions: 0,
+            broadcast_writes: 0,
+        }
+    }
+
+    /// The channel's static configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    /// Number of populated module slots.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Immutable module access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] for an invalid slot.
+    pub fn module(&self, id: ModuleId) -> Result<&Module, DramError> {
+        self.modules.get(id.0).ok_or(DramError::AddressOutOfRange {
+            component: "module",
+            index: id.0,
+            count: self.modules.len(),
+        })
+    }
+
+    /// Mutable module access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] for an invalid slot.
+    pub fn module_mut(&mut self, id: ModuleId) -> Result<&mut Module, DramError> {
+        let count = self.modules.len();
+        self.modules
+            .get_mut(id.0)
+            .ok_or(DramError::AddressOutOfRange {
+                component: "module",
+                index: id.0,
+                count,
+            })
+    }
+
+    /// Completed frequency transitions so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Broadcast write transactions issued so far.
+    pub fn broadcast_writes(&self) -> u64 {
+        self.broadcast_writes
+    }
+
+    /// The clock state as of `now`, resolving any transition that has
+    /// already completed.
+    pub fn state_at(&mut self, now: Picos) -> FrequencyState {
+        match self.state {
+            FrequencyState::SpeedingUp { until } if now >= until => {
+                self.finish_transition(FrequencyState::UnsafelyFast, until);
+            }
+            FrequencyState::SlowingDown { until } if now >= until => {
+                self.finish_transition(FrequencyState::Safe, until);
+            }
+            _ => {}
+        }
+        self.state
+    }
+
+    /// The timing parameters in force at `now`.
+    ///
+    /// During a transition the channel is unusable; this returns the
+    /// *destination* timing so callers can plan the next command, but
+    /// [`Channel::usable_at`] gates actual issue.
+    pub fn timing_at(&mut self, now: Picos) -> TimingParams {
+        match self.state_at(now) {
+            FrequencyState::Safe | FrequencyState::SlowingDown { .. } => self.config.safe_timing,
+            FrequencyState::UnsafelyFast | FrequencyState::SpeedingUp { .. } => {
+                self.config.fast_timing
+            }
+        }
+    }
+
+    /// Earliest time commands may issue, given any in-flight transition.
+    pub fn usable_at(&mut self, now: Picos) -> Picos {
+        match self.state_at(now) {
+            FrequencyState::Safe | FrequencyState::UnsafelyFast => now,
+            FrequencyState::SpeedingUp { until } | FrequencyState::SlowingDown { until } => until,
+        }
+    }
+
+    /// Begins the safe→fast transition of Figure 10: precharge all
+    /// non-self-refresh modules, raise the clock, re-synchronize.
+    /// Returns the completion time (`now + 1 µs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::TransitionInProgress`] if a transition is
+    /// already under way, and [`DramError::StateViolation`] if already
+    /// fast.
+    pub fn begin_speed_up(&mut self, now: Picos) -> Result<Picos, DramError> {
+        match self.state_at(now) {
+            FrequencyState::Safe => {
+                let timing = self.config.safe_timing;
+                for module in &mut self.modules {
+                    if !module.in_self_refresh() {
+                        module.precharge_all(now, &timing);
+                    }
+                }
+                let until = now + FREQUENCY_TRANSITION_PS;
+                self.state = FrequencyState::SpeedingUp { until };
+                Ok(until)
+            }
+            FrequencyState::UnsafelyFast => Err(DramError::StateViolation {
+                command: Command::SelfRefreshEnter,
+                reason: "channel is already unsafely fast",
+            }),
+            _ => Err(DramError::TransitionInProgress),
+        }
+    }
+
+    /// Begins the fast→safe transition of Figure 9. Returns the
+    /// completion time (`now + 1 µs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::TransitionInProgress`] if a transition is
+    /// already under way, and [`DramError::StateViolation`] if already
+    /// safe.
+    pub fn begin_slow_down(&mut self, now: Picos) -> Result<Picos, DramError> {
+        match self.state_at(now) {
+            FrequencyState::UnsafelyFast => {
+                let timing = self.config.fast_timing;
+                for module in &mut self.modules {
+                    if !module.in_self_refresh() {
+                        module.precharge_all(now, &timing);
+                    }
+                }
+                let until = now + FREQUENCY_TRANSITION_PS;
+                self.state = FrequencyState::SlowingDown { until };
+                Ok(until)
+            }
+            FrequencyState::Safe => Err(DramError::StateViolation {
+                command: Command::SelfRefreshExit,
+                reason: "channel is already safe",
+            }),
+            _ => Err(DramError::TransitionInProgress),
+        }
+    }
+
+    /// Issues a write broadcast to the same `(rank, bank, row)` of
+    /// several modules in **one** bus transaction — the FMR mechanism
+    /// Hetero-DMR reuses to update copies with zero write-bandwidth
+    /// overhead. All targets receive identical address and data fields.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the channel is mid-transition, any target is in
+    /// self-refresh, or any target rejects the write.
+    pub fn broadcast_write(
+        &mut self,
+        targets: &[ModuleId],
+        rank: usize,
+        bank: usize,
+        row: u64,
+        now: Picos,
+    ) -> Result<crate::bank::CommandOutcome, DramError> {
+        let usable = self.usable_at(now);
+        if now < usable {
+            return Err(DramError::TimingViolation {
+                command: Command::Write,
+                issued_at: now,
+                allowed_at: usable,
+            });
+        }
+        let timing = self.timing_at(now);
+        let mut outcome = None;
+        for &id in targets {
+            let module = self.module_mut(id)?;
+            let out = module.issue(Command::Write, rank, bank, row, now, &timing)?;
+            outcome = Some(out);
+        }
+        self.broadcast_writes += 1;
+        outcome.ok_or(DramError::StateViolation {
+            command: Command::Write,
+            reason: "broadcast write needs at least one target",
+        })
+    }
+
+    fn finish_transition(&mut self, new_state: FrequencyState, at: Picos) {
+        self.state = new_state;
+        self.transitions += 1;
+        for module in &mut self.modules {
+            if !module.in_self_refresh() {
+                module.reset_after_transition(at);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> Channel {
+        Channel::new(ChannelConfig::paper_default())
+    }
+
+    #[test]
+    fn starts_safe_with_two_modules() {
+        let mut ch = channel();
+        assert_eq!(ch.module_count(), 2);
+        assert_eq!(ch.state_at(0), FrequencyState::Safe);
+        assert_eq!(ch.timing_at(0).data_rate.mts(), 3200);
+    }
+
+    #[test]
+    fn speed_up_takes_one_microsecond() {
+        let mut ch = channel();
+        let until = ch.begin_speed_up(1_000).unwrap();
+        assert_eq!(until, 1_000 + FREQUENCY_TRANSITION_PS);
+        assert!(matches!(
+            ch.state_at(until - 1),
+            FrequencyState::SpeedingUp { .. }
+        ));
+        assert_eq!(ch.state_at(until), FrequencyState::UnsafelyFast);
+        assert_eq!(ch.timing_at(until).data_rate.mts(), 4000);
+        assert_eq!(ch.transitions(), 1);
+    }
+
+    #[test]
+    fn round_trip_costs_two_transitions() {
+        let mut ch = channel();
+        let up = ch.begin_speed_up(0).unwrap();
+        let down = ch.begin_slow_down(up).unwrap();
+        assert_eq!(ch.state_at(down), FrequencyState::Safe);
+        assert_eq!(ch.transitions(), 2);
+        assert_eq!(down, 2 * FREQUENCY_TRANSITION_PS);
+    }
+
+    #[test]
+    fn transition_while_transitioning_rejected() {
+        let mut ch = channel();
+        ch.begin_speed_up(0).unwrap();
+        assert_eq!(
+            ch.begin_slow_down(10).unwrap_err(),
+            DramError::TransitionInProgress
+        );
+        assert_eq!(
+            ch.begin_speed_up(10).unwrap_err(),
+            DramError::TransitionInProgress
+        );
+    }
+
+    #[test]
+    fn redundant_transitions_rejected() {
+        let mut ch = channel();
+        assert!(ch.begin_slow_down(0).is_err());
+        let up = ch.begin_speed_up(0).unwrap();
+        assert!(ch.begin_speed_up(up).is_err());
+    }
+
+    #[test]
+    fn channel_unusable_during_transition() {
+        let mut ch = channel();
+        let until = ch.begin_speed_up(0).unwrap();
+        assert_eq!(ch.usable_at(500), until);
+        assert_eq!(ch.usable_at(until + 7), until + 7);
+    }
+
+    #[test]
+    fn broadcast_write_updates_all_targets_in_one_transaction() {
+        let mut ch = channel();
+        let timing = ch.timing_at(0);
+        // Open row 3 on bank 0 of rank 0 in both modules.
+        for id in [ModuleId(0), ModuleId(1)] {
+            ch.module_mut(id)
+                .unwrap()
+                .issue(Command::Activate, 0, 0, 3, 0, &timing)
+                .unwrap();
+        }
+        let now = timing.t_rcd_ps();
+        ch.broadcast_write(&[ModuleId(0), ModuleId(1)], 0, 0, 3, now)
+            .unwrap();
+        assert_eq!(ch.broadcast_writes(), 1);
+        // Both modules saw exactly one write — same address, one bus
+        // transaction.
+        assert_eq!(ch.module(ModuleId(0)).unwrap().writes(), 1);
+        assert_eq!(ch.module(ModuleId(1)).unwrap().writes(), 1);
+    }
+
+    #[test]
+    fn broadcast_write_blocked_mid_transition() {
+        let mut ch = channel();
+        ch.begin_speed_up(0).unwrap();
+        let err = ch
+            .broadcast_write(&[ModuleId(0)], 0, 0, 0, 500)
+            .unwrap_err();
+        assert!(matches!(err, DramError::TimingViolation { .. }));
+    }
+
+    #[test]
+    fn self_refresh_module_survives_transition_untouched() {
+        let mut ch = channel();
+        // Put module 0 (originals) in self-refresh, then speed up.
+        ch.module_mut(ModuleId(0))
+            .unwrap()
+            .enter_self_refresh(0)
+            .unwrap();
+        let up = ch.begin_speed_up(10).unwrap();
+        assert_eq!(ch.state_at(up), FrequencyState::UnsafelyFast);
+        assert!(ch.module(ModuleId(0)).unwrap().in_self_refresh());
+        // The self-refreshed module still rejects bus commands.
+        let timing = ch.timing_at(up);
+        let err = ch
+            .module_mut(ModuleId(0))
+            .unwrap()
+            .issue(Command::Activate, 0, 0, 0, up, &timing)
+            .unwrap_err();
+        assert!(matches!(err, DramError::StateViolation { .. }));
+    }
+}

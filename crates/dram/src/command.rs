@@ -1,0 +1,121 @@
+//! The DDR command vocabulary used by the bank/rank state machines.
+
+use std::fmt;
+
+/// A DDR4 command as issued by the memory controller.
+///
+/// Only the commands the simulator schedules are modelled; mode
+/// register writes and ZQ calibration are folded into the channel
+/// frequency-transition cost (Figures 9–10 of the paper) rather than
+/// issued individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Open a row in a bank.
+    Activate,
+    /// Column read (burst of 8).
+    Read,
+    /// Column read with auto-precharge.
+    ReadAp,
+    /// Column write (burst of 8).
+    Write,
+    /// Column write with auto-precharge.
+    WriteAp,
+    /// Close the open row of a bank.
+    Precharge,
+    /// Refresh (all banks).
+    Refresh,
+    /// Enter self-refresh; the device refreshes itself from its
+    /// internal clock and ignores the external bus.
+    SelfRefreshEnter,
+    /// Exit self-refresh.
+    SelfRefreshExit,
+}
+
+impl Command {
+    /// Whether this command transfers data on the bus.
+    pub fn transfers_data(self) -> bool {
+        matches!(
+            self,
+            Command::Read | Command::ReadAp | Command::Write | Command::WriteAp
+        )
+    }
+
+    /// Whether this is a column-read command.
+    pub fn is_read(self) -> bool {
+        matches!(self, Command::Read | Command::ReadAp)
+    }
+
+    /// Whether this is a column-write command.
+    pub fn is_write(self) -> bool {
+        matches!(self, Command::Write | Command::WriteAp)
+    }
+
+    /// Whether the command auto-precharges its bank after the burst.
+    pub fn auto_precharges(self) -> bool {
+        matches!(self, Command::ReadAp | Command::WriteAp)
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Command::Activate => "ACT",
+            Command::Read => "RD",
+            Command::ReadAp => "RDA",
+            Command::Write => "WR",
+            Command::WriteAp => "WRA",
+            Command::Precharge => "PRE",
+            Command::Refresh => "REF",
+            Command::SelfRefreshEnter => "SRE",
+            Command::SelfRefreshExit => "SRX",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_transfer_classification() {
+        assert!(Command::Read.transfers_data());
+        assert!(Command::WriteAp.transfers_data());
+        assert!(!Command::Activate.transfers_data());
+        assert!(!Command::Refresh.transfers_data());
+    }
+
+    #[test]
+    fn read_write_partition() {
+        for cmd in [
+            Command::Activate,
+            Command::Read,
+            Command::ReadAp,
+            Command::Write,
+            Command::WriteAp,
+            Command::Precharge,
+            Command::Refresh,
+            Command::SelfRefreshEnter,
+            Command::SelfRefreshExit,
+        ] {
+            // A command is never both a read and a write.
+            assert!(!(cmd.is_read() && cmd.is_write()), "{cmd}");
+            // Only data-transferring commands are reads or writes.
+            assert_eq!(cmd.transfers_data(), cmd.is_read() || cmd.is_write());
+        }
+    }
+
+    #[test]
+    fn auto_precharge_variants() {
+        assert!(Command::ReadAp.auto_precharges());
+        assert!(Command::WriteAp.auto_precharges());
+        assert!(!Command::Read.auto_precharges());
+        assert!(!Command::Write.auto_precharges());
+    }
+
+    #[test]
+    fn display_is_mnemonic() {
+        assert_eq!(Command::Activate.to_string(), "ACT");
+        assert_eq!(Command::SelfRefreshEnter.to_string(), "SRE");
+    }
+}

@@ -1,0 +1,293 @@
+//! A DIMM: ranks plus self-refresh state.
+//!
+//! Hetero-DMR (Section III-A2 of the paper) keeps the modules holding
+//! *original* blocks in self-refresh while the channel runs unsafely
+//! fast: in self-refresh the devices refresh from their internal,
+//! in-spec clocks and ignore the (overclocked) external bus entirely,
+//! so no command misinterpretation can corrupt them.
+
+use crate::command::Command;
+use crate::error::DramError;
+use crate::organization::ModuleOrganization;
+use crate::rank::Rank;
+use crate::timing::TimingParams;
+use crate::Picos;
+
+/// Identifier of a module within a channel (slot index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModuleId(pub usize);
+
+impl std::fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DIMM{}", self.0)
+    }
+}
+
+/// A registered DIMM with per-rank state and self-refresh tracking.
+#[derive(Debug, Clone)]
+pub struct Module {
+    id: ModuleId,
+    organization: ModuleOrganization,
+    ranks: Vec<Rank>,
+    /// `Some(entered_at)` while in self-refresh.
+    self_refresh_since: Option<Picos>,
+    /// Accumulated time spent in self-refresh (for the power model).
+    self_refresh_total: Picos,
+}
+
+impl Module {
+    /// Creates a module in normal (externally clocked) operation.
+    pub fn new(id: ModuleId, organization: ModuleOrganization) -> Module {
+        Module {
+            id,
+            organization,
+            ranks: (0..organization.ranks).map(|_| Rank::new()).collect(),
+            self_refresh_since: None,
+            self_refresh_total: 0,
+        }
+    }
+
+    /// The module's slot identifier.
+    pub fn id(&self) -> ModuleId {
+        self.id
+    }
+
+    /// Physical organization.
+    pub fn organization(&self) -> ModuleOrganization {
+        self.organization
+    }
+
+    /// Number of ranks.
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Immutable access to a rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] for an invalid index.
+    pub fn rank(&self, index: usize) -> Result<&Rank, DramError> {
+        self.ranks.get(index).ok_or(DramError::AddressOutOfRange {
+            component: "rank",
+            index,
+            count: self.ranks.len(),
+        })
+    }
+
+    /// Mutable access to a rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] for an invalid index.
+    pub fn rank_mut(&mut self, index: usize) -> Result<&mut Rank, DramError> {
+        let count = self.ranks.len();
+        self.ranks
+            .get_mut(index)
+            .ok_or(DramError::AddressOutOfRange {
+                component: "rank",
+                index,
+                count,
+            })
+    }
+
+    /// Whether the module is currently in self-refresh.
+    pub fn in_self_refresh(&self) -> bool {
+        self.self_refresh_since.is_some()
+    }
+
+    /// Total time spent in self-refresh so far (closed intervals only).
+    pub fn self_refresh_time(&self) -> Picos {
+        self.self_refresh_total
+    }
+
+    /// Enters self-refresh at `now`.
+    ///
+    /// All banks must be precharged first (the caller typically uses
+    /// [`Rank::precharge_all`]). While in self-refresh the module
+    /// rejects every command except [`Command::SelfRefreshExit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::StateViolation`] if a bank is still open or
+    /// the module is already in self-refresh.
+    pub fn enter_self_refresh(&mut self, now: Picos) -> Result<(), DramError> {
+        if self.in_self_refresh() {
+            return Err(DramError::StateViolation {
+                command: Command::SelfRefreshEnter,
+                reason: "already in self-refresh",
+            });
+        }
+        if !self.ranks.iter().all(Rank::all_banks_idle) {
+            return Err(DramError::StateViolation {
+                command: Command::SelfRefreshEnter,
+                reason: "banks must be precharged before self-refresh entry",
+            });
+        }
+        self.self_refresh_since = Some(now);
+        Ok(())
+    }
+
+    /// Exits self-refresh at `now`; the module accepts commands again
+    /// after tXS, which the returned time reflects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::StateViolation`] if not in self-refresh.
+    pub fn exit_self_refresh(&mut self, now: Picos, t: &TimingParams) -> Result<Picos, DramError> {
+        let since = self
+            .self_refresh_since
+            .take()
+            .ok_or(DramError::StateViolation {
+                command: Command::SelfRefreshExit,
+                reason: "not in self-refresh",
+            })?;
+        self.self_refresh_total += now.saturating_sub(since);
+        let ready = now + t.t_xs_ps();
+        for rank in &mut self.ranks {
+            rank.reset_after_transition(ready);
+        }
+        Ok(ready)
+    }
+
+    /// Issues a command to `rank`/`bank`/`row` at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects all commands while in self-refresh (the device ignores
+    /// the external bus), plus any rank/bank-level violation.
+    pub fn issue(
+        &mut self,
+        cmd: Command,
+        rank: usize,
+        bank: usize,
+        row: u64,
+        now: Picos,
+        t: &TimingParams,
+    ) -> Result<crate::bank::CommandOutcome, DramError> {
+        if self.in_self_refresh() {
+            return Err(DramError::StateViolation {
+                command: cmd,
+                reason: "module is in self-refresh and ignores the external bus",
+            });
+        }
+        self.rank_mut(rank)?.issue(cmd, bank, row, now, t)
+    }
+
+    /// Precharges every bank on the module; returns when the slowest
+    /// rank is fully precharged.
+    pub fn precharge_all(&mut self, now: Picos, t: &TimingParams) -> Picos {
+        self.ranks
+            .iter_mut()
+            .map(|r| r.precharge_all(now, t))
+            .max()
+            .unwrap_or(now)
+    }
+
+    /// Resets all ranks after a channel frequency transition.
+    pub fn reset_after_transition(&mut self, now: Picos) {
+        for rank in &mut self.ranks {
+            rank.reset_after_transition(now);
+        }
+    }
+
+    /// Total reads across ranks.
+    pub fn reads(&self) -> u64 {
+        self.ranks.iter().map(Rank::reads).sum()
+    }
+
+    /// Total writes across ranks.
+    pub fn writes(&self) -> u64 {
+        self.ranks.iter().map(Rank::writes).sum()
+    }
+
+    /// Total activates across ranks.
+    pub fn activates(&self) -> u64 {
+        self.ranks.iter().map(Rank::activates).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::MemorySetting;
+
+    fn module() -> Module {
+        Module::new(ModuleId(0), ModuleOrganization::ddr4_3200_9cpr_dual_rank())
+    }
+
+    fn t() -> TimingParams {
+        MemorySetting::Specified.timing()
+    }
+
+    #[test]
+    fn dual_rank_module_has_two_ranks() {
+        let m = module();
+        assert_eq!(m.rank_count(), 2);
+        assert!(m.rank(1).is_ok());
+        assert!(m.rank(2).is_err());
+    }
+
+    #[test]
+    fn self_refresh_requires_precharged_banks() {
+        let t = t();
+        let mut m = module();
+        m.issue(Command::Activate, 0, 0, 0, 0, &t).unwrap();
+        let err = m.enter_self_refresh(100).unwrap_err();
+        assert!(matches!(err, DramError::StateViolation { .. }));
+        let done = m.precharge_all(t.t_ras_ps(), &t);
+        m.enter_self_refresh(done).unwrap();
+        assert!(m.in_self_refresh());
+    }
+
+    #[test]
+    fn self_refresh_blocks_external_commands() {
+        let t = t();
+        let mut m = module();
+        m.enter_self_refresh(0).unwrap();
+        let err = m.issue(Command::Activate, 0, 0, 0, 10, &t).unwrap_err();
+        assert!(matches!(err, DramError::StateViolation { .. }));
+        let err = m.issue(Command::Refresh, 0, 0, 0, 10, &t).unwrap_err();
+        assert!(matches!(err, DramError::StateViolation { .. }));
+    }
+
+    #[test]
+    fn self_refresh_exit_applies_txs_and_tracks_time() {
+        let t = t();
+        let mut m = module();
+        m.enter_self_refresh(1_000).unwrap();
+        let ready = m.exit_self_refresh(2_001_000, &t).unwrap();
+        assert_eq!(ready, 2_001_000 + t.t_xs_ps());
+        assert_eq!(m.self_refresh_time(), 2_000_000);
+        assert!(!m.in_self_refresh());
+        // Commands are accepted again after tXS.
+        m.issue(Command::Activate, 0, 0, 0, ready, &t).unwrap();
+    }
+
+    #[test]
+    fn double_entry_rejected() {
+        let mut m = module();
+        m.enter_self_refresh(0).unwrap();
+        assert!(m.enter_self_refresh(5).is_err());
+    }
+
+    #[test]
+    fn exit_without_entry_rejected() {
+        let t = t();
+        let mut m = module();
+        assert!(m.exit_self_refresh(5, &t).is_err());
+    }
+
+    #[test]
+    fn activity_counters_aggregate_ranks() {
+        let t = t();
+        let mut m = module();
+        m.issue(Command::Activate, 0, 0, 0, 0, &t).unwrap();
+        m.issue(Command::Read, 0, 0, 0, t.t_rcd_ps(), &t).unwrap();
+        m.issue(Command::Activate, 1, 0, 0, 0, &t).unwrap();
+        m.issue(Command::Write, 1, 0, 0, t.t_rcd_ps(), &t).unwrap();
+        assert_eq!(m.reads(), 1);
+        assert_eq!(m.writes(), 1);
+        assert_eq!(m.activates(), 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Physical module organization.
+//!
+//! The characterization study (Section II of the paper) slices its 119
+//! modules by chips per rank, ranks per module, chip density, and
+//! manufacturer-specified data rate; this module captures those axes.
+
+use crate::rate::DataRate;
+use std::fmt;
+
+/// Chip density of the DRAM devices on a module, in gigabits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChipDensity {
+    /// 4 Gb devices.
+    Gb4,
+    /// 8 Gb devices.
+    Gb8,
+    /// 16 Gb devices.
+    Gb16,
+}
+
+impl ChipDensity {
+    /// Density in gigabits.
+    pub fn gigabits(self) -> u32 {
+        match self {
+            ChipDensity::Gb4 => 4,
+            ChipDensity::Gb8 => 8,
+            ChipDensity::Gb16 => 16,
+        }
+    }
+}
+
+impl fmt::Display for ChipDensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} Gb", self.gigabits())
+    }
+}
+
+/// Physical organization of a registered DIMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleOrganization {
+    /// Chips operating in lockstep per rank: 9 (x8 devices, one ECC
+    /// chip) or 18 (x4 devices, two ECC chips) in the paper's
+    /// population.
+    pub chips_per_rank: u8,
+    /// Ranks on the module (1 or 2 in the study).
+    pub ranks: u8,
+    /// Density of each DRAM device.
+    pub density: ChipDensity,
+    /// Manufacturer-specified (labelled) data rate.
+    pub specified_rate: DataRate,
+}
+
+impl ModuleOrganization {
+    /// A dual-rank 3200 MT/s module with 9 chips/rank — the
+    /// configuration the paper's performance experiments use because it
+    /// resembles upcoming DDR5 modules (≤10 chips/rank).
+    pub fn ddr4_3200_9cpr_dual_rank() -> ModuleOrganization {
+        ModuleOrganization {
+            chips_per_rank: 9,
+            ranks: 2,
+            density: ChipDensity::Gb8,
+            specified_rate: DataRate::MT3200,
+        }
+    }
+
+    /// An 18 chips/rank 3200 MT/s dual-rank module (x4 devices).
+    pub fn ddr4_3200_18cpr_dual_rank() -> ModuleOrganization {
+        ModuleOrganization {
+            chips_per_rank: 18,
+            ranks: 2,
+            density: ChipDensity::Gb8,
+            specified_rate: DataRate::MT3200,
+        }
+    }
+
+    /// A DDR5-4800 dual-rank module with 10 chips/rank — DDR5 supports
+    /// at most 10 chips/rank, which is why the paper's performance
+    /// experiments prefer 9-chips/rank DDR4 modules as the closest
+    /// stand-in (Section II-B).
+    pub fn ddr5_4800_10cpr_dual_rank() -> ModuleOrganization {
+        ModuleOrganization {
+            chips_per_rank: 10,
+            ranks: 2,
+            density: ChipDensity::Gb16,
+            specified_rate: DataRate::MT4800,
+        }
+    }
+
+    /// A dual-rank 2400 MT/s module with 9 chips/rank.
+    pub fn ddr4_2400_9cpr_dual_rank() -> ModuleOrganization {
+        ModuleOrganization {
+            chips_per_rank: 9,
+            ranks: 2,
+            density: ChipDensity::Gb8,
+            specified_rate: DataRate::MT2400,
+        }
+    }
+
+    /// Total DRAM devices on the module (all ranks).
+    pub fn total_chips(self) -> u32 {
+        self.chips_per_rank as u32 * self.ranks as u32
+    }
+
+    /// Data chips per rank (excluding ECC chips).
+    ///
+    /// A 72-bit-wide ECC rank is 8 data bits of every 9 (x8 devices) or
+    /// 16 of every 18 (x4 devices).
+    pub fn data_chips_per_rank(self) -> u8 {
+        match self.chips_per_rank {
+            9 => 8,
+            18 => 16,
+            n => n - n / 9,
+        }
+    }
+
+    /// ECC chips per rank.
+    pub fn ecc_chips_per_rank(self) -> u8 {
+        self.chips_per_rank - self.data_chips_per_rank()
+    }
+
+    /// Usable (data) capacity of the module in gigabytes.
+    pub fn capacity_gb(self) -> u32 {
+        self.data_chips_per_rank() as u32 * self.ranks as u32 * self.density.gigabits() / 8
+    }
+}
+
+impl fmt::Display for ModuleOrganization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}R x{} {} {} ({} GB)",
+            self.ranks,
+            if self.chips_per_rank == 18 { 4 } else { 8 },
+            self.density,
+            self.specified_rate,
+            self.capacity_gb()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_chip_rank_has_one_ecc_chip() {
+        let org = ModuleOrganization::ddr4_3200_9cpr_dual_rank();
+        assert_eq!(org.data_chips_per_rank(), 8);
+        assert_eq!(org.ecc_chips_per_rank(), 1);
+        assert_eq!(org.total_chips(), 18);
+    }
+
+    #[test]
+    fn eighteen_chip_rank_has_two_ecc_chips() {
+        let org = ModuleOrganization::ddr4_3200_18cpr_dual_rank();
+        assert_eq!(org.data_chips_per_rank(), 16);
+        assert_eq!(org.ecc_chips_per_rank(), 2);
+        assert_eq!(org.total_chips(), 36);
+    }
+
+    #[test]
+    fn ddr5_module_is_ten_chips() {
+        let org = ModuleOrganization::ddr5_4800_10cpr_dual_rank();
+        assert_eq!(org.chips_per_rank, 10);
+        assert!(org.chips_per_rank <= 10, "DDR5 caps chips/rank at 10");
+        assert_eq!(org.ecc_chips_per_rank(), 1);
+        assert_eq!(org.specified_rate.mts(), 4800);
+    }
+
+    #[test]
+    fn capacity_computation() {
+        // 8 data chips × 2 ranks × 8 Gb = 128 Gb = 16 GB.
+        let org = ModuleOrganization::ddr4_3200_9cpr_dual_rank();
+        assert_eq!(org.capacity_gb(), 16);
+        // x4 module: 16 data chips × 2 ranks × 8 Gb = 32 GB.
+        let org = ModuleOrganization::ddr4_3200_18cpr_dual_rank();
+        assert_eq!(org.capacity_gb(), 32);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = ModuleOrganization::ddr4_3200_9cpr_dual_rank().to_string();
+        assert!(text.contains("2R"));
+        assert!(text.contains("3200"));
+        assert!(text.contains("16 GB"));
+    }
+}

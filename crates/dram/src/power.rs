@@ -1,0 +1,118 @@
+//! Activity counters consumed by the `energy` crate's power model.
+//!
+//! The DRAM power model follows the standard datasheet decomposition
+//! (Micron DDR4 system-power calculator, which the paper cites):
+//! background power + activate/precharge energy per row cycle +
+//! read/write burst energy + refresh, with self-refresh as a reduced
+//! background state.
+
+use crate::Picos;
+
+/// Aggregated DRAM activity over a simulated interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounters {
+    /// Row activations (each implies a later precharge).
+    pub activates: u64,
+    /// 64-byte read bursts.
+    pub reads: u64,
+    /// 64-byte write bursts. Broadcast writes count **once** here (one
+    /// bus transaction) — the per-module copy cost is captured by
+    /// `broadcast_extra_cells`.
+    pub writes: u64,
+    /// Extra module-internal write-cell energy from broadcast targets
+    /// beyond the first (copies written "for free" on the bus still
+    /// charge DRAM cells in the Free Module).
+    pub broadcast_extra_cells: u64,
+    /// Refresh commands issued.
+    pub refreshes: u64,
+    /// Time spent with the device in active standby.
+    pub active_time: Picos,
+    /// Time spent in self-refresh.
+    pub self_refresh_time: Picos,
+    /// Total wall time of the interval.
+    pub total_time: Picos,
+}
+
+impl ActivityCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> ActivityCounters {
+        ActivityCounters::default()
+    }
+
+    /// Merges another interval's counters into this one.
+    pub fn merge(&mut self, other: &ActivityCounters) {
+        self.activates += other.activates;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.broadcast_extra_cells += other.broadcast_extra_cells;
+        self.refreshes += other.refreshes;
+        self.active_time += other.active_time;
+        self.self_refresh_time += other.self_refresh_time;
+        self.total_time += other.total_time;
+    }
+
+    /// Total data moved on the bus, in bytes (64 B per burst).
+    pub fn bus_bytes(&self) -> u64 {
+        (self.reads + self.writes) * 64
+    }
+
+    /// Fraction of bus transactions that are writes, in [0, 1].
+    pub fn write_fraction(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0 {
+            0.0
+        } else {
+            self.writes as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ActivityCounters {
+            activates: 1,
+            reads: 2,
+            writes: 3,
+            broadcast_extra_cells: 4,
+            refreshes: 5,
+            active_time: 6,
+            self_refresh_time: 7,
+            total_time: 8,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.activates, 2);
+        assert_eq!(a.reads, 4);
+        assert_eq!(a.writes, 6);
+        assert_eq!(a.broadcast_extra_cells, 8);
+        assert_eq!(a.refreshes, 10);
+        assert_eq!(a.active_time, 12);
+        assert_eq!(a.self_refresh_time, 14);
+        assert_eq!(a.total_time, 16);
+    }
+
+    #[test]
+    fn write_fraction() {
+        let c = ActivityCounters {
+            reads: 85,
+            writes: 15,
+            ..ActivityCounters::new()
+        };
+        assert!((c.write_fraction() - 0.15).abs() < 1e-12);
+        assert_eq!(ActivityCounters::new().write_fraction(), 0.0);
+    }
+
+    #[test]
+    fn bus_bytes_counts_both_directions() {
+        let c = ActivityCounters {
+            reads: 10,
+            writes: 5,
+            ..ActivityCounters::new()
+        };
+        assert_eq!(c.bus_bytes(), 15 * 64);
+    }
+}

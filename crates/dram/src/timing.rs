@@ -1,0 +1,449 @@
+//! JEDEC-style timing parameters and the paper's Table II settings.
+//!
+//! Timing parameters are stored in nanoseconds (the unit manufacturers
+//! specify them in) and converted to clock cycles at a given
+//! [`DataRate`] on demand. This mirrors how exploiting *frequency*
+//! margin works physically: the analog latencies of the DRAM array do
+//! not change when the interface clock is raised, so a setting that
+//! raises the data rate keeps the same nanosecond latencies and simply
+//! needs more cycles to cover them, while the burst transfer itself
+//! gets proportionally faster.
+
+use crate::rate::DataRate;
+use crate::{ns_to_ps, Picos, PS_PER_US};
+
+/// DRAM timing parameters in nanoseconds (and tREFI in microseconds).
+///
+/// The four parameters the paper characterizes latency margin for are
+/// `t_rcd_ns`, `t_rp_ns`, `t_ras_ns`, and `t_refi_us`; the remainder
+/// are fixed DDR4-3200 RDIMM values needed for a faithful bank-level
+/// timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// Data rate this parameter set runs the interface at.
+    pub data_rate: DataRate,
+    /// ACT to internal read/write delay (row to column delay).
+    pub t_rcd_ns: f64,
+    /// PRE to ACT delay (row precharge time).
+    pub t_rp_ns: f64,
+    /// ACT to PRE minimum (row active time).
+    pub t_ras_ns: f64,
+    /// Average refresh interval, in microseconds.
+    pub t_refi_us: f64,
+    /// CAS read latency.
+    pub t_cas_ns: f64,
+    /// CAS write latency.
+    pub t_cwl_ns: f64,
+    /// Read to PRE delay.
+    pub t_rtp_ns: f64,
+    /// Write recovery time (end of write burst to PRE).
+    pub t_wr_ns: f64,
+    /// Write-to-read turnaround, same rank.
+    pub t_wtr_ns: f64,
+    /// ACT to ACT delay, different banks in the same bank group pair.
+    pub t_rrd_ns: f64,
+    /// Four-activate window.
+    pub t_faw_ns: f64,
+    /// Refresh cycle time (8 Gb device).
+    pub t_rfc_ns: f64,
+    /// Self-refresh exit to first valid command.
+    pub t_xs_ns: f64,
+}
+
+impl TimingParams {
+    /// Manufacturer-specified DDR4-3200 RDIMM timings (Table II row 1).
+    pub fn ddr4_3200_spec() -> TimingParams {
+        TimingParams {
+            data_rate: DataRate::MT3200,
+            t_rcd_ns: 13.75,
+            t_rp_ns: 13.75,
+            t_ras_ns: 32.5,
+            t_refi_us: 7.8,
+            t_cas_ns: 13.75,
+            t_cwl_ns: 10.0,
+            t_rtp_ns: 7.5,
+            t_wr_ns: 15.0,
+            t_wtr_ns: 7.5,
+            t_rrd_ns: 4.9,
+            t_faw_ns: 21.0,
+            t_rfc_ns: 350.0,
+            t_xs_ns: 360.0,
+        }
+    }
+
+    /// Manufacturer-specified DDR4-2400 RDIMM timings (the other
+    /// specified rate in the paper's module population).
+    pub fn ddr4_2400_spec() -> TimingParams {
+        TimingParams {
+            data_rate: DataRate::MT2400,
+            t_rcd_ns: 13.32,
+            t_rp_ns: 13.32,
+            t_ras_ns: 32.0,
+            ..TimingParams::ddr4_3200_spec()
+        }
+    }
+
+    /// DDR5-4800 timings (Section III-F's outlook: DDR5 stipulates the
+    /// same eye width at every rate, so the paper expects similar
+    /// *fractional* frequency margins to DDR4).
+    pub fn ddr5_4800_spec() -> TimingParams {
+        TimingParams {
+            data_rate: DataRate::MT4800,
+            t_rcd_ns: 16.0,
+            t_rp_ns: 16.0,
+            t_ras_ns: 32.0,
+            t_refi_us: 3.9,
+            t_cas_ns: 16.7,
+            t_cwl_ns: 14.2,
+            t_rtp_ns: 7.5,
+            t_wr_ns: 30.0,
+            t_wtr_ns: 10.0,
+            t_rrd_ns: 5.0,
+            t_faw_ns: 13.3,
+            t_rfc_ns: 295.0,
+            t_xs_ns: 305.0,
+        }
+    }
+
+    /// Returns a copy with a different interface data rate, leaving all
+    /// analog (nanosecond) latencies unchanged — i.e. exploiting
+    /// *frequency* margin only.
+    pub fn at_rate(mut self, rate: DataRate) -> TimingParams {
+        self.data_rate = rate;
+        self
+    }
+
+    /// Returns a copy with the conservative latency-margin combination
+    /// the paper measured across all 119 modules:
+    /// ⟨tRCD 16 %, tRP 16 %, tRAS 9 %, tREFI 92 %⟩, i.e. the Table II
+    /// "Setting to Exploit Latency Margin" values.
+    pub fn with_latency_margin(mut self) -> TimingParams {
+        self.t_rcd_ns = 11.5;
+        self.t_rp_ns = 11.0;
+        self.t_ras_ns = 29.5;
+        self.t_refi_us = 15.0;
+        self
+    }
+
+    /// Converts a parameter given in nanoseconds to whole clock cycles
+    /// at this set's data rate (ceiling, as a real controller must).
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        self.data_rate.cycles_for_ps(ns_to_ps(ns))
+    }
+
+    /// tRCD in picoseconds as the controller enforces it (rounded up to
+    /// whole cycles).
+    pub fn t_rcd_ps(&self) -> Picos {
+        self.enforced_ps(self.t_rcd_ns)
+    }
+
+    /// tRP in picoseconds, cycle-quantized.
+    pub fn t_rp_ps(&self) -> Picos {
+        self.enforced_ps(self.t_rp_ns)
+    }
+
+    /// tRAS in picoseconds, cycle-quantized.
+    pub fn t_ras_ps(&self) -> Picos {
+        self.enforced_ps(self.t_ras_ns)
+    }
+
+    /// CAS (read) latency in picoseconds, cycle-quantized.
+    pub fn t_cas_ps(&self) -> Picos {
+        self.enforced_ps(self.t_cas_ns)
+    }
+
+    /// CAS write latency in picoseconds, cycle-quantized.
+    pub fn t_cwl_ps(&self) -> Picos {
+        self.enforced_ps(self.t_cwl_ns)
+    }
+
+    /// Read-to-precharge in picoseconds, cycle-quantized.
+    pub fn t_rtp_ps(&self) -> Picos {
+        self.enforced_ps(self.t_rtp_ns)
+    }
+
+    /// Write recovery in picoseconds, cycle-quantized.
+    pub fn t_wr_ps(&self) -> Picos {
+        self.enforced_ps(self.t_wr_ns)
+    }
+
+    /// Write-to-read turnaround in picoseconds, cycle-quantized.
+    pub fn t_wtr_ps(&self) -> Picos {
+        self.enforced_ps(self.t_wtr_ns)
+    }
+
+    /// ACT-to-ACT (same bank group) in picoseconds, cycle-quantized.
+    pub fn t_rrd_ps(&self) -> Picos {
+        self.enforced_ps(self.t_rrd_ns)
+    }
+
+    /// Four-activate window in picoseconds, cycle-quantized.
+    pub fn t_faw_ps(&self) -> Picos {
+        self.enforced_ps(self.t_faw_ns)
+    }
+
+    /// Refresh cycle time in picoseconds, cycle-quantized.
+    pub fn t_rfc_ps(&self) -> Picos {
+        self.enforced_ps(self.t_rfc_ns)
+    }
+
+    /// Average refresh interval in picoseconds.
+    pub fn t_refi_ps(&self) -> Picos {
+        (self.t_refi_us * PS_PER_US as f64).round() as Picos
+    }
+
+    /// Self-refresh exit latency in picoseconds, cycle-quantized.
+    pub fn t_xs_ps(&self) -> Picos {
+        self.enforced_ps(self.t_xs_ns)
+    }
+
+    /// Data burst duration for one 64-byte block.
+    pub fn burst_ps(&self) -> Picos {
+        self.data_rate.burst_time_ps()
+    }
+
+    /// Random-access read latency (closed page): tRP + tRCD + CL + burst.
+    pub fn closed_page_read_ps(&self) -> Picos {
+        self.t_rp_ps() + self.t_rcd_ps() + self.t_cas_ps() + self.burst_ps()
+    }
+
+    /// Row-buffer-hit read latency: CL + burst.
+    pub fn open_page_read_ps(&self) -> Picos {
+        self.t_cas_ps() + self.burst_ps()
+    }
+
+    fn enforced_ps(&self, ns: f64) -> Picos {
+        self.ns_to_cycles(ns) * self.data_rate.clock_period_ps()
+    }
+}
+
+/// The four memory settings of Table II of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemorySetting {
+    /// 3200 MT/s with manufacturer-specified latencies.
+    Specified,
+    /// 3200 MT/s with the conservative latency-margin combination.
+    LatencyMargin,
+    /// 4000 MT/s with manufacturer-specified latencies.
+    FrequencyMargin,
+    /// 4000 MT/s with the latency-margin combination (the setting
+    /// Hetero-DMR uses during read mode).
+    FreqLatMargin,
+}
+
+impl MemorySetting {
+    /// All four settings in Table II order.
+    pub const ALL: [MemorySetting; 4] = [
+        MemorySetting::Specified,
+        MemorySetting::LatencyMargin,
+        MemorySetting::FrequencyMargin,
+        MemorySetting::FreqLatMargin,
+    ];
+
+    /// The timing parameter set for this Table II row.
+    pub fn timing(self) -> TimingParams {
+        let spec = TimingParams::ddr4_3200_spec();
+        match self {
+            MemorySetting::Specified => spec,
+            MemorySetting::LatencyMargin => spec.with_latency_margin(),
+            MemorySetting::FrequencyMargin => spec.at_rate(DataRate::MT4000),
+            MemorySetting::FreqLatMargin => spec.with_latency_margin().at_rate(DataRate::MT4000),
+        }
+    }
+
+    /// Human-readable name matching Table II.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemorySetting::Specified => "Manufacturer-specified Setting",
+            MemorySetting::LatencyMargin => "Setting to Exploit Latency Margin",
+            MemorySetting::FrequencyMargin => "Setting to Exploit Frequency Margin",
+            MemorySetting::FreqLatMargin => "Setting to Exploit Freq+Lat Margins",
+        }
+    }
+}
+
+impl std::fmt::Display for MemorySetting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let spec = MemorySetting::Specified.timing();
+        assert_eq!(spec.data_rate.mts(), 3200);
+        assert_eq!(spec.t_rcd_ns, 13.75);
+        assert_eq!(spec.t_rp_ns, 13.75);
+        assert_eq!(spec.t_ras_ns, 32.5);
+        assert_eq!(spec.t_refi_us, 7.8);
+
+        let lat = MemorySetting::LatencyMargin.timing();
+        assert_eq!(lat.data_rate.mts(), 3200);
+        assert_eq!(lat.t_rcd_ns, 11.5);
+        assert_eq!(lat.t_rp_ns, 11.0);
+        assert_eq!(lat.t_ras_ns, 29.5);
+        assert_eq!(lat.t_refi_us, 15.0);
+
+        let freq = MemorySetting::FrequencyMargin.timing();
+        assert_eq!(freq.data_rate.mts(), 4000);
+        assert_eq!(freq.t_rcd_ns, 13.75);
+
+        let both = MemorySetting::FreqLatMargin.timing();
+        assert_eq!(both.data_rate.mts(), 4000);
+        assert_eq!(both.t_rcd_ns, 11.5);
+        assert_eq!(both.t_refi_us, 15.0);
+    }
+
+    #[test]
+    fn cycle_quantization_rounds_up() {
+        let spec = TimingParams::ddr4_3200_spec();
+        // 13.75 ns at 625 ps/cycle = 22 cycles exactly.
+        assert_eq!(spec.ns_to_cycles(13.75), 22);
+        // 13.76 ns must round up to 23 cycles.
+        assert_eq!(spec.ns_to_cycles(13.76), 23);
+        assert_eq!(spec.t_rcd_ps(), 22 * 625);
+    }
+
+    #[test]
+    fn frequency_margin_keeps_ns_latencies() {
+        let spec = MemorySetting::Specified.timing();
+        let freq = MemorySetting::FrequencyMargin.timing();
+        // Same analog latency...
+        assert_eq!(spec.t_rcd_ns, freq.t_rcd_ns);
+        // ...but a faster burst.
+        assert!(freq.burst_ps() < spec.burst_ps());
+        // Enforced tRCD differs by at most one (shorter) clock period
+        // due to cycle quantization.
+        let diff = spec.t_rcd_ps().abs_diff(freq.t_rcd_ps());
+        assert!(diff <= spec.data_rate.clock_period_ps());
+    }
+
+    #[test]
+    fn open_page_faster_than_closed_page() {
+        for setting in MemorySetting::ALL {
+            let t = setting.timing();
+            assert!(t.open_page_read_ps() < t.closed_page_read_ps());
+        }
+    }
+
+    #[test]
+    fn freq_lat_margin_is_fastest_setting() {
+        let tightest = MemorySetting::FreqLatMargin.timing();
+        for setting in [
+            MemorySetting::Specified,
+            MemorySetting::LatencyMargin,
+            MemorySetting::FrequencyMargin,
+        ] {
+            let t = setting.timing();
+            assert!(tightest.closed_page_read_ps() <= t.closed_page_read_ps());
+        }
+    }
+
+    #[test]
+    fn ddr5_preset_is_coherent() {
+        let t = TimingParams::ddr5_4800_spec();
+        assert_eq!(t.data_rate.mts(), 4800);
+        // Faster interface: a 64-byte transfer takes less wall time
+        // than on DDR4-3200 despite higher CAS.
+        let ddr4 = TimingParams::ddr4_3200_spec();
+        assert!(t.burst_ps() < ddr4.burst_ps());
+        assert!(t.closed_page_read_ps() > 0);
+        // Exploiting the outlook margin (same fraction as DDR4's ~25%)
+        // composes with the preset.
+        let fast = t.at_rate(DataRate::MT6400);
+        assert!(fast.burst_ps() < t.burst_ps());
+    }
+
+    #[test]
+    fn refresh_interval_doubles_under_latency_margin() {
+        let spec = MemorySetting::Specified.timing();
+        let lat = MemorySetting::LatencyMargin.timing();
+        // tREFI margin of 92% means nearly double the refresh interval,
+        // i.e. about half the refresh overhead.
+        assert!(lat.t_refi_ps() > spec.t_refi_ps() * 19 / 10);
+    }
+}
+
+impl TimingParams {
+    /// Checks internal coherence of a timing set: the constraints a
+    /// JEDEC-legal device must satisfy among its own parameters.
+    /// Returns the violated rule names (empty = coherent).
+    pub fn validate(&self) -> Vec<&'static str> {
+        let mut violations = Vec::new();
+        if self.t_ras_ns < self.t_rcd_ns {
+            violations.push("tRAS must cover at least tRCD (a row must be open to read it)");
+        }
+        if self.t_rc_ns() < self.t_ras_ns {
+            violations.push("tRC = tRAS + tRP must exceed tRAS");
+        }
+        if self.t_refi_us * 1000.0 <= self.t_rfc_ns {
+            violations.push("tREFI must exceed tRFC or refresh starves the device");
+        }
+        if self.t_faw_ns < self.t_rrd_ns {
+            violations.push("tFAW cannot be shorter than a single tRRD");
+        }
+        if self.t_xs_ns < self.t_rfc_ns {
+            violations.push("self-refresh exit must cover a refresh cycle");
+        }
+        for (name, v) in [
+            ("tRCD", self.t_rcd_ns),
+            ("tRP", self.t_rp_ns),
+            ("tRAS", self.t_ras_ns),
+            ("tCAS", self.t_cas_ns),
+            ("tCWL", self.t_cwl_ns),
+        ] {
+            if v <= 0.0 {
+                violations.push(name);
+            }
+        }
+        violations
+    }
+
+    /// Row cycle time: tRAS + tRP.
+    pub fn t_rc_ns(&self) -> f64 {
+        self.t_ras_ns + self.t_rp_ns
+    }
+}
+
+#[cfg(test)]
+mod validation_tests {
+    use super::*;
+
+    #[test]
+    fn all_shipped_presets_are_coherent() {
+        for t in [
+            TimingParams::ddr4_3200_spec(),
+            TimingParams::ddr4_2400_spec(),
+            TimingParams::ddr5_4800_spec(),
+            TimingParams::ddr4_3200_spec().with_latency_margin(),
+            MemorySetting::FreqLatMargin.timing(),
+        ] {
+            assert!(t.validate().is_empty(), "{:?}: {:?}", t.data_rate, t.validate());
+        }
+    }
+
+    #[test]
+    fn broken_sets_are_caught() {
+        let mut t = TimingParams::ddr4_3200_spec();
+        t.t_ras_ns = 5.0; // < tRCD
+        assert!(!t.validate().is_empty());
+
+        let mut t = TimingParams::ddr4_3200_spec();
+        t.t_refi_us = 0.0001; // < tRFC
+        assert!(!t.validate().is_empty());
+
+        let mut t = TimingParams::ddr4_3200_spec();
+        t.t_cas_ns = 0.0;
+        assert!(t.validate().contains(&"tCAS"));
+    }
+
+    #[test]
+    fn row_cycle_time() {
+        let t = TimingParams::ddr4_3200_spec();
+        assert_eq!(t.t_rc_ns(), 32.5 + 13.75);
+    }
+}

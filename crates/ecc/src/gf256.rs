@@ -1,0 +1,261 @@
+//! Arithmetic over GF(2⁸), the symbol field of server-memory
+//! Reed-Solomon codes.
+//!
+//! Uses the conventional primitive polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (0x11D) with generator α = 2. Exp/log
+//! tables are built at compile time, so field operations are a table
+//! lookup each.
+
+/// The primitive polynomial 0x11D reduced modulo x⁸.
+const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// α^i for i in 0..510 (doubled to avoid a modulo in `mul`).
+const EXP: [u8; 510] = build_exp();
+
+/// log_α(x) for x in 1..=255; LOG[0] is unused.
+const LOG: [u8; 256] = build_log();
+
+const fn build_exp() -> [u8; 510] {
+    let mut table = [0u8; 510];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        table[i] = x as u8;
+        table[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    table
+}
+
+const fn build_log() -> [u8; 256] {
+    let exp = build_exp();
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        table[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+/// An element of GF(2⁸).
+///
+/// ```
+/// use ecc::gf256::Gf256;
+///
+/// let a = Gf256::new(0x53);
+/// let b = Gf256::new(0xCA);
+/// // Multiplication distributes over the field's XOR addition.
+/// let c = Gf256::new(7);
+/// assert_eq!(c * (a + b), c * a + c * b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The field generator α.
+    pub const ALPHA: Gf256 = Gf256(2);
+
+    /// Wraps a raw byte as a field element.
+    pub const fn new(value: u8) -> Gf256 {
+        Gf256(value)
+    }
+
+    /// The raw byte value.
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// α^i.
+    pub fn alpha_pow(i: usize) -> Gf256 {
+        Gf256(EXP[i % 255])
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero, which has no inverse.
+    pub fn inverse(self) -> Gf256 {
+        assert!(self.0 != 0, "zero has no multiplicative inverse in GF(256)");
+        Gf256(EXP[255 - LOG[self.0 as usize] as usize])
+    }
+
+    /// Raises this element to an arbitrary power (0⁰ = 1 by convention).
+    pub fn pow(self, exponent: usize) -> Gf256 {
+        if self.0 == 0 {
+            return if exponent == 0 {
+                Gf256::ONE
+            } else {
+                Gf256::ZERO
+            };
+        }
+        let log = LOG[self.0 as usize] as usize;
+        Gf256(EXP[(log * exponent) % 255])
+    }
+}
+
+impl std::ops::Add for Gf256 {
+    type Output = Gf256;
+    // Field addition in characteristic 2 *is* XOR; the operator
+    // genuinely implements GF(2⁸) addition.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl std::ops::Sub for Gf256 {
+    type Output = Gf256;
+    // Characteristic 2: subtraction IS addition (every element is its
+    // own additive inverse).
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        self + rhs
+    }
+}
+
+impl std::ops::Mul for Gf256 {
+    type Output = Gf256;
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        Gf256(EXP[LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize])
+    }
+}
+
+impl std::ops::Div for Gf256 {
+    type Output = Gf256;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: Gf256) -> Gf256 {
+        assert!(rhs.0 != 0, "division by zero in GF(256)");
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let diff = 255 + LOG[self.0 as usize] as usize - LOG[rhs.0 as usize] as usize;
+        Gf256(EXP[diff % 255])
+    }
+}
+
+impl std::fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#04x}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(value: u8) -> Gf256 {
+        Gf256(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!(Gf256(0x53) + Gf256(0xCA), Gf256(0x99));
+        assert_eq!(Gf256(7) + Gf256(7), Gf256::ZERO);
+    }
+
+    #[test]
+    fn known_multiplication() {
+        // α⁸ = α⁷·α = 0x80·2 reduces by 0x11D to 0x1D.
+        assert_eq!(Gf256(2) * Gf256(0x80), Gf256(0x1D));
+        assert_eq!(Gf256::alpha_pow(8), Gf256(0x1D));
+        // One is the multiplicative identity.
+        assert_eq!(Gf256(0xC3) * Gf256::ONE, Gf256(0xC3));
+    }
+
+    #[test]
+    fn alpha_generates_the_field() {
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = Gf256::alpha_pow(i).value();
+            assert!(!seen[v as usize], "alpha^{i} repeated");
+            seen[v as usize] = true;
+        }
+        assert!(!seen[0], "alpha powers never hit zero");
+    }
+
+    #[test]
+    fn inverse_round_trip_all_nonzero() {
+        for v in 1..=255u8 {
+            let x = Gf256(v);
+            assert_eq!(x * x.inverse(), Gf256::ONE, "{v}");
+            assert_eq!(x / x, Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for v in [1u8, 2, 3, 0x53, 0xFF] {
+            let x = Gf256(v);
+            let mut acc = Gf256::ONE;
+            for e in 0..20 {
+                assert_eq!(x.pow(e), acc, "value {v} exponent {e}");
+                acc = acc * x;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_behaviour() {
+        assert_eq!(Gf256::ZERO * Gf256(0x42), Gf256::ZERO);
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(3), Gf256::ZERO);
+        assert_eq!(Gf256::ZERO / Gf256(9), Gf256::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn zero_has_no_inverse() {
+        let _ = Gf256::ZERO.inverse();
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256(1) / Gf256::ZERO;
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative_sampled() {
+        let samples = [0u8, 1, 2, 3, 0x35, 0x53, 0x8E, 0xCA, 0xFF];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(Gf256(a) * Gf256(b), Gf256(b) * Gf256(a));
+                for &c in &samples {
+                    assert_eq!(
+                        (Gf256(a) * Gf256(b)) * Gf256(c),
+                        Gf256(a) * (Gf256(b) * Gf256(c))
+                    );
+                    // Distributivity over addition.
+                    assert_eq!(
+                        Gf256(a) * (Gf256(b) + Gf256(c)),
+                        Gf256(a) * Gf256(b) + Gf256(a) * Gf256(c)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Error injection for blocks read from unsafely fast modules.
+//!
+//! Section III of the paper emphasizes that operating memory beyond
+//! specification can produce *any* error pattern — single bit flips,
+//! multi-byte bursts, full-block IO errors, address errors, even losing
+//! a whole row to a misinterpreted command. The injector models that
+//! taxonomy so tests and simulations can exercise the recovery path
+//! against each class.
+
+use crate::bamboo::{EccBlock, BLOCK_DATA_BYTES, BLOCK_ECC_BYTES};
+use rand::Rng;
+
+/// A class of memory error caused by out-of-spec operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorModel {
+    /// A single bit flip in the data or ECC bytes (classic timing
+    /// violation on one DQ line).
+    SingleBit,
+    /// One whole byte corrupted (one x8 device's burst slice).
+    SingleByte,
+    /// A contiguous burst of `n` corrupted bytes (IO/crosstalk error).
+    ByteBurst(usize),
+    /// The entire block (data + ECC) replaced with garbage.
+    FullBlock,
+    /// The block is returned from a *different* address (command/
+    /// address bus error). The data is internally consistent but
+    /// belongs elsewhere — only address-incorporated ECC catches this.
+    WrongAddress,
+}
+
+impl ErrorModel {
+    /// Every modelled class, for exhaustive testing.
+    pub const ALL: [ErrorModel; 5] = [
+        ErrorModel::SingleBit,
+        ErrorModel::SingleByte,
+        ErrorModel::ByteBurst(4),
+        ErrorModel::FullBlock,
+        ErrorModel::WrongAddress,
+    ];
+
+    /// Whether the eight ECC bytes *guarantee* detection of this class
+    /// (≤8 corrupted symbols) or only detect it probabilistically
+    /// (1 − 2⁻⁶⁴).
+    pub fn detection_guaranteed(self) -> bool {
+        match self {
+            ErrorModel::SingleBit | ErrorModel::SingleByte => true,
+            ErrorModel::ByteBurst(n) => n <= BLOCK_ECC_BYTES,
+            // Full-block and wrong-address errors can exceed eight
+            // symbols (wrong-address corrupts the virtual address
+            // symbols plus potentially all data symbols).
+            ErrorModel::FullBlock | ErrorModel::WrongAddress => false,
+        }
+    }
+}
+
+/// Outcome of injecting an error into a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// The address the read *appears* to come from (differs from the
+    /// requested one only for [`ErrorModel::WrongAddress`]).
+    pub effective_address: u64,
+    /// How many bytes of the block were altered (0 for pure address
+    /// errors).
+    pub bytes_corrupted: usize,
+}
+
+/// Injects an error of class `model` into `block` (which was read from
+/// `address`), using `rng` for positions and values.
+///
+/// Returns what happened so callers can assert on detection coverage.
+pub fn inject<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: ErrorModel,
+    address: u64,
+    block: &mut EccBlock,
+) -> Injection {
+    let total = BLOCK_DATA_BYTES + BLOCK_ECC_BYTES;
+    match model {
+        ErrorModel::SingleBit => {
+            let pos = rng.random_range(0..total);
+            let bit = 1u8 << rng.random_range(0..8);
+            flip(block, pos, bit);
+            Injection {
+                effective_address: address,
+                bytes_corrupted: 1,
+            }
+        }
+        ErrorModel::SingleByte => {
+            let pos = rng.random_range(0..total);
+            flip(block, pos, nonzero(rng));
+            Injection {
+                effective_address: address,
+                bytes_corrupted: 1,
+            }
+        }
+        ErrorModel::ByteBurst(n) => {
+            let n = n.clamp(1, total);
+            let start = rng.random_range(0..=total - n);
+            for i in 0..n {
+                flip(block, start + i, nonzero(rng));
+            }
+            Injection {
+                effective_address: address,
+                bytes_corrupted: n,
+            }
+        }
+        ErrorModel::FullBlock => {
+            rng.fill(&mut block.data[..]);
+            rng.fill(&mut block.ecc[..]);
+            Injection {
+                effective_address: address,
+                bytes_corrupted: total,
+            }
+        }
+        ErrorModel::WrongAddress => {
+            // The device decoded a different row/column: same block
+            // format, different location. Model as an aligned nearby
+            // block address.
+            let offset = (rng.random_range(1..=16u64)) * 64;
+            let effective = if rng.random_bool(0.5) {
+                address.wrapping_add(offset)
+            } else {
+                address.wrapping_sub(offset)
+            };
+            Injection {
+                effective_address: effective,
+                bytes_corrupted: 0,
+            }
+        }
+    }
+}
+
+fn flip(block: &mut EccBlock, pos: usize, mask: u8) {
+    if pos < BLOCK_DATA_BYTES {
+        block.data[pos] ^= mask;
+    } else {
+        block.ecc[pos - BLOCK_DATA_BYTES] ^= mask;
+    }
+}
+
+fn nonzero<R: Rng + ?Sized>(rng: &mut R) -> u8 {
+    loop {
+        let v: u8 = rng.random();
+        if v != 0 {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bamboo::{BlockCodec, DetectOutcome};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_class_is_detected_by_detection_only_decode() {
+        let codec = BlockCodec::new();
+        let mut rng = StdRng::seed_from_u64(20);
+        let data = [0x5A; 64];
+        let addr = 0x00DE_ADBE_EFC0;
+        for model in ErrorModel::ALL {
+            for _ in 0..100 {
+                let mut b = codec.encode(addr, &data);
+                let inj = inject(&mut rng, model, addr, &mut b);
+                let changed = inj.effective_address != addr || {
+                    let clean = codec.encode(addr, &data);
+                    b != clean
+                };
+                if !changed {
+                    continue; // full-block garbage coincided (never in practice)
+                }
+                // The read is checked against the address the CPU
+                // *requested* using the content the device *returned*.
+                // For wrong-address errors, the returned content was
+                // encoded at the effective address.
+                let stored = if inj.effective_address != addr {
+                    codec.encode(inj.effective_address, &data)
+                } else {
+                    b
+                };
+                assert_eq!(
+                    codec.detect(addr, &stored),
+                    DetectOutcome::Detected,
+                    "{model:?} escaped detection"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detection_guarantee_classification() {
+        assert!(ErrorModel::SingleBit.detection_guaranteed());
+        assert!(ErrorModel::SingleByte.detection_guaranteed());
+        assert!(ErrorModel::ByteBurst(8).detection_guaranteed());
+        assert!(!ErrorModel::ByteBurst(9).detection_guaranteed());
+        assert!(!ErrorModel::FullBlock.detection_guaranteed());
+        assert!(!ErrorModel::WrongAddress.detection_guaranteed());
+    }
+
+    #[test]
+    fn injection_reports_extent() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let codec = BlockCodec::new();
+        let mut b = codec.encode(0, &[0; 64]);
+        let inj = inject(&mut rng, ErrorModel::ByteBurst(4), 0, &mut b);
+        assert_eq!(inj.bytes_corrupted, 4);
+        assert_eq!(inj.effective_address, 0);
+
+        let mut b = codec.encode(0x4000, &[0; 64]);
+        let inj = inject(&mut rng, ErrorModel::WrongAddress, 0x4000, &mut b);
+        assert_ne!(inj.effective_address, 0x4000);
+        assert_eq!(inj.effective_address % 64, 0);
+        assert_eq!(inj.bytes_corrupted, 0);
+    }
+
+    #[test]
+    fn single_bit_flips_exactly_one_bit() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let codec = BlockCodec::new();
+        let clean = codec.encode(1, &[0x11; 64]);
+        for _ in 0..50 {
+            let mut b = clean;
+            inject(&mut rng, ErrorModel::SingleBit, 1, &mut b);
+            let diff_bits: u32 = b
+                .data
+                .iter()
+                .zip(clean.data.iter())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .chain(
+                    b.ecc
+                        .iter()
+                        .zip(clean.ecc.iter())
+                        .map(|(a, b)| (a ^ b).count_ones()),
+                )
+                .sum();
+            assert_eq!(diff_bits, 1);
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! Systematic Reed-Solomon codes over GF(2⁸).
+//!
+//! The paper's Hetero-DMR uses the eight Reed-Solomon ECC bytes of a
+//! 64-byte memory block (Bamboo-ECC layout) in two different decodes:
+//!
+//! * **detect + correct** — the conventional decode used for the
+//!   always-in-spec original blocks ([`ReedSolomon::correct`], up to
+//!   ⌊r/2⌋ symbol errors via Berlekamp-Massey / Chien / Forney);
+//! * **detection-only** — used for the unsafely-fast copies
+//!   ([`ReedSolomon::detect`]): decoding stops after the syndrome
+//!   check, which detects *all* error patterns of up to `r` symbols
+//!   (the code's minimum distance is `r + 1`) and fails to detect a
+//!   wider pattern with probability only 2⁻⁶⁴ for r = 8.
+
+use crate::gf256::Gf256;
+use std::error::Error;
+use std::fmt;
+
+/// Outcome of a detect+correct decode that could not restore the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsError {
+    /// More errors than the code can correct (locator degree exceeds
+    /// ⌊r/2⌋ or the Chien search found the wrong number of roots).
+    Uncorrectable,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::Uncorrectable => write!(f, "uncorrectable symbol errors"),
+        }
+    }
+}
+
+impl Error for RsError {}
+
+/// A systematic Reed-Solomon encoder/decoder with `r` parity symbols.
+///
+/// The codeword is `message || parity`; total length must not exceed
+/// 255 symbols.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    parity: usize,
+    /// Generator polynomial, lowest degree coefficient first,
+    /// normalized monic (degree `parity`).
+    generator: Vec<Gf256>,
+}
+
+impl ReedSolomon {
+    /// Builds a code with `parity` check symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parity` is zero or greater than 254.
+    pub fn new(parity: usize) -> ReedSolomon {
+        assert!(parity > 0 && parity < 255, "parity must be in 1..=254");
+        // g(x) = Π_{i=0}^{parity-1} (x - α^i), built low-to-high.
+        let mut generator = vec![Gf256::ONE];
+        for i in 0..parity {
+            let root = Gf256::alpha_pow(i);
+            let mut next = vec![Gf256::ZERO; generator.len() + 1];
+            for (j, &coeff) in generator.iter().enumerate() {
+                // (x + root) * coeff·x^j  (char-2: minus == plus)
+                next[j + 1] += coeff;
+                next[j] += coeff * root;
+            }
+            generator = next;
+        }
+        ReedSolomon { parity, generator }
+    }
+
+    /// Number of parity symbols.
+    pub fn parity(&self) -> usize {
+        self.parity
+    }
+
+    /// Maximum number of guaranteed-correctable symbol errors.
+    pub fn correctable(&self) -> usize {
+        self.parity / 2
+    }
+
+    /// Maximum number of guaranteed-*detectable* symbol errors when the
+    /// code is used for detection only (the Hetero-DMR copy decode).
+    pub fn detectable(&self) -> usize {
+        self.parity
+    }
+
+    /// Computes the `r` parity symbols for `message`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() + parity` exceeds 255.
+    pub fn parity_of(&self, message: &[u8]) -> Vec<u8> {
+        assert!(
+            message.len() + self.parity <= 255,
+            "codeword exceeds GF(256) RS length"
+        );
+        // Polynomial long division of m(x)·x^r by g(x); the remainder
+        // (negated — identity in char 2) is the parity.
+        let mut remainder = vec![Gf256::ZERO; self.parity];
+        for &byte in message {
+            let factor = Gf256::new(byte) + remainder[self.parity - 1];
+            // Shift left by one symbol and subtract factor·g(x).
+            for i in (1..self.parity).rev() {
+                remainder[i] = remainder[i - 1] + factor * self.generator[i];
+            }
+            remainder[0] = factor * self.generator[0];
+        }
+        remainder.iter().rev().map(|g| g.value()).collect()
+    }
+
+    /// Computes the syndrome vector of `message || parity`.
+    ///
+    /// All-zero syndromes mean the word is a codeword (no detected
+    /// error).
+    pub fn syndromes(&self, message: &[u8], parity: &[u8]) -> Vec<Gf256> {
+        debug_assert_eq!(parity.len(), self.parity);
+        let n = message.len() + parity.len();
+        let mut syndromes = Vec::with_capacity(self.parity);
+        for j in 0..self.parity {
+            let alpha_j = Gf256::alpha_pow(j);
+            // Horner evaluation of the codeword polynomial at α^j,
+            // highest-degree (first message symbol) first.
+            let mut acc = Gf256::ZERO;
+            for &byte in message.iter().chain(parity.iter()) {
+                acc = acc * alpha_j + Gf256::new(byte);
+            }
+            let _ = n;
+            syndromes.push(acc);
+        }
+        syndromes
+    }
+
+    /// Detection-only decode: returns `true` when an error is detected.
+    ///
+    /// This is the decode Hetero-DMR applies to copies read from the
+    /// unsafely fast Free Module — it never attempts correction, so it
+    /// can never *mis*correct.
+    pub fn detect(&self, message: &[u8], parity: &[u8]) -> bool {
+        self.syndromes(message, parity)
+            .iter()
+            .any(|s| *s != Gf256::ZERO)
+    }
+
+    /// Detect + correct decode (conventional server-memory behaviour,
+    /// used for original blocks). Corrects up to ⌊r/2⌋ symbol errors
+    /// in place across `message` and `parity`.
+    ///
+    /// Returns the number of symbols corrected (zero when the word was
+    /// already clean).
+    ///
+    /// # Errors
+    ///
+    /// [`RsError::Uncorrectable`] when more errors are present than the
+    /// code can correct. Note that, as the paper stresses, a pattern of
+    /// *more* than ⌊r/2⌋ errors may also silently miscorrect — that is
+    /// exactly why Hetero-DMR uses [`ReedSolomon::detect`] for copies.
+    pub fn correct(&self, message: &mut [u8], parity: &mut [u8]) -> Result<usize, RsError> {
+        let syndromes = self.syndromes(message, parity);
+        if syndromes.iter().all(|s| *s == Gf256::ZERO) {
+            return Ok(0);
+        }
+        let lambda = berlekamp_massey(&syndromes);
+        let errors = lambda.len() - 1;
+        if errors == 0 || errors > self.correctable() {
+            return Err(RsError::Uncorrectable);
+        }
+        let n = message.len() + parity.len();
+        // Chien search: position idx (0 = first message symbol) has
+        // locator X = α^(n-1-idx); it is an error position when
+        // Λ(X⁻¹) = 0.
+        let mut positions = Vec::new();
+        for idx in 0..n {
+            let x_inv = Gf256::alpha_pow(n - 1 - idx).inverse();
+            if poly_eval(&lambda, x_inv) == Gf256::ZERO {
+                positions.push(idx);
+            }
+        }
+        if positions.len() != errors {
+            return Err(RsError::Uncorrectable);
+        }
+        // Ω(x) = S(x)·Λ(x) mod x^r.
+        let omega = poly_mul_mod(&syndromes, &lambda, self.parity);
+        // Forney: e = X·Ω(X⁻¹) / Λ'(X⁻¹).
+        for &idx in &positions {
+            let x = Gf256::alpha_pow(n - 1 - idx);
+            let x_inv = x.inverse();
+            let denom = poly_eval_derivative(&lambda, x_inv);
+            if denom == Gf256::ZERO {
+                return Err(RsError::Uncorrectable);
+            }
+            let magnitude = x * poly_eval(&omega, x_inv) / denom;
+            let slot = if idx < message.len() {
+                &mut message[idx]
+            } else {
+                &mut parity[idx - message.len()]
+            };
+            *slot ^= magnitude.value();
+        }
+        // Verify the corrected word is a codeword; if not, the error
+        // pattern exceeded the design distance.
+        if self.detect(message, parity) {
+            return Err(RsError::Uncorrectable);
+        }
+        Ok(errors)
+    }
+}
+
+/// Berlekamp-Massey: smallest LFSR (error locator Λ, lowest degree
+/// first, Λ₀ = 1) generating the syndrome sequence.
+fn berlekamp_massey(syndromes: &[Gf256]) -> Vec<Gf256> {
+    let mut lambda = vec![Gf256::ONE];
+    let mut prev = vec![Gf256::ONE];
+    let mut l = 0usize;
+    let mut m = 1usize;
+    let mut b = Gf256::ONE;
+    for n in 0..syndromes.len() {
+        let mut delta = syndromes[n];
+        for i in 1..=l.min(lambda.len() - 1) {
+            delta += lambda[i] * syndromes[n - i];
+        }
+        if delta == Gf256::ZERO {
+            m += 1;
+        } else if 2 * l <= n {
+            let t = lambda.clone();
+            lambda = poly_sub_scaled_shift(&lambda, &prev, delta / b, m);
+            l = n + 1 - l;
+            prev = t;
+            b = delta;
+            m = 1;
+        } else {
+            lambda = poly_sub_scaled_shift(&lambda, &prev, delta / b, m);
+            m += 1;
+        }
+    }
+    lambda.truncate(l + 1);
+    lambda
+}
+
+/// `a - coef·x^shift·b` (char 2: subtraction is addition).
+fn poly_sub_scaled_shift(a: &[Gf256], b: &[Gf256], coef: Gf256, shift: usize) -> Vec<Gf256> {
+    let mut out = a.to_vec();
+    if out.len() < b.len() + shift {
+        out.resize(b.len() + shift, Gf256::ZERO);
+    }
+    for (i, &bi) in b.iter().enumerate() {
+        out[i + shift] += coef * bi;
+    }
+    out
+}
+
+/// Evaluates a polynomial (lowest degree first) at `x`.
+fn poly_eval(poly: &[Gf256], x: Gf256) -> Gf256 {
+    let mut acc = Gf256::ZERO;
+    for &coeff in poly.iter().rev() {
+        acc = acc * x + coeff;
+    }
+    acc
+}
+
+/// Evaluates the formal derivative of a polynomial at `x`
+/// (char 2: only odd-degree terms survive).
+fn poly_eval_derivative(poly: &[Gf256], x: Gf256) -> Gf256 {
+    let mut acc = Gf256::ZERO;
+    for (i, &coeff) in poly.iter().enumerate() {
+        if i % 2 == 1 {
+            acc += coeff * x.pow(i - 1);
+        }
+    }
+    acc
+}
+
+/// `(a·b) mod x^modulus`, all polynomials lowest degree first.
+fn poly_mul_mod(a: &[Gf256], b: &[Gf256], modulus: usize) -> Vec<Gf256> {
+    let mut out = vec![Gf256::ZERO; modulus];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == Gf256::ZERO || i >= modulus {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            if i + j < modulus {
+                out[i + j] += ai * bj;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rs8() -> ReedSolomon {
+        ReedSolomon::new(8)
+    }
+
+    fn random_block(rng: &mut StdRng) -> Vec<u8> {
+        (0..64).map(|_| rng.random()).collect()
+    }
+
+    #[test]
+    fn clean_codeword_has_zero_syndromes() {
+        let rs = rs8();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..32 {
+            let msg = random_block(&mut rng);
+            let parity = rs.parity_of(&msg);
+            assert!(!rs.detect(&msg, &parity));
+        }
+    }
+
+    #[test]
+    fn detects_every_single_byte_error() {
+        let rs = rs8();
+        let mut rng = StdRng::seed_from_u64(2);
+        let msg = random_block(&mut rng);
+        let parity = rs.parity_of(&msg);
+        for pos in 0..msg.len() + parity.len() {
+            let mut m = msg.clone();
+            let mut p = parity.clone();
+            let slot = if pos < m.len() {
+                &mut m[pos]
+            } else {
+                &mut p[pos - m.len()]
+            };
+            *slot ^= 0x5A;
+            assert!(rs.detect(&m, &p), "missed error at position {pos}");
+        }
+    }
+
+    #[test]
+    fn detects_all_eight_symbol_patterns_sampled() {
+        // Min distance 9 guarantees detection of any ≤8-symbol error;
+        // sample many random 8-symbol patterns, including patterns that
+        // hit the parity bytes themselves.
+        let rs = rs8();
+        let mut rng = StdRng::seed_from_u64(3);
+        let msg = random_block(&mut rng);
+        let parity = rs.parity_of(&msg);
+        for _ in 0..500 {
+            let mut m = msg.clone();
+            let mut p = parity.clone();
+            let mut positions: Vec<usize> = (0..72).collect();
+            for i in 0..8 {
+                let j = rng.random_range(i..positions.len());
+                positions.swap(i, j);
+            }
+            for &pos in &positions[..8] {
+                let flip = loop {
+                    let f: u8 = rng.random();
+                    if f != 0 {
+                        break f;
+                    }
+                };
+                if pos < 64 {
+                    m[pos] ^= flip;
+                } else {
+                    p[pos - 64] ^= flip;
+                }
+            }
+            assert!(rs.detect(&m, &p));
+        }
+    }
+
+    #[test]
+    fn corrects_up_to_four_symbol_errors() {
+        let rs = rs8();
+        let mut rng = StdRng::seed_from_u64(4);
+        for errors in 1..=4 {
+            for _ in 0..50 {
+                let msg = random_block(&mut rng);
+                let parity = rs.parity_of(&msg);
+                let mut m = msg.clone();
+                let mut p = parity.clone();
+                let mut used = std::collections::HashSet::new();
+                for _ in 0..errors {
+                    let pos = loop {
+                        let c = rng.random_range(0..72);
+                        if used.insert(c) {
+                            break c;
+                        }
+                    };
+                    let flip = rng.random_range(1..=255u8);
+                    if pos < 64 {
+                        m[pos] ^= flip;
+                    } else {
+                        p[pos - 64] ^= flip;
+                    }
+                }
+                let fixed = rs.correct(&mut m, &mut p).expect("correctable");
+                assert_eq!(fixed, errors);
+                assert_eq!(m, msg);
+                assert_eq!(p, parity);
+            }
+        }
+    }
+
+    #[test]
+    fn five_errors_never_silently_pass_detection() {
+        // With 5 errors, detect-only must still flag (5 ≤ 8), while
+        // detect+correct either errors out or miscorrects — it must
+        // never return the *original* data.
+        let rs = rs8();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut miscorrections = 0;
+        for _ in 0..200 {
+            let msg = random_block(&mut rng);
+            let parity = rs.parity_of(&msg);
+            let mut m = msg.clone();
+            let mut p = parity.clone();
+            let mut used = std::collections::HashSet::new();
+            for _ in 0..5 {
+                let pos = loop {
+                    let c = rng.random_range(0..72usize);
+                    if used.insert(c) {
+                        break c;
+                    }
+                };
+                let flip = rng.random_range(1..=255u8);
+                if pos < 64 {
+                    m[pos] ^= flip;
+                } else {
+                    p[pos - 64] ^= flip;
+                }
+            }
+            assert!(rs.detect(&m, &p), "detection-only missed a 5-byte error");
+            match rs.correct(&mut m, &mut p) {
+                Ok(_) => {
+                    // Miscorrection: landed on a *different* codeword.
+                    assert_ne!(m, msg, "correcting 5 errors cannot restore the data");
+                    miscorrections += 1;
+                }
+                Err(RsError::Uncorrectable) => {}
+            }
+        }
+        // Miscorrection is possible but rare; the test documents the
+        // SDC vector the paper's detection-only decode eliminates.
+        assert!(miscorrections < 200);
+    }
+
+    #[test]
+    fn clean_word_corrects_to_zero_changes() {
+        let rs = rs8();
+        let mut rng = StdRng::seed_from_u64(6);
+        let msg = random_block(&mut rng);
+        let parity = rs.parity_of(&msg);
+        let mut m = msg.clone();
+        let mut p = parity.clone();
+        assert_eq!(rs.correct(&mut m, &mut p), Ok(0));
+        assert_eq!(m, msg);
+    }
+
+    #[test]
+    fn parity_length_matches() {
+        for r in [2, 4, 8, 16] {
+            let rs = ReedSolomon::new(r);
+            assert_eq!(rs.parity_of(&[0u8; 32]).len(), r);
+            assert_eq!(rs.correctable(), r / 2);
+            assert_eq!(rs.detectable(), r);
+        }
+    }
+
+    #[test]
+    fn zero_message_encodes_to_zero_parity() {
+        let rs = rs8();
+        assert_eq!(rs.parity_of(&[0u8; 64]), vec![0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parity must be")]
+    fn zero_parity_rejected() {
+        let _ = ReedSolomon::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_codeword_rejected() {
+        let rs = rs8();
+        let _ = rs.parity_of(&[0u8; 250]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Characterization-study figures (1–4, 6).
+
+use crate::context::Ctx;
+use margin::errors::TestCondition;
+use margin::population::ModulePopulation;
+use margin::stats::{mean, Histogram};
+use margin::study;
+use workloads::utilization::{Cluster, UtilizationModel};
+
+/// Figure 1: fraction of jobs below 25 % / 50 % memory utilization.
+pub fn fig1(ctx: &Ctx) {
+    println!("{:<10} {:>8} {:>8}", "Cluster", "<25%", "<50%");
+    let mut rows = vec![vec!["cluster".into(), "below_25".into(), "below_50".into()]];
+    for cluster in Cluster::ALL {
+        let m = UtilizationModel::for_cluster(cluster);
+        println!(
+            "{:<10} {:>7.0}% {:>7.0}%",
+            cluster.name(),
+            m.below_25 * 100.0,
+            m.below_50 * 100.0
+        );
+        rows.push(vec![
+            cluster.name().into(),
+            format!("{:.3}", m.below_25),
+            format!("{:.3}", m.below_50),
+        ]);
+    }
+    ctx.csv("fig1", &rows);
+}
+
+/// Figure 2: frequency margins across the 119-module population, in
+/// MT/s (a) and normalized to the labelled rate (b).
+pub fn fig2(ctx: &Ctx) {
+    let pop = ModulePopulation::paper_study(ctx.seed);
+    let mut hist = Histogram::new(0.0, 200.0);
+    for m in pop.modules() {
+        hist.add(m.measured_margin_mts as f64);
+    }
+    println!("(a) margin histogram, 200 MT/s buckets (all 119 modules):");
+    let mut rows = vec![vec!["bucket_mts".into(), "modules".into()]];
+    for (lo, count) in hist.buckets() {
+        if count > 0 {
+            println!(
+                "  [{:>4.0}, {:>4.0}) MT/s : {:>3} modules  {}",
+                lo,
+                lo + 200.0,
+                count,
+                "#".repeat(count as usize)
+            );
+        }
+        rows.push(vec![format!("{lo}"), count.to_string()]);
+    }
+    let margins: Vec<f64> = pop
+        .mainstream()
+        .map(|m| m.measured_margin_mts as f64)
+        .collect();
+    let normalized: Vec<f64> = pop
+        .mainstream()
+        .map(|m| m.normalized_margin() * 100.0)
+        .collect();
+    println!(
+        "(b) brands A-C: mean margin {:.0} MT/s = {:.1}% of labelled rate (paper: 770 MT/s / 27%)",
+        mean(&margins),
+        mean(&normalized)
+    );
+    println!(
+        "    most common margin: {:?} MT/s (paper: 800 MT/s)",
+        hist.mode_bucket()
+    );
+    ctx.csv("fig2", &rows);
+}
+
+/// Figure 3: impact of brand (99 % CI) and chips/rank (STDev).
+pub fn fig3(ctx: &Ctx) {
+    let pop = ModulePopulation::paper_study(ctx.seed);
+    let mut rows = vec![vec![
+        "group".into(),
+        "n".into(),
+        "mean_mts".into(),
+        "ci99_mts".into(),
+        "stdev_mts".into(),
+    ]];
+    println!("(a) by brand (mean ± 99% CI):");
+    for g in study::by_brand(&pop) {
+        println!(
+            "  {:<22} n={:<3} {:>5.0} ± {:>4.0} MT/s",
+            g.label, g.count, g.mean_mts, g.ci99_mts
+        );
+        rows.push(vec![
+            g.label.clone(),
+            g.count.to_string(),
+            format!("{:.1}", g.mean_mts),
+            format!("{:.1}", g.ci99_mts),
+            format!("{:.1}", g.std_dev_mts),
+        ]);
+    }
+    println!("(b) by chips/rank (mean, STDev):");
+    for g in study::by_chips_per_rank(&pop) {
+        println!(
+            "  {:<22} n={:<3} {:>5.0} MT/s, STDev {:>4.0}",
+            g.label, g.count, g.mean_mts, g.std_dev_mts
+        );
+        rows.push(vec![
+            g.label.clone(),
+            g.count.to_string(),
+            format!("{:.1}", g.mean_mts),
+            format!("{:.1}", g.ci99_mts),
+            format!("{:.1}", g.std_dev_mts),
+        ]);
+    }
+    ctx.csv("fig3", &rows);
+}
+
+/// Figure 4: impact of aging, ranks/module, density, manufacture year.
+pub fn fig4(ctx: &Ctx) {
+    let pop = ModulePopulation::paper_study(ctx.seed);
+    let mut rows = vec![vec![
+        "panel".into(),
+        "group".into(),
+        "n".into(),
+        "mean_mts".into(),
+    ]];
+    for (panel, groups) in [
+        ("(a) condition", study::by_condition(&pop)),
+        ("(b) ranks/module", study::by_ranks(&pop)),
+        ("(c) chip density", study::by_density(&pop)),
+        ("(d) manufacture year", study::by_year(&pop)),
+    ] {
+        println!("{panel}:");
+        for g in groups {
+            if g.count == 0 {
+                continue;
+            }
+            println!(
+                "  {:<24} n={:<3} {:>5.0} MT/s",
+                g.label, g.count, g.mean_mts
+            );
+            rows.push(vec![
+                panel.into(),
+                g.label.clone(),
+                g.count.to_string(),
+                format!("{:.1}", g.mean_mts),
+            ]);
+        }
+    }
+    println!("(paper finding: none of these factors matters much)");
+    ctx.csv("fig4", &rows);
+}
+
+/// Figure 6: per-module error rates under the four stress conditions.
+pub fn fig6(ctx: &Ctx) {
+    let pop = ModulePopulation::paper_study(ctx.seed);
+    let mut rows = vec![vec![
+        "module".into(),
+        "ce_freq_23c".into(),
+        "ce_freq_45c".into(),
+        "ce_freqlat_23c".into(),
+        "ce_freqlat_45c".into(),
+        "ue_freq_23c".into(),
+    ]];
+    let mut shown = 0;
+    println!(
+        "{:<6} {:>12} {:>12} {:>14} {:>14} {:>10}",
+        "Module", "CE f@23C/h", "CE f@45C/h", "CE f+l@23C/h", "CE f+l@45C/h", "UE@23C/h"
+    );
+    for m in pop.mainstream() {
+        let e = &m.errors;
+        rows.push(vec![
+            m.spec.label(),
+            format!("{:.1}", e.ce_per_hour(TestCondition::Freq23C)),
+            format!("{:.1}", e.ce_per_hour(TestCondition::Freq45C)),
+            format!("{:.1}", e.ce_per_hour(TestCondition::FreqLat23C)),
+            format!("{:.1}", e.ce_per_hour(TestCondition::FreqLat45C)),
+            format!("{:.2}", e.ue_per_hour(TestCondition::Freq23C)),
+        ]);
+        // Like the paper's figure, skip all-zero modules; print a
+        // sample of the rest.
+        if !e.error_free(TestCondition::Freq23C) && shown < 15 {
+            println!(
+                "{:<6} {:>12.1} {:>12.1} {:>14.1} {:>14.1} {:>10.2}",
+                m.spec.label(),
+                e.ce_per_hour(TestCondition::Freq23C),
+                e.ce_per_hour(TestCondition::Freq45C),
+                e.ce_per_hour(TestCondition::FreqLat23C),
+                e.ce_per_hour(TestCondition::FreqLat45C),
+                e.ue_per_hour(TestCondition::Freq23C)
+            );
+            shown += 1;
+        }
+    }
+    // Population-level ratios the paper highlights.
+    let sum = |c: TestCondition| -> f64 { pop.mainstream().map(|m| m.errors.ce_per_hour(c)).sum() };
+    let f23 = sum(TestCondition::Freq23C);
+    let f45 = sum(TestCondition::Freq45C);
+    let fl23 = sum(TestCondition::FreqLat23C);
+    let fl45 = sum(TestCondition::FreqLat45C);
+    println!(
+        "... ({} more modules; zero-error modules omitted as in the paper)",
+        103 - shown
+    );
+    println!(
+        "freq-only   45C/23C error ratio: {:.1}x (paper: 4x)",
+        f45 / f23
+    );
+    println!(
+        "freq+lat    45C/23C error ratio: {:.1}x (paper: 2x)",
+        fl45 / fl23
+    );
+    let reduced = pop
+        .mainstream()
+        .filter(|m| m.margin_at_45c_mts < m.measured_margin_mts)
+        .count();
+    let reduced_lat = pop
+        .mainstream()
+        .filter(|m| m.freq_lat_margin_at_45c_mts < m.measured_margin_mts)
+        .count();
+    println!("modules with reduced margin at 45C: {reduced} (paper: 5); with latency margins: {reduced_lat} (paper: 9)");
+    ctx.csv("fig6", &rows);
+}

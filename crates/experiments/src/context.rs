@@ -1,0 +1,95 @@
+//! Shared experiment context: seeding, simulation length, CSV output.
+
+use std::fs;
+use std::io::Write;
+
+/// Global experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Memory operations simulated per core in node-level runs.
+    pub ops_per_core: usize,
+    /// Monte Carlo trials for distribution experiments.
+    pub trials: usize,
+    /// Jobs in the system-wide trace.
+    pub trace_jobs: usize,
+    /// Where to write CSV copies of every series (optional).
+    pub csv_dir: Option<String>,
+}
+
+impl Default for Ctx {
+    fn default() -> Ctx {
+        Ctx {
+            seed: 0xD1A2,
+            ops_per_core: 40_000,
+            trials: 50_000,
+            trace_jobs: 58_000,
+            csv_dir: None,
+        }
+    }
+}
+
+impl Ctx {
+    /// Shrinks everything for a fast smoke run.
+    pub fn quick(&mut self) {
+        self.ops_per_core = 8_000;
+        self.trials = 5_000;
+        self.trace_jobs = 5_000;
+    }
+
+    /// Writes `rows` (first row = header) as `<name>.csv` when a CSV
+    /// directory was requested.
+    pub fn csv(&self, name: &str, rows: &[Vec<String>]) {
+        let Some(dir) = &self.csv_dir else { return };
+        if fs::create_dir_all(dir).is_err() {
+            eprintln!("cannot create {dir}");
+            return;
+        }
+        let path = format!("{dir}/{name}.csv");
+        match fs::File::create(&path) {
+            Ok(mut f) => {
+                for row in rows {
+                    let _ = writeln!(f, "{}", row.join(","));
+                }
+            }
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_shrinks_everything() {
+        let mut ctx = Ctx::default();
+        let full = ctx.clone();
+        ctx.quick();
+        assert!(ctx.ops_per_core < full.ops_per_core);
+        assert!(ctx.trials < full.trials);
+        assert!(ctx.trace_jobs < full.trace_jobs);
+        assert_eq!(ctx.seed, full.seed, "quick keeps the seed");
+    }
+
+    #[test]
+    fn csv_writes_when_enabled_and_is_silent_otherwise() {
+        let dir = std::env::temp_dir().join("hdmr_ctx_csv_test");
+        let _ = fs::remove_dir_all(&dir);
+        let mut ctx = Ctx::default();
+        // Disabled: no directory appears.
+        ctx.csv_dir = None;
+        ctx.csv("nope", &[vec!["a".into()]]);
+        assert!(!dir.exists());
+        // Enabled: file with the right contents.
+        ctx.csv_dir = Some(dir.to_string_lossy().into_owned());
+        ctx.csv(
+            "t",
+            &[vec!["h1".into(), "h2".into()], vec!["1".into(), "2".into()]],
+        );
+        let text = fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(text, "h1,h2\n1,2\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

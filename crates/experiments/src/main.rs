@@ -1,0 +1,87 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments <target> [--seed N] [--ops N] [--quick] [--csv DIR]
+//! ```
+//!
+//! `<target>` is `all` or one of: `table1 table2 table3 table4 fig1
+//! fig2 fig3 fig4 fig5 fig6 fig11 fig12 fig13 fig14 fig15 fig16
+//! fig17 extras`. Output goes to stdout (the same rows/series the paper
+//! reports) and, with `--csv`, to per-experiment CSV files.
+
+mod characterization;
+mod context;
+mod extras;
+mod node_figures;
+mod system_figures;
+mod tables;
+
+use context::Ctx;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = String::from("all");
+    let mut ctx = Ctx::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                ctx.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--ops" => {
+                ctx.ops_per_core = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--ops needs an integer");
+            }
+            "--quick" => ctx.quick(),
+            "--csv" => {
+                ctx.csv_dir = Some(iter.next().expect("--csv needs a directory").clone());
+            }
+            other if !other.starts_with('-') => target = other.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let all = target == "all";
+    let mut ran = false;
+    macro_rules! run {
+        ($name:literal, $f:expr) => {
+            if all || target == $name {
+                println!("\n================ {} ================", $name);
+                $f;
+                ran = true;
+            }
+        };
+    }
+
+    run!("table1", tables::table1(&ctx));
+    run!("fig1", characterization::fig1(&ctx));
+    run!("fig2", characterization::fig2(&ctx));
+    run!("fig3", characterization::fig3(&ctx));
+    run!("fig4", characterization::fig4(&ctx));
+    run!("table2", tables::table2(&ctx));
+    run!("table3", tables::table3(&ctx));
+    run!("table4", tables::table4(&ctx));
+    run!("fig5", node_figures::fig5(&ctx));
+    run!("fig6", characterization::fig6(&ctx));
+    run!("fig11", system_figures::fig11(&ctx));
+    run!("fig12", node_figures::fig12(&ctx));
+    run!("fig13", node_figures::fig13(&ctx));
+    run!("fig14", node_figures::fig14(&ctx));
+    run!("fig15", node_figures::fig15(&ctx));
+    run!("fig16", node_figures::fig16(&ctx));
+    run!("fig17", system_figures::fig17(&ctx));
+    run!("extras", extras::extras(&ctx));
+
+    if !ran {
+        eprintln!("unknown target '{target}'");
+        std::process::exit(2);
+    }
+}

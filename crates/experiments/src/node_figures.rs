@@ -1,0 +1,297 @@
+//! Node-level figures (5, 12, 13, 14, 15, 16), all driven by the
+//! `hetero_dmr::NodeModel` evaluation engine.
+
+use crate::context::Ctx;
+use energy::EnergyModel;
+use hetero_dmr::emulation::EmulationInputs;
+use hetero_dmr::monte_carlo::MonteCarlo;
+use hetero_dmr::{EvalConfig, MemoryDesign, NodeModel, UsageBucket};
+use margin::composition::SelectionPolicy;
+use memsim::config::HierarchyConfig;
+use workloads::utilization::{Cluster, UtilizationModel};
+use workloads::Suite;
+
+fn model(ctx: &Ctx, h: HierarchyConfig) -> NodeModel {
+    NodeModel::new(
+        h,
+        EvalConfig {
+            ops_per_core: ctx.ops_per_core,
+            seed: ctx.seed,
+        },
+    )
+}
+
+/// Figure 5: real-system speedup from exploiting margins, per suite
+/// and hierarchy.
+pub fn fig5(ctx: &Ctx) {
+    let mut rows = vec![vec![
+        "hierarchy".into(),
+        "suite".into(),
+        "latency_margin".into(),
+        "frequency_margin".into(),
+        "freq_lat_margins".into(),
+    ]];
+    for h in HierarchyConfig::both() {
+        let m = model(ctx, h);
+        println!("{} (speedup over manufacturer specification):", h.name);
+        println!(
+            "{:<10} {:>10} {:>10} {:>10}",
+            "suite", "latency", "frequency", "freq+lat"
+        );
+        for suite in Suite::ALL {
+            let lat = m.normalized(MemoryDesign::ExploitLatency, suite, UsageBucket::Low);
+            let freq = m.normalized(MemoryDesign::ExploitFrequency, suite, UsageBucket::Low);
+            let both = m.normalized(MemoryDesign::ExploitFreqLat, suite, UsageBucket::Low);
+            println!(
+                "{:<10} {:>9.3}x {:>9.3}x {:>9.3}x",
+                suite.name(),
+                lat,
+                freq,
+                both
+            );
+            rows.push(vec![
+                h.name.into(),
+                suite.name().into(),
+                format!("{lat:.4}"),
+                format!("{freq:.4}"),
+                format!("{both:.4}"),
+            ]);
+        }
+        println!(
+            "average    {:>9.3}x {:>9.3}x {:>9.3}x   (paper freq+lat avg: 1.19x, Linpack 1.24x)",
+            m.suite_average(MemoryDesign::ExploitLatency, UsageBucket::Low),
+            m.suite_average(MemoryDesign::ExploitFrequency, UsageBucket::Low),
+            m.suite_average(MemoryDesign::ExploitFreqLat, UsageBucket::Low)
+        );
+    }
+    ctx.csv("fig5", &rows);
+}
+
+/// The designs in Figure 12's legend, per margin.
+fn fig12_designs(margin: u32) -> [MemoryDesign; 3] {
+    [
+        MemoryDesign::Fmr,
+        MemoryDesign::HeteroDmr { margin_mts: margin },
+        MemoryDesign::HeteroDmrFmr { margin_mts: margin },
+    ]
+}
+
+/// Figure 12: normalized performance per design × usage bucket ×
+/// margin × hierarchy, plus the usage-weighted `[0~100%]` bars and the
+/// paper's headline margin-weighted average.
+pub fn fig12(ctx: &Ctx) {
+    let weights = UtilizationModel::for_cluster(Cluster::Grizzly).bucket_weights();
+    let groups =
+        MonteCarlo::default().node_groups(SelectionPolicy::MarginAware, ctx.trials, ctx.seed);
+    let mut rows = vec![vec![
+        "hierarchy".into(),
+        "margin_mts".into(),
+        "design".into(),
+        "bucket".into(),
+        "normalized_perf".into(),
+    ]];
+    let mut overall = Vec::new();
+    for h in HierarchyConfig::both() {
+        let m = model(ctx, h);
+        for margin in [800u32, 600] {
+            println!("{} @ {:.1} GT/s margin:", h.name, margin as f64 / 1000.0);
+            print!("{:<24}", "design");
+            for b in UsageBucket::ALL {
+                print!(" {:>10}", b.label());
+            }
+            println!(" {:>10}", "[0~100%]");
+            for design in fig12_designs(margin) {
+                print!("{:<24}", design.name());
+                for b in UsageBucket::ALL {
+                    let v = m.suite_average(design, b);
+                    print!(" {:>9.3}x", v);
+                    rows.push(vec![
+                        h.name.into(),
+                        margin.to_string(),
+                        design.name(),
+                        b.label().into(),
+                        format!("{v:.4}"),
+                    ]);
+                }
+                println!(" {:>9.3}x", m.usage_weighted(design, weights));
+            }
+        }
+        let hdmr = m.margin_weighted(
+            |mts| MemoryDesign::HeteroDmr { margin_mts: mts },
+            &groups,
+            weights,
+        );
+        let hf = m.margin_weighted(
+            |mts| MemoryDesign::HeteroDmrFmr { margin_mts: mts },
+            &groups,
+            weights,
+        );
+        let fmr = m.usage_weighted(MemoryDesign::Fmr, weights);
+        println!(
+            "{}: margin+usage-weighted Hetero-DMR {:.3}x | FMR {:.3}x | Hetero-DMR+FMR {:.3}x (H+F/FMR = {:.3}x)",
+            h.name,
+            hdmr,
+            fmr,
+            hf,
+            hf / fmr
+        );
+        overall.push(hdmr);
+    }
+    let headline = overall.iter().sum::<f64>() / overall.len() as f64;
+    println!(
+        "HEADLINE: Hetero-DMR node-level improvement, weighted across margins, usage, and hierarchies: {:.1}% (paper: 18%)",
+        (headline - 1.0) * 100.0
+    );
+    ctx.csv("fig12", &rows);
+}
+
+/// Figure 13: system-level energy per instruction, normalized.
+pub fn fig13(ctx: &Ctx) {
+    let em = EnergyModel::default();
+    let mut rows = vec![vec![
+        "hierarchy".into(),
+        "design".into(),
+        "normalized_epi".into(),
+    ]];
+    for h in HierarchyConfig::both() {
+        let m = model(ctx, h);
+        println!(
+            "{} (EPI normalized to Commercial Baseline, [0~25%) usage):",
+            h.name
+        );
+        for design in [
+            MemoryDesign::Fmr,
+            MemoryDesign::HeteroDmr { margin_mts: 800 },
+            MemoryDesign::HeteroDmrFmr { margin_mts: 800 },
+        ] {
+            let mut epi_ratio = 0.0;
+            for suite in Suite::ALL {
+                let base = m.energy(MemoryDesign::CommercialBaseline, suite, &em);
+                let d = m.energy(design, suite, &em);
+                epi_ratio += d.epi_nj() / base.epi_nj();
+            }
+            epi_ratio /= Suite::ALL.len() as f64;
+            println!(
+                "  {:<24} {:>6.3} (paper: Hetero-DMR ~0.94)",
+                design.name(),
+                epi_ratio
+            );
+            rows.push(vec![
+                h.name.into(),
+                design.name(),
+                format!("{epi_ratio:.4}"),
+            ]);
+        }
+    }
+    ctx.csv("fig13", &rows);
+}
+
+/// Figure 14: DRAM accesses per instruction, normalized to baseline.
+pub fn fig14(ctx: &Ctx) {
+    let m = model(ctx, HierarchyConfig::hierarchy1());
+    let mut rows = vec![vec!["suite".into(), "normalized_accesses_per_instr".into()]];
+    println!("Hetero-DMR+FMR@0.8GT/s DRAM accesses/instruction vs baseline (Hierarchy1):");
+    let mut avg = 0.0;
+    for suite in Suite::ALL {
+        let base = m.run(MemoryDesign::CommercialBaseline, suite);
+        let hf = m.run(MemoryDesign::HeteroDmrFmr { margin_mts: 800 }, suite);
+        let ratio = hf.dram_accesses_per_instruction() / base.dram_accesses_per_instruction();
+        println!("  {:<10} {:>6.3}", suite.name(), ratio);
+        rows.push(vec![suite.name().into(), format!("{ratio:.4}")]);
+        avg += ratio;
+    }
+    println!(
+        "  average    {:>6.3}  (paper: <1% overhead on average)",
+        avg / Suite::ALL.len() as f64
+    );
+    ctx.csv("fig14", &rows);
+}
+
+/// Figure 15: DRAM bandwidth utilization and write share per suite.
+pub fn fig15(ctx: &Ctx) {
+    let m = model(ctx, HierarchyConfig::hierarchy1());
+    let mut rows = vec![vec![
+        "suite".into(),
+        "bandwidth_utilization".into(),
+        "write_fraction".into(),
+    ]];
+    println!("Commercial Baseline, Hierarchy1:");
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "suite", "bandwidth util", "write fraction"
+    );
+    let mut wf = 0.0;
+    for suite in Suite::ALL {
+        let r = m.run(MemoryDesign::CommercialBaseline, suite);
+        println!(
+            "{:<10} {:>13.1}% {:>13.1}%",
+            suite.name(),
+            r.bandwidth_utilization() * 100.0,
+            r.write_fraction() * 100.0
+        );
+        rows.push(vec![
+            suite.name().into(),
+            format!("{:.4}", r.bandwidth_utilization()),
+            format!("{:.4}", r.write_fraction()),
+        ]);
+        wf += r.write_fraction();
+    }
+    println!(
+        "average write fraction: {:.1}% (paper: ~15%)",
+        wf / Suite::ALL.len() as f64 * 100.0
+    );
+    ctx.csv("fig15", &rows);
+}
+
+/// Figure 16: silicon corroboration — simulated Hetero-DMR vs the
+/// emulation formula applied to the Exploit-Freq+Lat run.
+pub fn fig16(ctx: &Ctx) {
+    let m = model(ctx, HierarchyConfig::hierarchy1());
+    let mut rows = vec![vec![
+        "suite".into(),
+        "simulated_hdmr".into(),
+        "emulated_hdmr".into(),
+        "freq_lat".into(),
+    ]];
+    println!("Hierarchy1, speedups over Commercial Baseline:");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "suite", "sim Hetero-DMR", "emu Hetero-DMR", "freq+lat"
+    );
+    let (mut ds, mut de) = (0.0, 0.0);
+    for suite in Suite::ALL {
+        let base = m.run(MemoryDesign::CommercialBaseline, suite);
+        let fast = m.run(MemoryDesign::ExploitFreqLat, suite);
+        let sim = m.normalized(
+            MemoryDesign::HeteroDmr { margin_mts: 800 },
+            suite,
+            UsageBucket::Low,
+        );
+        let emu = EmulationInputs::from_fast_run(&fast, dram::rate::DataRate::MT3200)
+            .emulated_speedup(base.exec_time_ps);
+        let fl = fast.speedup_over(&base);
+        println!(
+            "{:<10} {:>13.3}x {:>13.3}x {:>9.3}x",
+            suite.name(),
+            sim,
+            emu,
+            fl
+        );
+        rows.push(vec![
+            suite.name().into(),
+            format!("{sim:.4}"),
+            format!("{emu:.4}"),
+            format!("{fl:.4}"),
+        ]);
+        ds += sim;
+        de += emu;
+    }
+    let n = Suite::ALL.len() as f64;
+    println!(
+        "average: simulated {:.3}x vs emulated {:.3}x — difference {:.1}% (paper: ~2-3%)",
+        ds / n,
+        de / n,
+        ((de - ds) / ds * 100.0).abs()
+    );
+    ctx.csv("fig16", &rows);
+}

@@ -1,0 +1,118 @@
+//! Manufacturer brands and their margin profiles.
+//!
+//! The 119 modules in the paper's study come from four companies:
+//! brands A–C are the three major memory-chip manufacturers; brand D
+//! is a small module-only vendor. The paper finds A–C average
+//! 770 MT/s of margin (27 % of the labelled rate) while D averages
+//! just 213 MT/s, and focuses on A–C thereafter.
+
+use std::fmt;
+
+/// A memory module manufacturer, anonymized as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Brand {
+    /// Major chip manufacturer A.
+    A,
+    /// Major chip manufacturer B.
+    B,
+    /// Major chip manufacturer C.
+    C,
+    /// Small module-only vendor D.
+    D,
+}
+
+impl Brand {
+    /// All brands in study order.
+    pub const ALL: [Brand; 4] = [Brand::A, Brand::B, Brand::C, Brand::D];
+
+    /// The three mainstream server brands the paper focuses on.
+    pub const MAINSTREAM: [Brand; 3] = [Brand::A, Brand::B, Brand::C];
+
+    /// Whether this brand manufactures its own DRAM chips.
+    pub fn is_chip_manufacturer(self) -> bool {
+        self != Brand::D
+    }
+
+    /// Mean *true* (pre-measurement) frequency margin in MT/s for
+    /// modules with 9 chips/rank, fit to Figures 2–3 of the paper.
+    ///
+    /// Brands A–C are statistically indistinguishable from each other
+    /// in the study, so they share a profile; the small vendor D sits
+    /// far lower.
+    pub fn margin_mean_9cpr_mts(self) -> f64 {
+        match self {
+            Brand::A | Brand::B | Brand::C => 950.0,
+            Brand::D => 330.0,
+        }
+    }
+
+    /// Standard deviation of the true margin for 9 chips/rank modules.
+    pub fn margin_std_9cpr_mts(self) -> f64 {
+        match self {
+            Brand::A | Brand::B | Brand::C => 170.0,
+            Brand::D => 120.0,
+        }
+    }
+
+    /// Mean true margin for 18 chips/rank modules: synchronizing twice
+    /// as many chips at high frequency is harder, so the mean is lower
+    /// and the spread wider (2.1× the 9-chip STDev in the paper).
+    pub fn margin_mean_18cpr_mts(self) -> f64 {
+        match self {
+            Brand::A | Brand::B | Brand::C => 700.0,
+            Brand::D => 320.0,
+        }
+    }
+
+    /// Standard deviation of the true margin for 18 chips/rank modules.
+    pub fn margin_std_18cpr_mts(self) -> f64 {
+        match self {
+            Brand::A | Brand::B | Brand::C => 330.0,
+            Brand::D => 150.0,
+        }
+    }
+}
+
+impl fmt::Display for Brand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Brand::A => "Brand A",
+            Brand::B => "Brand B",
+            Brand::C => "Brand C",
+            Brand::D => "Brand D",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mainstream_excludes_d() {
+        assert!(!Brand::MAINSTREAM.contains(&Brand::D));
+        assert_eq!(Brand::MAINSTREAM.len(), 3);
+    }
+
+    #[test]
+    fn d_is_module_only_vendor() {
+        assert!(!Brand::D.is_chip_manufacturer());
+        assert!(Brand::A.is_chip_manufacturer());
+    }
+
+    #[test]
+    fn abc_profiles_identical_d_lower() {
+        for b in [Brand::B, Brand::C] {
+            assert_eq!(b.margin_mean_9cpr_mts(), Brand::A.margin_mean_9cpr_mts());
+        }
+        assert!(Brand::D.margin_mean_9cpr_mts() < Brand::A.margin_mean_9cpr_mts() / 2.0);
+    }
+
+    #[test]
+    fn eighteen_chip_spread_is_wider() {
+        // Paper: 18 chips/rank STDev ≈ 2.1× the 9 chips/rank STDev.
+        let ratio = Brand::A.margin_std_18cpr_mts() / Brand::A.margin_std_9cpr_mts();
+        assert!(ratio > 1.7 && ratio < 2.5, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Channel- and node-level margin composition (Section III-D).
+//!
+//! A channel's usable margin is set by whichever module is chosen to
+//! run unsafely fast; Hetero-DMR's **margin-aware selection** picks the
+//! module with the highest margin, while a naive (margin-unaware)
+//! policy just takes the first module. A node interleaves data across
+//! channels, so its usable margin is the *minimum* across its channels
+//! (the paper's gem5 experiments show per-channel heterogeneous rates
+//! perform like running every channel at the slowest one).
+
+/// How the module to operate unsafely fast is chosen within a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionPolicy {
+    /// Pick the module with the highest measured margin (Hetero-DMR).
+    MarginAware,
+    /// Pick the first module regardless of margin (baseline).
+    MarginUnaware,
+}
+
+/// The usable margin of a channel under `policy`, given its modules'
+/// measured margins in slot order.
+///
+/// Returns 0 for an empty channel.
+pub fn channel_margin(module_margins_mts: &[u32], policy: SelectionPolicy) -> u32 {
+    match policy {
+        SelectionPolicy::MarginAware => module_margins_mts.iter().copied().max().unwrap_or(0),
+        SelectionPolicy::MarginUnaware => module_margins_mts.first().copied().unwrap_or(0),
+    }
+}
+
+/// The usable margin of a node: the minimum of its channels' margins
+/// (interleaving makes the slowest channel the bottleneck).
+///
+/// Returns 0 for a node with no channels.
+pub fn node_margin(channel_margins_mts: &[u32]) -> u32 {
+    channel_margins_mts.iter().copied().min().unwrap_or(0)
+}
+
+/// Rounds a margin down to the 200 MT/s granularity the rest of the
+/// system plans in (the paper groups nodes at 0.8 / 0.6 / 0 GT/s).
+pub fn usable_group(margin_mts: u32, group_step_mts: u32) -> u32 {
+    margin_mts / group_step_mts * group_step_mts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aware_takes_max_unaware_takes_first() {
+        let margins = [600, 1000];
+        assert_eq!(channel_margin(&margins, SelectionPolicy::MarginAware), 1000);
+        assert_eq!(
+            channel_margin(&margins, SelectionPolicy::MarginUnaware),
+            600
+        );
+    }
+
+    #[test]
+    fn aware_never_worse_than_unaware() {
+        for margins in [[0, 0], [800, 600], [600, 800], [1200, 1200]] {
+            assert!(
+                channel_margin(&margins, SelectionPolicy::MarginAware)
+                    >= channel_margin(&margins, SelectionPolicy::MarginUnaware)
+            );
+        }
+    }
+
+    #[test]
+    fn node_is_bottlenecked_by_slowest_channel() {
+        assert_eq!(node_margin(&[800, 800, 600, 800]), 600);
+        assert_eq!(node_margin(&[800; 12]), 800);
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero() {
+        assert_eq!(channel_margin(&[], SelectionPolicy::MarginAware), 0);
+        assert_eq!(channel_margin(&[], SelectionPolicy::MarginUnaware), 0);
+        assert_eq!(node_margin(&[]), 0);
+    }
+
+    #[test]
+    fn grouping_floors() {
+        assert_eq!(usable_group(799, 200), 600);
+        assert_eq!(usable_group(800, 200), 800);
+        assert_eq!(usable_group(950, 200), 800);
+    }
+}

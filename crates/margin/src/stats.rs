@@ -1,0 +1,198 @@
+//! Small statistics toolkit used across the characterization study.
+//!
+//! Provides exactly what the paper's figures need: mean, sample
+//! standard deviation, the 99 % normal-approximation confidence
+//! interval of Figure 3a (the paper computes CIs "using the normal
+//! distribution similar to prior work"), histogram bucketing for
+//! Figure 2, and a Box-Muller normal sampler for the Monte Carlo
+//! studies (the paper models margins as normally distributed,
+//! following VARIUS).
+
+use rand::Rng;
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (n − 1 denominator); 0.0 for fewer than
+/// two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// z-value for a two-sided 99 % normal confidence interval.
+pub const Z_99: f64 = 2.576;
+
+/// Half-width of the 99 % confidence interval of the mean under the
+/// normal approximation (as in Figure 3a of the paper).
+pub fn ci99_half_width(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    Z_99 * std_dev(values) / (values.len() as f64).sqrt()
+}
+
+/// Draws one sample from N(`mean`, `std`²) via Box-Muller.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+/// Draws from a lognormal distribution with the given parameters of
+/// the underlying normal (used for per-module error rates, which span
+/// orders of magnitude in Figure 6).
+pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    sample_normal(rng, mu, sigma).exp()
+}
+
+/// A histogram over fixed-width buckets, for Figure 2-style plots.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: f64,
+    origin: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets `[origin + i·width, origin + (i+1)·width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive.
+    pub fn new(origin: f64, bucket_width: f64) -> Histogram {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        Histogram {
+            bucket_width,
+            origin,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Adds one observation. Values below the origin are clamped into
+    /// the first bucket.
+    pub fn add(&mut self, value: f64) {
+        let idx = (((value - self.origin) / self.bucket_width).floor()).max(0.0) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// (bucket lower bound, count) pairs in ascending order.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.origin + i as f64 * self.bucket_width, c))
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The lower bound of the bucket with the most observations
+    /// (the paper highlights 800 MT/s as "the most common frequency
+    /// margin among the 119 modules").
+    pub fn mode_bucket(&self) -> Option<f64> {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| self.origin + i as f64 * self.bucket_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_std() {
+        let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&vals) - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is ~2.138.
+        assert!((std_dev(&vals) - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(ci99_half_width(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        assert!(ci99_half_width(&large) < ci99_half_width(&small));
+    }
+
+    #[test]
+    fn normal_sampler_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_normal(&mut rng, 770.0, 124.0))
+            .collect();
+        assert!((mean(&samples) - 770.0).abs() < 5.0);
+        assert!((std_dev(&samples) - 124.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let samples: Vec<f64> = (0..5_000)
+            .map(|_| sample_lognormal(&mut rng, 3.0, 1.5))
+            .collect();
+        assert!(samples.iter().all(|&v| v > 0.0));
+        let m = mean(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        assert!(m > median, "lognormal mean exceeds median");
+    }
+
+    #[test]
+    fn histogram_buckets_and_mode() {
+        let mut h = Histogram::new(0.0, 200.0);
+        for v in [650.0, 800.0, 810.0, 999.0, 801.0, 400.0] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 6);
+        // Bucket [800, 1000) holds four values: 800, 810, 999, 801.
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets[4], (800.0, 4));
+        assert_eq!(h.mode_bucket(), Some(800.0));
+    }
+
+    #[test]
+    fn histogram_clamps_below_origin() {
+        let mut h = Histogram::new(0.0, 100.0);
+        h.add(-5.0);
+        assert_eq!(h.buckets().next(), Some((0.0, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_rejected() {
+        let _ = Histogram::new(0.0, 0.0);
+    }
+}

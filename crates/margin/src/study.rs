@@ -1,0 +1,267 @@
+//! Study-scale constants (Table I) and the Figure 3/4 grouping driver.
+
+use crate::population::{MeasuredModule, ModuleCondition, ModulePopulation};
+use crate::stats::{ci99_half_width, mean, std_dev};
+use crate::Brand;
+use dram::organization::ChipDensity;
+use dram::rate::DataRate;
+
+/// One row of Table I: the scale of a characterization study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyScale {
+    /// Study name.
+    pub name: &'static str,
+    /// DRAM type studied.
+    pub dram_type: &'static str,
+    /// Number of modules (None when the prior work reports only chips).
+    pub modules: Option<u32>,
+    /// Number of chips.
+    pub chips: u32,
+    /// Which margin the study characterizes.
+    pub margin: &'static str,
+}
+
+/// Table I of the paper: this study versus prior characterizations.
+pub const TABLE_I: [StudyScale; 7] = [
+    StudyScale {
+        name: "This Paper",
+        dram_type: "DDR4 RDIMM",
+        modules: Some(119),
+        chips: 3006,
+        margin: "frequency",
+    },
+    StudyScale {
+        name: "Prior Work [60]",
+        dram_type: "DDR3 SO-DIMM",
+        modules: Some(96),
+        chips: 768,
+        margin: "latency",
+    },
+    StudyScale {
+        name: "Prior Work [56]",
+        dram_type: "DDR3 SO-DIMM",
+        modules: Some(32),
+        chips: 416,
+        margin: "latency",
+    },
+    StudyScale {
+        name: "Prior Work [47]",
+        dram_type: "DDR3 SO-DIMM",
+        modules: Some(30),
+        chips: 240,
+        margin: "latency",
+    },
+    StudyScale {
+        name: "Prior Work [65]",
+        dram_type: "LPDDR4",
+        modules: None,
+        chips: 368,
+        margin: "latency",
+    },
+    StudyScale {
+        name: "Prior Work [62]",
+        dram_type: "DDR3 SO-DIMM",
+        modules: Some(34),
+        chips: 248,
+        margin: "latency",
+    },
+    StudyScale {
+        name: "Prior Work [50]",
+        dram_type: "DDR3 UDIMM",
+        modules: Some(8),
+        chips: 64,
+        margin: "voltage",
+    },
+];
+
+/// Summary of one module group: Figures 3 and 4 bars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSummary {
+    /// Group label (e.g. "Brand A", "9 chips/rank").
+    pub label: String,
+    /// Number of modules in the group.
+    pub count: usize,
+    /// Mean measured margin, MT/s.
+    pub mean_mts: f64,
+    /// Sample standard deviation, MT/s.
+    pub std_dev_mts: f64,
+    /// 99 % normal CI half-width of the mean, MT/s.
+    pub ci99_mts: f64,
+}
+
+fn summarize<'a, I>(label: impl Into<String>, modules: I) -> GroupSummary
+where
+    I: Iterator<Item = &'a MeasuredModule>,
+{
+    let margins: Vec<f64> = modules.map(|m| m.measured_margin_mts as f64).collect();
+    GroupSummary {
+        label: label.into(),
+        count: margins.len(),
+        mean_mts: mean(&margins),
+        std_dev_mts: std_dev(&margins),
+        ci99_mts: ci99_half_width(&margins),
+    }
+}
+
+/// Figure 3a: margin by brand (mean + 99 % CI).
+pub fn by_brand(pop: &ModulePopulation) -> Vec<GroupSummary> {
+    Brand::ALL
+        .iter()
+        .map(|&b| {
+            summarize(
+                b.to_string(),
+                pop.modules().iter().filter(move |m| m.spec.brand == b),
+            )
+        })
+        .collect()
+}
+
+/// Figure 3b: margin by chips per rank (brands A–C only).
+pub fn by_chips_per_rank(pop: &ModulePopulation) -> Vec<GroupSummary> {
+    [9u8, 18]
+        .iter()
+        .map(|&cpr| {
+            summarize(
+                format!("{cpr} chips/rank"),
+                pop.mainstream()
+                    .filter(move |m| m.spec.organization.chips_per_rank == cpr),
+            )
+        })
+        .collect()
+}
+
+/// Figure 4a: margin by module condition (aging study).
+pub fn by_condition(pop: &ModulePopulation) -> Vec<GroupSummary> {
+    [
+        (ModuleCondition::New, "Brand new"),
+        (ModuleCondition::InProduction, "3-year in-production"),
+        (ModuleCondition::Refurbished, "Refurbished"),
+    ]
+    .iter()
+    .map(|&(cond, label)| {
+        summarize(
+            label,
+            pop.mainstream().filter(move |m| m.spec.condition == cond),
+        )
+    })
+    .collect()
+}
+
+/// Figure 4b: margin by ranks per module.
+pub fn by_ranks(pop: &ModulePopulation) -> Vec<GroupSummary> {
+    [1u8, 2]
+        .iter()
+        .map(|&r| {
+            summarize(
+                format!("{r} rank(s)"),
+                pop.mainstream()
+                    .filter(move |m| m.spec.organization.ranks == r),
+            )
+        })
+        .collect()
+}
+
+/// Figure 4c: margin by chip density.
+pub fn by_density(pop: &ModulePopulation) -> Vec<GroupSummary> {
+    [ChipDensity::Gb4, ChipDensity::Gb8, ChipDensity::Gb16]
+        .iter()
+        .map(|&d| {
+            summarize(
+                d.to_string(),
+                pop.mainstream()
+                    .filter(move |m| m.spec.organization.density == d),
+            )
+        })
+        .collect()
+}
+
+/// Figure 4d: margin by manufacturing year.
+pub fn by_year(pop: &ModulePopulation) -> Vec<GroupSummary> {
+    (2017u16..=2020)
+        .map(|y| {
+            summarize(
+                format!("{y}"),
+                pop.mainstream()
+                    .filter(move |m| m.spec.manufactured_year == y),
+            )
+        })
+        .collect()
+}
+
+/// Impact of manufacturer-specified data rate (Section II-A's
+/// cap-confounded comparison).
+pub fn by_specified_rate(pop: &ModulePopulation) -> Vec<GroupSummary> {
+    [DataRate::MT2400, DataRate::MT3200]
+        .iter()
+        .map(|&r| {
+            summarize(
+                r.to_string(),
+                pop.mainstream()
+                    .filter(move |m| m.spec.organization.specified_rate == r),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> ModulePopulation {
+        ModulePopulation::paper_study(0xD1A2)
+    }
+
+    #[test]
+    fn table1_totals() {
+        assert_eq!(TABLE_I[0].modules, Some(119));
+        assert_eq!(TABLE_I[0].chips, 3006);
+        // The paper claims more chips than all prior works combined.
+        let prior_total: u32 = TABLE_I[1..].iter().map(|s| s.chips).sum();
+        assert!(TABLE_I[0].chips > prior_total);
+    }
+
+    #[test]
+    fn brand_summary_shape() {
+        let s = by_brand(&pop());
+        assert_eq!(s.len(), 4);
+        // A-C similar to each other; D far lower (2.6x in the paper).
+        let abc_mean = (s[0].mean_mts + s[1].mean_mts + s[2].mean_mts) / 3.0;
+        for g in &s[..3] {
+            assert!((g.mean_mts - abc_mean).abs() < 150.0, "{}", g.label);
+        }
+        let ratio = abc_mean / s[3].mean_mts;
+        assert!(ratio > 1.8 && ratio < 4.5, "A-C/D ratio {ratio}");
+    }
+
+    #[test]
+    fn chips_per_rank_summary_shape() {
+        let s = by_chips_per_rank(&pop());
+        assert_eq!(s[0].count + s[1].count, 103);
+        // 9 chips/rank is consistent: lower STDev than 18 chips/rank.
+        assert!(s[0].std_dev_mts < s[1].std_dev_mts);
+    }
+
+    #[test]
+    fn aging_has_little_impact() {
+        let s = by_condition(&pop());
+        let means: Vec<f64> = s
+            .iter()
+            .filter(|g| g.count > 0)
+            .map(|g| g.mean_mts)
+            .collect();
+        let spread = means.iter().cloned().fold(f64::MIN, f64::max)
+            - means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 250.0, "aging spread {spread}");
+    }
+
+    #[test]
+    fn groups_partition_the_mainstream_population() {
+        let p = pop();
+        for groups in [by_ranks(&p), by_specified_rate(&p)] {
+            let total: usize = groups.iter().map(|g| g.count).sum();
+            assert_eq!(total, 103);
+        }
+        let total: usize = by_year(&p).iter().map(|g| g.count).sum();
+        assert_eq!(total, 103);
+    }
+}

@@ -1,0 +1,171 @@
+//! Physical-address → DRAM-coordinate mapping.
+//!
+//! Table IV: "XOR-based mapping function similar to Intel Skylake" —
+//! bank bits are XOR-folded with higher-order row bits so strided
+//! streams spread across banks, plus channel interleaving at block
+//! granularity.
+
+/// Coordinates of a 64-byte block in the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank index within the channel (across all modules).
+    pub rank: usize,
+    /// Bank index within the rank.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+    /// Column (block) within the row.
+    pub column: u64,
+}
+
+/// The address mapper: block-interleaved channels, XOR-folded banks.
+#[derive(Debug, Clone, Copy)]
+pub struct AddressMapping {
+    channels: usize,
+    ranks_per_channel: usize,
+    banks_per_rank: usize,
+    /// Blocks per row (a DDR4 row is typically 8 KB = 128 blocks).
+    blocks_per_row: u64,
+}
+
+impl AddressMapping {
+    /// Creates a mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `channels`,
+    /// `ranks_per_channel`, `banks_per_rank`, or `blocks_per_row` is
+    /// not a power of two.
+    pub fn new(channels: usize, ranks_per_channel: usize, banks_per_rank: usize) -> AddressMapping {
+        let m = AddressMapping {
+            channels,
+            ranks_per_channel,
+            banks_per_rank,
+            blocks_per_row: 128,
+        };
+        for (name, v) in [
+            ("channels", channels),
+            ("ranks_per_channel", ranks_per_channel),
+            ("banks_per_rank", banks_per_rank),
+        ] {
+            assert!(
+                v > 0 && v.is_power_of_two(),
+                "{name} must be a power of two"
+            );
+        }
+        m
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Ranks per channel.
+    pub fn ranks_per_channel(&self) -> usize {
+        self.ranks_per_channel
+    }
+
+    /// Banks per rank.
+    pub fn banks_per_rank(&self) -> usize {
+        self.banks_per_rank
+    }
+
+    /// Maps a byte address to its DRAM coordinates.
+    ///
+    /// Bit layout (block address, low→high): channel | column | bank |
+    /// rank | row, with the bank bits XORed against the low row bits
+    /// (Skylake-style) to spread row-strided streams across banks.
+    pub fn map(&self, addr: u64) -> DramCoord {
+        let mut block = addr >> 6;
+        let channel = (block % self.channels as u64) as usize;
+        block /= self.channels as u64;
+        let column = block % self.blocks_per_row;
+        block /= self.blocks_per_row;
+        let bank_raw = block % self.banks_per_rank as u64;
+        block /= self.banks_per_rank as u64;
+        let rank = (block % self.ranks_per_channel as u64) as usize;
+        block /= self.ranks_per_channel as u64;
+        let row = block;
+        // XOR-fold: permute the bank with the row's low bits.
+        let bank = ((bank_raw ^ row) % self.banks_per_rank as u64) as usize;
+        DramCoord {
+            channel,
+            rank,
+            bank,
+            row,
+            column,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> AddressMapping {
+        AddressMapping::new(4, 4, 16)
+    }
+
+    #[test]
+    fn coordinates_in_range() {
+        let m = mapping();
+        for i in 0..10_000u64 {
+            let c = m.map(i * 64 * 7 + 13);
+            assert!(c.channel < 4);
+            assert!(c.rank < 4);
+            assert!(c.bank < 16);
+            assert!(c.column < 128);
+        }
+    }
+
+    #[test]
+    fn sequential_blocks_interleave_channels() {
+        let m = mapping();
+        let channels: Vec<usize> = (0..8u64).map(|i| m.map(i * 64).channel).collect();
+        assert_eq!(channels, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn same_row_shares_bank_and_row() {
+        let m = mapping();
+        // Two consecutive blocks in the same channel are same row/bank
+        // until the row boundary.
+        let a = m.map(0);
+        let b = m.map(4 * 64); // next block in channel 0
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(b.column, a.column + 1);
+    }
+
+    #[test]
+    fn xor_fold_spreads_row_strides() {
+        // A stream striding by exactly one row (same raw bank bits)
+        // must hit different banks thanks to the XOR fold.
+        let m = mapping();
+        let row_stride = 64 * 4 * 128 * 16 * 4; // channel*col*bank*rank span
+        let banks: std::collections::HashSet<usize> =
+            (0..8u64).map(|i| m.map(i * row_stride).bank).collect();
+        assert!(
+            banks.len() > 4,
+            "XOR fold should spread banks, got {banks:?}"
+        );
+    }
+
+    #[test]
+    fn distinct_addresses_distinct_coords() {
+        let m = mapping();
+        let a = m.map(0);
+        let b = m.map(64 * 4 * 128); // one full row further in channel 0
+        assert_eq!(a.channel, b.channel);
+        assert!(a.bank != b.bank || a.row != b.row);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = AddressMapping::new(3, 4, 16);
+    }
+}

@@ -1,0 +1,362 @@
+//! Set-associative write-back caches with true-LRU replacement.
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the block was present.
+    pub hit: bool,
+    /// Block address of a dirty victim evicted by the fill (misses
+    /// only; `None` when the victim was clean or the set had room).
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// A set-associative write-back, write-allocate cache.
+///
+/// Operates on 64-byte block addresses (`addr >> 6`).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    set_mask: u64,
+    set_shift: u32,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache of `size_bytes` with `ways` associativity and
+    /// 64-byte blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes / (64 * ways)` is a nonzero power of
+    /// two (required for mask-based set indexing).
+    pub fn new(size_bytes: usize, ways: usize) -> Cache {
+        let set_count = size_bytes / (64 * ways);
+        assert!(
+            set_count > 0 && set_count.is_power_of_two(),
+            "cache must have a power-of-two number of sets (got {set_count})"
+        );
+        Cache {
+            sets: vec![Vec::with_capacity(ways); set_count],
+            ways,
+            set_mask: (set_count - 1) as u64,
+            set_shift: 6,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets.len() * self.ways * 64
+    }
+
+    /// Demand hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in [0, 1]; 0 when never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let block = addr >> self.set_shift;
+        (
+            (block & self.set_mask) as usize,
+            block >> self.sets.len().trailing_zeros(),
+        )
+    }
+
+    /// Accesses `addr`; on a miss the block is allocated (write-
+    /// allocate) and the LRU victim evicted.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let (set_idx, tag) = self.index(addr);
+        let shift_back = self.set_shift + self.sets.len().trailing_zeros();
+        let set_bits = (set_idx as u64) << self.set_shift;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.lru = tick;
+            line.dirty |= is_write;
+            self.hits += 1;
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
+        }
+        self.misses += 1;
+        let mut writeback = None;
+        if set.len() == ways {
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            let victim = set.swap_remove(victim_idx);
+            if victim.dirty {
+                writeback = Some(((victim.tag << shift_back) | set_bits) >> self.set_shift);
+            }
+        }
+        set.push(Line {
+            tag,
+            dirty: is_write,
+            lru: tick,
+        });
+        AccessResult {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Fills `addr` without counting a demand access (prefetch path).
+    /// Returns a dirty victim's block address if one was evicted.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let (set_idx, tag) = self.index(addr);
+        let shift_back = self.set_shift + self.sets.len().trailing_zeros();
+        let set_bits = (set_idx as u64) << self.set_shift;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            // Already present: refresh recency only.
+            line.lru = tick;
+            return None;
+        }
+        let mut writeback = None;
+        if set.len() == ways {
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            let victim = set.swap_remove(victim_idx);
+            if victim.dirty {
+                writeback = Some(((victim.tag << shift_back) | set_bits) >> self.set_shift);
+            }
+        }
+        set.push(Line {
+            tag,
+            dirty: false,
+            lru: tick,
+        });
+        writeback
+    }
+
+    /// Installs `addr` with an explicit dirty flag, without counting
+    /// statistics or producing writebacks — cache warmup for starting
+    /// a simulation in steady state (the paper warms its gem5 caches
+    /// before measuring). Silently skips the insert when the set is
+    /// full of warmer lines would be wrong — instead the LRU victim is
+    /// dropped (warmup victims carry no obligations).
+    pub fn prewarm(&mut self, addr: u64, dirty: bool) {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let (set_idx, tag) = self.index(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.lru = tick;
+            line.dirty |= dirty;
+            return;
+        }
+        if set.len() == ways {
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            set.swap_remove(victim_idx);
+        }
+        set.push(Line {
+            tag,
+            dirty,
+            lru: tick,
+        });
+    }
+
+    /// Whether `addr`'s block is currently cached (no LRU update).
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        self.sets[set_idx].iter().any(|l| l.tag == tag)
+    }
+
+    /// Collects up to `limit` least-recently-used *dirty* blocks across
+    /// the cache and marks them clean, returning their block addresses
+    /// — the LLC-cleaning operation Hetero-DMR performs when a channel
+    /// enters write mode (Section III-E: "first cleans least-recently
+    /// used blocks as they are unlikely to be re-written").
+    pub fn clean_lru_dirty(&mut self, limit: usize) -> Vec<u64> {
+        let shift_back = self.set_shift + self.sets.len().trailing_zeros();
+        let mut dirty: Vec<(u64, u64)> = Vec::new();
+        for (set_idx, set) in self.sets.iter().enumerate() {
+            for line in set {
+                if line.dirty {
+                    let block = ((line.tag << shift_back) | ((set_idx as u64) << self.set_shift))
+                        >> self.set_shift;
+                    dirty.push((line.lru, block));
+                }
+            }
+        }
+        dirty.sort_unstable_by_key(|&(lru, _)| lru);
+        dirty.truncate(limit);
+        let chosen: Vec<u64> = dirty.iter().map(|&(_, b)| b).collect();
+        for &b in &chosen {
+            let addr = b << self.set_shift;
+            let (set_idx, tag) = self.index(addr);
+            if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.tag == tag) {
+                line.dirty = false;
+            }
+        }
+        chosen
+    }
+
+    /// Number of dirty lines currently resident.
+    pub fn dirty_count(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.dirty).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new(4096, 4); // 16 sets
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x1004, false).hit, "same block different byte");
+        assert!(!c.access(0x2000, false).hit);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 1 set x 2 ways: 128-byte cache.
+        let mut c = Cache::new(128, 2);
+        c.access(0, false); // A
+        c.access(64, false); // B (1 set: every block maps to set 0)
+        c.access(128, false); // C evicts A (LRU)
+        assert!(!c.access(0, false).hit, "A was evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = Cache::new(128, 2); // 1 set, 2 ways
+        c.access(0, true); // dirty A
+        c.access(64, false); // clean B
+        let res = c.access(128, false); // evicts A (LRU, dirty)
+        assert_eq!(res.writeback, Some(0), "dirty block 0 written back");
+        let res = c.access(192, false); // evicts B (clean)
+        assert_eq!(res.writeback, None);
+    }
+
+    #[test]
+    fn write_marks_dirty_on_hit() {
+        let mut c = Cache::new(128, 2);
+        c.access(0, false); // clean fill
+        c.access(0, true); // dirty it
+        c.access(64, false);
+        let res = c.access(128, false); // evict block 0
+        assert_eq!(res.writeback, Some(0));
+    }
+
+    #[test]
+    fn fill_does_not_count_as_demand() {
+        let mut c = Cache::new(4096, 4);
+        c.fill(0x40);
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(c.access(0x40, false).hit, "prefetched block hits");
+    }
+
+    #[test]
+    fn writeback_address_round_trips() {
+        let mut c = Cache::new(8192, 2); // 64 sets
+        let addr = 0xABCD40;
+        c.access(addr, true);
+        // Evict it by filling the same set with 2 more blocks.
+        let set_stride = 64 * 64; // sets * block
+        let r1 = c.access(addr + set_stride as u64, false);
+        assert_eq!(r1.writeback, None);
+        let r2 = c.access(addr + 2 * set_stride as u64, false);
+        assert_eq!(r2.writeback, Some(addr >> 6));
+    }
+
+    #[test]
+    fn clean_lru_dirty_prefers_oldest() {
+        let mut c = Cache::new(4096, 4);
+        c.access(0, true); // oldest dirty
+        c.access(64, true);
+        c.access(128, true); // newest dirty
+        let cleaned = c.clean_lru_dirty(2);
+        assert_eq!(cleaned, vec![0, 1]);
+        assert_eq!(c.dirty_count(), 1);
+        // Cleaned blocks are still resident.
+        assert!(c.contains(0));
+        assert!(c.contains(64));
+    }
+
+    #[test]
+    fn clean_lru_dirty_respects_limit() {
+        let mut c = Cache::new(4096, 4);
+        for i in 0..10u64 {
+            c.access(i * 64, true);
+        }
+        assert_eq!(c.clean_lru_dirty(100).len(), 10);
+        assert_eq!(c.dirty_count(), 0);
+        assert!(c.clean_lru_dirty(5).is_empty());
+    }
+
+    #[test]
+    fn hit_rate_tracks() {
+        let mut c = Cache::new(4096, 4);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(64, false);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = Cache::new(4096, 3);
+    }
+}

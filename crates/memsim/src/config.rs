@@ -1,0 +1,455 @@
+//! Simulator configuration: Tables III and IV of the paper.
+
+use dram::rate::DataRate;
+use dram::timing::{MemorySetting, TimingParams};
+use dram::Picos;
+
+/// Core microarchitecture parameters (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Core clock in GHz (3.1 in the paper, matching the W-3175X).
+    pub clock_ghz: f64,
+    /// Issue/retire width (4-wide OoO).
+    pub width: u32,
+    /// Reorder-buffer capacity in instructions (224).
+    pub rob_entries: u32,
+    /// Outstanding L2-miss registers (MSHRs) per core.
+    pub mshrs: u32,
+    /// L1 data cache size in bytes (64 KB, 8-way).
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 size in bytes (1 MB per core, 16-way).
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L3 latency in nanoseconds (22 ns).
+    pub l3_latency_ns: f64,
+    /// Stride prefetcher degree at L2 (Table IV: degree 4).
+    pub prefetch_degree: u32,
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig {
+            clock_ghz: 3.1,
+            width: 4,
+            rob_entries: 224,
+            mshrs: 16,
+            l1_bytes: 64 * 1024,
+            l1_ways: 8,
+            l2_bytes: 1024 * 1024,
+            l2_ways: 16,
+            l3_latency_ns: 22.0,
+            prefetch_degree: 4,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Picoseconds per core clock cycle.
+    pub fn cycle_ps(&self) -> Picos {
+        (1000.0 / self.clock_ghz).round() as Picos
+    }
+
+    /// Picoseconds to execute one non-memory instruction at full width.
+    pub fn instr_ps(&self) -> f64 {
+        1000.0 / self.clock_ghz / self.width as f64
+    }
+
+    /// The hybrid-page-policy row timeout (Table IV: 200 cycles).
+    pub fn page_timeout_ps(&self) -> Picos {
+        200 * self.cycle_ps()
+    }
+}
+
+/// Per-channel behaviour of a memory design — the knob set that
+/// distinguishes the Commercial Baseline, FMR, Hetero-DMR, and
+/// Hetero-DMR+FMR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelMode {
+    /// Timing in force while the channel serves reads.
+    pub read_timing: TimingParams,
+    /// Timing in force while the channel drains writes (Hetero-DMR
+    /// always writes at specification so originals stay safe).
+    pub write_timing: TimingParams,
+    /// Extra latency added to *each* read↔write mode switch, on top of
+    /// ordinary tWTR turnaround (1 µs per direction under Hetero-DMR
+    /// for the Figure 9/10 frequency transition; 0 for the baseline).
+    pub turnaround_penalty_ps: Picos,
+    /// Pending writes (write queue + victim writeback cache) that
+    /// trigger a write-mode entry — the batch-size knob. Conventional
+    /// controllers drain small batches often; Hetero-DMR accumulates
+    /// ~12 800 writes per switch (its LLC cleaning exists to build
+    /// such batches) so the 2 × 1 µs frequency transitions amortize.
+    pub write_high_watermark: usize,
+    /// Maximum writes drained per write-mode entry (`usize::MAX` to
+    /// drain everything pending; used by the batch-size ablation).
+    pub write_batch: usize,
+    /// Dirty LLC blocks *explicitly* cleaned (written early) per
+    /// write-mode entry. Cleaning is traffic-neutral in steady state —
+    /// a cleaned block's later eviction is clean — so the default
+    /// models it as part of the batch watermark; a nonzero value
+    /// front-loads the writes explicitly (the cleaning ablation).
+    pub llc_clean_target: usize,
+    /// Whether the per-channel 128 KB 64-way victim writeback cache is
+    /// present (it is, in every evaluated design, including the
+    /// baseline — Section IV-A adds it to the baseline for fairness).
+    pub writeback_cache: bool,
+    /// When `Some(n)`, reads are served by only the top `n` ranks of
+    /// the channel (the unsafely fast Free Module under Hetero-DMR).
+    pub read_ranks: Option<usize>,
+    /// Additional same-channel copies receiving each write via
+    /// broadcast (1 under Hetero-DMR, 2 under Hetero-DMR+FMR below
+    /// 25 % utilization; 0 otherwise). Costs no bus bandwidth, only
+    /// DRAM cell energy.
+    pub broadcast_copies: u32,
+    /// FMR's read trick: a block also lives in a second rank, and the
+    /// controller reads whichever copy's bank is in the "faster" state
+    /// (open row / idle).
+    pub fmr_read_choice: bool,
+    /// Ranks the *software* address space maps onto. Free-memory
+    /// replication designs keep in-use data within half the ranks (the
+    /// in-use module) so the other half can hold copies; `None` maps
+    /// across all ranks (conventional).
+    pub software_ranks: Option<usize>,
+}
+
+impl ChannelMode {
+    /// The Commercial Baseline: everything at manufacturer
+    /// specification, conventional 128-entry write batches, writeback
+    /// cache present.
+    pub fn commercial_baseline() -> ChannelMode {
+        let spec = MemorySetting::Specified.timing();
+        ChannelMode {
+            read_timing: spec,
+            write_timing: spec,
+            turnaround_penalty_ps: 0,
+            // All evaluated designs share the same bulk drain cadence
+            // so that write-scheduling transients do not confound the
+            // variables the paper studies (data rate, latencies, rank
+            // restriction, transition cost); the batch-size ablation
+            // sweeps this knob explicitly.
+            write_high_watermark: 12_800,
+            write_batch: usize::MAX,
+            llc_clean_target: 0,
+            writeback_cache: true,
+            read_ranks: None,
+            broadcast_copies: 0,
+            fmr_read_choice: false,
+            software_ranks: None,
+        }
+    }
+}
+
+/// Node-level memory-system shape (Tables III & IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryConfig {
+    /// Number of channels.
+    pub channels: usize,
+    /// Modules per channel (2 in the paper).
+    pub modules_per_channel: usize,
+    /// Ranks per module (2).
+    pub ranks_per_module: usize,
+    /// Banks per rank (16).
+    pub banks_per_rank: usize,
+    /// Read-queue capacity per channel (256).
+    pub read_queue: usize,
+    /// Write-queue capacity per channel (128).
+    pub write_queue: usize,
+}
+
+impl MemoryConfig {
+    /// Ranks per channel (modules × ranks/module; Table IV's 4).
+    pub fn ranks_per_channel(&self) -> usize {
+        self.modules_per_channel * self.ranks_per_module
+    }
+}
+
+/// One of the two evaluated memory hierarchies (Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchyConfig {
+    /// Name ("Hierarchy1" / "Hierarchy2").
+    pub name: &'static str,
+    /// Number of cores.
+    pub cores: usize,
+    /// Combined L2+L3 capacity per core, bytes (CAT-enforced).
+    pub cache_per_core_bytes: usize,
+    /// Memory shape.
+    pub memory: MemoryConfig,
+    /// Core parameters.
+    pub core: CoreConfig,
+}
+
+impl HierarchyConfig {
+    /// Hierarchy1: 8 cores, 4.5 MB L2+L3 per core, 1 channel with two
+    /// dual-rank modules.
+    pub fn hierarchy1() -> HierarchyConfig {
+        HierarchyConfig {
+            name: "Hierarchy1",
+            cores: 8,
+            cache_per_core_bytes: 4_718_592, // 4.5 MB
+            memory: MemoryConfig {
+                channels: 1,
+                modules_per_channel: 2,
+                ranks_per_module: 2,
+                banks_per_rank: 16,
+                read_queue: 256,
+                write_queue: 128,
+            },
+            core: CoreConfig::default(),
+        }
+    }
+
+    /// Hierarchy2: 16 cores, 2.375 MB L2+L3 per core, 4 channels with
+    /// two dual-rank modules each.
+    pub fn hierarchy2() -> HierarchyConfig {
+        HierarchyConfig {
+            name: "Hierarchy2",
+            cores: 16,
+            cache_per_core_bytes: 2_490_368, // 2.375 MB
+            memory: MemoryConfig {
+                channels: 4,
+                modules_per_channel: 2,
+                ranks_per_module: 2,
+                banks_per_rank: 16,
+                read_queue: 256,
+                write_queue: 128,
+            },
+            core: CoreConfig::default(),
+        }
+    }
+
+    /// Both hierarchies, for sweeps.
+    pub fn both() -> [HierarchyConfig; 2] {
+        [Self::hierarchy1(), Self::hierarchy2()]
+    }
+
+    /// Per-core L3 partition size (L2+L3 per core minus the 1 MB L2),
+    /// rounded down to a power-of-two-friendly 64 KB multiple.
+    pub fn l3_partition_bytes(&self) -> usize {
+        let l3 = self.cache_per_core_bytes.saturating_sub(self.core.l2_bytes);
+        // Keep sets a power of two: round down to 2^k × 64 B × ways.
+        let ways = 16;
+        let sets = (l3 / (64 * ways)).next_power_of_two() / 2;
+        (sets.max(1)) * 64 * ways
+    }
+
+    /// The memory setting pair for a Hetero-DMR node with a given
+    /// frequency margin: reads at `spec + margin` with latency margins,
+    /// writes at specification.
+    pub fn hetero_dmr_timings(margin_mts: u32) -> (TimingParams, TimingParams) {
+        let spec = MemorySetting::Specified.timing();
+        let fast = spec
+            .with_latency_margin()
+            .at_rate(DataRate::MT3200.plus_margin(margin_mts));
+        (fast, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_core_defaults() {
+        let c = CoreConfig::default();
+        assert_eq!(c.clock_ghz, 3.1);
+        assert_eq!(c.width, 4);
+        assert_eq!(c.rob_entries, 224);
+        assert_eq!(c.cycle_ps(), 323); // 1/3.1 GHz ≈ 322.6 ps
+        assert_eq!(c.page_timeout_ps(), 200 * 323);
+    }
+
+    #[test]
+    fn table_iii_hierarchies() {
+        let h1 = HierarchyConfig::hierarchy1();
+        assert_eq!(h1.cores, 8);
+        assert_eq!(h1.memory.channels, 1);
+        assert_eq!(h1.memory.ranks_per_channel(), 4);
+
+        let h2 = HierarchyConfig::hierarchy2();
+        assert_eq!(h2.cores, 16);
+        assert_eq!(h2.memory.channels, 4);
+        assert!(h2.cache_per_core_bytes < h1.cache_per_core_bytes);
+    }
+
+    #[test]
+    fn l3_partition_is_positive_and_below_budget() {
+        for h in HierarchyConfig::both() {
+            let l3 = h.l3_partition_bytes();
+            assert!(l3 > 0);
+            assert!(l3 <= h.cache_per_core_bytes);
+            // Power-of-two sets for the cache constructor.
+            assert!((l3 / (64 * 16)).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn baseline_mode_is_all_spec() {
+        let m = ChannelMode::commercial_baseline();
+        assert_eq!(m.read_timing.data_rate.mts(), 3200);
+        assert_eq!(m.write_timing, m.read_timing);
+        assert_eq!(m.turnaround_penalty_ps, 0);
+        assert_eq!(m.broadcast_copies, 0);
+        assert!(m.writeback_cache);
+        assert!(m.read_ranks.is_none());
+    }
+
+    #[test]
+    fn hetero_dmr_timing_split() {
+        let (fast, safe) = HierarchyConfig::hetero_dmr_timings(800);
+        assert_eq!(fast.data_rate.mts(), 4000);
+        assert_eq!(fast.t_rcd_ns, 11.5);
+        assert_eq!(safe.data_rate.mts(), 3200);
+        assert_eq!(safe.t_rcd_ns, 13.75);
+    }
+}
+
+/// Builder for custom [`HierarchyConfig`]s beyond the two Table III
+/// presets — cache-sensitivity sweeps, wider nodes, more channels.
+///
+/// ```
+/// use memsim::config::HierarchyConfig;
+///
+/// let custom = HierarchyConfig::builder("wide")
+///     .cores(32)
+///     .channels(8)
+///     .cache_per_core_mb(3.0)
+///     .build();
+/// assert_eq!(custom.cores, 32);
+/// assert_eq!(custom.memory.channels, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierarchyBuilder {
+    name: &'static str,
+    cores: usize,
+    cache_per_core_bytes: usize,
+    channels: usize,
+    modules_per_channel: usize,
+    ranks_per_module: usize,
+    core: CoreConfig,
+}
+
+impl HierarchyConfig {
+    /// Starts a builder from Hierarchy1's defaults.
+    pub fn builder(name: &'static str) -> HierarchyBuilder {
+        let base = HierarchyConfig::hierarchy1();
+        HierarchyBuilder {
+            name,
+            cores: base.cores,
+            cache_per_core_bytes: base.cache_per_core_bytes,
+            channels: base.memory.channels,
+            modules_per_channel: base.memory.modules_per_channel,
+            ranks_per_module: base.memory.ranks_per_module,
+            core: base.core,
+        }
+    }
+}
+
+impl HierarchyBuilder {
+    /// Sets the core count.
+    pub fn cores(&mut self, cores: usize) -> &mut HierarchyBuilder {
+        self.cores = cores;
+        self
+    }
+
+    /// Sets the combined L2+L3 budget per core, in megabytes.
+    pub fn cache_per_core_mb(&mut self, mb: f64) -> &mut HierarchyBuilder {
+        self.cache_per_core_bytes = (mb * 1024.0 * 1024.0) as usize;
+        self
+    }
+
+    /// Sets the channel count (must be a power of two for the XOR
+    /// address mapping).
+    pub fn channels(&mut self, channels: usize) -> &mut HierarchyBuilder {
+        self.channels = channels;
+        self
+    }
+
+    /// Sets modules per channel.
+    pub fn modules_per_channel(&mut self, modules: usize) -> &mut HierarchyBuilder {
+        self.modules_per_channel = modules;
+        self
+    }
+
+    /// Sets ranks per module.
+    pub fn ranks_per_module(&mut self, ranks: usize) -> &mut HierarchyBuilder {
+        self.ranks_per_module = ranks;
+        self
+    }
+
+    /// Overrides the core microarchitecture.
+    pub fn core(&mut self, core: CoreConfig) -> &mut HierarchyBuilder {
+        self.core = core;
+        self
+    }
+
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cores or channels are zero, or the L2+L3 budget does
+    /// not exceed the L2 (leaving no L3 partition).
+    pub fn build(&self) -> HierarchyConfig {
+        assert!(self.cores > 0, "a node needs cores");
+        assert!(self.channels > 0, "a node needs channels");
+        assert!(
+            self.cache_per_core_bytes > self.core.l2_bytes,
+            "cache budget must exceed the private L2"
+        );
+        HierarchyConfig {
+            name: self.name,
+            cores: self.cores,
+            cache_per_core_bytes: self.cache_per_core_bytes,
+            memory: MemoryConfig {
+                channels: self.channels,
+                modules_per_channel: self.modules_per_channel,
+                ranks_per_module: self.ranks_per_module,
+                banks_per_rank: 16,
+                read_queue: 256,
+                write_queue: 128,
+            },
+            core: self.core,
+        }
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_hierarchy1() {
+        let built = HierarchyConfig::builder("Hierarchy1").build();
+        let preset = HierarchyConfig::hierarchy1();
+        assert_eq!(built, preset);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let h = HierarchyConfig::builder("big")
+            .cores(64)
+            .channels(8)
+            .modules_per_channel(2)
+            .ranks_per_module(2)
+            .cache_per_core_mb(2.0)
+            .build();
+        assert_eq!(h.cores, 64);
+        assert_eq!(h.memory.channels, 8);
+        assert_eq!(h.cache_per_core_bytes, 2 * 1024 * 1024);
+        assert!(h.l3_partition_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the private L2")]
+    fn builder_rejects_cacheless_nodes() {
+        let _ = HierarchyConfig::builder("bad").cache_per_core_mb(0.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs cores")]
+    fn builder_rejects_zero_cores() {
+        let _ = HierarchyConfig::builder("bad").cores(0).build();
+    }
+}

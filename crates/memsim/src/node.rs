@@ -1,0 +1,497 @@
+//! The full simulated node: cores, caches, and channels.
+
+use crate::address::AddressMapping;
+use crate::config::{ChannelMode, HierarchyConfig};
+use crate::controller::ChannelController;
+use crate::core::{CoreSim, LoadHandle};
+use crate::result::SimResult;
+use crate::trace::AccessStream;
+use crate::wbcache::WritebackCache;
+use dram::Picos;
+
+/// Latency of a load serviced by the victim writeback cache (it sits
+/// next to the memory controller, past the LLC).
+const WB_CACHE_HIT_PS: Picos = ns_to_ps_const(15);
+
+const fn ns_to_ps_const(ns: u64) -> Picos {
+    ns * 1_000
+}
+
+/// A multi-core node with per-channel memory controllers.
+#[derive(Debug)]
+pub struct NodeSim {
+    hierarchy: HierarchyConfig,
+    modes: Vec<ChannelMode>,
+    mapping: AddressMapping,
+    cores: Vec<CoreSim>,
+    controllers: Vec<ChannelController>,
+    wbcaches: Vec<Option<WritebackCache>>,
+    /// Mirror every write into the opposite half's channel (the naive
+    /// channel-split DMR strawman of Section III-A: 100 % write
+    /// bandwidth overhead).
+    mirror_writes: bool,
+    /// Stores retired since the last cleaning write-mode entry (drives
+    /// the batch cadence of LLC-cleaning designs: one write mode per
+    /// `llc_clean_target` stores, the paper's 12 800-write batches).
+    stores_since_drain: u64,
+}
+
+impl NodeSim {
+    /// Builds a node with every core and channel in its initial state.
+    pub fn new(hierarchy: HierarchyConfig, mode: ChannelMode) -> NodeSim {
+        let modes = vec![mode; hierarchy.memory.channels];
+        NodeSim::with_modes(hierarchy, modes, false)
+    }
+
+    /// Builds a node with an explicit per-channel mode vector —
+    /// needed by the naive channel-split DMR baseline, which runs the
+    /// copy-holding half of the channels fast and the original-holding
+    /// half at specification. `mirror_writes` duplicates every write
+    /// into the paired channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one mode per channel is supplied.
+    pub fn with_modes(
+        hierarchy: HierarchyConfig,
+        modes: Vec<ChannelMode>,
+        mirror_writes: bool,
+    ) -> NodeSim {
+        assert_eq!(
+            modes.len(),
+            hierarchy.memory.channels,
+            "need exactly one mode per channel"
+        );
+        let software_ranks = modes[0]
+            .software_ranks
+            .unwrap_or(hierarchy.memory.ranks_per_channel());
+        let mapping = AddressMapping::new(
+            hierarchy.memory.channels,
+            software_ranks,
+            hierarchy.memory.banks_per_rank,
+        );
+        let cores = (0..hierarchy.cores)
+            .map(|_| CoreSim::new(hierarchy.core, hierarchy.l3_partition_bytes()))
+            .collect();
+        let controllers = modes
+            .iter()
+            .map(|&m| ChannelController::new(m, hierarchy.memory, hierarchy.core.page_timeout_ps()))
+            .collect();
+        let wbcaches = modes
+            .iter()
+            .map(|m| m.writeback_cache.then(WritebackCache::paper_default))
+            .collect();
+        NodeSim {
+            hierarchy,
+            modes,
+            mapping,
+            cores,
+            controllers,
+            wbcaches,
+            mirror_writes,
+            stores_since_drain: 0,
+        }
+    }
+
+    /// The hierarchy this node models.
+    pub fn hierarchy(&self) -> &HierarchyConfig {
+        &self.hierarchy
+    }
+
+    /// Warms core `core_idx`'s L3 partition with `(block, dirty)`
+    /// pairs, so the run starts from a steady-state cache (full LLC,
+    /// realistic writeback rate) the way the paper's warmed gem5
+    /// checkpoints do.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range core index.
+    pub fn prewarm_core<I: IntoIterator<Item = (u64, bool)>>(
+        &mut self,
+        core_idx: usize,
+        blocks: I,
+    ) {
+        let core = &mut self.cores[core_idx];
+        for (block, dirty) in blocks {
+            core.prewarm_l3(block, dirty);
+        }
+    }
+
+    /// The L3 partition capacity in 64-byte blocks (how many warmup
+    /// blocks fill a core's partition).
+    pub fn l3_blocks_per_core(&self) -> usize {
+        self.hierarchy.l3_partition_bytes() / 64
+    }
+
+    /// Runs one access stream per core to completion and reports the
+    /// merged results.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one stream per core is supplied.
+    pub fn run<S: AccessStream>(&mut self, mut streams: Vec<S>) -> SimResult {
+        assert_eq!(
+            streams.len(),
+            self.cores.len(),
+            "need exactly one access stream per core"
+        );
+        let mut live: Vec<bool> = vec![true; streams.len()];
+        let mut remaining = streams.len();
+
+        while remaining > 0 {
+            // Advance the core that is furthest behind in time.
+            let core_idx = (0..self.cores.len())
+                .filter(|&i| live[i])
+                .min_by_key(|&i| self.cores[i].now)
+                .expect("at least one live core");
+            match streams[core_idx].next_op() {
+                Some(op) => self.step(core_idx, &op),
+                None => {
+                    live[core_idx] = false;
+                    remaining -= 1;
+                }
+            }
+        }
+
+        self.finish()
+    }
+
+    /// Processes one memory operation on one core.
+    fn step(&mut self, core_idx: usize, op: &crate::trace::MemOp) {
+        if op.is_write {
+            self.stores_since_drain += 1;
+        }
+        let controllers = &mut self.controllers;
+        let issue_t = self.cores[core_idx].advance_to_issue(op, |handle| match handle {
+            LoadHandle::Ready(t) => t,
+            LoadHandle::Queued { channel, token } => controllers[channel].resolve_read(token),
+        });
+        let outcome = self.cores[core_idx].access_caches(op);
+        let l3_lat = self.cores[core_idx].l3_latency_ps();
+
+        for wb in &outcome.writebacks {
+            self.handle_writeback(*wb);
+        }
+        for pf in outcome.prefetches {
+            if self.cores[core_idx].needs_prefetch(pf) {
+                if let Some(victim) = self.cores[core_idx].install_prefetch(pf) {
+                    self.handle_writeback(victim);
+                }
+                let coord = self.mapping.map(pf << 6);
+                // Prefetch traffic consumes DRAM bandwidth but never
+                // stalls the core.
+                let _ = self.controllers[coord.channel].submit_read(coord, issue_t + l3_lat, false);
+            }
+        }
+
+        if let Some(block) = outcome.demand_miss {
+            let coord = self.mapping.map(block << 6);
+            let arrival = issue_t + l3_lat;
+            let served_by_wb = self.wbcaches[coord.channel]
+                .as_mut()
+                .is_some_and(|wb| wb.read_hit(block));
+            if served_by_wb {
+                if outcome.is_load {
+                    self.cores[core_idx].track_load(LoadHandle::Ready(arrival + WB_CACHE_HIT_PS));
+                }
+            } else {
+                let tracked = outcome.is_load;
+                let token = self.controllers[coord.channel].submit_read(coord, arrival, tracked);
+                if tracked {
+                    self.cores[core_idx].track_load(LoadHandle::Queued {
+                        channel: coord.channel,
+                        token,
+                    });
+                }
+            }
+        } else if outcome.l3_hit && outcome.is_load {
+            self.cores[core_idx].track_load(LoadHandle::Ready(issue_t + l3_lat));
+        }
+
+        self.maybe_enter_write_mode(core_idx);
+    }
+
+    /// Routes an LLC writeback toward its channel: into the victim
+    /// writeback cache when there is room, else the write queue.
+    fn handle_writeback(&mut self, block: u64) {
+        let coord = self.mapping.map(block << 6);
+        self.push_write(coord.channel, block, coord);
+        if self.mirror_writes && self.controllers.len() > 1 {
+            // Naive channel-split DMR: the copy lives in the paired
+            // channel and must be written separately (100 % write
+            // bandwidth overhead).
+            let pair = (coord.channel + self.controllers.len() / 2) % self.controllers.len();
+            let mut mirrored = coord;
+            mirrored.channel = pair;
+            self.push_write(pair, block, mirrored);
+        }
+    }
+
+    fn push_write(&mut self, channel: usize, block: u64, coord: crate::address::DramCoord) {
+        let absorbed = self.wbcaches[channel]
+            .as_mut()
+            .is_some_and(|wb| wb.offer(block));
+        if !absorbed {
+            self.controllers[channel].enqueue_write(coord);
+        }
+    }
+
+    /// Checks the write-mode triggers: pending writes (write queue
+    /// plus victim writeback cache) reaching the batch watermark, or —
+    /// for explicit-cleaning ablations — `llc_clean_target` stores
+    /// having accumulated since the last batch.
+    fn maybe_enter_write_mode(&mut self, core_idx: usize) {
+        let now = self.cores[core_idx].now;
+        let clean_target = self.modes[0].llc_clean_target;
+        if clean_target > 0 && self.stores_since_drain as usize >= clean_target {
+            self.stores_since_drain = 0;
+            for ch in 0..self.controllers.len() {
+                self.enter_write_mode(ch, now);
+            }
+            return;
+        }
+        for ch in 0..self.controllers.len() {
+            let pending = self.controllers[ch].pending_writes()
+                + self.wbcaches[ch].as_ref().map_or(0, WritebackCache::len);
+            if pending >= self.modes[ch].write_high_watermark {
+                self.enter_write_mode(ch, now);
+            }
+        }
+    }
+
+    /// End-of-run drain: writes still pending must complete, but no
+    /// proactive LLC cleaning happens (the benchmark is over; cleaning
+    /// beyond the measured work would overcount write traffic).
+    fn final_drain(&mut self, ch: usize, now: Picos) -> Picos {
+        self.drain_channel(ch, now, false)
+    }
+
+    /// Performs a write-mode entry on channel `ch`: drain the victim
+    /// writeback cache, clean the LLC (Hetero-DMR), and batch-write.
+    /// Returns when the channel is back in read mode.
+    fn enter_write_mode(&mut self, ch: usize, now: Picos) -> Picos {
+        self.drain_channel(ch, now, true)
+    }
+
+    fn drain_channel(&mut self, ch: usize, now: Picos, clean_llc: bool) -> Picos {
+        let mut extra = Vec::new();
+        if let Some(wb) = self.wbcaches[ch].as_mut() {
+            for block in wb.drain() {
+                extra.push(self.mapping.map(block << 6));
+            }
+        }
+        if clean_llc && self.modes[ch].llc_clean_target > 0 {
+            let per_core = self.modes[ch].llc_clean_target / self.cores.len().max(1);
+            for core in &mut self.cores {
+                for block in core.clean_llc(per_core) {
+                    let coord = self.mapping.map(block << 6);
+                    if coord.channel == ch {
+                        extra.push(coord);
+                    } else {
+                        // Cleaned blocks belonging to other channels
+                        // join those channels' write paths.
+                        let absorbed = self.wbcaches[coord.channel]
+                            .as_mut()
+                            .is_some_and(|wb| wb.offer(block));
+                        if !absorbed {
+                            self.controllers[coord.channel].enqueue_write(coord);
+                        }
+                    }
+                }
+            }
+        }
+        self.controllers[ch].drain_writes(now, extra)
+    }
+
+    /// Final drain of all pending writes and outstanding loads, then
+    /// result assembly. The drain's duration counts toward execution
+    /// time — the benchmark is not done until its writebacks are.
+    fn finish(&mut self) -> SimResult {
+        let now = self.cores.iter().map(|c| c.now).max().unwrap_or(0);
+        let mut drained_until = now;
+        for ch in 0..self.controllers.len() {
+            drained_until = drained_until.max(self.final_drain(ch, now));
+        }
+        let controllers = &mut self.controllers;
+        for core in &mut self.cores {
+            core.drain(|handle| match handle {
+                LoadHandle::Ready(t) => t,
+                LoadHandle::Queued { channel, token } => controllers[channel].resolve_read(token),
+            });
+        }
+
+        let mean_core = if self.cores.is_empty() {
+            0
+        } else {
+            self.cores.iter().map(|c| c.now).sum::<Picos>() / self.cores.len() as Picos
+        };
+        let max_core = self.cores.iter().map(|c| c.now).max().unwrap_or(0);
+        // The final drain runs after the last core stops; charge its
+        // duration on top of the mean completion time.
+        let drain_extra = drained_until.saturating_sub(now.max(max_core));
+        let mut result = SimResult {
+            instructions: self.cores.iter().map(|c| c.instructions).sum(),
+            exec_time_ps: mean_core + drain_extra,
+            slowest_core_ps: max_core.max(drained_until),
+            channels: self.controllers.len(),
+            read_rate: self.modes[0].read_timing.data_rate,
+            ..SimResult::default()
+        };
+        for core in &self.cores {
+            result.cache_hits += core.cache_hits;
+            result.cache_misses += core.cache_misses;
+        }
+        for (ctrl, wb) in self.controllers.iter().zip(&self.wbcaches) {
+            let s = ctrl.stats();
+            result.controller.reads += s.reads;
+            result.controller.writes += s.writes;
+            result.controller.activates += s.activates;
+            result.controller.row_hits += s.row_hits;
+            result.controller.write_mode_entries += s.write_mode_entries;
+            result.controller.bus_busy_ps += s.bus_busy_ps;
+            result.controller.read_latency_sum_ps += s.read_latency_sum_ps;
+            result.controller.refreshes += s.refreshes;
+            result.controller.broadcast_extra_cells += s.broadcast_extra_cells;
+            result.controller.wb_cache_hits += wb.as_ref().map_or(0, |w| w.read_hits());
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::MemOp;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A synthetic stream: mixed streaming/random accesses over a
+    /// footprint, fixed read/write mix.
+    fn stream(seed: u64, ops: usize, footprint_blocks: u64) -> Vec<MemOp> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(ops);
+        let mut cursor = 0u64;
+        for _ in 0..ops {
+            let addr = if rng.random_bool(0.7) {
+                cursor = (cursor + 1) % footprint_blocks;
+                cursor * 64
+            } else {
+                rng.random_range(0..footprint_blocks) * 64
+            };
+            let is_write = rng.random_bool(0.2);
+            let gap = rng.random_range(5..40);
+            out.push(if is_write {
+                MemOp::store(addr, gap)
+            } else {
+                MemOp::load(addr, gap)
+            });
+        }
+        out
+    }
+
+    /// A hierarchy with shrunken caches so short test streams generate
+    /// real DRAM traffic (evictions, writebacks, write modes).
+    fn small(mut h: HierarchyConfig) -> HierarchyConfig {
+        h.core.l1_bytes = 4 * 1024;
+        h.core.l2_bytes = 16 * 1024;
+        h.cache_per_core_bytes = 48 * 1024; // 32 KB L3 partition
+        h
+    }
+
+    fn run(mode: ChannelMode, hierarchy: HierarchyConfig, ops: usize) -> SimResult {
+        let mut node = NodeSim::new(small(hierarchy), mode);
+        let streams: Vec<_> = (0..hierarchy.cores)
+            .map(|i| stream(1000 + i as u64, ops, 1 << 13).into_iter())
+            .collect();
+        node.run(streams)
+    }
+
+    #[test]
+    fn runs_to_completion_with_sane_metrics() {
+        let r = run(
+            ChannelMode::commercial_baseline(),
+            HierarchyConfig::hierarchy1(),
+            3_000,
+        );
+        assert!(r.exec_time_ps > 0);
+        assert!(r.instructions > 0);
+        assert!(r.controller.reads > 0);
+        assert!(r.controller.writes > 0, "writebacks must reach DRAM");
+        assert!(r.cache_hit_rate() > 0.0 && r.cache_hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn faster_memory_is_faster_end_to_end() {
+        let base = run(
+            ChannelMode::commercial_baseline(),
+            HierarchyConfig::hierarchy1(),
+            4_000,
+        );
+        let mut fast_mode = ChannelMode::commercial_baseline();
+        fast_mode.read_timing = dram::timing::MemorySetting::FreqLatMargin.timing();
+        fast_mode.write_timing = fast_mode.read_timing;
+        let fast = run(fast_mode, HierarchyConfig::hierarchy1(), 4_000);
+        let speedup = fast.speedup_over(&base);
+        assert!(
+            speedup > 1.0 && speedup < 1.5,
+            "margin-exploiting run should win modestly, got {speedup}"
+        );
+    }
+
+    #[test]
+    fn hierarchy2_has_more_bandwidth() {
+        let h1 = run(
+            ChannelMode::commercial_baseline(),
+            HierarchyConfig::hierarchy1(),
+            2_000,
+        );
+        let h2 = run(
+            ChannelMode::commercial_baseline(),
+            HierarchyConfig::hierarchy2(),
+            2_000,
+        );
+        // Per-channel pressure is lower on hierarchy2 (4 channels for
+        // 2x the cores): bandwidth utilization per channel drops.
+        assert!(h2.bandwidth_utilization() < h1.bandwidth_utilization() + 0.2);
+        assert_eq!(h2.channels, 4);
+    }
+
+    #[test]
+    fn writeback_cache_serves_read_hits() {
+        let r = run(
+            ChannelMode::commercial_baseline(),
+            HierarchyConfig::hierarchy1(),
+            6_000,
+        );
+        // With a read-after-write pattern present, some reads must hit
+        // the victim cache across a long run. (Zero is possible for a
+        // pure stream; our mix has 30% random re-references.)
+        assert!(r.controller.wb_cache_hits < r.controller.reads);
+    }
+
+    #[test]
+    #[should_panic(expected = "one access stream per core")]
+    fn stream_count_must_match_cores() {
+        let mut node = NodeSim::new(
+            HierarchyConfig::hierarchy1(),
+            ChannelMode::commercial_baseline(),
+        );
+        let _ = node.run(vec![stream(0, 10, 64).into_iter()]);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(
+            ChannelMode::commercial_baseline(),
+            HierarchyConfig::hierarchy1(),
+            2_000,
+        );
+        let b = run(
+            ChannelMode::commercial_baseline(),
+            HierarchyConfig::hierarchy1(),
+            2_000,
+        );
+        assert_eq!(a.exec_time_ps, b.exec_time_ps);
+        assert_eq!(a.controller.reads, b.controller.reads);
+    }
+}

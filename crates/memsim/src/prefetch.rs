@@ -1,0 +1,215 @@
+//! Hardware prefetchers (Table IV: stride with configurable degree,
+//! next-line with auto turn-off).
+//!
+//! The trace has no program counters, so the stride detector operates
+//! on the block-address stream the way a region-based prefetcher
+//! would: it confirms a stride after two consecutive repeats and then
+//! predicts `degree` blocks ahead. The next-line component tracks its
+//! own usefulness and turns itself off when accuracy drops — the
+//! "auto turn-off" of Table IV.
+
+/// How many independent streams the detector tracks (HPC kernels walk
+/// several operand arrays concurrently).
+const TRACKED_STREAMS: usize = 8;
+
+/// A block must land within this distance of a tracked stream's last
+/// access to be attributed to it.
+const REGION_RADIUS: i64 = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct StreamEntry {
+    last_block: u64,
+    stride: i64,
+    confirmations: u32,
+    lru: u64,
+}
+
+/// The stride + next-line prefetch engine attached to L2.
+#[derive(Debug, Clone)]
+pub struct Prefetcher {
+    degree: u32,
+    streams: Vec<StreamEntry>,
+    tick: u64,
+    /// Next-line usefulness tracking.
+    next_line_on: bool,
+    next_line_issued: u64,
+    next_line_useful: u64,
+    /// Blocks predicted by next-line, awaiting a use.
+    pending_next_line: Vec<u64>,
+    issued: u64,
+}
+
+impl Prefetcher {
+    /// Creates a prefetcher predicting `degree` blocks ahead once a
+    /// stride is confirmed.
+    pub fn new(degree: u32) -> Prefetcher {
+        Prefetcher {
+            degree,
+            streams: Vec::with_capacity(TRACKED_STREAMS),
+            tick: 0,
+            next_line_on: true,
+            next_line_issued: 0,
+            next_line_useful: 0,
+            pending_next_line: Vec::new(),
+            issued: 0,
+        }
+    }
+
+    /// Total prefetches issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Whether the next-line component is currently enabled.
+    pub fn next_line_enabled(&self) -> bool {
+        self.next_line_on
+    }
+
+    /// Observes a demand access to `block` (64-byte block address) and
+    /// returns the blocks to prefetch.
+    ///
+    /// Detection is region-based: the access is attributed to the
+    /// tracked stream whose last access is nearest (within a 16-block
+    /// region radius), so several interleaved operand streams train
+    /// independently.
+    pub fn observe(&mut self, block: u64) -> Vec<u64> {
+        self.tick += 1;
+        let mut out = Vec::new();
+
+        // Credit next-line predictions that proved useful.
+        if let Some(pos) = self.pending_next_line.iter().position(|&b| b == block) {
+            self.pending_next_line.swap_remove(pos);
+            self.next_line_useful += 1;
+        }
+
+        // Attribute to the nearest tracked stream.
+        let nearest = self
+            .streams
+            .iter_mut()
+            .filter(|s| (block as i64 - s.last_block as i64).abs() <= REGION_RADIUS)
+            .min_by_key(|s| (block as i64 - s.last_block as i64).unsigned_abs());
+        let mut stream_fired = false;
+        if let Some(entry) = nearest {
+            let stride = block as i64 - entry.last_block as i64;
+            if stride != 0 && stride == entry.stride {
+                entry.confirmations += 1;
+            } else if stride != 0 {
+                entry.confirmations = 0;
+                entry.stride = stride;
+            }
+            entry.last_block = block;
+            entry.lru = self.tick;
+            if entry.confirmations >= 1 {
+                stream_fired = true;
+                let stride = entry.stride;
+                for k in 1..=self.degree as i64 {
+                    let target = block as i64 + stride * k;
+                    if target >= 0 {
+                        out.push(target as u64);
+                    }
+                }
+            }
+        } else {
+            // New stream: evict the least recently used tracker.
+            let entry = StreamEntry {
+                last_block: block,
+                stride: 0,
+                confirmations: 0,
+                lru: self.tick,
+            };
+            if self.streams.len() < TRACKED_STREAMS {
+                self.streams.push(entry);
+            } else if let Some(victim) = self.streams.iter_mut().min_by_key(|s| s.lru) {
+                *victim = entry;
+            }
+        }
+
+        // Next-line prediction (degree 1) with auto turn-off: disable
+        // when fewer than 1/8 of recent predictions were used. It
+        // stands down while a stride stream is firing.
+        if self.next_line_on && !stream_fired {
+            out.push(block + 1);
+            self.next_line_issued += 1;
+            if self.pending_next_line.len() < 64 {
+                self.pending_next_line.push(block + 1);
+            }
+            if self.next_line_issued >= 256 {
+                if self.next_line_useful * 8 < self.next_line_issued {
+                    self.next_line_on = false;
+                }
+                self.next_line_issued = 0;
+                self.next_line_useful = 0;
+                self.pending_next_line.clear();
+            }
+        }
+
+        self.issued += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_unit_stride_after_confirmation() {
+        let mut p = Prefetcher::new(4);
+        assert!(p.observe(100).iter().all(|&b| b == 101)); // next-line only
+        let _ = p.observe(101);
+        let out = p.observe(102); // stride 1 confirmed twice
+        assert_eq!(out, vec![103, 104, 105, 106]);
+    }
+
+    #[test]
+    fn detects_large_strides() {
+        let mut p = Prefetcher::new(2);
+        p.observe(0);
+        p.observe(16);
+        let out = p.observe(32);
+        assert!(out.contains(&48) && out.contains(&64), "{out:?}");
+    }
+
+    #[test]
+    fn random_stream_earns_no_stride_prefetch() {
+        let mut p = Prefetcher::new(4);
+        let blocks = [5u64, 900, 17, 4400, 2, 777];
+        let mut stride_issued = 0;
+        for &b in &blocks {
+            let out = p.observe(b);
+            stride_issued += out.iter().filter(|&&x| x != b + 1).count();
+        }
+        assert_eq!(stride_issued, 0);
+    }
+
+    #[test]
+    fn next_line_turns_off_when_useless() {
+        let mut p = Prefetcher::new(4);
+        assert!(p.next_line_enabled());
+        // An irregular stream never uses the next-line guess.
+        for i in 0..600u64 {
+            p.observe((i.wrapping_mul(2654435761)) >> 7);
+        }
+        assert!(!p.next_line_enabled(), "next-line should auto turn off");
+    }
+
+    #[test]
+    fn next_line_stays_on_for_sequential_code() {
+        let mut p = Prefetcher::new(4);
+        for i in 0..300u64 {
+            p.observe(i);
+        }
+        assert!(p.next_line_enabled());
+    }
+
+    #[test]
+    fn negative_targets_are_dropped() {
+        let mut p = Prefetcher::new(4);
+        p.observe(10);
+        p.observe(7);
+        let out = p.observe(4); // stride -3 confirmed
+        assert!(out.iter().all(|&b| b < 10), "{out:?}");
+        // 4-3k for k=1..4 → 1, then negative ones dropped.
+        assert!(out.contains(&1));
+    }
+}

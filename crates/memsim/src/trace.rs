@@ -1,0 +1,80 @@
+//! The workload-to-simulator interface.
+//!
+//! Workload generators produce a stream of memory operations annotated
+//! with the amount of compute between them; the simulator turns that
+//! into time using its core and memory models.
+
+/// One memory operation in a core's dynamic instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// Byte address accessed (64-byte-block granularity is applied by
+    /// the caches).
+    pub addr: u64,
+    /// `true` for a store, `false` for a load.
+    pub is_write: bool,
+    /// Non-memory instructions executed since the previous memory
+    /// operation (the compute gap).
+    pub gap_instructions: u32,
+}
+
+impl MemOp {
+    /// A load of `addr` after `gap` non-memory instructions.
+    pub fn load(addr: u64, gap: u32) -> MemOp {
+        MemOp {
+            addr,
+            is_write: false,
+            gap_instructions: gap,
+        }
+    }
+
+    /// A store to `addr` after `gap` non-memory instructions.
+    pub fn store(addr: u64, gap: u32) -> MemOp {
+        MemOp {
+            addr,
+            is_write: true,
+            gap_instructions: gap,
+        }
+    }
+
+    /// The 64-byte block address.
+    pub fn block(&self) -> u64 {
+        self.addr >> 6
+    }
+}
+
+/// A (possibly infinite) stream of memory operations for one core.
+///
+/// Implementations must be deterministic for a given construction seed
+/// so experiments are reproducible.
+pub trait AccessStream {
+    /// The next operation, or `None` when the workload is finished.
+    fn next_op(&mut self) -> Option<MemOp>;
+}
+
+/// Blanket impl so iterators of ops can be used directly.
+impl<I: Iterator<Item = MemOp>> AccessStream for I {
+    fn next_op(&mut self) -> Option<MemOp> {
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_address_is_64_byte_aligned() {
+        assert_eq!(MemOp::load(0, 1).block(), 0);
+        assert_eq!(MemOp::load(63, 1).block(), 0);
+        assert_eq!(MemOp::load(64, 1).block(), 1);
+        assert_eq!(MemOp::store(128 + 5, 1).block(), 2);
+    }
+
+    #[test]
+    fn iterators_are_streams() {
+        let mut s = vec![MemOp::load(0, 1), MemOp::store(64, 2)].into_iter();
+        assert_eq!(s.next_op(), Some(MemOp::load(0, 1)));
+        assert_eq!(s.next_op(), Some(MemOp::store(64, 2)));
+        assert_eq!(s.next_op(), None);
+    }
+}

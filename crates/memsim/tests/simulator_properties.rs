@@ -1,0 +1,88 @@
+//! Property tests for the memory-hierarchy simulator's structural
+//! invariants.
+
+use memsim::address::AddressMapping;
+use memsim::cache::Cache;
+use memsim::config::{ChannelMode, HierarchyConfig};
+use memsim::controller::ChannelController;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The address mapping is injective: two distinct block addresses
+    /// never share DRAM coordinates.
+    #[test]
+    fn address_mapping_is_injective(blocks in proptest::collection::hash_set(0u64..1_000_000, 2..200)) {
+        let mapping = AddressMapping::new(4, 4, 16);
+        let mut seen = HashMap::new();
+        for block in blocks {
+            let coord = mapping.map(block << 6);
+            if let Some(prev) = seen.insert(coord, block) {
+                prop_assert!(false, "blocks {prev} and {block} collide at {coord:?}");
+            }
+        }
+    }
+
+    /// Cache residency: after any access sequence the number of
+    /// resident lines never exceeds capacity, and a just-accessed
+    /// block is always resident.
+    #[test]
+    fn cache_never_overflows(addrs in proptest::collection::vec(0u64..100_000, 1..500)) {
+        let mut cache = Cache::new(16 * 1024, 4); // 64 sets
+        for (i, &a) in addrs.iter().enumerate() {
+            let addr = a * 64;
+            cache.access(addr, i % 3 == 0);
+            prop_assert!(cache.contains(addr), "just-accessed block must be resident");
+        }
+        prop_assert!(cache.dirty_count() <= 16 * 1024 / 64);
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+    }
+
+    /// A dirty block leaves a cache exactly once: collect every
+    /// writeback and verify no block is written back while still
+    /// resident-dirty (no duplicates without an intervening re-dirty).
+    #[test]
+    fn writebacks_are_conservative(addrs in proptest::collection::vec(0u64..512, 1..400)) {
+        let mut cache = Cache::new(4 * 1024, 2); // small: 32 sets
+        let mut dirty_in_cache = std::collections::HashSet::new();
+        for &a in &addrs {
+            let addr = a * 64;
+            let result = cache.access(addr, true);
+            if let Some(victim) = result.writeback {
+                prop_assert!(
+                    dirty_in_cache.remove(&victim),
+                    "writeback of block {victim} that was not dirty-resident"
+                );
+            }
+            dirty_in_cache.insert(a);
+        }
+    }
+
+    /// Controller reads complete no earlier than a physically possible
+    /// bound and monotone arrivals produce monotone bus bookings.
+    #[test]
+    fn controller_read_latency_is_physical(rows in proptest::collection::vec((0u64..64, 0usize..16, 0usize..4), 1..200)) {
+        let h = HierarchyConfig::hierarchy1();
+        let mut ctrl = ChannelController::new(
+            ChannelMode::commercial_baseline(),
+            h.memory,
+            h.core.page_timeout_ps(),
+        );
+        let t = ChannelMode::commercial_baseline().read_timing;
+        let min_latency = t.burst_ps(); // at minimum the data burst
+        let mut now = 0u64;
+        for (row, bank, rank) in rows {
+            now += 1_000;
+            let done = ctrl.read(
+                memsim::address::DramCoord { channel: 0, rank, bank, row, column: 0 },
+                now,
+            );
+            prop_assert!(done >= now + min_latency, "read finished impossibly fast");
+        }
+        let stats = ctrl.stats();
+        prop_assert!(stats.row_hits <= stats.reads);
+        prop_assert!(stats.bus_busy_ps >= stats.reads * t.burst_ps());
+    }
+}

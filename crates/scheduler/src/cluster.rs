@@ -1,0 +1,506 @@
+//! The cluster simulator: FCFS + EASY backfill over margin-grouped
+//! nodes.
+
+use crate::job::{Job, JobOutcome};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use workloads::utilization::UtilizationModel;
+
+/// Node margin groups, fastest first (0.8 GT/s, 0.6 GT/s, none).
+pub const GROUPS: [u32; 3] = [800, 600, 0];
+
+/// Node-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Slurm's margin-oblivious allocation: free nodes are taken as
+    /// they come (groups mix in proportion to availability).
+    Default,
+    /// The paper's margin-aware scheduler: allocate a job entirely
+    /// within the fastest group that has enough free nodes; only
+    /// spill across groups when no single group fits.
+    MarginAware,
+}
+
+/// Per-(margin group, usage bucket) job speedups, fed from the
+/// node-level model (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupModel {
+    /// Speedup on 0.8 GT/s nodes for jobs below 25 % / in [25,50) %.
+    pub at_800: [f64; 2],
+    /// Speedup on 0.6 GT/s nodes, same buckets.
+    pub at_600: [f64; 2],
+}
+
+impl SpeedupModel {
+    /// A conventional system: nobody speeds up.
+    pub fn conventional() -> SpeedupModel {
+        SpeedupModel {
+            at_800: [1.0, 1.0],
+            at_600: [1.0, 1.0],
+        }
+    }
+
+    /// The Hetero-DMR speedups measured by this reproduction's node
+    /// model (defaults; the experiments binary feeds its own measured
+    /// values).
+    pub fn hetero_dmr_default() -> SpeedupModel {
+        SpeedupModel {
+            at_800: [1.10, 1.10],
+            at_600: [1.07, 1.07],
+        }
+    }
+
+    /// The execution-time speedup of a job whose slowest allocated
+    /// node is in `min_group`, given its memory utilization.
+    pub fn job_speedup(&self, min_group: u32, utilization: f64) -> f64 {
+        if !UtilizationModel::hetero_dmr_eligible(utilization) {
+            return 1.0;
+        }
+        let bucket = usize::from(utilization >= 0.25);
+        match min_group {
+            800 => self.at_800[bucket],
+            600 => self.at_600[bucket],
+            _ => 1.0,
+        }
+    }
+}
+
+/// Jobs ending: (end time, allocation per group).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Completion {
+    end_s: f64,
+    freed: [u32; 3],
+}
+
+impl Eq for Completion {}
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.end_s.total_cmp(&other.end_s)
+    }
+}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A margin-grouped cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Total nodes per group.
+    total: [u32; 3],
+}
+
+impl Cluster {
+    /// Builds a cluster of `nodes` total, split into margin groups by
+    /// `fractions` (0.8 / 0.6 / 0 GT/s; must sum to ~1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are negative or sum beyond 1 + ε.
+    pub fn new(nodes: u32, fractions: [f64; 3]) -> Cluster {
+        assert!(
+            fractions.iter().all(|&f| f >= 0.0) && fractions.iter().sum::<f64>() <= 1.0 + 1e-9,
+            "group fractions must be a distribution"
+        );
+        let g800 = (nodes as f64 * fractions[0]).round() as u32;
+        let g600 = (nodes as f64 * fractions[1]).round() as u32;
+        let g0 = nodes.saturating_sub(g800 + g600);
+        Cluster {
+            total: [g800.min(nodes), g600.min(nodes - g800.min(nodes)), g0],
+        }
+    }
+
+    /// A conventional cluster (no usable margins anywhere).
+    pub fn conventional(nodes: u32) -> Cluster {
+        Cluster {
+            total: [0, 0, nodes],
+        }
+    }
+
+    /// Total nodes.
+    pub fn nodes(&self) -> u32 {
+        self.total.iter().sum()
+    }
+
+    /// Nodes per group, fastest first.
+    pub fn group_sizes(&self) -> [u32; 3] {
+        self.total
+    }
+
+    /// Runs `jobs` (sorted by submit time) under `policy` and
+    /// `speedups`, returning one outcome per job.
+    #[allow(unused_assignments)] // `now` is (re)written by each event arm
+    pub fn run(&self, jobs: &[Job], policy: Policy, speedups: &SpeedupModel) -> Vec<JobOutcome> {
+        let mut free = self.total;
+        let mut completions: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
+        let mut waiting: Vec<Job> = Vec::new();
+        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
+
+        loop {
+            // Advance to the next event: arrival or completion.
+            let arrival_t = jobs.get(next_arrival).map(|j| j.submit_s);
+            let completion_t = completions.peek().map(|Reverse(c)| c.end_s);
+            match (arrival_t, completion_t) {
+                (None, None) if waiting.is_empty() => break,
+                (Some(a), Some(c)) if a <= c => {
+                    now = a;
+                    waiting.push(jobs[next_arrival]);
+                    next_arrival += 1;
+                }
+                (Some(a), None) => {
+                    now = a;
+                    waiting.push(jobs[next_arrival]);
+                    next_arrival += 1;
+                }
+                (_, Some(_)) => {
+                    let Reverse(c) = completions.pop().expect("peeked");
+                    now = c.end_s;
+                    for (f, freed) in free.iter_mut().zip(c.freed) {
+                        *f += freed;
+                    }
+                }
+                (None, None) => unreachable!("waiting jobs but no capacity in flight"),
+            }
+
+            self.schedule(
+                now,
+                &mut waiting,
+                &mut free,
+                &mut completions,
+                &mut outcomes,
+                policy,
+                speedups,
+            );
+        }
+        outcomes.sort_by_key(|o| o.job.id);
+        outcomes
+    }
+
+    /// FCFS + EASY backfill scheduling pass at time `now`.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule(
+        &self,
+        now: f64,
+        waiting: &mut Vec<Job>,
+        free: &mut [u32; 3],
+        completions: &mut BinaryHeap<Reverse<Completion>>,
+        outcomes: &mut Vec<JobOutcome>,
+        policy: Policy,
+        speedups: &SpeedupModel,
+    ) {
+        // Start FCFS-eligible jobs from the head.
+        while let Some(&head) = waiting.first() {
+            if head.nodes <= free.iter().sum::<u32>() {
+                waiting.remove(0);
+                Self::start(head, now, free, completions, outcomes, policy, speedups);
+            } else {
+                break;
+            }
+        }
+        let Some(&head) = waiting.first() else {
+            return;
+        };
+
+        // EASY backfill: the head job gets a reservation at the
+        // earliest time enough nodes will be free; jobs behind it may
+        // start now if they fit and finish before that reservation.
+        // The completion estimate accounts for the speedup of the
+        // nodes the candidate would actually receive — the scheduler
+        // knows its groups (that is the whole point of margin
+        // awareness).
+        let shadow = Self::shadow_time(head.nodes, free, completions);
+        let mut i = 1;
+        while i < waiting.len() {
+            let candidate = waiting[i];
+            let fits = candidate.nodes <= free.iter().sum::<u32>();
+            let ends_in_time = fits && {
+                let alloc = match policy {
+                    Policy::MarginAware => Self::allocate_margin_aware(candidate.nodes, free),
+                    Policy::Default => Self::allocate_default(candidate.nodes, free),
+                };
+                let exec = candidate.duration_s
+                    / speedups.job_speedup(Self::min_group(&alloc), candidate.mem_utilization);
+                now + exec <= shadow
+            };
+            if fits && ends_in_time {
+                let job = waiting.remove(i);
+                Self::start(job, now, free, completions, outcomes, policy, speedups);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The slowest group present in an allocation (caps an MPI job).
+    fn min_group(alloc: &[u32; 3]) -> u32 {
+        GROUPS
+            .iter()
+            .zip(alloc)
+            .filter(|&(_, &a)| a > 0)
+            .map(|(&g, _)| g)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The earliest time at which `needed` nodes will be simultaneously
+    /// free, given current free nodes and running jobs.
+    fn shadow_time(
+        needed: u32,
+        free: &[u32; 3],
+        completions: &BinaryHeap<Reverse<Completion>>,
+    ) -> f64 {
+        let mut available: u32 = free.iter().sum();
+        if available >= needed {
+            return 0.0;
+        }
+        let mut ends: Vec<&Completion> = completions.iter().map(|Reverse(c)| c).collect();
+        ends.sort_by(|a, b| a.end_s.total_cmp(&b.end_s));
+        for c in ends {
+            available += c.freed.iter().sum::<u32>();
+            if available >= needed {
+                return c.end_s;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Allocates and starts one job.
+    fn start(
+        job: Job,
+        now: f64,
+        free: &mut [u32; 3],
+        completions: &mut BinaryHeap<Reverse<Completion>>,
+        outcomes: &mut Vec<JobOutcome>,
+        policy: Policy,
+        speedups: &SpeedupModel,
+    ) {
+        let alloc = match policy {
+            Policy::MarginAware => Self::allocate_margin_aware(job.nodes, free),
+            Policy::Default => Self::allocate_default(job.nodes, free),
+        };
+        for (f, a) in free.iter_mut().zip(alloc) {
+            *f -= a;
+        }
+        // The slowest allocated node's group caps the MPI job.
+        let exec =
+            job.duration_s / speedups.job_speedup(Self::min_group(&alloc), job.mem_utilization);
+        completions.push(Reverse(Completion {
+            end_s: now + exec,
+            freed: alloc,
+        }));
+        outcomes.push(JobOutcome {
+            job,
+            start_s: now,
+            exec_s: exec,
+        });
+    }
+
+    /// Margin-aware allocation: the fastest single group that fits
+    /// takes the whole job; otherwise spill fastest-first.
+    fn allocate_margin_aware(nodes: u32, free: &[u32; 3]) -> [u32; 3] {
+        for (i, &f) in free.iter().enumerate() {
+            if f >= nodes {
+                let mut alloc = [0; 3];
+                alloc[i] = nodes;
+                return alloc;
+            }
+        }
+        let mut alloc = [0; 3];
+        let mut remaining = nodes;
+        for (a, &f) in alloc.iter_mut().zip(free) {
+            let take = remaining.min(f);
+            *a = take;
+            remaining -= take;
+        }
+        debug_assert_eq!(remaining, 0, "caller checked total capacity");
+        alloc
+    }
+
+    /// Margin-oblivious allocation: nodes come in proportion to what
+    /// is free (groups are physically interleaved in the racks).
+    fn allocate_default(nodes: u32, free: &[u32; 3]) -> [u32; 3] {
+        let total: u32 = free.iter().sum();
+        let mut alloc = [0u32; 3];
+        let mut assigned = 0;
+        for i in 0..3 {
+            let share = (nodes as u64 * free[i] as u64 / total as u64) as u32;
+            let take = share.min(free[i]);
+            alloc[i] = take;
+            assigned += take;
+        }
+        // Distribute the rounding remainder wherever room remains.
+        let mut i = 0;
+        while assigned < nodes {
+            if alloc[i] < free[i] {
+                alloc[i] += 1;
+                assigned += 1;
+            } else {
+                i = (i + 1) % 3;
+                continue;
+            }
+            i = (i + 1) % 3;
+        }
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, submit: f64, nodes: u32, dur: f64, util: f64) -> Job {
+        Job {
+            id,
+            submit_s: submit,
+            nodes,
+            duration_s: dur,
+            mem_utilization: util,
+        }
+    }
+
+    #[test]
+    fn group_split() {
+        let c = Cluster::new(100, [0.62, 0.36, 0.02]);
+        assert_eq!(c.group_sizes(), [62, 36, 2]);
+        assert_eq!(c.nodes(), 100);
+        let conv = Cluster::conventional(10);
+        assert_eq!(conv.group_sizes(), [0, 0, 10]);
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let c = Cluster::new(10, [1.0, 0.0, 0.0]);
+        let jobs = [job(0, 5.0, 4, 100.0, 0.1)];
+        let out = c.run(
+            &jobs,
+            Policy::MarginAware,
+            &SpeedupModel::hetero_dmr_default(),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].start_s, 5.0);
+        assert!((out[0].exec_s - 100.0 / 1.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fcfs_queues_when_full() {
+        let c = Cluster::conventional(4);
+        let jobs = [job(0, 0.0, 4, 100.0, 0.1), job(1, 1.0, 4, 50.0, 0.1)];
+        let out = c.run(&jobs, Policy::Default, &SpeedupModel::conventional());
+        assert_eq!(out[1].start_s, 100.0);
+        assert_eq!(out[1].queue_delay_s(), 99.0);
+    }
+
+    #[test]
+    fn backfill_slips_small_jobs_past_a_blocked_head() {
+        let c = Cluster::conventional(4);
+        let jobs = [
+            job(0, 0.0, 4, 100.0, 0.1), // runs 0..100
+            job(1, 1.0, 4, 50.0, 0.1),  // head: must wait to 100
+            job(2, 2.0, 1, 30.0, 0.1),  // would fit... but 0 free
+        ];
+        let out = c.run(&jobs, Policy::Default, &SpeedupModel::conventional());
+        // Nothing is free until t=100, so no backfill possible here;
+        // all start at 100 (head first, then the 1-node job backfills
+        // the 4-node... capacity is 4, head takes it).
+        assert_eq!(out[1].start_s, 100.0);
+        assert_eq!(out[2].start_s, 150.0);
+
+        // Now with spare room: an 8-node cluster where the head needs
+        // more than free but a small job fits and ends before the
+        // head's reservation.
+        let c = Cluster::conventional(8);
+        let jobs = [
+            job(0, 0.0, 6, 100.0, 0.1), // runs 0..100, leaves 2 free
+            job(1, 1.0, 8, 50.0, 0.1),  // head: reservation at 100
+            job(2, 2.0, 2, 30.0, 0.1),  // fits in the 2 free, ends at 32 ≤ 100
+            job(3, 3.0, 2, 200.0, 0.1), // fits but would overrun the reservation
+        ];
+        let out = c.run(&jobs, Policy::Default, &SpeedupModel::conventional());
+        assert_eq!(out[2].start_s, 2.0, "small job backfills");
+        assert_eq!(out[1].start_s, 100.0, "head unharmed");
+        assert!(out[3].start_s >= 100.0, "overrunning job must not backfill");
+    }
+
+    #[test]
+    fn margin_aware_prefers_one_fast_group() {
+        let c = Cluster::new(100, [0.62, 0.36, 0.02]);
+        let jobs = [job(0, 0.0, 30, 100.0, 0.1)];
+        let aware = c.run(
+            &jobs,
+            Policy::MarginAware,
+            &SpeedupModel::hetero_dmr_default(),
+        );
+        // All 30 nodes fit in the 62-node fast group → full 1.10.
+        assert!((aware[0].exec_s - 100.0 / 1.10).abs() < 1e-9);
+
+        let unaware = c.run(&jobs, Policy::Default, &SpeedupModel::hetero_dmr_default());
+        // Proportional mixing pulls in slower-group nodes, capping the
+        // job below the fast group's speedup.
+        assert!(unaware[0].exec_s > aware[0].exec_s);
+        assert!((unaware[0].exec_s - 100.0 / 1.07).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spill_is_capped_by_slowest_group() {
+        let c = Cluster::new(100, [0.62, 0.36, 0.02]);
+        // 70 nodes cannot fit in any single group: 62+8 spill → slowest
+        // allocated is the 600 group.
+        let jobs = [job(0, 0.0, 70, 100.0, 0.1)];
+        let out = c.run(
+            &jobs,
+            Policy::MarginAware,
+            &SpeedupModel::hetero_dmr_default(),
+        );
+        assert!((out[0].exec_s - 100.0 / 1.07).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_utilization_jobs_never_speed_up() {
+        let c = Cluster::new(10, [1.0, 0.0, 0.0]);
+        let jobs = [job(0, 0.0, 1, 100.0, 0.8)];
+        let out = c.run(
+            &jobs,
+            Policy::MarginAware,
+            &SpeedupModel::hetero_dmr_default(),
+        );
+        assert_eq!(out[0].exec_s, 100.0);
+    }
+
+    #[test]
+    fn faster_nodes_reduce_queueing_downstream() {
+        // A saturated cluster: speeding execution up must shrink queue
+        // delays for later jobs.
+        let c_fast = Cluster::new(8, [1.0, 0.0, 0.0]);
+        let c_slow = Cluster::conventional(8);
+        let jobs: Vec<Job> = (0..40).map(|i| job(i, i as f64, 4, 100.0, 0.1)).collect();
+        let fast = c_fast.run(
+            &jobs,
+            Policy::MarginAware,
+            &SpeedupModel::hetero_dmr_default(),
+        );
+        let slow = c_slow.run(&jobs, Policy::Default, &SpeedupModel::conventional());
+        let qf: f64 = fast.iter().map(JobOutcome::queue_delay_s).sum();
+        let qs: f64 = slow.iter().map(JobOutcome::queue_delay_s).sum();
+        assert!(qf < qs, "queueing must shrink: {qf} vs {qs}");
+    }
+
+    #[test]
+    fn every_job_completes_exactly_once() {
+        let c = Cluster::new(64, [0.62, 0.36, 0.02]);
+        let trace = crate::trace::GrizzlyTrace::scaled(500, 64).generate(3);
+        let out = c.run(
+            &trace,
+            Policy::MarginAware,
+            &SpeedupModel::hetero_dmr_default(),
+        );
+        assert_eq!(out.len(), trace.len());
+        for (o, j) in out.iter().zip(&trace) {
+            assert_eq!(o.job.id, j.id);
+            assert!(o.start_s >= j.submit_s);
+            assert!(o.exec_s <= j.duration_s + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Jobs and their simulated outcomes.
+
+/// One batch job from the (synthetic) Grizzly trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Trace-order identifier.
+    pub id: u32,
+    /// Submission time, seconds from trace start.
+    pub submit_s: f64,
+    /// Nodes requested (exclusive allocation, as in HPC practice).
+    pub nodes: u32,
+    /// Baseline (conventional-system) execution time, seconds.
+    pub duration_s: f64,
+    /// The job's lifetime-maximum memory utilization in [0, 1]
+    /// (drives Hetero-DMR eligibility: < 50 % benefits).
+    pub mem_utilization: f64,
+}
+
+impl Job {
+    /// Baseline node-seconds this job consumes.
+    pub fn node_seconds(&self) -> f64 {
+        self.nodes as f64 * self.duration_s
+    }
+}
+
+/// What happened to a job in one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobOutcome {
+    /// The job.
+    pub job: Job,
+    /// When it started running, seconds.
+    pub start_s: f64,
+    /// Its (possibly Hetero-DMR-accelerated) execution time, seconds.
+    pub exec_s: f64,
+}
+
+impl JobOutcome {
+    /// Queueing delay (start − submit).
+    pub fn queue_delay_s(&self) -> f64 {
+        self.start_s - self.job.submit_s
+    }
+
+    /// Turnaround (queueing + execution), the paper's headline
+    /// system-level metric.
+    pub fn turnaround_s(&self) -> f64 {
+        self.queue_delay_s() + self.exec_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_seconds() {
+        let j = Job {
+            id: 0,
+            submit_s: 0.0,
+            nodes: 4,
+            duration_s: 100.0,
+            mem_utilization: 0.2,
+        };
+        assert_eq!(j.node_seconds(), 400.0);
+    }
+
+    #[test]
+    fn outcome_metrics() {
+        let o = JobOutcome {
+            job: Job {
+                id: 1,
+                submit_s: 50.0,
+                nodes: 1,
+                duration_s: 100.0,
+                mem_utilization: 0.2,
+            },
+            start_s: 80.0,
+            exec_s: 90.0,
+        };
+        assert_eq!(o.queue_delay_s(), 30.0);
+        assert_eq!(o.turnaround_s(), 120.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Run-level statistics (Figure 17's execution / queueing /
+//! turnaround bars).
+
+use crate::job::JobOutcome;
+
+/// Aggregate metrics of one scheduled run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Mean job execution time, seconds.
+    pub mean_exec_s: f64,
+    /// Mean queueing delay, seconds.
+    pub mean_queue_s: f64,
+    /// Mean turnaround, seconds.
+    pub mean_turnaround_s: f64,
+    /// Jobs in the run.
+    pub jobs: usize,
+}
+
+impl RunSummary {
+    /// Summarizes a run's outcomes.
+    pub fn from_outcomes(outcomes: &[JobOutcome]) -> RunSummary {
+        let n = outcomes.len().max(1) as f64;
+        RunSummary {
+            mean_exec_s: outcomes.iter().map(|o| o.exec_s).sum::<f64>() / n,
+            mean_queue_s: outcomes.iter().map(JobOutcome::queue_delay_s).sum::<f64>() / n,
+            mean_turnaround_s: outcomes.iter().map(JobOutcome::turnaround_s).sum::<f64>() / n,
+            jobs: outcomes.len(),
+        }
+    }
+
+    /// Figure 17's normalized metrics: this run's means relative to a
+    /// baseline run's (values < 1 are improvements). Returns
+    /// `(execution, queueing, turnaround)`.
+    pub fn normalized_to(&self, baseline: &RunSummary) -> (f64, f64, f64) {
+        (
+            self.mean_exec_s / baseline.mean_exec_s,
+            self.mean_queue_s / baseline.mean_queue_s,
+            self.mean_turnaround_s / baseline.mean_turnaround_s,
+        )
+    }
+
+    /// Turnaround speedup over a baseline (>1 is faster) — the
+    /// paper's headline 1.4×.
+    pub fn turnaround_speedup_over(&self, baseline: &RunSummary) -> f64 {
+        baseline.mean_turnaround_s / self.mean_turnaround_s
+    }
+}
+
+/// Achieved node utilization of a run: consumed node-seconds over the
+/// cluster's capacity across the run's span (the paper reports ~78 %
+/// for the four-month Grizzly trace).
+pub fn achieved_utilization(outcomes: &[JobOutcome], cluster_nodes: u32) -> f64 {
+    if outcomes.is_empty() || cluster_nodes == 0 {
+        return 0.0;
+    }
+    let consumed: f64 = outcomes.iter().map(|o| o.job.nodes as f64 * o.exec_s).sum();
+    let end = outcomes
+        .iter()
+        .map(|o| o.start_s + o.exec_s)
+        .fold(0.0f64, f64::max);
+    let start = outcomes
+        .iter()
+        .map(|o| o.job.submit_s)
+        .fold(f64::MAX, f64::min);
+    let span = (end - start).max(f64::EPSILON);
+    consumed / (cluster_nodes as f64 * span)
+}
+
+/// Tail statistics of a run's queueing delays — means hide the worst
+/// cases that users actually feel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueTail {
+    /// Median queueing delay, seconds.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// Worst job.
+    pub max_s: f64,
+}
+
+impl QueueTail {
+    /// Computes the tail from a run's outcomes (empty runs give zeros).
+    pub fn from_outcomes(outcomes: &[JobOutcome]) -> QueueTail {
+        if outcomes.is_empty() {
+            return QueueTail {
+                p50_s: 0.0,
+                p95_s: 0.0,
+                p99_s: 0.0,
+                max_s: 0.0,
+            };
+        }
+        let mut delays: Vec<f64> = outcomes.iter().map(JobOutcome::queue_delay_s).collect();
+        delays.sort_by(f64::total_cmp);
+        let pick = |q: f64| {
+            let idx = ((delays.len() - 1) as f64 * q).round() as usize;
+            delays[idx]
+        };
+        QueueTail {
+            p50_s: pick(0.50),
+            p95_s: pick(0.95),
+            p99_s: pick(0.99),
+            max_s: *delays.last().expect("nonempty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+
+    fn outcome(submit: f64, start: f64, exec: f64) -> JobOutcome {
+        JobOutcome {
+            job: Job {
+                id: 0,
+                submit_s: submit,
+                nodes: 1,
+                duration_s: exec,
+                mem_utilization: 0.1,
+            },
+            start_s: start,
+            exec_s: exec,
+        }
+    }
+
+    #[test]
+    fn summary_means() {
+        let outcomes = [outcome(0.0, 10.0, 100.0), outcome(0.0, 30.0, 200.0)];
+        let s = RunSummary::from_outcomes(&outcomes);
+        assert_eq!(s.mean_exec_s, 150.0);
+        assert_eq!(s.mean_queue_s, 20.0);
+        assert_eq!(s.mean_turnaround_s, 170.0);
+        assert_eq!(s.jobs, 2);
+    }
+
+    #[test]
+    fn normalization_and_speedup() {
+        let base = RunSummary {
+            mean_exec_s: 100.0,
+            mean_queue_s: 50.0,
+            mean_turnaround_s: 150.0,
+            jobs: 10,
+        };
+        let fast = RunSummary {
+            mean_exec_s: 85.0,
+            mean_queue_s: 33.0,
+            mean_turnaround_s: 118.0,
+            jobs: 10,
+        };
+        let (e, q, t) = fast.normalized_to(&base);
+        assert!((e - 0.85).abs() < 1e-12);
+        assert!((q - 0.66).abs() < 1e-12);
+        assert!((t - 118.0 / 150.0).abs() < 1e-12);
+        assert!((fast.turnaround_speedup_over(&base) - 150.0 / 118.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_tail_percentiles() {
+        let outcomes: Vec<JobOutcome> = (0..100).map(|i| outcome(0.0, i as f64, 10.0)).collect();
+        let tail = QueueTail::from_outcomes(&outcomes);
+        assert_eq!(tail.p50_s, 50.0);
+        assert_eq!(tail.p95_s, 94.0);
+        assert_eq!(tail.p99_s, 98.0);
+        assert_eq!(tail.max_s, 99.0);
+        // Ordering invariant.
+        assert!(tail.p50_s <= tail.p95_s && tail.p95_s <= tail.p99_s && tail.p99_s <= tail.max_s);
+    }
+
+    #[test]
+    fn utilization_of_a_full_machine() {
+        // Two jobs back to back on a 1-node cluster: 100% utilization.
+        let outcomes = [outcome(0.0, 0.0, 50.0), outcome(0.0, 50.0, 50.0)];
+        let u = achieved_utilization(&outcomes, 1);
+        assert!((u - 1.0).abs() < 1e-9, "utilization {u}");
+        // The same work on 2 nodes: 50%.
+        let u = achieved_utilization(&outcomes, 2);
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(achieved_utilization(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn grizzly_trace_achieves_the_papers_utilization() {
+        use crate::cluster::{Cluster, Policy, SpeedupModel};
+        use crate::trace::GrizzlyTrace;
+        let trace = GrizzlyTrace::scaled(6_000, 1_490).generate(5);
+        let cluster = Cluster::conventional(1_490);
+        let outcomes = cluster.run(&trace, Policy::Default, &SpeedupModel::conventional());
+        let u = achieved_utilization(&outcomes, 1_490);
+        // The offered load targets 78%; achieved lands nearby
+        // (scheduling losses push it slightly below, queue drain at the
+        // end slightly above).
+        assert!((0.6..0.95).contains(&u), "achieved utilization {u}");
+    }
+
+    #[test]
+    fn queue_tail_empty_run() {
+        let tail = QueueTail::from_outcomes(&[]);
+        assert_eq!(tail.max_s, 0.0);
+        assert_eq!(tail.p50_s, 0.0);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let s = RunSummary::from_outcomes(&[]);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.mean_exec_s, 0.0);
+    }
+}

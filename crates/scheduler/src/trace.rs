@@ -1,0 +1,258 @@
+//! Synthetic Grizzly-like job trace (Section IV-C).
+//!
+//! The paper feeds four months of real Grizzly traces (58 K jobs,
+//! 1490 nodes, ~78 % node utilization) into Slurmsim. We generate a
+//! statistically matched synthetic trace: Poisson arrivals, a
+//! heavy-tailed power-of-two-ish node-count mix typical of capacity
+//! HPC systems, lognormal durations, and per-job memory utilization
+//! from the Figure 1 model.
+
+use crate::job::Job;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use workloads::utilization::{Cluster as LanlCluster, UtilizationModel};
+
+/// Grizzly's node count.
+pub const GRIZZLY_NODES: u32 = 1490;
+
+/// Trace length: four months in seconds.
+pub const TRACE_SECONDS: f64 = 4.0 * 30.44 * 24.0 * 3600.0;
+
+/// The paper's job count over that window.
+pub const GRIZZLY_JOBS: usize = 58_000;
+
+/// The Grizzly trace generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GrizzlyTrace {
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Cluster size the trace targets.
+    pub cluster_nodes: u32,
+    /// Target average node utilization (the paper reports ~78 %).
+    pub target_utilization: f64,
+}
+
+impl Default for GrizzlyTrace {
+    fn default() -> GrizzlyTrace {
+        GrizzlyTrace {
+            jobs: GRIZZLY_JOBS,
+            cluster_nodes: GRIZZLY_NODES,
+            target_utilization: 0.78,
+        }
+    }
+}
+
+impl GrizzlyTrace {
+    /// A scaled-down trace for tests and quick runs (same shape,
+    /// fewer jobs on a smaller machine).
+    pub fn scaled(jobs: usize, cluster_nodes: u32) -> GrizzlyTrace {
+        GrizzlyTrace {
+            jobs,
+            cluster_nodes,
+            target_utilization: 0.78,
+        }
+    }
+
+    /// Generates the trace deterministically from `seed`, sorted by
+    /// submission time.
+    pub fn generate(&self, seed: u64) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let util_model = UtilizationModel::for_cluster(LanlCluster::Grizzly);
+
+        // First pass: sizes and durations.
+        let mut sizes = Vec::with_capacity(self.jobs);
+        let mut durations = Vec::with_capacity(self.jobs);
+        let mut total_node_seconds = 0.0;
+        for _ in 0..self.jobs {
+            let nodes = sample_nodes(&mut rng, self.cluster_nodes);
+            let duration = sample_duration(&mut rng);
+            total_node_seconds += nodes as f64 * duration;
+            sizes.push(nodes);
+            durations.push(duration);
+        }
+        // Pick the trace length (arrival window) that yields the
+        // target utilization for the generated work.
+        let span = total_node_seconds / (self.cluster_nodes as f64 * self.target_utilization);
+
+        // Second pass: Poisson arrivals over the span.
+        let mut t = 0.0;
+        let mean_gap = span / self.jobs as f64;
+        let mut jobs = Vec::with_capacity(self.jobs);
+        for (id, (nodes, duration)) in sizes.into_iter().zip(durations).enumerate() {
+            let u: f64 = 1.0 - rng.random::<f64>();
+            t += -mean_gap * u.ln();
+            jobs.push(Job {
+                id: id as u32,
+                submit_s: t,
+                nodes,
+                duration_s: duration,
+                mem_utilization: util_model.sample_utilization(&mut rng),
+            });
+        }
+        jobs
+    }
+}
+
+/// Heavy-tailed node-count mix: mostly small jobs, a few very wide
+/// ones — the classic capacity-cluster shape.
+fn sample_nodes<R: Rng + ?Sized>(rng: &mut R, cluster_nodes: u32) -> u32 {
+    let bucket: f64 = rng.random();
+    let nodes = if bucket < 0.35 {
+        1
+    } else if bucket < 0.60 {
+        rng.random_range(2..=4)
+    } else if bucket < 0.80 {
+        rng.random_range(5..=16)
+    } else if bucket < 0.93 {
+        rng.random_range(17..=64)
+    } else if bucket < 0.99 {
+        rng.random_range(65..=256)
+    } else {
+        rng.random_range(257..=512)
+    };
+    nodes.min(cluster_nodes)
+}
+
+/// Lognormal-ish durations: median ~45 minutes, mean ~3 h, capped at
+/// a 48 h wall-time limit.
+fn sample_duration<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let z = {
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let secs = (7.9 + 1.4 * z).exp(); // median e^7.9 ≈ 2700 s
+    secs.clamp(60.0, 48.0 * 3600.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Vec<Job> {
+        GrizzlyTrace::scaled(4_000, GRIZZLY_NODES).generate(1)
+    }
+
+    #[test]
+    fn job_count_and_ordering() {
+        let jobs = trace();
+        assert_eq!(jobs.len(), 4_000);
+        assert!(jobs.windows(2).all(|w| w[0].submit_s <= w[1].submit_s));
+    }
+
+    #[test]
+    fn sizes_fit_the_cluster() {
+        for j in trace() {
+            assert!(j.nodes >= 1 && j.nodes <= GRIZZLY_NODES);
+            assert!(j.duration_s >= 60.0 && j.duration_s <= 48.0 * 3600.0);
+            assert!((0.0..=1.0).contains(&j.mem_utilization));
+        }
+    }
+
+    #[test]
+    fn offered_load_matches_target_utilization() {
+        let jobs = trace();
+        let span = jobs.last().unwrap().submit_s;
+        let node_seconds: f64 = jobs.iter().map(Job::node_seconds).sum();
+        let utilization = node_seconds / (GRIZZLY_NODES as f64 * span);
+        assert!(
+            (utilization - 0.78).abs() < 0.06,
+            "offered utilization {utilization}"
+        );
+    }
+
+    #[test]
+    fn mostly_small_jobs_some_wide() {
+        let jobs = trace();
+        let single = jobs.iter().filter(|j| j.nodes == 1).count() as f64 / jobs.len() as f64;
+        let wide = jobs.iter().filter(|j| j.nodes > 64).count() as f64 / jobs.len() as f64;
+        assert!((0.25..0.45).contains(&single), "single-node {single}");
+        assert!((0.02..0.15).contains(&wide), "wide {wide}");
+    }
+
+    #[test]
+    fn most_jobs_eligible_for_hetero_dmr() {
+        let jobs = trace();
+        let eligible = jobs
+            .iter()
+            .filter(|j| UtilizationModel::hetero_dmr_eligible(j.mem_utilization))
+            .count() as f64
+            / jobs.len() as f64;
+        assert!((eligible - 0.75).abs() < 0.05, "eligible {eligible}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GrizzlyTrace::scaled(100, 64).generate(7);
+        let b = GrizzlyTrace::scaled(100, 64).generate(7);
+        assert_eq!(a, b);
+        let c = GrizzlyTrace::scaled(100, 64).generate(8);
+        assert_ne!(a, c);
+    }
+}
+
+/// Shape summary of a generated trace, for sanity reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Mean nodes per job.
+    pub mean_nodes: f64,
+    /// Mean duration, seconds.
+    pub mean_duration_s: f64,
+    /// Offered load: node-seconds over cluster capacity across the
+    /// submission span.
+    pub offered_utilization: f64,
+    /// Fraction of single-node jobs.
+    pub single_node_fraction: f64,
+}
+
+impl TraceStats {
+    /// Summarizes `jobs` against a cluster of `cluster_nodes`.
+    pub fn of(jobs: &[Job], cluster_nodes: u32) -> TraceStats {
+        if jobs.is_empty() {
+            return TraceStats {
+                jobs: 0,
+                mean_nodes: 0.0,
+                mean_duration_s: 0.0,
+                offered_utilization: 0.0,
+                single_node_fraction: 0.0,
+            };
+        }
+        let n = jobs.len() as f64;
+        let span = (jobs.last().expect("nonempty").submit_s
+            - jobs.first().expect("nonempty").submit_s)
+            .max(f64::EPSILON);
+        TraceStats {
+            jobs: jobs.len(),
+            mean_nodes: jobs.iter().map(|j| j.nodes as f64).sum::<f64>() / n,
+            mean_duration_s: jobs.iter().map(|j| j.duration_s).sum::<f64>() / n,
+            offered_utilization: jobs.iter().map(Job::node_seconds).sum::<f64>()
+                / (cluster_nodes as f64 * span),
+            single_node_fraction: jobs.iter().filter(|j| j.nodes == 1).count() as f64 / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_a_generated_trace() {
+        let jobs = GrizzlyTrace::scaled(2_000, GRIZZLY_NODES).generate(4);
+        let s = TraceStats::of(&jobs, GRIZZLY_NODES);
+        assert_eq!(s.jobs, 2_000);
+        assert!((s.offered_utilization - 0.78).abs() < 0.08, "{}", s.offered_utilization);
+        assert!((0.25..0.45).contains(&s.single_node_fraction));
+        assert!(s.mean_nodes > 1.0);
+        assert!(s.mean_duration_s > 60.0);
+    }
+
+    #[test]
+    fn stats_of_nothing() {
+        let s = TraceStats::of(&[], 10);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.offered_utilization, 0.0);
+    }
+}

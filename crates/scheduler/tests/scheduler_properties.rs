@@ -1,0 +1,138 @@
+//! Property tests for the cluster scheduler: capacity is never
+//! oversubscribed, causality holds, and the policies only ever help.
+
+use proptest::prelude::*;
+use scheduler::{Cluster, GrizzlyTrace, Job, Policy, RunSummary, SpeedupModel};
+
+fn arbitrary_jobs(max_nodes: u32) -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec(
+        (0.0f64..50_000.0, 1u32..=64, 60.0f64..20_000.0, 0.0f64..1.0),
+        1..120,
+    )
+    .prop_map(move |mut raw| {
+        raw.sort_by(|a, b| a.0.total_cmp(&b.0));
+        raw.into_iter()
+            .enumerate()
+            .map(|(id, (submit, nodes, dur, util))| Job {
+                id: id as u32,
+                submit_s: submit,
+                nodes: nodes.min(max_nodes),
+                duration_s: dur,
+                mem_utilization: util,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Causality and per-job sanity under arbitrary traces/policies.
+    #[test]
+    fn outcomes_are_causal(jobs in arbitrary_jobs(64), aware in any::<bool>()) {
+        let cluster = Cluster::new(64, [0.62, 0.36, 0.02]);
+        let policy = if aware { Policy::MarginAware } else { Policy::Default };
+        let outcomes = cluster.run(&jobs, policy, &SpeedupModel::hetero_dmr_default());
+        prop_assert_eq!(outcomes.len(), jobs.len());
+        for o in &outcomes {
+            prop_assert!(o.start_s >= o.job.submit_s, "started before submission");
+            prop_assert!(o.exec_s > 0.0);
+            prop_assert!(o.exec_s <= o.job.duration_s + 1e-9, "speedups never slow a job");
+            prop_assert!(o.exec_s >= o.job.duration_s / 1.2, "speedup bounded by the model");
+        }
+    }
+
+    /// The cluster is never oversubscribed: at every job start, the
+    /// sum of node allocations of running jobs stays within capacity.
+    #[test]
+    fn capacity_never_exceeded(jobs in arbitrary_jobs(64)) {
+        let nodes = 64u32;
+        let cluster = Cluster::new(nodes, [0.62, 0.36, 0.02]);
+        let outcomes = cluster.run(&jobs, Policy::MarginAware, &SpeedupModel::hetero_dmr_default());
+        // Check occupancy at each start instant.
+        for probe in &outcomes {
+            let t = probe.start_s;
+            let in_flight: u32 = outcomes
+                .iter()
+                .filter(|o| o.start_s <= t && o.start_s + o.exec_s > t)
+                .map(|o| o.job.nodes)
+                .sum();
+            prop_assert!(in_flight <= nodes, "{in_flight} nodes in flight at {t}");
+        }
+    }
+
+    /// Faster nodes never increase mean execution time, and any
+    /// turnaround regression stays within the classic backfill
+    /// scheduling-anomaly bound (speeding jobs up can reshuffle
+    /// backfill decisions and hurt *individual traces*, Graham-style,
+    /// but never catastrophically).
+    #[test]
+    fn speedups_never_hurt_execution(seed in 0u64..500) {
+        let trace = GrizzlyTrace::scaled(400, 128).generate(seed);
+        let conventional = Cluster::conventional(128);
+        let hetero = Cluster::new(128, [0.62, 0.36, 0.02]);
+        let base = RunSummary::from_outcomes(&conventional.run(
+            &trace,
+            Policy::Default,
+            &SpeedupModel::conventional(),
+        ));
+        let fast = RunSummary::from_outcomes(&hetero.run(
+            &trace,
+            Policy::MarginAware,
+            &SpeedupModel::hetero_dmr_default(),
+        ));
+        prop_assert!(fast.mean_exec_s <= base.mean_exec_s + 1e-6);
+        prop_assert!(fast.mean_turnaround_s <= base.mean_turnaround_s * 1.3,
+            "anomaly beyond Graham-style bound: {} vs {}",
+            fast.mean_turnaround_s, base.mean_turnaround_s);
+    }
+
+    /// In aggregate (across traces), faster nodes DO improve
+    /// turnaround — per-trace anomalies wash out.
+    #[test]
+    fn speedups_help_on_average(base_seed in 0u64..50) {
+        let conventional = Cluster::conventional(128);
+        let hetero = Cluster::new(128, [0.62, 0.36, 0.02]);
+        let (mut base_total, mut fast_total) = (0.0, 0.0);
+        for s in 0..8u64 {
+            let trace = GrizzlyTrace::scaled(300, 128).generate(base_seed * 100 + s);
+            base_total += RunSummary::from_outcomes(&conventional.run(
+                &trace,
+                Policy::Default,
+                &SpeedupModel::conventional(),
+            ))
+            .mean_turnaround_s;
+            fast_total += RunSummary::from_outcomes(&hetero.run(
+                &trace,
+                Policy::MarginAware,
+                &SpeedupModel::hetero_dmr_default(),
+            ))
+            .mean_turnaround_s;
+        }
+        prop_assert!(fast_total < base_total,
+            "aggregate turnaround must improve: {fast_total} vs {base_total}");
+    }
+
+    /// Backfill never delays the FCFS head: disabling speedups, the
+    /// head job of any queue starts no later than the time at which
+    /// enough nodes were free.
+    #[test]
+    fn fcfs_order_is_respected_for_equal_sizes(seed in 0u64..200) {
+        // With identical node counts, FCFS implies monotone start
+        // times (backfill cannot reorder equal-size jobs).
+        let jobs: Vec<Job> = (0..60)
+            .map(|i| Job {
+                id: i,
+                submit_s: i as f64 * 10.0,
+                nodes: 16,
+                duration_s: 500.0 + (i as f64 * 7.0) % 300.0,
+                mem_utilization: (seed as f64 / 500.0) % 1.0,
+            })
+            .collect();
+        let cluster = Cluster::conventional(64);
+        let outcomes = cluster.run(&jobs, Policy::Default, &SpeedupModel::conventional());
+        for pair in outcomes.windows(2) {
+            prop_assert!(pair[0].start_s <= pair[1].start_s + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The six HPC benchmark suites and their trace parameters.
+
+use std::fmt;
+
+/// One of the paper's six HPC benchmark suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Suite {
+    /// Linpack (HPL): blocked dense linear algebra; the de facto
+    /// TOP500 ranking benchmark. Highest measured speedup (1.24×)
+    /// from memory margins in the paper.
+    Linpack,
+    /// HPCG: sparse conjugate gradient; bandwidth-hungry streaming
+    /// with irregular gather.
+    Hpcg,
+    /// Graph500: breadth-first search; pointer-chasing, latency-bound.
+    Graph500,
+    /// CORAL2 (AMG and friends): multigrid/irregular mesh mix.
+    Coral2,
+    /// LULESH: Lagrangian shock hydrodynamics stencil.
+    Lulesh,
+    /// NAS Parallel Benchmarks: mixed kernels.
+    Npb,
+}
+
+impl Suite {
+    /// All six suites in the paper's reporting order.
+    pub const ALL: [Suite; 6] = [
+        Suite::Linpack,
+        Suite::Hpcg,
+        Suite::Graph500,
+        Suite::Coral2,
+        Suite::Lulesh,
+        Suite::Npb,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Linpack => "Linpack",
+            Suite::Hpcg => "HPCG",
+            Suite::Graph500 => "Graph500",
+            Suite::Coral2 => "CORAL2",
+            Suite::Lulesh => "LULESH",
+            Suite::Npb => "NPB",
+        }
+    }
+
+    /// The trace parameters modelling this suite.
+    pub fn params(self) -> SuiteParams {
+        match self {
+            Suite::Linpack => SuiteParams {
+                suite: self,
+                footprint_blocks: 1 << 18, // 16 MB per core
+                mean_gap: 7.0,
+                streaming: 0.95,
+                stride_blocks: 1,
+                write_fraction: 0.24,
+                hot_fraction: 0.25,
+                hot_blocks: 1 << 9,
+                warm_fraction: 0.0,
+                warm_blocks: 48 * 1024,
+                mpi_stall_fraction: 0.10,
+            },
+            Suite::Hpcg => SuiteParams {
+                suite: self,
+                footprint_blocks: 1 << 19, // 32 MB
+                mean_gap: 6.0,
+                streaming: 0.88,
+                stride_blocks: 1,
+                write_fraction: 0.16,
+                hot_fraction: 0.20,
+                hot_blocks: 1 << 9,
+                warm_fraction: 0.0,
+                warm_blocks: 48 * 1024,
+                mpi_stall_fraction: 0.12,
+            },
+            Suite::Graph500 => SuiteParams {
+                suite: self,
+                footprint_blocks: 1 << 20, // 64 MB
+                mean_gap: 16.0,
+                streaming: 0.40,
+                stride_blocks: 1,
+                write_fraction: 0.10,
+                hot_fraction: 0.35,
+                hot_blocks: 1 << 10,
+                warm_fraction: 0.0,
+                warm_blocks: 48 * 1024,
+                mpi_stall_fraction: 0.18,
+            },
+            Suite::Coral2 => SuiteParams {
+                suite: self,
+                footprint_blocks: 1 << 19,
+                mean_gap: 8.0,
+                streaming: 0.82,
+                stride_blocks: 2,
+                write_fraction: 0.17,
+                hot_fraction: 0.25,
+                hot_blocks: 1 << 9,
+                warm_fraction: 0.0,
+                warm_blocks: 48 * 1024,
+                mpi_stall_fraction: 0.13,
+            },
+            Suite::Lulesh => SuiteParams {
+                suite: self,
+                footprint_blocks: 1 << 18,
+                mean_gap: 9.0,
+                streaming: 0.85,
+                stride_blocks: 3,
+                write_fraction: 0.20,
+                hot_fraction: 0.30,
+                hot_blocks: 1 << 9,
+                warm_fraction: 0.0,
+                warm_blocks: 48 * 1024,
+                mpi_stall_fraction: 0.13,
+            },
+            Suite::Npb => SuiteParams {
+                suite: self,
+                footprint_blocks: 1 << 19,
+                mean_gap: 8.0,
+                streaming: 0.85,
+                stride_blocks: 1,
+                write_fraction: 0.15,
+                hot_fraction: 0.28,
+                hot_blocks: 1 << 9,
+                warm_fraction: 0.0,
+                warm_blocks: 48 * 1024,
+                mpi_stall_fraction: 0.14,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters of a suite's synthetic access stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteParams {
+    /// Which suite this models.
+    pub suite: Suite,
+    /// Per-core working set in 64-byte blocks.
+    pub footprint_blocks: u64,
+    /// Mean non-memory instructions between memory operations
+    /// (memory intensity knob).
+    pub mean_gap: f64,
+    /// Probability the next cold access continues the current stream.
+    pub streaming: f64,
+    /// Stride (in blocks) of the streaming phase.
+    pub stride_blocks: u64,
+    /// Fraction of operations that are stores.
+    pub write_fraction: f64,
+    /// Fraction of accesses to a small cache-resident hot region.
+    pub hot_fraction: f64,
+    /// Size of the hot region in blocks.
+    pub hot_blocks: u64,
+    /// Fraction of accesses to a mid-size reuse region (blocked
+    /// tiles, matrices revisited every sweep). It fits Hierarchy1's
+    /// 4.5 MB/core cache budget but not Hierarchy2's 2.375 MB — the
+    /// cache-sensitivity axis the paper's two hierarchies probe.
+    pub warm_fraction: f64,
+    /// Size of the warm region in blocks (~3 MB).
+    pub warm_blocks: u64,
+    /// Fraction of wall-time spent stalled in MPI communication
+    /// (memory-speed-insensitive).
+    pub mpi_stall_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_suites() {
+        assert_eq!(Suite::ALL.len(), 6);
+        let names: Vec<_> = Suite::ALL.iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"Linpack"));
+        assert!(names.contains(&"NPB"));
+    }
+
+    #[test]
+    fn parameters_are_sane() {
+        for suite in Suite::ALL {
+            let p = suite.params();
+            assert!(p.footprint_blocks > p.hot_blocks);
+            assert!(p.mean_gap > 0.0);
+            assert!((0.0..=1.0).contains(&p.streaming));
+            assert!((0.0..=0.5).contains(&p.write_fraction));
+            assert!((0.0..=1.0).contains(&p.hot_fraction));
+            assert!((0.0..=0.5).contains(&p.mpi_stall_fraction));
+            assert!(p.stride_blocks >= 1);
+        }
+    }
+
+    #[test]
+    fn graph500_is_most_irregular() {
+        let g = Suite::Graph500.params();
+        for suite in Suite::ALL {
+            if suite != Suite::Graph500 {
+                assert!(g.streaming < suite.params().streaming);
+            }
+        }
+    }
+
+    #[test]
+    fn average_write_fraction_near_15_percent() {
+        let avg: f64 = Suite::ALL
+            .iter()
+            .map(|s| s.params().write_fraction)
+            .sum::<f64>()
+            / 6.0;
+        assert!((avg - 0.17).abs() < 0.05, "avg write fraction {avg}");
+    }
+
+    #[test]
+    fn average_mpi_fraction_near_13_percent() {
+        let avg: f64 = Suite::ALL
+            .iter()
+            .map(|s| s.params().mpi_stall_fraction)
+            .sum::<f64>()
+            / 6.0;
+        assert!((avg - 0.13).abs() < 0.03, "avg MPI fraction {avg}");
+    }
+}

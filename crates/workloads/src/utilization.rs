@@ -1,0 +1,177 @@
+//! Job-level memory-utilization model (Figure 1 of the paper).
+//!
+//! The paper analyzes three billion memory measurements across three
+//! LANL clusters (released as LA-UR-19-28211) and reports, per
+//! cluster, the fraction of jobs in which **every** node stays below
+//! 25 % / 50 % memory utilization (all-inclusive, OS file cache
+//! counted) for the job's entire lifetime. Those fractions weight the
+//! Figure 12 usage buckets and drive the system-wide simulation's
+//! probabilistic job scaling.
+
+use rand::Rng;
+
+/// One of the LANL clusters in the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cluster {
+    /// Grizzly: 1490 nodes, 36 cores / 128 GB per node; the cluster
+    /// whose Slurm traces drive the system-wide simulation.
+    Grizzly,
+    /// Badger.
+    Badger,
+    /// Snow.
+    Snow,
+}
+
+impl Cluster {
+    /// All clusters in Figure 1.
+    pub const ALL: [Cluster; 3] = [Cluster::Grizzly, Cluster::Badger, Cluster::Snow];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cluster::Grizzly => "Grizzly",
+            Cluster::Badger => "Badger",
+            Cluster::Snow => "Snow",
+        }
+    }
+}
+
+impl std::fmt::Display for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The job-level memory-utilization distribution of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationModel {
+    /// Fraction of jobs below 25 % utilization throughout.
+    pub below_25: f64,
+    /// Fraction of jobs below 50 % utilization throughout.
+    pub below_50: f64,
+}
+
+impl UtilizationModel {
+    /// The per-cluster fractions (Figure 1). HPC jobs overwhelmingly
+    /// underuse memory: parallelism spreads the problem thin, MPI
+    /// input bypasses the page cache, and one job owns all cores of a
+    /// node.
+    pub fn for_cluster(cluster: Cluster) -> UtilizationModel {
+        match cluster {
+            Cluster::Grizzly => UtilizationModel {
+                below_25: 0.60,
+                below_50: 0.75,
+            },
+            Cluster::Badger => UtilizationModel {
+                below_25: 0.55,
+                below_50: 0.72,
+            },
+            Cluster::Snow => UtilizationModel {
+                below_25: 0.66,
+                below_50: 0.81,
+            },
+        }
+    }
+
+    /// Weights of the paper's three Figure 12 usage buckets:
+    /// `[0–25 %)`, `[25–50 %)`, `[50–100 %]`.
+    pub fn bucket_weights(&self) -> [f64; 3] {
+        [
+            self.below_25,
+            self.below_50 - self.below_25,
+            1.0 - self.below_50,
+        ]
+    }
+
+    /// Samples a job's lifetime-maximum memory utilization in [0, 1],
+    /// consistent with the bucket fractions (uniform within buckets).
+    pub fn sample_utilization<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        if u < self.below_25 {
+            rng.random::<f64>() * 0.25
+        } else if u < self.below_50 {
+            0.25 + rng.random::<f64>() * 0.25
+        } else {
+            0.5 + rng.random::<f64>() * 0.5
+        }
+    }
+
+    /// Whether a job at `utilization` benefits from Hetero-DMR (needs
+    /// half the modules free: < 50 %).
+    pub fn hetero_dmr_eligible(utilization: f64) -> bool {
+        utilization < 0.5
+    }
+
+    /// A Cloud/datacenter utilization model (Section III-F's
+    /// generality argument): prior studies put average memory
+    /// utilization at 50-60 %, so a substantial minority of machines
+    /// still qualify for Hetero-DMR — analogous to CPU turbo-boost
+    /// engaging when cores are idle.
+    pub fn cloud() -> UtilizationModel {
+        UtilizationModel {
+            below_25: 0.12,
+            below_50: 0.42,
+        }
+    }
+
+    /// Fraction of machines/jobs that can run Hetero-DMR at all
+    /// (< 50 % utilization).
+    pub fn eligible_fraction(&self) -> f64 {
+        self.below_50
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fractions_are_monotone_probabilities() {
+        for c in Cluster::ALL {
+            let m = UtilizationModel::for_cluster(c);
+            assert!(m.below_25 > 0.0 && m.below_25 < 1.0);
+            assert!(m.below_50 > m.below_25 && m.below_50 < 1.0);
+        }
+    }
+
+    #[test]
+    fn bucket_weights_sum_to_one() {
+        for c in Cluster::ALL {
+            let w = UtilizationModel::for_cluster(c).bucket_weights();
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn sampling_matches_fractions() {
+        let m = UtilizationModel::for_cluster(Cluster::Grizzly);
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample_utilization(&mut rng)).collect();
+        let below25 = samples.iter().filter(|&&u| u < 0.25).count() as f64 / n as f64;
+        let below50 = samples.iter().filter(|&&u| u < 0.5).count() as f64 / n as f64;
+        assert!((below25 - m.below_25).abs() < 0.01, "{below25}");
+        assert!((below50 - m.below_50).abs() < 0.01, "{below50}");
+        assert!(samples.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn eligibility_threshold() {
+        assert!(UtilizationModel::hetero_dmr_eligible(0.0));
+        assert!(UtilizationModel::hetero_dmr_eligible(0.49));
+        assert!(!UtilizationModel::hetero_dmr_eligible(0.5));
+        assert!(!UtilizationModel::hetero_dmr_eligible(0.99));
+    }
+
+    #[test]
+    fn majority_of_jobs_are_eligible() {
+        // The premise of Hetero-DMR: most HPC jobs leave half of
+        // memory free.
+        for c in Cluster::ALL {
+            assert!(UtilizationModel::for_cluster(c).below_50 > 0.5);
+        }
+    }
+}

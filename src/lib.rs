@@ -1,0 +1,56 @@
+//! # hetero-dmr-repro
+//!
+//! A full reproduction of *"Quantifying Server Memory Frequency Margin
+//! and Using It to Improve Performance in HPC Systems"* (ISCA 2021):
+//! the frequency-margin characterization study, the Hetero-DMR
+//! architecture, and every substrate they need, in pure Rust.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`dram`] — DDR4 device/timing/channel substrate (frequency
+//!   transitions, self-refresh, broadcast writes),
+//! * [`ecc`] — GF(2⁸) Reed-Solomon, Bamboo-style block codec,
+//!   detection-only decode, error injection, SDC budget math,
+//! * [`margin`] — the 119-module characterization study as a
+//!   statistical model (populations, stress tests, error rates),
+//! * [`memsim`] — the gem5/Ramulator stand-in: caches, prefetchers,
+//!   FR-FCFS controllers, multi-core node simulation,
+//! * [`hetero_dmr`] — the paper's contribution: replication,
+//!   heterogeneous read/write modes, recovery protocol, epoch
+//!   governor, Monte Carlo margin variability, the design zoo and the
+//!   node-level evaluation engine,
+//! * [`workloads`] — six HPC benchmark-suite trace models and the
+//!   LANL memory-utilization model,
+//! * [`scheduler`] — the Grizzly-scale cluster simulator with the
+//!   margin-aware job scheduler,
+//! * [`energy`] — the CPU+DRAM energy-per-instruction model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hetero_dmr_repro::hetero_dmr::protocol::HeteroDmrChannel;
+//! use hetero_dmr_repro::ecc::ErrorModel;
+//! use rand::SeedableRng;
+//!
+//! // A channel with two 1-GiB-of-blocks modules, 25% utilized:
+//! let mut channel = HeteroDmrChannel::new(1 << 24);
+//! let t = channel.set_used_blocks(1 << 22, 0);
+//!
+//! // Reads are served unsafely fast; a corrupted copy is detected and
+//! // recovered from the always-in-spec original, transparently.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (data, outcome, _t) = channel
+//!     .read(42, t, Some((&mut rng, ErrorModel::FullBlock)))
+//!     .unwrap();
+//! assert_eq!(data, [0u8; 64]); // never written → zeros, despite the error
+//! assert_eq!(outcome, hetero_dmr_repro::hetero_dmr::ReadOutcome::Recovered);
+//! ```
+
+pub use dram;
+pub use ecc;
+pub use energy;
+pub use hetero_dmr;
+pub use margin;
+pub use memsim;
+pub use scheduler;
+pub use workloads;
