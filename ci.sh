@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Offline CI gate: release build, full test suite, formatting, lints,
+# and bench compilation. Everything runs with --offline — the vendored
+# stand-in crates under vendor/ are the only dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --offline --workspace --release
+
+echo "== test =="
+cargo test --offline --workspace -q
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+# The vendored stand-ins mimic external crate APIs and are exempt from
+# first-party lint standards.
+cargo clippy --offline --workspace \
+    --exclude rand --exclude proptest --exclude criterion \
+    --all-targets -- -D warnings
+
+echo "== benches compile =="
+cargo bench --offline --workspace --no-run
+
+echo "CI OK"

@@ -7,6 +7,7 @@
 //! margins for the remainder of the epoch, resuming fresh in the next.
 
 use dram::{Picos, PS_PER_S};
+use telemetry::{Counter, Scope};
 
 /// One hour, in picoseconds.
 pub const EPOCH_PS: Picos = 3_600 * PS_PER_S;
@@ -22,14 +23,31 @@ pub enum GovernorState {
 }
 
 /// The epoch error-budget governor.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EpochGovernor {
     threshold: u64,
     epoch_start: Picos,
     errors_this_epoch: u64,
-    /// Lifetime totals, for reporting.
-    total_errors: u64,
-    fallbacks: u64,
+    /// Lifetime totals — live telemetry counters, detached until
+    /// [`EpochGovernor::attach_telemetry`] binds them to a registry.
+    errors: Counter,
+    fallbacks: Counter,
+    epoch_rolls: Counter,
+}
+
+impl Clone for EpochGovernor {
+    /// Clones fork the counters so each governor tallies its own
+    /// errors (Monte-Carlo runs clone a template governor per trial).
+    fn clone(&self) -> EpochGovernor {
+        EpochGovernor {
+            threshold: self.threshold,
+            epoch_start: self.epoch_start,
+            errors_this_epoch: self.errors_this_epoch,
+            errors: self.errors.fork(),
+            fallbacks: self.fallbacks.fork(),
+            epoch_rolls: self.epoch_rolls.fork(),
+        }
+    }
 }
 
 impl Default for EpochGovernor {
@@ -51,9 +69,23 @@ impl EpochGovernor {
             threshold,
             epoch_start: 0,
             errors_this_epoch: 0,
-            total_errors: 0,
-            fallbacks: 0,
+            errors: Counter::default(),
+            fallbacks: Counter::default(),
+            epoch_rolls: Counter::default(),
         }
+    }
+
+    /// Rebinds the governor's counters into a registry scope, folding
+    /// in values recorded before attachment.
+    pub fn attach_telemetry(&mut self, scope: &Scope) {
+        let rebind = |name: &str, old: &Counter| {
+            let fresh = scope.counter(name);
+            fresh.add(old.get());
+            fresh
+        };
+        self.errors = rebind("errors", &self.errors);
+        self.fallbacks = rebind("fallbacks", &self.fallbacks);
+        self.epoch_rolls = rebind("epoch_rolls", &self.epoch_rolls);
     }
 
     /// The per-epoch budget.
@@ -63,12 +95,12 @@ impl EpochGovernor {
 
     /// Lifetime detected-error count.
     pub fn total_errors(&self) -> u64 {
-        self.total_errors
+        self.errors.get()
     }
 
     /// Lifetime number of epochs that hit the budget.
     pub fn fallbacks(&self) -> u64 {
-        self.fallbacks
+        self.fallbacks.get()
     }
 
     /// Errors counted in the current epoch.
@@ -82,6 +114,7 @@ impl EpochGovernor {
             let epochs = (now - self.epoch_start) / EPOCH_PS;
             self.epoch_start += epochs * EPOCH_PS;
             self.errors_this_epoch = 0;
+            self.epoch_rolls.add(epochs);
         }
     }
 
@@ -114,9 +147,9 @@ impl EpochGovernor {
     pub fn record_error(&mut self, now: Picos) -> GovernorState {
         self.roll(now);
         self.errors_this_epoch += 1;
-        self.total_errors += 1;
+        self.errors.inc();
         if self.errors_this_epoch == self.threshold {
-            self.fallbacks += 1;
+            self.fallbacks.inc();
         }
         self.state(now)
     }

@@ -16,6 +16,7 @@ use memsim::config::HierarchyConfig;
 use memsim::{NodeSim, SimResult};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use telemetry::{slug, Scope};
 use workloads::{Suite, TraceGen};
 
 /// The paper's Figure 12 memory-usage buckets.
@@ -76,6 +77,7 @@ pub struct NodeModel {
     hierarchy: HierarchyConfig,
     config: EvalConfig,
     cache: RefCell<HashMap<(MemoryDesign, Suite), SimResult>>,
+    metrics: Option<Scope>,
 }
 
 impl NodeModel {
@@ -85,7 +87,17 @@ impl NodeModel {
             hierarchy,
             config,
             cache: RefCell::new(HashMap::new()),
+            metrics: None,
         }
+    }
+
+    /// Routes simulator telemetry into `scope`: every fresh (design,
+    /// suite) run attaches its [`NodeSim`] under
+    /// `<scope>.<design>.<suite>`. Memoized replays record nothing, so
+    /// each configuration contributes exactly one run's worth of
+    /// counts no matter how many figures consult it.
+    pub fn set_metrics_scope(&mut self, scope: Scope) {
+        self.metrics = Some(scope);
     }
 
     /// The hierarchy under evaluation.
@@ -101,6 +113,10 @@ impl NodeModel {
         }
         let (modes, mirror) = design.per_channel_modes(self.hierarchy.memory.channels);
         let mut node = NodeSim::with_modes(self.hierarchy, modes, mirror);
+        if let Some(scope) = &self.metrics {
+            let label = format!("{}.{}", slug(&design.name()), slug(suite.name()));
+            node.attach_telemetry(&scope.scope(&label));
+        }
         let streams: Vec<TraceGen> = (0..self.hierarchy.cores)
             .map(|i| {
                 TraceGen::new(
@@ -329,6 +345,19 @@ mod tests {
         let low = m.suite_average(design, UsageBucket::Low);
         let blended = m.usage_weighted(design, [0.60, 0.15, 0.25]);
         assert!(blended > 1.0 && blended < low);
+    }
+
+    #[test]
+    fn metrics_scope_records_each_config_once() {
+        let mut m = model(HierarchyConfig::hierarchy1());
+        let r = telemetry::Registry::new();
+        m.set_metrics_scope(r.scope("node"));
+        let _ = m.run(MemoryDesign::CommercialBaseline, Suite::Hpcg);
+        let once = r.snapshot();
+        assert!(once.counter("node.commercial_baseline.hpcg.ops") > 0);
+        assert!(once.counter("node.commercial_baseline.hpcg.ch0.controller.reads") > 0);
+        let _ = m.run(MemoryDesign::CommercialBaseline, Suite::Hpcg);
+        assert_eq!(r.snapshot(), once, "memoized replays record nothing");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::monte_carlo::MarginGroups;
 use dram::rate::DataRate;
 use margin::composition::{channel_margin, node_margin, SelectionPolicy};
-use margin::stress::{measure_margin, StressConfig};
+use margin::stress::{measure_margin, measure_margin_metered, StressConfig, StressMeter};
 
 /// One module as the profiler sees it: its labelled rate and (hidden)
 /// true margin, which the stress procedure measures.
@@ -60,13 +60,35 @@ impl NodeProfiler {
     ///
     /// Panics if any channel is empty.
     pub fn profile(&self, channels: &[Vec<ModuleUnderTest>]) -> NodeProfile {
+        self.profile_impl(channels, None)
+    }
+
+    /// [`NodeProfiler::profile`] with profiling-effort accounting
+    /// (modules measured, rate steps stressed) on `meter`.
+    pub fn profile_metered(
+        &self,
+        channels: &[Vec<ModuleUnderTest>],
+        meter: &StressMeter,
+    ) -> NodeProfile {
+        self.profile_impl(channels, Some(meter))
+    }
+
+    fn profile_impl(
+        &self,
+        channels: &[Vec<ModuleUnderTest>],
+        meter: Option<&StressMeter>,
+    ) -> NodeProfile {
+        let measure = |m: &ModuleUnderTest| match meter {
+            Some(meter) => {
+                measure_margin_metered(m.specified, m.true_margin_mts, &self.config, meter)
+            }
+            None => measure_margin(m.specified, m.true_margin_mts, &self.config),
+        };
         let module_margins: Vec<Vec<u32>> = channels
             .iter()
             .map(|ch| {
                 assert!(!ch.is_empty(), "channels must be populated");
-                ch.iter()
-                    .map(|m| measure_margin(m.specified, m.true_margin_mts, &self.config))
-                    .collect()
+                ch.iter().map(measure).collect()
             })
             .collect();
         let channel_margins: Vec<u32> = module_margins
@@ -116,6 +138,34 @@ mod tests {
         assert_eq!(profile.fast_module, vec![1, 0]);
         assert_eq!(profile.node_margin_mts, 800);
         assert_eq!(profile.group(), 800);
+    }
+
+    #[test]
+    fn metered_profile_counts_modules_and_steps() {
+        use telemetry::Registry;
+
+        let mut meter = StressMeter::default();
+        let r = Registry::new();
+        meter.bind(&r.scope("profiler"));
+        let profiler = NodeProfiler::default();
+        let metered = profiler.profile_metered(
+            &[
+                vec![module(650), module(900)],
+                vec![module(850), module(700)],
+            ],
+            &meter,
+        );
+        assert_eq!(
+            metered,
+            profiler.profile(&[
+                vec![module(650), module(900)],
+                vec![module(850), module(700)],
+            ])
+        );
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("profiler.modules_profiled"), 4);
+        assert_eq!(snap.counter("profiler.steps_tested"), meter.steps_tested());
+        assert!(meter.steps_tested() >= 4, "every module takes steps");
     }
 
     #[test]

@@ -21,10 +21,12 @@ use dram::module::ModuleId;
 use dram::Picos;
 use ecc::bamboo::{BlockCodec, DetectOutcome, EccBlock, BLOCK_DATA_BYTES};
 use ecc::inject::{inject, ErrorModel};
+use ecc::tally::ErrorTally;
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use telemetry::{Counter, Scope};
 
 /// The operating state of a Hetero-DMR channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +89,47 @@ impl fmt::Display for ProtocolError {
 
 impl Error for ProtocolError {}
 
-/// Protocol statistics.
+/// Live protocol metric handles; [`ProtocolStats`] is materialized
+/// from these on demand (single source of truth, no parallel
+/// bookkeeping). Detached until
+/// [`HeteroDmrChannel::attach_telemetry`] binds them.
+#[derive(Debug, Default)]
+struct ProtocolMetrics {
+    fast_reads: Counter,
+    recoveries: Counter,
+    safe_reads: Counter,
+    writes: Counter,
+    remaps: Counter,
+    mode_switches: Counter,
+}
+
+impl ProtocolMetrics {
+    fn bind(&mut self, scope: &Scope) {
+        let rebind = |name: &str, old: &Counter| {
+            let fresh = scope.counter(name);
+            fresh.add(old.get());
+            fresh
+        };
+        self.fast_reads = rebind("fast_reads", &self.fast_reads);
+        self.recoveries = rebind("recoveries", &self.recoveries);
+        self.safe_reads = rebind("safe_reads", &self.safe_reads);
+        self.writes = rebind("writes", &self.writes);
+        self.remaps = rebind("remaps", &self.remaps);
+        self.mode_switches = rebind("mode_switches", &self.mode_switches);
+    }
+
+    fn stats(&self) -> ProtocolStats {
+        ProtocolStats {
+            fast_reads: self.fast_reads.get(),
+            recoveries: self.recoveries.get(),
+            safe_reads: self.safe_reads.get(),
+            writes: self.writes.get(),
+            remaps: self.remaps.get(),
+        }
+    }
+}
+
+/// Protocol statistics — a snapshot view over the live metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProtocolStats {
     /// Reads served fast and clean.
@@ -113,7 +155,9 @@ pub struct HeteroDmrChannel {
     originals: HashMap<u64, EccBlock>,
     copies: HashMap<u64, EccBlock>,
     mode: OpMode,
-    stats: ProtocolStats,
+    metrics: ProtocolMetrics,
+    /// CE/UE/SDC accounting for every error the channel sees.
+    tally: ErrorTally,
     /// Permanent-fault detection for the copy-holding module.
     fault_tracker: PermanentFaultTracker,
     /// Block offsets of the *physically faulty* locations in the
@@ -145,7 +189,8 @@ impl HeteroDmrChannel {
             originals: HashMap::new(),
             copies: HashMap::new(),
             mode: OpMode::Conventional,
-            stats: ProtocolStats::default(),
+            metrics: ProtocolMetrics::default(),
+            tally: ErrorTally::default(),
             fault_tracker: PermanentFaultTracker::default(),
             faulty_copy_blocks: HashSet::new(),
             roles_swapped: false,
@@ -157,9 +202,30 @@ impl HeteroDmrChannel {
         self.mode
     }
 
-    /// Protocol statistics so far.
-    pub fn stats(&self) -> &ProtocolStats {
-        &self.stats
+    /// Protocol statistics so far, materialized from the live metrics.
+    pub fn stats(&self) -> ProtocolStats {
+        self.metrics.stats()
+    }
+
+    /// Rebinds this channel's protocol metrics (and its governor's,
+    /// under `governor`) into a registry scope.
+    pub fn attach_telemetry(&mut self, scope: &Scope) {
+        self.metrics.bind(scope);
+        self.governor.attach_telemetry(&scope.scope("governor"));
+        self.tally.bind(&scope.scope("ecc"));
+    }
+
+    /// The channel's CE/UE/SDC error ledgers.
+    pub fn tally(&self) -> &ErrorTally {
+        &self.tally
+    }
+
+    /// Switches the operating mode, tallying actual transitions.
+    fn set_mode(&mut self, mode: OpMode) {
+        if self.mode != mode {
+            self.metrics.mode_switches.inc();
+        }
+        self.mode = mode;
     }
 
     /// The governor (error budget) state.
@@ -192,7 +258,7 @@ impl HeteroDmrChannel {
     fn swap_roles(&mut self) {
         std::mem::swap(&mut self.originals, &mut self.copies);
         self.roles_swapped = true;
-        self.stats.remaps += 1;
+        self.metrics.remaps.inc();
         self.fault_tracker.reset();
     }
 
@@ -223,10 +289,10 @@ impl HeteroDmrChannel {
                 self.copies.clear();
                 if self.mode == OpMode::ReadMode {
                     let t = self.leave_read_mode(now);
-                    self.mode = OpMode::Conventional;
+                    self.set_mode(OpMode::Conventional);
                     t
                 } else {
-                    self.mode = OpMode::Conventional;
+                    self.set_mode(OpMode::Conventional);
                     now
                 }
             }
@@ -256,7 +322,7 @@ impl HeteroDmrChannel {
             .channel
             .begin_speed_up(now)
             .expect("safe channel can speed up");
-        self.mode = OpMode::ReadMode;
+        self.set_mode(OpMode::ReadMode);
         ready
     }
 
@@ -288,7 +354,7 @@ impl HeteroDmrChannel {
         match self.mode {
             OpMode::ReadMode => {
                 let ready = self.leave_read_mode(now);
-                self.mode = OpMode::WriteMode;
+                self.set_mode(OpMode::WriteMode);
                 Ok(ready)
             }
             OpMode::WriteMode | OpMode::Degraded => Ok(now),
@@ -348,7 +414,7 @@ impl HeteroDmrChannel {
             let offset = self.replication.copy_offset(block);
             self.copies.insert(offset, encoded);
         }
-        self.stats.writes += 1;
+        self.metrics.writes.inc();
         Ok(())
     }
 
@@ -377,11 +443,15 @@ impl HeteroDmrChannel {
             if self.roles_swapped && self.faulty_copy_blocks.contains(&block) {
                 original.data[0] ^= 0x01;
             }
-            self.codec
-                .correct(addr, &mut original)
-                .map_err(|_| ProtocolError::UncorrectableOriginal { block })?;
+            let fixed = self.codec.correct(addr, &mut original).map_err(|_| {
+                self.tally.note_ue();
+                ProtocolError::UncorrectableOriginal { block }
+            })?;
+            if fixed > 0 {
+                self.tally.note_ce();
+            }
             self.originals.insert(block, original);
-            self.stats.safe_reads += 1;
+            self.metrics.safe_reads.inc();
             return Ok((original.data, ReadOutcome::Safe, now));
         }
 
@@ -394,7 +464,10 @@ impl HeteroDmrChannel {
             observed.data[0] ^= 0x01;
         }
         let mut requested_addr = addr;
+        let mut injected = false;
         if let Some((rng, model)) = injection {
+            self.tally.note_injected(model);
+            injected = true;
             let inj = inject(rng, model, addr, &mut observed);
             if inj.effective_address != addr {
                 // Address/command error: the device returned some other
@@ -412,7 +485,12 @@ impl HeteroDmrChannel {
 
         match self.codec.detect(addr, &observed) {
             DetectOutcome::Clean => {
-                self.stats.fast_reads += 1;
+                if injected {
+                    // An injected error passed the detection-only
+                    // decode: the 2⁻⁶⁴ silent escape, made countable.
+                    self.tally.note_sdc();
+                }
+                self.metrics.fast_reads.inc();
                 self.fault_tracker.record_clean(block);
                 Ok((observed.data, ReadOutcome::FastClean, now))
             }
@@ -436,29 +514,33 @@ impl HeteroDmrChannel {
     ) -> Result<([u8; BLOCK_DATA_BYTES], ReadOutcome, Picos), ProtocolError> {
         let addr = Self::address_of(block);
         let safe_at = self.leave_read_mode(now);
-        self.mode = OpMode::WriteMode;
+        self.set_mode(OpMode::WriteMode);
 
         let mut original = Self::stored(&self.originals, &self.codec, block);
         if self.roles_swapped && self.faulty_copy_blocks.contains(&block) {
             original.data[0] ^= 0x01;
         }
-        self.codec
-            .correct(addr, &mut original)
-            .map_err(|_| ProtocolError::UncorrectableOriginal { block })?;
+        self.codec.correct(addr, &mut original).map_err(|_| {
+            self.tally.note_ue();
+            ProtocolError::UncorrectableOriginal { block }
+        })?;
         self.originals.insert(block, original);
         // Overwrite (repair) the corrupted copy with the good value.
         let offset = self.replication.copy_offset(block);
         self.copies.insert(offset, original);
 
-        self.stats.recoveries += 1;
+        // The detected copy error was made good from the original:
+        // a corrected error in the system-level ledger.
+        self.tally.note_ce();
+        self.metrics.recoveries.inc();
         let end = match self.governor.record_error(safe_at) {
             GovernorState::Exploiting => {
                 let ready = self.enter_read_mode(safe_at);
-                self.mode = OpMode::ReadMode;
+                self.set_mode(OpMode::ReadMode);
                 ready
             }
             GovernorState::FallBack => {
-                self.mode = OpMode::Degraded;
+                self.set_mode(OpMode::Degraded);
                 safe_at
             }
         };

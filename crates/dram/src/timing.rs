@@ -422,7 +422,12 @@ mod validation_tests {
             TimingParams::ddr4_3200_spec().with_latency_margin(),
             MemorySetting::FreqLatMargin.timing(),
         ] {
-            assert!(t.validate().is_empty(), "{:?}: {:?}", t.data_rate, t.validate());
+            assert!(
+                t.validate().is_empty(),
+                "{:?}: {:?}",
+                t.data_rate,
+                t.validate()
+            );
         }
     }
 

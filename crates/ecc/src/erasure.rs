@@ -137,15 +137,15 @@ fn solve(matrix: &mut [Vec<Gf256>]) -> Option<Vec<Gf256>> {
         let pivot = (col..k).find(|&r| matrix[r][col] != Gf256::ZERO)?;
         matrix.swap(col, pivot);
         let inv = matrix[col][col].inverse();
-        for c in col..=k {
-            matrix[col][c] = matrix[col][c] * inv;
+        for cell in &mut matrix[col][col..] {
+            *cell = *cell * inv;
         }
-        for r in 0..k {
-            if r != col && matrix[r][col] != Gf256::ZERO {
-                let factor = matrix[r][col];
-                for c in col..=k {
-                    let sub = factor * matrix[col][c];
-                    matrix[r][c] = matrix[r][c] + sub;
+        let pivot_row = matrix[col][col..].to_vec();
+        for (r, row) in matrix.iter_mut().enumerate() {
+            if r != col && row[col] != Gf256::ZERO {
+                let factor = row[col];
+                for (cell, &p) in row[col..].iter_mut().zip(&pivot_row) {
+                    *cell += factor * p;
                 }
             }
         }

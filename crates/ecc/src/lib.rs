@@ -16,7 +16,9 @@
 //!   full-block and wrong-address errors),
 //! * [`sdc`] — the silent-data-corruption budget arithmetic behind the
 //!   per-epoch error threshold (~2.1 M detected errors/hour for a
-//!   billion-year mean time to SDC).
+//!   billion-year mean time to SDC),
+//! * [`tally`] — telemetry-backed CE/UE/SDC ledgers accounting for
+//!   every injected error's eventual fate.
 //!
 //! # Example
 //!
@@ -42,8 +44,10 @@ pub mod gf256;
 pub mod inject;
 pub mod rs;
 pub mod sdc;
+pub mod tally;
 
 pub use bamboo::{BlockCodec, DetectOutcome, EccBlock, BLOCK_DATA_BYTES, BLOCK_ECC_BYTES};
 pub use erasure::ErasureDecoder;
 pub use inject::{inject, ErrorModel, Injection};
 pub use rs::{ReedSolomon, RsError};
+pub use tally::ErrorTally;

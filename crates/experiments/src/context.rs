@@ -1,7 +1,9 @@
-//! Shared experiment context: seeding, simulation length, CSV output.
+//! Shared experiment context: seeding, simulation length, CSV output,
+//! and the optional telemetry registry behind `--metrics`.
 
 use std::fs;
 use std::io::Write;
+use telemetry::{Registry, Scope};
 
 /// Global experiment parameters.
 #[derive(Debug, Clone)]
@@ -14,8 +16,15 @@ pub struct Ctx {
     pub trials: usize,
     /// Jobs in the system-wide trace.
     pub trace_jobs: usize,
+    /// Whether `--quick` shrank the run (recorded in the manifest).
+    pub quick_run: bool,
     /// Where to write CSV copies of every series (optional).
     pub csv_dir: Option<String>,
+    /// Where `--metrics` writes the JSONL snapshot + manifest.
+    pub metrics_dir: Option<String>,
+    /// The registry every instrumented component records into; present
+    /// exactly when `metrics_dir` is.
+    pub registry: Option<Registry>,
 }
 
 impl Default for Ctx {
@@ -25,7 +34,10 @@ impl Default for Ctx {
             ops_per_core: 40_000,
             trials: 50_000,
             trace_jobs: 58_000,
+            quick_run: false,
             csv_dir: None,
+            metrics_dir: None,
+            registry: None,
         }
     }
 }
@@ -36,6 +48,18 @@ impl Ctx {
         self.ops_per_core = 8_000;
         self.trials = 5_000;
         self.trace_jobs = 5_000;
+        self.quick_run = true;
+    }
+
+    /// Turns on metric collection, exported to `dir` at exit.
+    pub fn enable_metrics(&mut self, dir: String) {
+        self.metrics_dir = Some(dir);
+        self.registry = Some(Registry::new());
+    }
+
+    /// A registry scope named `prefix`, when `--metrics` is on.
+    pub fn metrics_scope(&self, prefix: &str) -> Option<Scope> {
+        self.registry.as_ref().map(|r| r.scope(prefix))
     }
 
     /// Writes `rows` (first row = header) as `<name>.csv` when a CSV
@@ -71,6 +95,18 @@ mod tests {
         assert!(ctx.trials < full.trials);
         assert!(ctx.trace_jobs < full.trace_jobs);
         assert_eq!(ctx.seed, full.seed, "quick keeps the seed");
+        assert!(ctx.quick_run);
+    }
+
+    #[test]
+    fn metrics_scope_present_only_when_enabled() {
+        let mut ctx = Ctx::default();
+        assert!(ctx.metrics_scope("node").is_none());
+        ctx.enable_metrics("/tmp/unused".into());
+        let scope = ctx.metrics_scope("node").expect("registry on");
+        scope.counter("ops").inc();
+        let snap = ctx.registry.as_ref().unwrap().snapshot();
+        assert_eq!(snap.counter("node.ops"), 1);
     }
 
     #[test]
@@ -78,8 +114,7 @@ mod tests {
         let dir = std::env::temp_dir().join("hdmr_ctx_csv_test");
         let _ = fs::remove_dir_all(&dir);
         let mut ctx = Ctx::default();
-        // Disabled: no directory appears.
-        ctx.csv_dir = None;
+        // Disabled by default: no directory appears.
         ctx.csv("nope", &[vec!["a".into()]]);
         assert!(!dir.exists());
         // Enabled: file with the right contents.

@@ -15,6 +15,7 @@ use hetero_dmr::protocol::HeteroDmrChannel;
 use margin::errors::{system_rate_from_solo, TestCondition};
 use margin::population::ModulePopulation;
 use margin::voltage::investigate_rate_cap;
+use margin::StressMeter;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workloads::utilization::UtilizationModel;
@@ -88,7 +89,14 @@ fn boot_profiling(ctx: &Ctx) {
         })
         .collect();
     let channels: Vec<Vec<ModuleUnderTest>> = modules.chunks(2).map(<[_]>::to_vec).collect();
-    let profile = NodeProfiler::default().profile(&channels);
+    let profile = match ctx.metrics_scope("profiler") {
+        Some(scope) => {
+            let mut meter = StressMeter::default();
+            meter.bind(&scope);
+            NodeProfiler::default().profile_metered(&channels, &meter)
+        }
+        None => NodeProfiler::default().profile(&channels),
+    };
     println!(
         "profiled node: channel margins {:?}",
         profile.channel_margins

@@ -1,13 +1,14 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments <target> [--seed N] [--ops N] [--quick] [--csv DIR]
+//! experiments <target> [--seed N] [--ops N] [--quick] [--csv DIR] [--metrics DIR]
 //! ```
 //!
-//! `<target>` is `all` or one of: `table1 table2 table3 table4 fig1
-//! fig2 fig3 fig4 fig5 fig6 fig11 fig12 fig13 fig14 fig15 fig16
-//! fig17 extras`. Output goes to stdout (the same rows/series the paper
-//! reports) and, with `--csv`, to per-experiment CSV files.
+//! `<target>` is `all` or one of the names listed by `--list`. Output
+//! goes to stdout (the same rows/series the paper reports); `--csv`
+//! adds per-experiment CSV files and `--metrics` adds a deterministic
+//! JSONL snapshot of every simulator-internal metric plus a run
+//! manifest (see README § Observability).
 
 mod characterization;
 mod context;
@@ -18,6 +19,39 @@ mod tables;
 
 use context::Ctx;
 
+/// Every runnable target, in execution order.
+const TARGETS: &[&str] = &[
+    "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "table4", "fig5", "fig6",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "extras",
+];
+
+fn print_usage() {
+    println!(
+        "usage: experiments [<target>] [options]
+
+Regenerates the paper's tables and figures. <target> defaults to 'all';
+run with --list for every individual target name.
+
+options:
+  --seed N       master RNG seed (default 0xD1A2)
+  --ops N        memory operations per core in node-level runs
+  --quick        shrink every run for a fast smoke pass
+  --csv DIR      also write per-experiment CSV files into DIR
+  --metrics DIR  record simulator telemetry; writes
+                 DIR/<target>.metrics.jsonl (deterministic for a fixed
+                 seed) and DIR/manifest.json
+  --list         print the available targets and exit
+  -h, --help     print this help and exit"
+    );
+}
+
+/// Usage error: print `msg` to stderr and exit 2 (matching the
+/// unknown-flag/unknown-target paths).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg} (run with --help for usage)");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut target = String::from("all");
@@ -25,25 +59,44 @@ fn main() {
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            "--list" => {
+                for t in TARGETS {
+                    println!("{t}");
+                }
+                return;
+            }
             "--seed" => {
                 ctx.seed = iter
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--seed needs an integer");
+                    .unwrap_or_else(|| usage_error("--seed needs an integer"));
             }
             "--ops" => {
                 ctx.ops_per_core = iter
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--ops needs an integer");
+                    .unwrap_or_else(|| usage_error("--ops needs an integer"));
             }
             "--quick" => ctx.quick(),
             "--csv" => {
-                ctx.csv_dir = Some(iter.next().expect("--csv needs a directory").clone());
+                let dir = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--csv needs a directory"));
+                ctx.csv_dir = Some(dir.clone());
+            }
+            "--metrics" => {
+                let dir = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--metrics needs a directory"));
+                ctx.enable_metrics(dir.clone());
             }
             other if !other.starts_with('-') => target = other.to_string(),
             other => {
-                eprintln!("unknown flag {other}");
+                eprintln!("unknown flag {other} (run with --help for usage)");
                 std::process::exit(2);
             }
         }
@@ -51,6 +104,7 @@ fn main() {
 
     let all = target == "all";
     let mut ran = false;
+    let start = std::time::Instant::now();
     macro_rules! run {
         ($name:literal, $f:expr) => {
             if all || target == $name {
@@ -81,7 +135,44 @@ fn main() {
     run!("extras", extras::extras(&ctx));
 
     if !ran {
-        eprintln!("unknown target '{target}'");
+        eprintln!("unknown target '{target}'; valid targets:");
+        eprintln!("  all {}", TARGETS.join(" "));
         std::process::exit(2);
     }
+
+    let wall_ms = start.elapsed().as_millis() as u64;
+    if let Err(e) = write_metrics(&ctx, &target, wall_ms) {
+        eprintln!("cannot write metrics: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Exports the run's metric snapshot and manifest when `--metrics` was
+/// requested. The JSONL file holds only simulation metrics (stripped
+/// of wall-clock series), so it is byte-identical across runs of the
+/// same seed; everything non-deterministic lands in the manifest.
+fn write_metrics(ctx: &Ctx, target: &str, wall_ms: u64) -> std::io::Result<()> {
+    let (Some(dir), Some(registry)) = (&ctx.metrics_dir, &ctx.registry) else {
+        return Ok(());
+    };
+    std::fs::create_dir_all(dir)?;
+    let sim = registry.snapshot().sim_only();
+    std::fs::write(
+        format!("{dir}/{target}.metrics.jsonl"),
+        telemetry::format_jsonl(&sim),
+    )?;
+    let manifest = telemetry::RunManifest::new(target, ctx.seed)
+        .knob("ops_per_core", ctx.ops_per_core)
+        .knob("trials", ctx.trials)
+        .knob("trace_jobs", ctx.trace_jobs)
+        .knob("quick", ctx.quick_run)
+        .with_git_describe()
+        .with_snapshot(&sim)
+        .with_wall_ms(wall_ms);
+    std::fs::write(format!("{dir}/manifest.json"), manifest.to_json())?;
+    println!(
+        "\nmetrics: {} series -> {dir}/{target}.metrics.jsonl (+ manifest.json)",
+        sim.len()
+    );
+    Ok(())
 }

@@ -12,13 +12,17 @@ use workloads::utilization::{Cluster, UtilizationModel};
 use workloads::Suite;
 
 fn model(ctx: &Ctx, h: HierarchyConfig) -> NodeModel {
-    NodeModel::new(
+    let mut m = NodeModel::new(
         h,
         EvalConfig {
             ops_per_core: ctx.ops_per_core,
             seed: ctx.seed,
         },
-    )
+    );
+    if let Some(scope) = ctx.metrics_scope(&format!("node.{}", telemetry::slug(h.name))) {
+        m.set_metrics_scope(scope);
+    }
+    m
 }
 
 /// Figure 5: real-system speedup from exploiting margins, per suite
@@ -76,10 +80,62 @@ fn fig12_designs(margin: u32) -> [MemoryDesign; 3] {
     ]
 }
 
+/// Under `--metrics`, drives the functional protocol engine through a
+/// deterministic scenario so Figure 12's export also carries governor
+/// and ECC telemetry (the timing simulator behind the figure models
+/// protocol latencies but never decodes blocks): conventional fills,
+/// replication activation, injected reads across the whole error-model
+/// taxonomy, a write-mode round trip, and a persistent-fault remap.
+fn protocol_exercise(ctx: &Ctx) {
+    use ecc::ErrorModel;
+    use hetero_dmr::protocol::HeteroDmrChannel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let Some(scope) = ctx.metrics_scope("protocol") else {
+        return;
+    };
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x0F16_0012);
+    let mut ch = HeteroDmrChannel::new(1 << 12);
+    ch.attach_telemetry(&scope);
+    for block in 0..64u64 {
+        ch.write(block, &[block as u8; 64], 0).expect("spec write");
+    }
+    let mut t = ch.set_used_blocks(1 << 10, 0);
+    // Fast reads with every out-of-spec error model: corrupt copies
+    // are detected and recovered from the in-spec originals.
+    for model in ErrorModel::ALL {
+        for block in 0..8u64 {
+            let (_, _, end) = ch
+                .read(block, t, Some((&mut rng, model)))
+                .expect("recoverable read");
+            t = end;
+        }
+    }
+    for block in 0..32u64 {
+        let (_, _, end) = ch.read::<StdRng>(block, t, None).expect("clean read");
+        t = end;
+    }
+    // A write-mode round trip (two mode switches).
+    t = ch.begin_write_mode(t).expect("enter write mode");
+    for block in 0..16u64 {
+        ch.write(block, &[0xA5; 64], t).expect("broadcast write");
+    }
+    t = ch.begin_read_mode(t).expect("back to read mode");
+    // A stuck cell in the copy module: recoveries, then a role remap
+    // ends the churn.
+    ch.inject_persistent_copy_fault(3);
+    for _ in 0..6 {
+        let (_, _, end) = ch.read::<StdRng>(3, t, None).expect("faulty read");
+        t = end;
+    }
+}
+
 /// Figure 12: normalized performance per design × usage bucket ×
 /// margin × hierarchy, plus the usage-weighted `[0~100%]` bars and the
 /// paper's headline margin-weighted average.
 pub fn fig12(ctx: &Ctx) {
+    protocol_exercise(ctx);
     let weights = UtilizationModel::for_cluster(Cluster::Grizzly).bucket_weights();
     let groups =
         MonteCarlo::default().node_groups(SelectionPolicy::MarginAware, ctx.trials, ctx.seed);

@@ -75,13 +75,16 @@ pub fn fig17(ctx: &Ctx) {
     let mut at_800 = [0.0f64; 2];
     let mut at_600 = [0.0f64; 2];
     for h in HierarchyConfig::both() {
-        let m = NodeModel::new(
+        let mut m = NodeModel::new(
             h,
             EvalConfig {
                 ops_per_core: ctx.ops_per_core,
                 seed: ctx.seed,
             },
         );
+        if let Some(scope) = ctx.metrics_scope(&format!("node.{}", telemetry::slug(h.name))) {
+            m.set_metrics_scope(scope);
+        }
         for (slot, bucket) in [
             (0, hetero_dmr::UsageBucket::Low),
             (1, hetero_dmr::UsageBucket::Mid),
@@ -111,13 +114,32 @@ pub fn fig17(ctx: &Ctx) {
     let hdmr = HpcCluster::new(nodes, [groups.at_800, groups.at_600, groups.at_0]);
     let plus17 = HpcCluster::conventional((nodes as f64 * 1.17).round() as u32);
 
-    let conv_outcomes = conventional.run(&trace, Policy::Default, &SpeedupModel::conventional());
-    let aware_outcomes = hdmr.run(&trace, Policy::MarginAware, &speedups);
+    // With `--metrics`, each system variant records queue depth and
+    // per-group latency histograms under its own `cluster.<label>`.
+    let run = |cluster: &HpcCluster, label: &str, policy: Policy, sp: &SpeedupModel| match ctx
+        .metrics_scope(&format!("cluster.{label}"))
+    {
+        Some(scope) => cluster.run_metered(&trace, policy, sp, &scope),
+        None => cluster.run(&trace, policy, sp),
+    };
+    let conv_outcomes = run(
+        &conventional,
+        "conventional",
+        Policy::Default,
+        &SpeedupModel::conventional(),
+    );
+    let aware_outcomes = run(&hdmr, "hdmr_margin_aware", Policy::MarginAware, &speedups);
     let s_conv = RunSummary::from_outcomes(&conv_outcomes);
     let s_aware = RunSummary::from_outcomes(&aware_outcomes);
-    let s_default = RunSummary::from_outcomes(&hdmr.run(&trace, Policy::Default, &speedups));
-    let s_plus17 = RunSummary::from_outcomes(&plus17.run(
-        &trace,
+    let s_default = RunSummary::from_outcomes(&run(
+        &hdmr,
+        "hdmr_default_sched",
+        Policy::Default,
+        &speedups,
+    ));
+    let s_plus17 = RunSummary::from_outcomes(&run(
+        &plus17,
+        "conventional_plus17",
         Policy::Default,
         &SpeedupModel::conventional(),
     ));

@@ -1,0 +1,146 @@
+//! End-to-end tests of the experiments binary: help/list/diagnostic
+//! exit codes and the `--metrics` contracts — deterministic JSONL for
+//! a fixed seed, and fig12 exports carrying controller latency
+//! histograms, governor counters, and ECC tallies.
+//!
+//! Simulation sizes are shrunk (`--quick` plus a small `--ops`) so the
+//! suite stays fast in the unoptimized test profile; determinism and
+//! content are invariant to the op count.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn experiments binary")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hdmr_cli_{name}_{}", std::process::id()))
+}
+
+#[test]
+fn help_exits_zero_and_documents_the_flags() {
+    let out = run(&["--help"]);
+    assert!(out.status.success(), "--help must exit 0");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--seed", "--ops", "--quick", "--csv", "--metrics", "--list"] {
+        assert!(text.contains(flag), "help must mention {flag}");
+    }
+    assert!(run(&["-h"]).status.success(), "-h is an alias");
+}
+
+#[test]
+fn list_prints_every_target() {
+    let out = run(&["--list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let listed: Vec<&str> = text.lines().collect();
+    for target in ["table1", "fig5", "fig12", "fig17", "extras"] {
+        assert!(listed.contains(&target), "--list must include {target}");
+    }
+}
+
+#[test]
+fn unknown_target_fails_with_the_valid_list() {
+    let out = run(&["fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown target 'fig99'"));
+    assert!(err.contains("fig12"), "diagnostic lists valid targets");
+}
+
+#[test]
+fn unknown_flag_points_at_help() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--frobnicate") && err.contains("--help"));
+}
+
+#[test]
+fn fig5_metrics_snapshot_is_deterministic() {
+    let dirs = [tmp_dir("det_a"), tmp_dir("det_b")];
+    let mut snapshots = Vec::new();
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+        let out = run(&[
+            "fig5",
+            "--seed",
+            "42",
+            "--quick",
+            "--ops",
+            "1200",
+            "--metrics",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "fig5 run failed: {out:?}");
+        snapshots.push(std::fs::read(dir.join("fig5.metrics.jsonl")).expect("metrics written"));
+        assert!(dir.join("manifest.json").exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    assert!(!snapshots[0].is_empty(), "snapshot must carry metrics");
+    assert_eq!(
+        snapshots[0], snapshots[1],
+        "same seed must produce byte-identical metric snapshots"
+    );
+}
+
+#[test]
+fn fig12_metrics_carry_controller_governor_and_ecc_series() {
+    let dir = tmp_dir("fig12");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = run(&[
+        "fig12",
+        "--quick",
+        "--ops",
+        "800",
+        "--metrics",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "fig12 run failed: {out:?}");
+    let jsonl = std::fs::read_to_string(dir.join("fig12.metrics.jsonl")).unwrap();
+
+    // Controller read-latency histograms from the timing simulator.
+    assert!(jsonl
+        .lines()
+        .any(|l| l.contains("controller.read_latency_ps") && l.contains("\"type\":\"histogram\"")));
+    // Governor / mode-switch counters and ECC tallies from the
+    // protocol engine exercise.
+    for series in [
+        "\"name\":\"protocol.mode_switches\"",
+        "\"name\":\"protocol.governor.errors\"",
+        "\"name\":\"protocol.ecc.ce\"",
+        "\"name\":\"protocol.ecc.ue\"",
+        "\"name\":\"protocol.ecc.sdc\"",
+    ] {
+        assert!(jsonl.contains(series), "fig12 export missing {series}");
+    }
+    // Injected errors were all detected and recovered: CE > 0, and the
+    // deterministic scenario produced no UE/SDC.
+    let counter = |name: &str| -> u64 {
+        jsonl
+            .lines()
+            .find(|l| l.contains(&format!("\"name\":\"{name}\"")))
+            .and_then(|l| l.rsplit("\"value\":").next())
+            .and_then(|v| v.trim_end_matches('}').trim().parse().ok())
+            .unwrap_or(0)
+    };
+    assert!(counter("protocol.ecc.ce") > 0);
+    assert_eq!(counter("protocol.ecc.ue"), 0);
+    assert_eq!(counter("protocol.ecc.sdc"), 0);
+
+    // The manifest is self-describing.
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    for field in [
+        "\"target\": \"fig12\"",
+        "\"ops_per_core\": \"800\"",
+        "\"quick\": \"true\"",
+        "\"metric_count\":",
+    ] {
+        assert!(manifest.contains(field), "manifest missing {field}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,6 +12,7 @@ use crate::errors::{ErrorProfile, TestCondition};
 use crate::population::SYSTEM_RATE_CAP_MTS;
 use dram::rate::DataRate;
 use rand::Rng;
+use telemetry::{Counter, Scope};
 
 /// Parameters of the measurement procedure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +38,50 @@ impl Default for StressConfig {
     }
 }
 
+/// Telemetry counters over the profiling procedure: how many modules
+/// were measured, how many rate steps that took, and the CE/UE totals
+/// of timed stress runs. Detached until [`StressMeter::bind`] folds
+/// the handles into a registry scope.
+#[derive(Debug, Default)]
+pub struct StressMeter {
+    modules_profiled: Counter,
+    steps_tested: Counter,
+    stress_runs: Counter,
+    ce_observed: Counter,
+    ue_observed: Counter,
+}
+
+impl StressMeter {
+    /// Rebinds every counter into `scope`, carrying prior values over.
+    pub fn bind(&mut self, scope: &Scope) {
+        let rebind = |name: &str, old: &Counter| {
+            let fresh = scope.counter(name);
+            fresh.add(old.get());
+            fresh
+        };
+        self.modules_profiled = rebind("modules_profiled", &self.modules_profiled);
+        self.steps_tested = rebind("steps_tested", &self.steps_tested);
+        self.stress_runs = rebind("stress_runs", &self.stress_runs);
+        self.ce_observed = rebind("ce_observed", &self.ce_observed);
+        self.ue_observed = rebind("ue_observed", &self.ue_observed);
+    }
+
+    /// Modules put through the stepping procedure.
+    pub fn modules_profiled(&self) -> u64 {
+        self.modules_profiled.get()
+    }
+
+    /// Individual rate steps attempted across all modules.
+    pub fn steps_tested(&self) -> u64 {
+        self.steps_tested.get()
+    }
+
+    /// Timed stress runs performed.
+    pub fn stress_runs(&self) -> u64 {
+        self.stress_runs.get()
+    }
+}
+
 /// Measures a module's frequency margin the way the paper's testbed
 /// does: step up from the labelled rate until the module no longer
 /// meets the accuracy threshold (its true margin) or the system cap is
@@ -44,12 +89,39 @@ impl Default for StressConfig {
 ///
 /// Returns the measured margin in MT/s.
 pub fn measure_margin(specified: DataRate, true_margin_mts: u32, config: &StressConfig) -> u32 {
+    measure_impl(specified, true_margin_mts, config, None)
+}
+
+/// [`measure_margin`] with profiling-effort accounting on `meter`.
+pub fn measure_margin_metered(
+    specified: DataRate,
+    true_margin_mts: u32,
+    config: &StressConfig,
+    meter: &StressMeter,
+) -> u32 {
+    measure_impl(specified, true_margin_mts, config, Some(meter))
+}
+
+fn measure_impl(
+    specified: DataRate,
+    true_margin_mts: u32,
+    config: &StressConfig,
+    meter: Option<&StressMeter>,
+) -> u32 {
+    if let Some(m) = meter {
+        m.modules_profiled.inc();
+    }
     let mut passing = 0u32;
     let mut candidate = config.step_mts;
     loop {
         let rate = specified.mts() + candidate;
         if rate > config.rate_cap_mts {
             break;
+        }
+        // Stepping to this candidate is one one-hour stress run on the
+        // testbed — the unit of profiling effort.
+        if let Some(m) = meter {
+            m.steps_tested.inc();
         }
         if candidate > true_margin_mts {
             break;
@@ -88,6 +160,21 @@ pub fn run_stress_test<R: Rng + ?Sized>(
         corrected: sample_poisson(rng, profile.ce_per_hour(condition) * config.hours),
         uncorrected: sample_poisson(rng, profile.ue_per_hour(condition) * config.hours),
     }
+}
+
+/// [`run_stress_test`] with run and CE/UE accounting on `meter`.
+pub fn run_stress_test_metered<R: Rng + ?Sized>(
+    rng: &mut R,
+    profile: &ErrorProfile,
+    condition: TestCondition,
+    config: &StressConfig,
+    meter: &StressMeter,
+) -> StressOutcome {
+    let outcome = run_stress_test(rng, profile, condition, config);
+    meter.stress_runs.inc();
+    meter.ce_observed.add(outcome.corrected);
+    meter.ue_observed.add(outcome.uncorrected);
+    outcome
 }
 
 /// Poisson sampler: Knuth's algorithm for small λ, normal

@@ -444,7 +444,9 @@ mod builder_tests {
     #[test]
     #[should_panic(expected = "exceed the private L2")]
     fn builder_rejects_cacheless_nodes() {
-        let _ = HierarchyConfig::builder("bad").cache_per_core_mb(0.5).build();
+        let _ = HierarchyConfig::builder("bad")
+            .cache_per_core_mb(0.5)
+            .build();
     }
 
     #[test]

@@ -20,13 +20,106 @@ use crate::config::{ChannelMode, MemoryConfig};
 use dram::timing::TimingParams;
 use dram::Picos;
 use std::collections::HashMap;
+use telemetry::{Counter, Histogram, Scope};
 
 /// How many younger row-hit requests may bypass an older request
 /// before age wins — Table IV's "FR-FCFS scheduling policy with bank
 /// fairness".
 const MAX_BYPASS: u32 = 64;
 
-/// Aggregate controller statistics.
+/// The controller's live metric handles. Counting happens directly on
+/// these (relaxed atomics — one `fetch_add` per event); the legacy
+/// [`ControllerStats`] is materialized from them on demand, so there
+/// is a single source of truth rather than parallel bookkeeping.
+///
+/// Handles start *detached* (visible only through
+/// [`ChannelController::stats`]); [`bind`](ControllerMetrics::bind)
+/// rebinds them to a registry scope, folding in whatever was already
+/// recorded, after which the same events are visible in registry
+/// snapshots.
+#[derive(Debug, Default)]
+pub struct ControllerMetrics {
+    reads: Counter,
+    writes: Counter,
+    activates: Counter,
+    row_hits: Counter,
+    wb_cache_hits: Counter,
+    write_mode_entries: Counter,
+    bus_busy_ps: Counter,
+    read_latency_sum_ps: Counter,
+    refreshes: Counter,
+    broadcast_extra_cells: Counter,
+    read_latency_ps: Histogram,
+}
+
+impl ControllerMetrics {
+    /// Rebind every handle to registry-backed metrics under `scope`,
+    /// carrying forward values recorded while detached.
+    pub fn bind(&mut self, scope: &Scope) {
+        let rebind = |name: &str, old: &Counter| {
+            let fresh = scope.counter(name);
+            fresh.add(old.get());
+            fresh
+        };
+        self.reads = rebind("reads", &self.reads);
+        self.writes = rebind("writes", &self.writes);
+        self.activates = rebind("activates", &self.activates);
+        self.row_hits = rebind("row_hits", &self.row_hits);
+        self.wb_cache_hits = rebind("wb_cache_hits", &self.wb_cache_hits);
+        self.write_mode_entries = rebind("write_mode_entries", &self.write_mode_entries);
+        self.bus_busy_ps = rebind("bus_busy_ps", &self.bus_busy_ps);
+        self.read_latency_sum_ps = rebind("read_latency_sum_ps", &self.read_latency_sum_ps);
+        self.refreshes = rebind("refreshes", &self.refreshes);
+        self.broadcast_extra_cells = rebind("broadcast_extra_cells", &self.broadcast_extra_cells);
+        let hist = scope.histogram("read_latency_ps");
+        hist.merge_from(&self.read_latency_ps);
+        self.read_latency_ps = hist;
+    }
+
+    /// Detached deep copy: same current values, independent future
+    /// updates. Backing for `ChannelController: Clone` — a cloned
+    /// controller must not alias its twin's metrics.
+    fn fork(&self) -> Self {
+        ControllerMetrics {
+            reads: self.reads.fork(),
+            writes: self.writes.fork(),
+            activates: self.activates.fork(),
+            row_hits: self.row_hits.fork(),
+            wb_cache_hits: self.wb_cache_hits.fork(),
+            write_mode_entries: self.write_mode_entries.fork(),
+            bus_busy_ps: self.bus_busy_ps.fork(),
+            read_latency_sum_ps: self.read_latency_sum_ps.fork(),
+            refreshes: self.refreshes.fork(),
+            broadcast_extra_cells: self.broadcast_extra_cells.fork(),
+            read_latency_ps: self.read_latency_ps.fork(),
+        }
+    }
+
+    /// The legacy aggregate view, materialized from the handles.
+    fn stats(&self) -> ControllerStats {
+        ControllerStats {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            activates: self.activates.get(),
+            row_hits: self.row_hits.get(),
+            wb_cache_hits: self.wb_cache_hits.get(),
+            write_mode_entries: self.write_mode_entries.get(),
+            bus_busy_ps: self.bus_busy_ps.get(),
+            read_latency_sum_ps: self.read_latency_sum_ps.get(),
+            refreshes: self.refreshes.get(),
+            broadcast_extra_cells: self.broadcast_extra_cells.get(),
+        }
+    }
+
+    /// The per-read latency distribution (arrival → last data beat).
+    pub fn read_latency_histogram(&self) -> &Histogram {
+        &self.read_latency_ps
+    }
+}
+
+/// Aggregate controller statistics — a snapshot view over
+/// [`ControllerMetrics`], kept as a plain value type for result
+/// assembly and comparisons.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ControllerStats {
     /// Demand + prefetch reads served from DRAM.
@@ -96,7 +189,7 @@ struct PendingRead {
 }
 
 /// One channel's memory controller.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ChannelController {
     mode: ChannelMode,
     mem: MemoryConfig,
@@ -115,7 +208,28 @@ pub struct ChannelController {
     next_token: u64,
     /// Hybrid page policy timeout.
     page_timeout_ps: Picos,
-    stats: ControllerStats,
+    metrics: ControllerMetrics,
+}
+
+impl Clone for ChannelController {
+    /// Clones fork the metric handles: the copy starts from the same
+    /// counts but records independently (aliasing would double-count).
+    fn clone(&self) -> ChannelController {
+        ChannelController {
+            mode: self.mode,
+            mem: self.mem,
+            banks: self.banks.clone(),
+            bus_free_at: self.bus_free_at,
+            write_mode_until: self.write_mode_until,
+            next_refresh: self.next_refresh.clone(),
+            write_queue: self.write_queue.clone(),
+            pending_reads: self.pending_reads.clone(),
+            completions: self.completions.clone(),
+            next_token: self.next_token,
+            page_timeout_ps: self.page_timeout_ps,
+            metrics: self.metrics.fork(),
+        }
+    }
 }
 
 impl ChannelController {
@@ -135,7 +249,7 @@ impl ChannelController {
             completions: HashMap::new(),
             next_token: 0,
             page_timeout_ps,
-            stats: ControllerStats::default(),
+            metrics: ControllerMetrics::default(),
         }
     }
 
@@ -144,9 +258,27 @@ impl ChannelController {
         &self.mode
     }
 
-    /// Statistics so far.
-    pub fn stats(&self) -> &ControllerStats {
-        &self.stats
+    /// Statistics so far, materialized from the live metric handles.
+    pub fn stats(&self) -> ControllerStats {
+        self.metrics.stats()
+    }
+
+    /// The live metric handles (e.g. the read-latency histogram).
+    pub fn metrics(&self) -> &ControllerMetrics {
+        &self.metrics
+    }
+
+    /// Rebind this controller's metrics into `scope` (folding in any
+    /// values already recorded), so registry snapshots see them.
+    pub fn attach_telemetry(&mut self, scope: &Scope) {
+        self.metrics.bind(scope);
+    }
+
+    /// Record a read served by the channel's write-back cache instead
+    /// of DRAM. The cache sits outside the controller, but the tally
+    /// belongs with the rest of the channel's read statistics.
+    pub fn note_wb_cache_hit(&self) {
+        self.metrics.wb_cache_hits.inc();
     }
 
     /// Pending (queued, not yet drained) writes.
@@ -186,7 +318,7 @@ impl ChannelController {
                 bank.open_row = None;
             }
             self.next_refresh[rank] += t.t_refi_ps();
-            self.stats.refreshes += 1;
+            self.metrics.refreshes.inc();
         }
     }
 
@@ -334,11 +466,13 @@ impl ChannelController {
         };
 
         let (data_end, hit) = self.column_access(idx, coord.row, now, &t, true);
-        self.stats.reads += 1;
+        self.metrics.reads.inc();
         if hit {
-            self.stats.row_hits += 1;
+            self.metrics.row_hits.inc();
         }
-        self.stats.read_latency_sum_ps += data_end.saturating_sub(arrival);
+        let latency = data_end.saturating_sub(arrival);
+        self.metrics.read_latency_sum_ps.add(latency);
+        self.metrics.read_latency_ps.record(latency);
         data_end
     }
 
@@ -398,14 +532,14 @@ impl ChannelController {
                 // Conflict: PRE + ACT + column.
                 let pre_at = now.max(bank.pre_allowed_at);
                 let act_at = pre_at + t.t_rp_ps();
-                self.stats.activates += 1;
+                self.metrics.activates.inc();
                 bank.open_row = Some(row);
                 bank.pre_allowed_at = act_at + t.t_ras_ps();
                 (act_at + t.t_rcd_ps(), false)
             }
             None => {
                 let act_at = now.max(bank.act_allowed_at);
-                self.stats.activates += 1;
+                self.metrics.activates.inc();
                 bank.open_row = Some(row);
                 bank.pre_allowed_at = act_at + t.t_ras_ps();
                 (act_at + t.t_rcd_ps(), false)
@@ -417,7 +551,7 @@ impl ChannelController {
         let data_end = data_start + t.burst_ps();
         let effective_cmd = data_start - cas;
         self.bus_free_at = data_end;
-        self.stats.bus_busy_ps += t.burst_ps();
+        self.metrics.bus_busy_ps.add(t.burst_ps());
 
         let bank = &mut self.banks[idx];
         bank.last_use = data_end;
@@ -437,7 +571,7 @@ impl ChannelController {
     fn shadow_write(&mut self, idx: usize, row: u64, end: Picos, t: &TimingParams) {
         let bank = &mut self.banks[idx];
         if bank.open_row != Some(row) {
-            self.stats.activates += 1;
+            self.metrics.activates.inc();
         }
         bank.open_row = Some(row);
         bank.last_use = end;
@@ -467,7 +601,7 @@ impl ChannelController {
         if queue.is_empty() {
             return now;
         }
-        self.stats.write_mode_entries += 1;
+        self.metrics.write_mode_entries.inc();
         // FR-FCFS freely reorders the drained batch for row locality:
         // group writes by bank and row so most issue as row hits.
         queue.sort_unstable_by_key(|c| (c.rank, c.bank, c.row, c.column));
@@ -489,12 +623,14 @@ impl ChannelController {
                 &t,
                 false,
             );
-            self.stats.writes += 1;
+            self.metrics.writes.inc();
             if hit {
-                self.stats.row_hits += 1;
+                self.metrics.row_hits.inc();
             }
             if self.mode.broadcast_copies > 0 {
-                self.stats.broadcast_extra_cells += self.mode.broadcast_copies as u64;
+                self.metrics
+                    .broadcast_extra_cells
+                    .add(self.mode.broadcast_copies as u64);
                 // The broadcast transaction also lands in the copy
                 // rank(s): no extra bus time, but the copy bank's row
                 // buffer now holds the written row and the bank is

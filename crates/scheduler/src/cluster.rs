@@ -4,6 +4,7 @@
 use crate::job::{Job, JobOutcome};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use telemetry::{Counter, Gauge, Histogram, Scope};
 use workloads::utilization::UtilizationModel;
 
 /// Node margin groups, fastest first (0.8 GT/s, 0.6 GT/s, none).
@@ -62,6 +63,44 @@ impl SpeedupModel {
             600 => self.at_600[bucket],
             _ => 1.0,
         }
+    }
+}
+
+/// Registry-bound observability for one scheduling run: the live
+/// queue depth, start/backfill tallies, and per-margin-group latency
+/// distributions (queue delay and execution time, in milliseconds).
+/// Built per run by [`Cluster::run_metered`], so concurrently metered
+/// runs never alias each other's handles.
+#[derive(Debug)]
+struct ClusterMetrics {
+    queue_depth: Gauge,
+    jobs_started: Counter,
+    jobs_backfilled: Counter,
+    /// Indexed like [`GROUPS`]: 800, 600, 0.
+    queue_delay_ms: [Histogram; 3],
+    exec_ms: [Histogram; 3],
+}
+
+impl ClusterMetrics {
+    fn new(scope: &Scope) -> ClusterMetrics {
+        let per_group = |stem: &str| GROUPS.map(|g| scope.histogram(&format!("group{g}.{stem}")));
+        ClusterMetrics {
+            queue_depth: scope.gauge("queue_depth"),
+            jobs_started: scope.counter("jobs_started"),
+            jobs_backfilled: scope.counter("jobs_backfilled"),
+            queue_delay_ms: per_group("queue_delay_ms"),
+            exec_ms: per_group("exec_ms"),
+        }
+    }
+
+    fn note_start(&self, outcome: &JobOutcome, min_group: u32, backfilled: bool) {
+        self.jobs_started.inc();
+        if backfilled {
+            self.jobs_backfilled.inc();
+        }
+        let idx = GROUPS.iter().position(|&g| g == min_group).unwrap_or(2);
+        self.queue_delay_ms[idx].record((outcome.queue_delay_s() * 1e3).max(0.0) as u64);
+        self.exec_ms[idx].record((outcome.exec_s * 1e3).max(0.0) as u64);
     }
 }
 
@@ -130,8 +169,32 @@ impl Cluster {
 
     /// Runs `jobs` (sorted by submit time) under `policy` and
     /// `speedups`, returning one outcome per job.
-    #[allow(unused_assignments)] // `now` is (re)written by each event arm
     pub fn run(&self, jobs: &[Job], policy: Policy, speedups: &SpeedupModel) -> Vec<JobOutcome> {
+        self.run_impl(jobs, policy, speedups, None)
+    }
+
+    /// [`Cluster::run`] with observability: queue depth, start and
+    /// backfill tallies, and per-group latency histograms are recorded
+    /// under `scope` as the simulation progresses.
+    pub fn run_metered(
+        &self,
+        jobs: &[Job],
+        policy: Policy,
+        speedups: &SpeedupModel,
+        scope: &Scope,
+    ) -> Vec<JobOutcome> {
+        let metrics = ClusterMetrics::new(scope);
+        self.run_impl(jobs, policy, speedups, Some(&metrics))
+    }
+
+    #[allow(unused_assignments)] // `now` is (re)written by each event arm
+    fn run_impl(
+        &self,
+        jobs: &[Job],
+        policy: Policy,
+        speedups: &SpeedupModel,
+        metrics: Option<&ClusterMetrics>,
+    ) -> Vec<JobOutcome> {
         let mut free = self.total;
         let mut completions: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
         let mut waiting: Vec<Job> = Vec::new();
@@ -173,7 +236,11 @@ impl Cluster {
                 &mut outcomes,
                 policy,
                 speedups,
+                metrics,
             );
+            if let Some(m) = metrics {
+                m.queue_depth.set(waiting.len() as i64);
+            }
         }
         outcomes.sort_by_key(|o| o.job.id);
         outcomes
@@ -190,12 +257,23 @@ impl Cluster {
         outcomes: &mut Vec<JobOutcome>,
         policy: Policy,
         speedups: &SpeedupModel,
+        metrics: Option<&ClusterMetrics>,
     ) {
         // Start FCFS-eligible jobs from the head.
         while let Some(&head) = waiting.first() {
             if head.nodes <= free.iter().sum::<u32>() {
                 waiting.remove(0);
-                Self::start(head, now, free, completions, outcomes, policy, speedups);
+                Self::start(
+                    head,
+                    now,
+                    free,
+                    completions,
+                    outcomes,
+                    policy,
+                    speedups,
+                    metrics,
+                    false,
+                );
             } else {
                 break;
             }
@@ -227,7 +305,17 @@ impl Cluster {
             };
             if fits && ends_in_time {
                 let job = waiting.remove(i);
-                Self::start(job, now, free, completions, outcomes, policy, speedups);
+                Self::start(
+                    job,
+                    now,
+                    free,
+                    completions,
+                    outcomes,
+                    policy,
+                    speedups,
+                    metrics,
+                    true,
+                );
             } else {
                 i += 1;
             }
@@ -268,6 +356,7 @@ impl Cluster {
     }
 
     /// Allocates and starts one job.
+    #[allow(clippy::too_many_arguments)]
     fn start(
         job: Job,
         now: f64,
@@ -276,6 +365,8 @@ impl Cluster {
         outcomes: &mut Vec<JobOutcome>,
         policy: Policy,
         speedups: &SpeedupModel,
+        metrics: Option<&ClusterMetrics>,
+        backfilled: bool,
     ) {
         let alloc = match policy {
             Policy::MarginAware => Self::allocate_margin_aware(job.nodes, free),
@@ -285,17 +376,21 @@ impl Cluster {
             *f -= a;
         }
         // The slowest allocated node's group caps the MPI job.
-        let exec =
-            job.duration_s / speedups.job_speedup(Self::min_group(&alloc), job.mem_utilization);
+        let min_group = Self::min_group(&alloc);
+        let exec = job.duration_s / speedups.job_speedup(min_group, job.mem_utilization);
         completions.push(Reverse(Completion {
             end_s: now + exec,
             freed: alloc,
         }));
-        outcomes.push(JobOutcome {
+        let outcome = JobOutcome {
             job,
             start_s: now,
             exec_s: exec,
-        });
+        };
+        if let Some(m) = metrics {
+            m.note_start(&outcome, min_group, backfilled);
+        }
+        outcomes.push(outcome);
     }
 
     /// Margin-aware allocation: the fastest single group that fits

@@ -243,7 +243,11 @@ mod stats_tests {
         let jobs = GrizzlyTrace::scaled(2_000, GRIZZLY_NODES).generate(4);
         let s = TraceStats::of(&jobs, GRIZZLY_NODES);
         assert_eq!(s.jobs, 2_000);
-        assert!((s.offered_utilization - 0.78).abs() < 0.08, "{}", s.offered_utilization);
+        assert!(
+            (s.offered_utilization - 0.78).abs() < 0.08,
+            "{}",
+            s.offered_utilization
+        );
         assert!((0.25..0.45).contains(&s.single_node_fraction));
         assert!(s.mean_nodes > 1.0);
         assert!(s.mean_duration_s > 60.0);

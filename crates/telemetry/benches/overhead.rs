@@ -1,0 +1,47 @@
+//! Hot-path overhead of the metric primitives. The acceptance bar is
+//! counter increment + histogram record at or under ~20 ns/op.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use telemetry::{Histogram, Registry};
+
+fn counter_inc(c: &mut Criterion) {
+    let registry = Registry::new();
+    let counter = registry.counter("bench.reads");
+    c.bench_function("telemetry_counter_inc", |b| {
+        b.iter(|| {
+            counter.inc();
+            black_box(&counter);
+        })
+    });
+}
+
+fn histogram_record(c: &mut Criterion) {
+    let hist = Histogram::new();
+    let mut v: u64 = 1;
+    c.bench_function("telemetry_histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record(black_box(v >> 32));
+        })
+    });
+}
+
+fn combined_hot_path(c: &mut Criterion) {
+    // The controller's per-read work: one counter bump plus one
+    // histogram record — the number the acceptance criterion bounds.
+    let registry = Registry::new();
+    let reads = registry.counter("ctrl.reads");
+    let latency = registry.histogram("ctrl.read_latency_ps");
+    let mut t: u64 = 13_000;
+    c.bench_function("telemetry_counter_plus_histogram", |b| {
+        b.iter(|| {
+            t = t.wrapping_add(625);
+            reads.inc();
+            latency.record(black_box(t & 0xFFFF));
+        })
+    });
+}
+
+criterion_group!(overhead, counter_inc, histogram_record, combined_hot_path);
+criterion_main!(overhead);

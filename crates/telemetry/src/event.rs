@@ -1,0 +1,195 @@
+//! Bounded event log and RAII spans.
+//!
+//! The [`EventLog`] is a fixed-capacity ring: when full, the oldest
+//! entry is overwritten, so long simulations keep a recent window of
+//! activity without unbounded memory. [`Span`] measures a scope: on
+//! drop it records wall nanoseconds (and an optional caller-supplied
+//! unit count such as simulated picoseconds) into histograms and
+//! appends a completion event.
+
+use crate::metric::Histogram;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A single logged occurrence. `value` carries whatever quantity the
+/// emitter chose (span duration in ns, an error count, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number across the log's lifetime; gaps never
+    /// occur, so `seq` reveals how many events were evicted.
+    pub seq: u64,
+    pub label: String,
+    pub value: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    next_seq: u64,
+    capacity: usize,
+    entries: VecDeque<Event>,
+}
+
+/// A thread-safe bounded ring buffer of [`Event`]s.
+#[derive(Clone, Debug)]
+pub struct EventLog {
+    inner: Arc<Mutex<Ring>>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::with_capacity(1024)
+    }
+}
+
+impl EventLog {
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            inner: Arc::new(Mutex::new(Ring {
+                next_seq: 0,
+                capacity: capacity.max(1),
+                entries: VecDeque::new(),
+            })),
+        }
+    }
+
+    pub fn push(&self, label: impl Into<String>, value: u64) {
+        let mut ring = self.inner.lock().unwrap();
+        if ring.entries.len() == ring.capacity {
+            ring.entries.pop_front();
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        let label = label.into();
+        ring.entries.push_back(Event { seq, label, value });
+    }
+
+    /// Oldest-to-newest copy of the retained window.
+    pub fn drain_snapshot(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().entries.iter().cloned().collect()
+    }
+
+    /// Total events ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().capacity
+    }
+}
+
+/// RAII scope timer. Created via [`Registry::span`](crate::Registry::span)
+/// (or [`Span::start`] with explicit histograms); on drop it records
+/// elapsed wall nanoseconds into `wall`, the value passed to
+/// [`record_units`](Span::record_units) into `units`, and appends a
+/// `label` event carrying the unit count to the log.
+#[derive(Debug)]
+pub struct Span {
+    label: String,
+    started: Instant,
+    wall: Histogram,
+    units: Option<Histogram>,
+    unit_count: u64,
+    log: Option<EventLog>,
+}
+
+impl Span {
+    pub fn start(
+        label: impl Into<String>,
+        wall: Histogram,
+        units: Option<Histogram>,
+        log: Option<EventLog>,
+    ) -> Self {
+        Span {
+            label: label.into(),
+            started: Instant::now(),
+            wall,
+            units,
+            unit_count: 0,
+            log,
+        }
+    }
+
+    /// Set the simulation-domain quantity (cycles, picoseconds, ops)
+    /// this span covered; recorded into the units histogram on drop.
+    pub fn record_units(&mut self, units: u64) {
+        self.unit_count = units;
+    }
+
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let wall_ns = self.started.elapsed().as_nanos() as u64;
+        self.wall.record(wall_ns);
+        if let Some(units) = &self.units {
+            units.record(self.unit_count);
+        }
+        if let Some(log) = &self.log {
+            log.push(self.label.clone(), self.unit_count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_seq() {
+        let log = EventLog::with_capacity(3);
+        for i in 0..5u64 {
+            log.push(format!("e{i}"), i);
+        }
+        let events = log.drain_snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(events[2].seq, 4);
+        assert_eq!(events[2].label, "e4");
+        assert_eq!(log.total_pushed(), 5);
+    }
+
+    #[test]
+    fn span_records_wall_and_units() {
+        let wall = Histogram::new();
+        let units = Histogram::new();
+        let log = EventLog::default();
+        {
+            let mut span = Span::start(
+                "phase",
+                wall.clone(),
+                Some(units.clone()),
+                Some(log.clone()),
+            );
+            span.record_units(12_345);
+        }
+        assert_eq!(wall.count(), 1);
+        assert_eq!(units.count(), 1);
+        assert_eq!(units.sum(), 12_345);
+        let events = log.drain_snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].label, "phase");
+        assert_eq!(events[0].value, 12_345);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_exceed_capacity() {
+        let log = EventLog::with_capacity(64);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let log = log.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        log.push("t", t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(log.drain_snapshot().len(), 64);
+        assert_eq!(log.total_pushed(), 4000);
+    }
+}

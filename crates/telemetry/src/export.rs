@@ -1,0 +1,231 @@
+//! Hand-rolled exporters: JSONL, CSV, and a console table. No serde —
+//! every value we serialize is an integer, a string, or a list of
+//! integer triples, so the writers stay tiny and dependency-free.
+
+use crate::metric::HistogramSnapshot;
+use crate::registry::{MetricValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Reduce a free-form label ("Hetero-DMR+FMR @0.8GT/s") to a metric
+/// name segment: lowercase alphanumerics, everything else collapsed to
+/// single underscores, trimmed at both ends.
+pub fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut pending_sep = false;
+    for ch in label.chars() {
+        if ch.is_ascii_alphanumeric() {
+            if pending_sep && !out.is_empty() {
+                out.push('_');
+            }
+            pending_sep = false;
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            pending_sep = true;
+        }
+    }
+    out
+}
+
+/// Escape `s` for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn histogram_json(name: &str, h: &HistogramSnapshot) -> String {
+    let mut line = format!(
+        "{{\"name\":\"{}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+        escape_json(name),
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+    );
+    for (i, (lo, hi, n)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "{{\"lo\":{lo},\"hi\":{hi},\"count\":{n}}}");
+    }
+    line.push_str("]}");
+    line
+}
+
+/// One JSON object per metric, one per line, sorted by name (the
+/// snapshot is already sorted). Integers only — byte-identical across
+/// runs whenever the underlying metrics are.
+pub fn format_jsonl(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for entry in &snapshot.entries {
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"{}\",\"type\":\"counter\",\"value\":{v}}}",
+                    escape_json(&entry.name)
+                );
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"{}\",\"type\":\"gauge\",\"value\":{v}}}",
+                    escape_json(&entry.name)
+                );
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&histogram_json(&entry.name, h));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn escape_csv(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Flat CSV: histograms contribute their aggregate columns (count,
+/// sum, min, max); scalar metrics leave the aggregate columns empty.
+pub fn format_csv(snapshot: &Snapshot) -> String {
+    let mut out = String::from("name,type,value,count,sum,min,max\n");
+    for entry in &snapshot.entries {
+        let name = escape_csv(&entry.name);
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{name},counter,{v},,,,");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{name},gauge,{v},,,,");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(
+                    out,
+                    "{name},histogram,,{},{},{},{}",
+                    h.count, h.sum, h.min, h.max
+                );
+            }
+        }
+    }
+    out
+}
+
+/// A right-padded two-column table for terminal output.
+pub fn format_console_table(snapshot: &Snapshot) -> String {
+    let width = snapshot
+        .entries
+        .iter()
+        .map(|e| e.name.len())
+        .max()
+        .unwrap_or(4)
+        .max("name".len());
+    let mut out = format!("{:width$}  value\n", "name");
+    let _ = writeln!(out, "{:-<width$}  -----", "");
+    for entry in &snapshot.entries {
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{:width$}  {v}", entry.name);
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{:width$}  {v}", entry.name);
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(
+                    out,
+                    "{:width$}  n={} mean={:.1} min={} max={}",
+                    entry.name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("ctrl.reads").add(10);
+        r.gauge("queue.depth").set(-2);
+        let h = r.histogram("ctrl.read_latency_ps");
+        h.record(0);
+        h.record(100);
+        h.record(100);
+        r.snapshot()
+    }
+
+    #[test]
+    fn slug_flattens_labels() {
+        assert_eq!(slug("Hetero-DMR+FMR"), "hetero_dmr_fmr");
+        assert_eq!(slug("Hierarchy1"), "hierarchy1");
+        assert_eq!(slug("  @0.8 GT/s  "), "0_8_gt_s");
+        assert_eq!(slug("already_fine"), "already_fine");
+        assert_eq!(slug("***"), "");
+    }
+
+    #[test]
+    fn jsonl_shape_and_escaping() {
+        let jsonl = format_jsonl(&sample());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"ctrl.read_latency_ps\",\"type\":\"histogram\",\"count\":3,\
+             \"sum\":200,\"min\":0,\"max\":100,\"buckets\":[{\"lo\":0,\"hi\":0,\"count\":1},\
+             {\"lo\":64,\"hi\":127,\"count\":2}]}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"name\":\"ctrl.reads\",\"type\":\"counter\",\"value\":10}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"name\":\"queue.depth\",\"type\":\"gauge\",\"value\":-2}"
+        );
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = format_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,type,value,count,sum,min,max");
+        assert_eq!(lines[1], "ctrl.read_latency_ps,histogram,,3,200,0,100");
+        assert_eq!(lines[2], "ctrl.reads,counter,10,,,,");
+        assert_eq!(lines[3], "queue.depth,gauge,-2,,,,");
+        assert_eq!(escape_csv("a,b"), "\"a,b\"");
+    }
+
+    #[test]
+    fn console_table_renders_every_entry() {
+        let table = format_console_table(&sample());
+        assert!(table.contains("ctrl.reads"));
+        assert!(table.contains("n=3 mean=66.7 min=0 max=100"));
+        assert!(table.contains("queue.depth"));
+    }
+}

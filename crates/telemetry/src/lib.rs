@@ -1,0 +1,43 @@
+//! Workspace-wide observability: cheap atomic metrics, scoped spans,
+//! a bounded event log, exporters, and run manifests.
+//!
+//! The crate is `std`-only and allocation-free on the hot path: a
+//! [`Counter`], [`Gauge`], or [`Histogram`] handle is an `Arc` around
+//! atomics, so recording is a single relaxed RMW (two for histograms)
+//! — cheap enough to live inside the memory-controller command loop.
+//!
+//! # Structure
+//!
+//! - [`Registry`] owns named metrics; [`Scope`] prefixes names so each
+//!   subsystem registers under its own namespace (`controller.reads`,
+//!   `governor.fallbacks`, …).
+//! - [`Span`] is an RAII timer: on drop it records wall time and an
+//!   optional caller-supplied unit count (cycles, picoseconds, ops)
+//!   into histograms, and appends to the registry's [`EventLog`].
+//! - [`Snapshot`] is a point-in-time copy of every metric, exportable
+//!   as JSONL, CSV, or a console table (all hand-rolled, no serde).
+//! - [`RunManifest`] captures run provenance (seed, knobs, git
+//!   describe, wall time) next to the metric files.
+//!
+//! # Determinism
+//!
+//! Simulation metrics are pure functions of the seed, so snapshots of
+//! them are byte-identical across runs. Wall-clock measurements are
+//! not; by convention every wall-time histogram name ends in
+//! [`WALL_SUFFIX`], and [`Snapshot::sim_only`] strips them so callers
+//! can emit a deterministic metrics file plus a manifest that carries
+//! the (non-deterministic) timing.
+
+#![forbid(unsafe_code)]
+
+mod event;
+mod export;
+mod manifest;
+mod metric;
+mod registry;
+
+pub use event::{Event, EventLog, Span};
+pub use export::{escape_json, format_console_table, format_csv, format_jsonl, slug};
+pub use manifest::RunManifest;
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{MetricValue, Registry, Scope, Snapshot, SnapshotEntry, WALL_SUFFIX};

@@ -1,0 +1,415 @@
+//! The three metric primitives: counters, gauges, and log-bucketed
+//! histograms. All are `Arc`-shared handles over atomics; cloning a
+//! handle aliases the same metric, [`fork`](Counter::fork) detaches a
+//! deep copy (used by simulation components that are `Clone`d into
+//! independent replicas).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: one for zero plus one per power of
+/// two up to `2^63..=u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// A detached copy: same current value, independent future
+    /// updates. Cloned simulation state forks its metrics so replicas
+    /// do not double-count into a shared cell.
+    pub fn fork(&self) -> Self {
+        Counter(Arc::new(AtomicU64::new(self.get())))
+    }
+}
+
+/// A signed instantaneous level (queue depth, in-flight requests).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, delta: i64) {
+        self.0.fetch_sub(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// A detached copy (see [`Counter::fork`]).
+    pub fn fork(&self) -> Self {
+        Gauge(Arc::new(AtomicI64::new(self.get())))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    /// `u64::MAX` until the first record.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log₂-bucketed distribution of `u64` samples.
+///
+/// Bucket 0 holds exactly the value 0; bucket `i > 0` holds
+/// `2^(i-1) ..= 2^i - 1`. Recording is two relaxed `fetch_add`s
+/// (bucket and sum — the total count is derived from the buckets at
+/// read time) plus min/max maintenance that is load-only once the
+/// extremes are established, with no allocation.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// The bucket index a value lands in.
+#[inline]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `idx`.
+pub(crate) fn bucket_bounds(idx: usize) -> (u64, u64) {
+    match idx {
+        0 => (0, 0),
+        64 => (1u64 << 63, u64::MAX),
+        i => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        // Guarded RMWs: once the extremes are established the common
+        // case is a relaxed load and a branch. The inner fetch_min /
+        // fetch_max keeps racing updates correct (idempotent).
+        if value < inner.min.load(Ordering::Relaxed) {
+            inner.min.fetch_min(value, Ordering::Relaxed);
+        }
+        if value > inner.max.load(Ordering::Relaxed) {
+            inner.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.0.min.load(Ordering::Relaxed))
+        }
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.0.max.load(Ordering::Relaxed))
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket at which the cumulative count first
+    /// reaches `q` (0.0..=1.0) of the total — a log₂-resolution
+    /// quantile estimate.
+    pub fn approx_quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (idx, bucket) in self.0.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return Some(bucket_bounds(idx).1);
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Fold another histogram's contents into this one.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let count = other.count();
+        if count > 0 {
+            self.0.sum.fetch_add(other.sum(), Ordering::Relaxed);
+            self.0
+                .min
+                .fetch_min(other.0.min.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.0
+                .max
+                .fetch_max(other.0.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// A detached copy (see [`Counter::fork`]).
+    pub fn fork(&self) -> Self {
+        let fresh = Histogram::new();
+        fresh.merge_from(self);
+        fresh
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.0;
+        let mut count = 0u64;
+        let buckets: Vec<(u64, u64, u64)> = inner
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let n = b.load(Ordering::Relaxed);
+                count += n;
+                if n == 0 {
+                    None
+                } else {
+                    let (lo, hi) = bucket_bounds(idx);
+                    Some((lo, hi, n))
+                }
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                inner.min.load(Ordering::Relaxed)
+            },
+            max: inner.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: only non-empty buckets
+/// are materialized, as `(lo, hi, count)` with inclusive bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index((1u64 << 63) - 1), 63);
+        for idx in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(bucket_index(lo), idx);
+            assert_eq!(bucket_index(hi), idx);
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn histogram_zero_and_max() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.len(), 2);
+        assert_eq!(snap.buckets[0], (0, 0, 1));
+        assert_eq!(snap.buckets[1], (1u64 << 63, u64::MAX, 1));
+    }
+
+    #[test]
+    fn histogram_boundaries_land_in_their_bucket() {
+        let h = Histogram::new();
+        for shift in 0..64 {
+            h.record(1u64 << shift);
+        }
+        let snap = h.snapshot();
+        // 1 lands in bucket 1, every other power of two opens its own.
+        assert_eq!(snap.count, 64);
+        for (lo, _hi, n) in &snap.buckets {
+            assert_eq!(*n, 1, "bucket starting at {lo} should hold one sample");
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let aliased = c.clone();
+        aliased.inc();
+        assert_eq!(c.get(), 43);
+        let forked = c.fork();
+        forked.inc();
+        assert_eq!(c.get(), 43);
+        assert_eq!(forked.get(), 44);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn concurrent_counter_increments() {
+        let c = Counter::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_histogram_records() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(t * 5_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 20_000);
+        let expected_sum: u64 = (0..20_000).sum();
+        assert_eq!(h.sum(), expected_sum);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(19_999));
+    }
+
+    #[test]
+    fn merge_and_quantiles() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 2, 3, 4] {
+            a.record(v);
+        }
+        for v in [100u64, 200] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), 310);
+        assert_eq!(a.max(), Some(200));
+        // Median falls in the low buckets, p99 in the 128..=255 one.
+        assert!(a.approx_quantile(0.5).unwrap() <= 7);
+        assert_eq!(a.approx_quantile(1.0), Some(255));
+        assert_eq!(Histogram::new().approx_quantile(0.5), None);
+    }
+}

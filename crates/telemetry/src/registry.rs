@@ -1,0 +1,336 @@
+//! The metric registry: named handles, scoped namespaces, snapshots.
+
+use crate::event::{EventLog, Span};
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Wall-clock histograms end in this suffix by convention, so
+/// [`Snapshot::sim_only`] can strip non-deterministic values from
+/// exports that must be byte-identical across runs of the same seed.
+pub const WALL_SUFFIX: &str = ".wall_ns";
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    events: EventLog,
+}
+
+/// A shared, thread-safe collection of named metrics.
+///
+/// Cloning a `Registry` is cheap and aliases the same underlying
+/// store. Handles returned by [`counter`](Registry::counter) /
+/// [`gauge`](Registry::gauge) / [`histogram`](Registry::histogram)
+/// stay valid for the registry's lifetime; looking one up twice
+/// returns the same metric.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.inner.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric '{name}' already registered as {}", kind_of(other)),
+        }
+    }
+
+    /// Get or create the gauge `name` (same contract as `counter`).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.inner.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric '{name}' already registered as {}", kind_of(other)),
+        }
+    }
+
+    /// Get or create the histogram `name` (same contract as `counter`).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.inner.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric '{name}' already registered as {}", kind_of(other)),
+        }
+    }
+
+    /// Register pre-existing handles under `name`, folding any prior
+    /// contents of the handle into the registry's view. Used when a
+    /// component that recorded into detached handles is later
+    /// attached to a registry.
+    pub fn adopt_histogram(&self, name: &str, hist: &Histogram) {
+        self.histogram(name).merge_from(hist);
+    }
+
+    pub fn adopt_counter(&self, name: &str, counter: &Counter) {
+        self.counter(name).add(counter.get());
+    }
+
+    /// A namespaced view: every metric created through the scope gets
+    /// `prefix.` prepended to its name.
+    pub fn scope(&self, prefix: &str) -> Scope {
+        Scope {
+            registry: self.clone(),
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// The registry's bounded event log.
+    pub fn events(&self) -> EventLog {
+        self.inner.events.clone()
+    }
+
+    /// Start an RAII span named `label`: wall time goes to
+    /// `<label>.wall_ns`, units to `<label>.units`, completion events
+    /// to the registry log.
+    pub fn span(&self, label: &str) -> Span {
+        Span::start(
+            label,
+            self.histogram(&format!("{label}{WALL_SUFFIX}")),
+            Some(self.histogram(&format!("{label}.units"))),
+            Some(self.events()),
+        )
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.inner.metrics.lock().unwrap();
+        Snapshot {
+            entries: metrics
+                .iter()
+                .map(|(name, metric)| SnapshotEntry {
+                    name: name.clone(),
+                    value: match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+fn kind_of(metric: &Metric) -> &'static str {
+    match metric {
+        Metric::Counter(_) => "a counter",
+        Metric::Gauge(_) => "a gauge",
+        Metric::Histogram(_) => "a histogram",
+    }
+}
+
+/// A prefix-applying view over a [`Registry`] (see [`Registry::scope`]).
+#[derive(Clone, Debug)]
+pub struct Scope {
+    registry: Registry,
+    prefix: String,
+}
+
+impl Scope {
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(&self.qualified(name))
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(&self.qualified(name))
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry.histogram(&self.qualified(name))
+    }
+
+    pub fn span(&self, label: &str) -> Span {
+        self.registry.span(&self.qualified(label))
+    }
+
+    /// A nested scope `self.prefix + "." + prefix`.
+    pub fn scope(&self, prefix: &str) -> Scope {
+        self.registry.scope(&self.qualified(prefix))
+    }
+
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    fn qualified(&self, name: &str) -> String {
+        format!("{}.{name}", self.prefix)
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+/// A named metric at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotEntry {
+    pub name: String,
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of a registry's metrics, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
+    }
+
+    /// Convenience: the value of counter `name`, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Entries whose names pass `keep`.
+    pub fn filter(&self, keep: impl Fn(&str) -> bool) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| keep(&e.name))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Strip wall-clock metrics (names ending in [`WALL_SUFFIX`]) so
+    /// the result is deterministic for a fixed seed.
+    pub fn sim_only(&self) -> Snapshot {
+        self.filter(|name| !name.ends_with(WALL_SUFFIX))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_idempotent_and_shared() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.counter("a").add(2);
+        assert_eq!(r.counter("a").get(), 3);
+        let clone = r.clone();
+        clone.counter("a").inc();
+        assert_eq!(r.counter("a").get(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn scopes_prefix_names() {
+        let r = Registry::new();
+        let ctrl = r.scope("controller");
+        ctrl.counter("reads").add(7);
+        let nested = ctrl.scope("ch0");
+        nested.gauge("depth").set(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("controller.reads"), 7);
+        assert_eq!(
+            snap.get("controller.ch0.depth"),
+            Some(&MetricValue::Gauge(3))
+        );
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_filterable() {
+        let r = Registry::new();
+        r.counter("z.ops");
+        r.counter("a.ops");
+        r.histogram("run.wall_ns").record(5);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a.ops", "run.wall_ns", "z.ops"]);
+        let sim = snap.sim_only();
+        assert_eq!(sim.len(), 2);
+        assert!(sim.get("run.wall_ns").is_none());
+    }
+
+    #[test]
+    fn registry_span_registers_wall_and_units() {
+        let r = Registry::new();
+        {
+            let mut span = r.span("phase1");
+            span.record_units(99);
+        }
+        let snap = r.snapshot();
+        match snap.get("phase1.units") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum, 99);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(snap.get("phase1.wall_ns").is_some());
+        assert_eq!(r.events().total_pushed(), 1);
+    }
+
+    #[test]
+    fn adopt_folds_existing_values() {
+        let r = Registry::new();
+        let c = Counter::new();
+        c.add(5);
+        r.adopt_counter("pre.count", &c);
+        let h = Histogram::new();
+        h.record(10);
+        r.adopt_histogram("pre.hist", &h);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("pre.count"), 5);
+        match snap.get("pre.hist") {
+            Some(MetricValue::Histogram(hs)) => assert_eq!(hs.sum, 10),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use: `Criterion`,
+//! `bench_function`, `benchmark_group` (with `sample_size`/`finish`),
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros. Timing is a plain wall-clock loop — no statistics, plots,
+//! or CLI parsing — and each benchmark prints one `name: time/iter`
+//! line. Good enough to keep benches compiling and to give order-of-
+//! magnitude numbers offline.
+
+#![forbid(unsafe_code)]
+// Stand-in for an external crate: exempt from first-party lint policy.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark (after warm-up).
+const MEASURE: Duration = Duration::from_millis(200);
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// Re-export so `criterion::black_box` works like upstream.
+pub use std::hint::black_box;
+
+/// The bench harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group; ids are prefixed with the group name.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in harness is purely
+    /// time-budgeted, so the count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call `iter` with
+/// the code under test.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` in a warm-up + measurement loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_end = Instant::now() + WARMUP;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_end {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Batch so the clock is read ~1k times, not once per iter.
+        let batch = (warm_iters / 50).max(1);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < MEASURE {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.iters_done = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{id}: no iterations recorded");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    if ns >= 1_000_000.0 {
+        println!("{id}: {:.3} ms/iter ({} iters)", ns / 1e6, b.iters_done);
+    } else if ns >= 1_000.0 {
+        println!("{id}: {:.3} µs/iter ({} iters)", ns / 1e3, b.iters_done);
+    } else {
+        println!("{id}: {ns:.1} ns/iter ({} iters)", b.iters_done);
+    }
+}
+
+/// Collect bench functions into a runner, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(black_box(3));
+                x
+            });
+        });
+    }
+
+    #[test]
+    fn groups_prefix_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    criterion_group!(test_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("macro_smoke", |b| b.iter(|| black_box(2u32.pow(10))));
+    }
+
+    #[test]
+    fn macro_group_invocable() {
+        test_group();
+    }
+}

@@ -1,0 +1,460 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the small API subset it actually uses: the
+//! [`Rng`] extension trait (`random`, `random_range`, `random_bool`,
+//! `fill`), [`SeedableRng`] with `seed_from_u64`, and
+//! [`rngs::StdRng`]. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic, high quality, and fully reproducible
+//! across runs and platforms (the simulators' bit-determinism tests
+//! rely on that).
+//!
+//! This is NOT the real `rand` crate; only the surface the Hetero-DMR
+//! reproduction calls is implemented.
+
+#![forbid(unsafe_code)]
+// Stand-in for an external crate: exempt from first-party lint policy.
+#![allow(clippy::all)]
+
+/// The low-level generator interface: raw random words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of a standard type (`u8`…`u64`,
+    /// `usize`, floats in `[0, 1)`, `bool`).
+    fn random<T: distr::StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn random_range<T, R2>(&mut self, range: R2) -> T
+    where
+        R2: distr::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // Compare against 53-bit uniform; p == 1.0 must always win.
+        p >= 1.0 || distr::unit_f64(self.next_u64()) < p
+    }
+
+    /// Fills `dest` (a byte slice) with random data.
+    fn fill<T: distr::Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding support.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a `u64`, expanding it with SplitMix64
+    /// (the conventional construction for xoshiro-family seeds).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: seed expander (public for reuse in tests/tools).
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// The next SplitMix64 output.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, SplitMix64};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let word = |i: usize| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                u64::from_le_bytes(b)
+            };
+            let mut s = [word(0), word(1), word(2), word(3)];
+            if s == [0; 4] {
+                // The all-zero state is a fixed point; remix it.
+                let mut sm = SplitMix64(0x5EED_5EED_5EED_5EED);
+                s = [sm.next(), sm.next(), sm.next(), sm.next()];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Distribution plumbing behind [`Rng`]'s generic methods.
+pub mod distr {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Converts 64 random bits into a uniform `f32` in `[0, 1)`.
+    pub fn unit_f32(bits: u64) -> f32 {
+        (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Types `Rng::random` can produce.
+    pub trait StandardSample: Sized {
+        /// A uniformly random value.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl StandardSample for $t {
+                fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl StandardSample for u128 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl StandardSample for i128 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> i128 {
+            u128::sample_standard(rng) as i128
+        }
+    }
+
+    impl StandardSample for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl StandardSample for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl StandardSample for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+            unit_f32(rng.next_u64())
+        }
+    }
+
+    /// Integer types `Rng::random_range` supports.
+    pub trait UniformInt: Copy {
+        /// The width of `lo..=hi` minus one, as a `u64` span.
+        fn span_inclusive(lo: Self, hi: Self) -> u64;
+        /// `lo` advanced by `offset`.
+        fn offset_from(lo: Self, offset: u64) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty => $u:ty),*) => {$(
+            impl UniformInt for $t {
+                fn span_inclusive(lo: $t, hi: $t) -> u64 {
+                    (hi as $u).wrapping_sub(lo as $u) as u64
+                }
+                fn offset_from(lo: $t, offset: u64) -> $t {
+                    (lo as $u).wrapping_add(offset as $u) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+    );
+
+    /// Uniform integer in `[0, bound]` (inclusive) without modulo bias,
+    /// via widening-multiply rejection (Lemire's method).
+    fn below_inclusive<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        if bound == u64::MAX {
+            return rng.next_u64();
+        }
+        let n = bound + 1;
+        // Zone of full n-multiples within 2^64.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = rng.next_u64();
+            let (hi, lo) = {
+                let wide = u128::from(v) * u128::from(n);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo <= zone {
+                return hi;
+            }
+        }
+    }
+
+    /// Ranges `Rng::random_range` accepts.
+    pub trait SampleRange<T> {
+        /// One uniform sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: UniformInt + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let span = T::span_inclusive(self.start, self.end) - 1;
+            T::offset_from(self.start, below_inclusive(rng, span))
+        }
+    }
+
+    impl<T: UniformInt + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "cannot sample empty range");
+            let span = T::span_inclusive(lo, hi);
+            T::offset_from(lo, below_inclusive(rng, span))
+        }
+    }
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+            // Floating rounding can land exactly on `end`; stay inside.
+            if v < self.end {
+                v
+            } else {
+                self.start
+            }
+        }
+    }
+
+    impl SampleRange<f64> for RangeInclusive<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "cannot sample empty range");
+            lo + unit_f64(rng.next_u64()) * (hi - lo)
+        }
+    }
+
+    impl SampleRange<f32> for Range<f32> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let v = self.start + unit_f32(rng.next_u64()) * (self.end - self.start);
+            if v < self.end {
+                v
+            } else {
+                self.start
+            }
+        }
+    }
+
+    /// Buffers `Rng::fill` can populate.
+    pub trait Fill {
+        /// Overwrites `self` with random data.
+        fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl Fill for [u8] {
+        fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            rng.fill_bytes(self);
+        }
+    }
+
+    impl<const N: usize> Fill for [u8; N] {
+        fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            rng.fill_bytes(self);
+        }
+    }
+}
+
+// Re-exports matching the real crate's module layout closely enough
+// for the workspace's `use` statements.
+pub use distr::{Fill, SampleRange, StandardSample};
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u32 = rng.random_range(5..=7);
+            assert!((5..=7).contains(&w));
+            let x: usize = rng.random_range(0..1);
+            assert_eq!(x, 0);
+            let f: f64 = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let s: i64 = rng.random_range(-50..=-40);
+            assert!((-50..=-40).contains(&s));
+        }
+    }
+
+    #[test]
+    fn all_range_values_reachable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "coverage {seen:?}");
+    }
+
+    #[test]
+    fn unit_f64_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.random_bool(0.3)).count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.3).abs() < 0.01, "p {p}");
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainders() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let mut buf = vec![0u8; len];
+            rng.fill(&mut buf[..]);
+            if len >= 16 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} stayed zero");
+            }
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn takes_dynish<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.random_range(0..100u64)
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = takes_dynish(&mut rng);
+        assert!(v < 100);
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert!(a != 0 || b != 0);
+    }
+}
