@@ -24,4 +24,25 @@ cargo clippy --offline --workspace \
 echo "== benches compile =="
 cargo bench --offline --workspace --no-run
 
+echo "== jobs-invariance (parallel vs serial experiments) =="
+# The full evaluation under the parallel runner must produce
+# byte-identical stdout and metrics to a serial run.
+EXP=target/release/experiments
+DET_DIR=$(mktemp -d)
+trap 'rm -rf "$DET_DIR"' EXIT
+t0=$SECONDS
+"$EXP" all --quick --ops 1200 --jobs "$(nproc)" \
+    --metrics "$DET_DIR/par" > "$DET_DIR/par.out"
+t_par=$((SECONDS - t0))
+t0=$SECONDS
+"$EXP" all --quick --ops 1200 --jobs 1 \
+    --metrics "$DET_DIR/ser" > "$DET_DIR/ser.out"
+t_ser=$((SECONDS - t0))
+# The stdout summary line embeds the metrics path; normalize it.
+sed -i "s|$DET_DIR/par|METRICS|" "$DET_DIR/par.out"
+sed -i "s|$DET_DIR/ser|METRICS|" "$DET_DIR/ser.out"
+diff -u "$DET_DIR/ser.out" "$DET_DIR/par.out"
+diff -u "$DET_DIR/ser/all.metrics.jsonl" "$DET_DIR/par/all.metrics.jsonl"
+echo "wall-clock: --jobs $(nproc) ran in ${t_par}s, --jobs 1 in ${t_ser}s"
+
 echo "CI OK"

@@ -70,7 +70,8 @@ fn controller_read(c: &mut Criterion) {
         b.iter(|| {
             addr = addr.wrapping_add(64);
             t += 4_000;
-            black_box(ctrl.read(mapping.map(addr), t))
+            let token = ctrl.submit_read(mapping.map(addr), t, true);
+            black_box(ctrl.resolve_read(token))
         })
     });
 }

@@ -80,79 +80,51 @@ impl MemoryDesign {
     /// channels; the naive strawman additionally needs
     /// [`MemoryDesign::per_channel_modes`]).
     pub fn channel_mode(self) -> ChannelMode {
-        let base = ChannelMode::commercial_baseline();
-        match self {
-            MemoryDesign::CommercialBaseline => base,
-            MemoryDesign::ExploitLatency => {
-                let t = MemorySetting::LatencyMargin.timing();
-                ChannelMode {
-                    read_timing: t,
-                    write_timing: t,
-                    ..base
-                }
-            }
+        let built = match self {
+            MemoryDesign::CommercialBaseline => Ok(ChannelMode::commercial_baseline()),
+            MemoryDesign::ExploitLatency => Ok(ChannelMode::preset(MemorySetting::LatencyMargin)),
             MemoryDesign::ExploitFrequency => {
-                let t = MemorySetting::FrequencyMargin.timing();
-                ChannelMode {
-                    read_timing: t,
-                    write_timing: t,
-                    ..base
-                }
+                Ok(ChannelMode::preset(MemorySetting::FrequencyMargin))
             }
-            MemoryDesign::ExploitFreqLat => {
-                let t = MemorySetting::FreqLatMargin.timing();
-                ChannelMode {
-                    read_timing: t,
-                    write_timing: t,
-                    ..base
-                }
-            }
+            MemoryDesign::ExploitFreqLat => Ok(ChannelMode::preset(MemorySetting::FreqLatMargin)),
             // FMR pairs ranks and keeps copies at the same offsets of
             // the paired rank; software data still interleaves across
             // every rank (only whole-module designs like Hetero-DMR
             // must confine data to the in-use module).
-            MemoryDesign::Fmr => ChannelMode {
-                fmr_read_choice: true,
-                broadcast_copies: 1,
-                ..base
-            },
+            MemoryDesign::Fmr => ChannelMode::builder()
+                .fmr_read_choice(true)
+                .broadcast_copies(1)
+                .build(),
             MemoryDesign::HeteroDmr { margin_mts } => {
                 let (fast, safe) = HierarchyConfig::hetero_dmr_timings(margin_mts);
-                ChannelMode {
-                    read_timing: fast,
-                    write_timing: safe,
-                    turnaround_penalty_ps: PS_PER_US,
+                ChannelMode::builder()
+                    .read_timing(fast)
+                    .write_timing(safe)
+                    .turnaround_penalty_ps(PS_PER_US)
                     // The 12 800-write batches the LLC cleaning of
                     // Section III-E exists to build (100× a
                     // conventional 128-write batch).
-                    write_high_watermark: 12_800,
-                    write_batch: usize::MAX,
-                    llc_clean_target: 0,
-                    writeback_cache: true,
-                    read_ranks: Some(2),
-                    broadcast_copies: 1,
-                    fmr_read_choice: false,
-                    software_ranks: Some(2),
-                }
+                    .write_high_watermark(12_800)
+                    .write_batch(usize::MAX)
+                    .read_ranks(Some(2))
+                    .broadcast_copies(1)
+                    .software_ranks(Some(2))
+                    .build()
             }
-            MemoryDesign::HeteroDmrFmr { margin_mts } => {
-                let mut mode = MemoryDesign::HeteroDmr { margin_mts }.channel_mode();
-                mode.fmr_read_choice = true;
-                mode.broadcast_copies = 2;
-                mode
-            }
+            MemoryDesign::HeteroDmrFmr { margin_mts } => MemoryDesign::HeteroDmr { margin_mts }
+                .channel_mode()
+                .to_builder()
+                .fmr_read_choice(true)
+                .broadcast_copies(2)
+                .build(),
             MemoryDesign::NaiveDmr { margin_mts } => {
                 // The fast half's mode; see per_channel_modes.
-                let fast = MemorySetting::Specified
-                    .timing()
-                    .at_rate(dram::rate::DataRate::MT3200.plus_margin(margin_mts));
-                ChannelMode {
-                    read_timing: fast,
-                    write_timing: fast,
-                    ..base
-                }
+                ChannelMode::builder()
+                    .data_rate(dram::rate::DataRate::MT3200.plus_margin(margin_mts))
+                    .build()
             }
-        }
+        };
+        built.unwrap_or_else(|e| panic!("{}: invalid channel mode: {e}", self.name()))
     }
 
     /// Per-channel modes for designs that operate channels

@@ -7,12 +7,20 @@
 //! the testbed could demonstrate. A channel's margin is the selected
 //! module's margin (max under margin-aware selection, first under
 //! margin-unaware); a node's margin is the minimum over its channels.
+//!
+//! The estimation drivers run their trials on the worker pool: each
+//! trial gets a counter-derived RNG stream
+//! ([`runner::seed::iteration_seed`]), so the estimate is exactly the
+//! same for any `--jobs` value — the trial→seed mapping is fixed and
+//! the reductions are integer counts, which commute.
 
 use margin::composition::{channel_margin, node_margin, SelectionPolicy};
 use margin::population::quantize;
 use margin::stats::sample_normal;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use runner::seed::iteration_seed;
+use runner::{parallel_count, parallel_tally};
 
 /// Per-module margin distribution parameters and system shape.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +97,22 @@ impl MonteCarlo {
         node_margin(&channels)
     }
 
+    /// One trial's sampled channel margin: trial `t` of the estimate
+    /// seeded by `seed` always draws from the same derived stream,
+    /// independent of which worker runs it.
+    fn trial_channel(&self, seed: u64, t: usize, policy: SelectionPolicy) -> u32 {
+        let mut rng = StdRng::seed_from_u64(iteration_seed(seed, t as u64));
+        self.sample_channel(&mut rng, policy)
+    }
+
+    /// One trial's sampled node margin (see [`trial_channel`]).
+    ///
+    /// [`trial_channel`]: MonteCarlo::trial_channel
+    fn trial_node(&self, seed: u64, t: usize, policy: SelectionPolicy) -> u32 {
+        let mut rng = StdRng::seed_from_u64(iteration_seed(seed, t as u64));
+        self.sample_node(&mut rng, policy)
+    }
+
     /// Fraction of channels with margin ≥ `threshold_mts`.
     pub fn channel_fraction_at_least(
         &self,
@@ -97,10 +121,9 @@ impl MonteCarlo {
         trials: usize,
         seed: u64,
     ) -> f64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let hits = (0..trials)
-            .filter(|_| self.sample_channel(&mut rng, policy) >= threshold_mts)
-            .count();
+        let hits = parallel_count(trials, |t| {
+            self.trial_channel(seed, t, policy) >= threshold_mts
+        });
         hits as f64 / trials as f64
     }
 
@@ -112,10 +135,9 @@ impl MonteCarlo {
         trials: usize,
         seed: u64,
     ) -> f64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let hits = (0..trials)
-            .filter(|_| self.sample_node(&mut rng, policy) >= threshold_mts)
-            .count();
+        let hits = parallel_count(trials, |t| {
+            self.trial_node(seed, t, policy) >= threshold_mts
+        });
         hits as f64 / trials as f64
     }
 
@@ -123,15 +145,13 @@ impl MonteCarlo {
     /// margin-aware selection): ≈ 62 % at 0.8 GT/s, 36 % at 0.6 GT/s,
     /// 2 % at 0.
     pub fn node_groups(&self, policy: SelectionPolicy, trials: usize, seed: u64) -> MarginGroups {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut counts = [0usize; 3];
-        for _ in 0..trials {
-            match MarginGroups::group_of(self.sample_node(&mut rng, policy)) {
-                800 => counts[0] += 1,
-                600 => counts[1] += 1,
-                _ => counts[2] += 1,
+        let counts = parallel_tally::<3, _>(trials, |t| {
+            match MarginGroups::group_of(self.trial_node(seed, t, policy)) {
+                800 => 0,
+                600 => 1,
+                _ => 2,
             }
-        }
+        });
         MarginGroups {
             at_800: counts[0] as f64 / trials as f64,
             at_600: counts[1] as f64 / trials as f64,
@@ -200,6 +220,25 @@ mod tests {
         assert_eq!(MarginGroups::group_of(799), 600);
         assert_eq!(MarginGroups::group_of(599), 0);
         assert_eq!(MarginGroups::group_of(0), 0);
+    }
+
+    #[test]
+    fn estimates_are_independent_of_worker_count() {
+        // The trial→seed mapping is fixed and the reductions are
+        // integer counts, so the estimate must be bit-identical for
+        // any worker budget.
+        let mc = MonteCarlo::default();
+        runner::set_jobs(1);
+        let groups_serial = mc.node_groups(SelectionPolicy::MarginAware, 4_000, 11);
+        let frac_serial =
+            mc.channel_fraction_at_least(SelectionPolicy::MarginAware, 800, 4_000, 12);
+        runner::set_jobs(8);
+        let groups_parallel = mc.node_groups(SelectionPolicy::MarginAware, 4_000, 11);
+        let frac_parallel =
+            mc.channel_fraction_at_least(SelectionPolicy::MarginAware, 800, 4_000, 12);
+        runner::set_jobs(0);
+        assert_eq!(groups_serial, groups_parallel);
+        assert_eq!(frac_serial.to_bits(), frac_parallel.to_bits());
     }
 
     #[test]

@@ -71,6 +71,44 @@ impl Default for EvalConfig {
     }
 }
 
+/// One full simulation of `design` on `suite`: pure with respect to
+/// its arguments (no memoization, no engine state), which is what
+/// makes [`NodeModel::prime`] safe to fan out across workers.
+fn simulate(
+    hierarchy: &HierarchyConfig,
+    config: &EvalConfig,
+    metrics: Option<&Scope>,
+    design: MemoryDesign,
+    suite: Suite,
+) -> SimResult {
+    let (modes, mirror) = design.per_channel_modes(hierarchy.memory.channels);
+    let mut node = NodeSim::with_modes(*hierarchy, modes, mirror);
+    if let Some(scope) = metrics {
+        let label = format!("{}.{}", slug(&design.name()), slug(suite.name()));
+        node.attach_telemetry(&scope.scope(&label));
+    }
+    let streams: Vec<TraceGen> = (0..hierarchy.cores)
+        .map(|i| {
+            TraceGen::new(
+                suite.params(),
+                config.seed.wrapping_add(i as u64),
+                config.ops_per_core,
+            )
+        })
+        .collect();
+    // Start in steady state: fill each core's LLC partition with
+    // its stream's recent past (the paper warms its gem5 caches
+    // before the measured interval), dirty at the store fraction.
+    // Every design gets the identical warm state so write volumes
+    // are comparable; Hetero-DMR's cleaning then drains the same
+    // dirty blocks in batches that eviction would have trickled.
+    let warm = node.l3_blocks_per_core();
+    for (i, stream) in streams.iter().enumerate() {
+        node.prewarm_core(i, stream.warmup_blocks(warm, suite.params().write_fraction));
+    }
+    node.run(streams)
+}
+
 /// The evaluation engine for one hierarchy, with run memoization.
 #[derive(Debug)]
 pub struct NodeModel {
@@ -111,36 +149,48 @@ impl NodeModel {
         if let Some(hit) = self.cache.borrow().get(&(design, suite)) {
             return hit.clone();
         }
-        let (modes, mirror) = design.per_channel_modes(self.hierarchy.memory.channels);
-        let mut node = NodeSim::with_modes(self.hierarchy, modes, mirror);
-        if let Some(scope) = &self.metrics {
-            let label = format!("{}.{}", slug(&design.name()), slug(suite.name()));
-            node.attach_telemetry(&scope.scope(&label));
-        }
-        let streams: Vec<TraceGen> = (0..self.hierarchy.cores)
-            .map(|i| {
-                TraceGen::new(
-                    suite.params(),
-                    self.config.seed.wrapping_add(i as u64),
-                    self.config.ops_per_core,
-                )
-            })
-            .collect();
-        // Start in steady state: fill each core's LLC partition with
-        // its stream's recent past (the paper warms its gem5 caches
-        // before the measured interval), dirty at the store fraction.
-        // Every design gets the identical warm state so write volumes
-        // are comparable; Hetero-DMR's cleaning then drains the same
-        // dirty blocks in batches that eviction would have trickled.
-        let warm = node.l3_blocks_per_core();
-        for (i, stream) in streams.iter().enumerate() {
-            node.prewarm_core(i, stream.warmup_blocks(warm, suite.params().write_fraction));
-        }
-        let result = node.run(streams);
+        let result = simulate(
+            &self.hierarchy,
+            &self.config,
+            self.metrics.as_ref(),
+            design,
+            suite,
+        );
         self.cache
             .borrow_mut()
             .insert((design, suite), result.clone());
         result
+    }
+
+    /// Runs every not-yet-memoized `(design, suite)` pair on the
+    /// worker pool and fills the cache, so subsequent [`run`] calls
+    /// are recalls. Each simulation is single-threaded and seeded
+    /// purely from the engine config, and telemetry lands under a
+    /// per-pair scope, so priming in parallel yields bit-identical
+    /// results and metrics to running the pairs one by one.
+    ///
+    /// [`run`]: NodeModel::run
+    pub fn prime(&self, pairs: &[(MemoryDesign, Suite)]) {
+        let mut missing: Vec<(MemoryDesign, Suite)> = Vec::new();
+        {
+            let cache = self.cache.borrow();
+            for &pair in pairs {
+                if !cache.contains_key(&pair) && !missing.contains(&pair) {
+                    missing.push(pair);
+                }
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let (hierarchy, config, metrics) = (&self.hierarchy, &self.config, self.metrics.as_ref());
+        let results = runner::parallel_map(missing.clone(), move |_, (design, suite)| {
+            simulate(hierarchy, config, metrics, design, suite)
+        });
+        let mut cache = self.cache.borrow_mut();
+        for (pair, result) in missing.into_iter().zip(results) {
+            cache.insert(pair, result);
+        }
     }
 
     /// The design actually in force in a usage bucket: free-memory
@@ -358,6 +408,25 @@ mod tests {
         assert!(once.counter("node.commercial_baseline.hpcg.ch0.controller.reads") > 0);
         let _ = m.run(MemoryDesign::CommercialBaseline, Suite::Hpcg);
         assert_eq!(r.snapshot(), once, "memoized replays record nothing");
+    }
+
+    #[test]
+    fn prime_matches_serial_runs() {
+        let pairs = [
+            (MemoryDesign::CommercialBaseline, Suite::Hpcg),
+            (MemoryDesign::ExploitFreqLat, Suite::Hpcg),
+            (MemoryDesign::ExploitFreqLat, Suite::Hpcg), // duplicate is fine
+        ];
+        let primed = model(HierarchyConfig::hierarchy1());
+        primed.prime(&pairs);
+        let serial = model(HierarchyConfig::hierarchy1());
+        for (design, suite) in [pairs[0], pairs[1]] {
+            assert_eq!(
+                primed.run(design, suite).exec_time_ps,
+                serial.run(design, suite).exec_time_ps,
+                "{design:?}/{suite:?}"
+            );
+        }
     }
 
     #[test]

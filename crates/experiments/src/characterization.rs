@@ -1,6 +1,6 @@
 //! Characterization-study figures (1–4, 6).
 
-use crate::context::Ctx;
+use crate::context::{say, Ctx};
 use margin::errors::TestCondition;
 use margin::population::ModulePopulation;
 use margin::stats::{mean, Histogram};
@@ -8,12 +8,13 @@ use margin::study;
 use workloads::utilization::{Cluster, UtilizationModel};
 
 /// Figure 1: fraction of jobs below 25 % / 50 % memory utilization.
-pub fn fig1(ctx: &Ctx) {
-    println!("{:<10} {:>8} {:>8}", "Cluster", "<25%", "<50%");
+pub fn fig1(ctx: &mut Ctx) {
+    say!(ctx, "{:<10} {:>8} {:>8}", "Cluster", "<25%", "<50%");
     let mut rows = vec![vec!["cluster".into(), "below_25".into(), "below_50".into()]];
     for cluster in Cluster::ALL {
         let m = UtilizationModel::for_cluster(cluster);
-        println!(
+        say!(
+            ctx,
             "{:<10} {:>7.0}% {:>7.0}%",
             cluster.name(),
             m.below_25 * 100.0,
@@ -30,17 +31,21 @@ pub fn fig1(ctx: &Ctx) {
 
 /// Figure 2: frequency margins across the 119-module population, in
 /// MT/s (a) and normalized to the labelled rate (b).
-pub fn fig2(ctx: &Ctx) {
+pub fn fig2(ctx: &mut Ctx) {
     let pop = ModulePopulation::paper_study(ctx.seed);
     let mut hist = Histogram::new(0.0, 200.0);
     for m in pop.modules() {
         hist.add(m.measured_margin_mts as f64);
     }
-    println!("(a) margin histogram, 200 MT/s buckets (all 119 modules):");
+    say!(
+        ctx,
+        "(a) margin histogram, 200 MT/s buckets (all 119 modules):"
+    );
     let mut rows = vec![vec!["bucket_mts".into(), "modules".into()]];
     for (lo, count) in hist.buckets() {
         if count > 0 {
-            println!(
+            say!(
+                ctx,
                 "  [{:>4.0}, {:>4.0}) MT/s : {:>3} modules  {}",
                 lo,
                 lo + 200.0,
@@ -58,12 +63,14 @@ pub fn fig2(ctx: &Ctx) {
         .mainstream()
         .map(|m| m.normalized_margin() * 100.0)
         .collect();
-    println!(
+    say!(
+        ctx,
         "(b) brands A-C: mean margin {:.0} MT/s = {:.1}% of labelled rate (paper: 770 MT/s / 27%)",
         mean(&margins),
         mean(&normalized)
     );
-    println!(
+    say!(
+        ctx,
         "    most common margin: {:?} MT/s (paper: 800 MT/s)",
         hist.mode_bucket()
     );
@@ -71,7 +78,7 @@ pub fn fig2(ctx: &Ctx) {
 }
 
 /// Figure 3: impact of brand (99 % CI) and chips/rank (STDev).
-pub fn fig3(ctx: &Ctx) {
+pub fn fig3(ctx: &mut Ctx) {
     let pop = ModulePopulation::paper_study(ctx.seed);
     let mut rows = vec![vec![
         "group".into(),
@@ -80,11 +87,15 @@ pub fn fig3(ctx: &Ctx) {
         "ci99_mts".into(),
         "stdev_mts".into(),
     ]];
-    println!("(a) by brand (mean ± 99% CI):");
+    say!(ctx, "(a) by brand (mean ± 99% CI):");
     for g in study::by_brand(&pop) {
-        println!(
+        say!(
+            ctx,
             "  {:<22} n={:<3} {:>5.0} ± {:>4.0} MT/s",
-            g.label, g.count, g.mean_mts, g.ci99_mts
+            g.label,
+            g.count,
+            g.mean_mts,
+            g.ci99_mts
         );
         rows.push(vec![
             g.label.clone(),
@@ -94,11 +105,15 @@ pub fn fig3(ctx: &Ctx) {
             format!("{:.1}", g.std_dev_mts),
         ]);
     }
-    println!("(b) by chips/rank (mean, STDev):");
+    say!(ctx, "(b) by chips/rank (mean, STDev):");
     for g in study::by_chips_per_rank(&pop) {
-        println!(
+        say!(
+            ctx,
             "  {:<22} n={:<3} {:>5.0} MT/s, STDev {:>4.0}",
-            g.label, g.count, g.mean_mts, g.std_dev_mts
+            g.label,
+            g.count,
+            g.mean_mts,
+            g.std_dev_mts
         );
         rows.push(vec![
             g.label.clone(),
@@ -112,7 +127,7 @@ pub fn fig3(ctx: &Ctx) {
 }
 
 /// Figure 4: impact of aging, ranks/module, density, manufacture year.
-pub fn fig4(ctx: &Ctx) {
+pub fn fig4(ctx: &mut Ctx) {
     let pop = ModulePopulation::paper_study(ctx.seed);
     let mut rows = vec![vec![
         "panel".into(),
@@ -126,14 +141,17 @@ pub fn fig4(ctx: &Ctx) {
         ("(c) chip density", study::by_density(&pop)),
         ("(d) manufacture year", study::by_year(&pop)),
     ] {
-        println!("{panel}:");
+        say!(ctx, "{panel}:");
         for g in groups {
             if g.count == 0 {
                 continue;
             }
-            println!(
+            say!(
+                ctx,
                 "  {:<24} n={:<3} {:>5.0} MT/s",
-                g.label, g.count, g.mean_mts
+                g.label,
+                g.count,
+                g.mean_mts
             );
             rows.push(vec![
                 panel.into(),
@@ -143,12 +161,12 @@ pub fn fig4(ctx: &Ctx) {
             ]);
         }
     }
-    println!("(paper finding: none of these factors matters much)");
+    say!(ctx, "(paper finding: none of these factors matters much)");
     ctx.csv("fig4", &rows);
 }
 
 /// Figure 6: per-module error rates under the four stress conditions.
-pub fn fig6(ctx: &Ctx) {
+pub fn fig6(ctx: &mut Ctx) {
     let pop = ModulePopulation::paper_study(ctx.seed);
     let mut rows = vec![vec![
         "module".into(),
@@ -159,9 +177,15 @@ pub fn fig6(ctx: &Ctx) {
         "ue_freq_23c".into(),
     ]];
     let mut shown = 0;
-    println!(
+    say!(
+        ctx,
         "{:<6} {:>12} {:>12} {:>14} {:>14} {:>10}",
-        "Module", "CE f@23C/h", "CE f@45C/h", "CE f+l@23C/h", "CE f+l@45C/h", "UE@23C/h"
+        "Module",
+        "CE f@23C/h",
+        "CE f@45C/h",
+        "CE f+l@23C/h",
+        "CE f+l@45C/h",
+        "UE@23C/h"
     );
     for m in pop.mainstream() {
         let e = &m.errors;
@@ -176,7 +200,8 @@ pub fn fig6(ctx: &Ctx) {
         // Like the paper's figure, skip all-zero modules; print a
         // sample of the rest.
         if !e.error_free(TestCondition::Freq23C) && shown < 15 {
-            println!(
+            say!(
+                ctx,
                 "{:<6} {:>12.1} {:>12.1} {:>14.1} {:>14.1} {:>10.2}",
                 m.spec.label(),
                 e.ce_per_hour(TestCondition::Freq23C),
@@ -194,15 +219,18 @@ pub fn fig6(ctx: &Ctx) {
     let f45 = sum(TestCondition::Freq45C);
     let fl23 = sum(TestCondition::FreqLat23C);
     let fl45 = sum(TestCondition::FreqLat45C);
-    println!(
+    say!(
+        ctx,
         "... ({} more modules; zero-error modules omitted as in the paper)",
         103 - shown
     );
-    println!(
+    say!(
+        ctx,
         "freq-only   45C/23C error ratio: {:.1}x (paper: 4x)",
         f45 / f23
     );
-    println!(
+    say!(
+        ctx,
         "freq+lat    45C/23C error ratio: {:.1}x (paper: 2x)",
         fl45 / fl23
     );
@@ -214,6 +242,6 @@ pub fn fig6(ctx: &Ctx) {
         .mainstream()
         .filter(|m| m.freq_lat_margin_at_45c_mts < m.measured_margin_mts)
         .count();
-    println!("modules with reduced margin at 45C: {reduced} (paper: 5); with latency margins: {reduced_lat} (paper: 9)");
+    say!(ctx, "modules with reduced margin at 45C: {reduced} (paper: 5); with latency margins: {reduced_lat} (paper: 9)");
     ctx.csv("fig6", &rows);
 }

@@ -1,9 +1,31 @@
 //! Shared experiment context: seeding, simulation length, CSV output,
-//! and the optional telemetry registry behind `--metrics`.
+//! the optional telemetry registry behind `--metrics`, and the
+//! per-task output buffer the parallel runner collects.
 
 use std::fs;
 use std::io::Write;
 use telemetry::{Registry, Scope};
+
+/// Appends a formatted line to the context's output buffer (the
+/// parallel-safe replacement for `println!`): the runner prints every
+/// buffer in canonical target order after all tasks join, so output is
+/// byte-identical for any `--jobs` value.
+macro_rules! say {
+    ($ctx:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($ctx.out, $($arg)*);
+    }};
+}
+
+/// Like [`say!`] without the trailing newline (replaces `print!`).
+macro_rules! sayp {
+    ($ctx:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = write!($ctx.out, $($arg)*);
+    }};
+}
+
+pub(crate) use {say, sayp};
 
 /// Global experiment parameters.
 #[derive(Debug, Clone)]
@@ -23,8 +45,12 @@ pub struct Ctx {
     /// Where `--metrics` writes the JSONL snapshot + manifest.
     pub metrics_dir: Option<String>,
     /// The registry every instrumented component records into; present
-    /// exactly when `metrics_dir` is.
+    /// exactly when `metrics_dir` is. Task contexts built by
+    /// [`Ctx::for_task`] each get their *own* registry so concurrent
+    /// targets never interleave; the runner merges the snapshots.
     pub registry: Option<Registry>,
+    /// Buffered human-readable output (see [`say!`]).
+    pub out: String,
 }
 
 impl Default for Ctx {
@@ -38,6 +64,7 @@ impl Default for Ctx {
             csv_dir: None,
             metrics_dir: None,
             registry: None,
+            out: String::new(),
         }
     }
 }
@@ -55,6 +82,20 @@ impl Ctx {
     pub fn enable_metrics(&mut self, dir: String) {
         self.metrics_dir = Some(dir);
         self.registry = Some(Registry::new());
+    }
+
+    /// A context for one experiment task: same knobs, but a fresh
+    /// output buffer and (when metrics are on) a fresh private
+    /// registry, so tasks running on different worker threads share no
+    /// mutable state.
+    pub fn for_task(&self) -> Ctx {
+        Ctx {
+            registry: self.registry.is_some().then(Registry::new),
+            out: String::new(),
+            csv_dir: self.csv_dir.clone(),
+            metrics_dir: self.metrics_dir.clone(),
+            ..*self
+        }
     }
 
     /// A registry scope named `prefix`, when `--metrics` is on.
@@ -107,6 +148,35 @@ mod tests {
         scope.counter("ops").inc();
         let snap = ctx.registry.as_ref().unwrap().snapshot();
         assert_eq!(snap.counter("node.ops"), 1);
+    }
+
+    #[test]
+    fn for_task_isolates_registry_and_output() {
+        let mut ctx = Ctx::default();
+        ctx.quick();
+        ctx.enable_metrics("/tmp/unused".into());
+        say!(&mut ctx, "parent line");
+        let task = ctx.for_task();
+        assert!(task.out.is_empty(), "task starts with an empty buffer");
+        assert_eq!(task.trials, ctx.trials, "knobs carry over");
+        task.metrics_scope("t").unwrap().counter("ops").inc();
+        let parent_snap = ctx.registry.as_ref().unwrap().snapshot();
+        assert!(
+            parent_snap.is_empty(),
+            "task metrics never leak into the parent registry"
+        );
+        // Without metrics, tasks carry no registry at all.
+        let plain = Ctx::default().for_task();
+        assert!(plain.registry.is_none());
+    }
+
+    #[test]
+    fn say_buffers_formatted_lines() {
+        let mut ctx = Ctx::default();
+        say!(&mut ctx, "a={}", 1);
+        sayp!(&mut ctx, "b");
+        say!(&mut ctx, "c");
+        assert_eq!(ctx.out, "a=1\nbc\n");
     }
 
     #[test]

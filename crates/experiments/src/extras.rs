@@ -7,7 +7,7 @@
 //! * permanent-fault role remapping (Section III-E),
 //! * Cloud generality and the DDR5 outlook (Section III-F).
 
-use crate::context::Ctx;
+use crate::context::{say, Ctx};
 use dram::rate::DataRate;
 use dram::timing::TimingParams;
 use hetero_dmr::profiler::{ModuleUnderTest, NodeProfiler};
@@ -21,7 +21,7 @@ use rand::SeedableRng;
 use workloads::utilization::UtilizationModel;
 
 /// Runs every extra investigation.
-pub fn extras(ctx: &Ctx) {
+pub fn extras(ctx: &mut Ctx) {
     voltage_probe(ctx);
     full_system_error_rate(ctx);
     boot_profiling(ctx);
@@ -29,20 +29,25 @@ pub fn extras(ctx: &Ctx) {
     generality(ctx);
 }
 
-fn voltage_probe(ctx: &Ctx) {
-    println!("-- Section II-A: the 1.35 V rate-cap probe --");
+fn voltage_probe(ctx: &mut Ctx) {
+    say!(ctx, "-- Section II-A: the 1.35 V rate-cap probe --");
     let pop = ModulePopulation::paper_study(ctx.seed);
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x135);
     let inv = investigate_rate_cap(&pop, &mut rng);
-    println!(
+    say!(
+        ctx,
         "3200 MT/s modules at the 4000 MT/s cap: {}; improved at 1.35 V: {} (paper: 0 of 36)",
-        inv.capped_total, inv.capped_improved
+        inv.capped_total,
+        inv.capped_improved
     );
-    println!(
+    say!(
+        ctx,
         "3200 MT/s modules below the cap: {}; improved at 1.35 V: {} (paper: 22 of 27)",
-        inv.uncapped_total, inv.uncapped_improved
+        inv.uncapped_total,
+        inv.uncapped_improved
     );
-    println!(
+    say!(
+        ctx,
         "conclusion: cap is system-level? {}",
         inv.cap_is_system_level()
     );
@@ -61,8 +66,8 @@ fn voltage_probe(ctx: &Ctx) {
     );
 }
 
-fn full_system_error_rate(ctx: &Ctx) {
-    println!("\n-- Section II-C: fully populated memory system --");
+fn full_system_error_rate(ctx: &mut Ctx) {
+    say!(ctx, "\n-- Section II-C: fully populated memory system --");
     let pop = ModulePopulation::paper_study(ctx.seed);
     let solo: f64 = pop
         .mainstream()
@@ -70,14 +75,17 @@ fn full_system_error_rate(ctx: &Ctx) {
         .sum::<f64>()
         / 103.0;
     let system = system_rate_from_solo(solo, 2);
-    println!("mean per-module solo error rate (freq+lat, 23C): {solo:.1}/h");
-    println!(
+    say!(
+        ctx,
+        "mean per-module solo error rate (freq+lat, 23C): {solo:.1}/h"
+    );
+    say!(ctx,
         "per-module rate with 2 modules/channel populated: {system:.1}/h (paper: about half the solo rate)"
     );
 }
 
-fn boot_profiling(ctx: &Ctx) {
-    println!("\n-- Section III-E: boot-time margin profiling --");
+fn boot_profiling(ctx: &mut Ctx) {
+    say!(ctx, "\n-- Section III-E: boot-time margin profiling --");
     let pop = ModulePopulation::paper_study(ctx.seed);
     // Build a 12-channel node from the first 24 mainstream modules.
     let modules: Vec<ModuleUnderTest> = pop
@@ -97,19 +105,21 @@ fn boot_profiling(ctx: &Ctx) {
         }
         None => NodeProfiler::default().profile(&channels),
     };
-    println!(
+    say!(
+        ctx,
         "profiled node: channel margins {:?}",
         profile.channel_margins
     );
-    println!(
+    say!(
+        ctx,
         "node margin {} MT/s -> scheduler group {}",
         profile.node_margin_mts,
         profile.group()
     );
 }
 
-fn fault_remap_demo(_ctx: &Ctx) {
-    println!("\n-- Section III-E: permanent-fault role remapping --");
+fn fault_remap_demo(ctx: &mut Ctx) {
+    say!(ctx, "\n-- Section III-E: permanent-fault role remapping --");
     let mut ch = HeteroDmrChannel::new(1 << 12);
     let mut t = ch.set_used_blocks(1 << 10, 0);
     ch.inject_persistent_copy_fault(9);
@@ -117,7 +127,7 @@ fn fault_remap_demo(_ctx: &Ctx) {
         let (_, _, end) = ch.read::<StdRng>(9, t, None).unwrap();
         t = end;
     }
-    println!(
+    say!(ctx,
         "after a stuck cell in the copy module: {} recoveries, roles swapped = {}, transitions = {}",
         ch.stats().recoveries,
         ch.roles_swapped(),
@@ -128,23 +138,25 @@ fn fault_remap_demo(_ctx: &Ctx) {
         let (_, _, end) = ch.read::<StdRng>(9, t, None).unwrap();
         t = end;
     }
-    println!(
+    say!(
+        ctx,
         "100 further reads of the faulty block: {} extra transitions (remap ended the churn)",
         ch.transitions() - before
     );
 }
 
-fn generality(_ctx: &Ctx) {
-    println!("\n-- Section III-F: generality --");
+fn generality(ctx: &mut Ctx) {
+    say!(ctx, "\n-- Section III-F: generality --");
     let cloud = UtilizationModel::cloud();
-    println!(
+    say!(ctx,
         "Cloud utilization model: {:.0}% of machines below 50% memory use -> Hetero-DMR-eligible (turbo-boost analogy)",
         cloud.eligible_fraction() * 100.0
     );
     let ddr4 = TimingParams::ddr4_3200_spec();
     let ddr5 = TimingParams::ddr5_4800_spec();
     let outlook = DataRate::MT4800.plus_margin((4800.0 * 0.25) as u32);
-    println!(
+    say!(
+        ctx,
         "DDR5 outlook: same eye width at all rates -> similar fractional margin expected; \
          a 25% margin on DDR5-4800 would mean {} (burst {} ps vs DDR4-3200's {} ps)",
         outlook,

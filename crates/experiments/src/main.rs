@@ -1,29 +1,31 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments <target> [--seed N] [--ops N] [--quick] [--csv DIR] [--metrics DIR]
+//! experiments <target> [--seed N] [--ops N] [--jobs N] [--quick] [--csv DIR] [--metrics DIR]
 //! ```
 //!
-//! `<target>` is `all` or one of the names listed by `--list`. Output
-//! goes to stdout (the same rows/series the paper reports); `--csv`
-//! adds per-experiment CSV files and `--metrics` adds a deterministic
-//! JSONL snapshot of every simulator-internal metric plus a run
-//! manifest (see README § Observability).
+//! `<target>` is `all` or one of the names listed by `--list`. Targets
+//! run as isolated tasks on a fixed-size worker pool (`--jobs`, default
+//! one worker per CPU); every RNG stream is derived from
+//! `(seed, target)` counters rather than thread identity, so stdout and
+//! the `--metrics` JSONL export are byte-identical for any `--jobs`
+//! value. Output goes to stdout (the same rows/series the paper
+//! reports); `--csv` adds per-experiment CSV files and `--metrics` adds
+//! a deterministic JSONL snapshot of every simulator-internal metric
+//! plus a run manifest (see README § Observability).
 
 mod characterization;
 mod context;
 mod extras;
 mod node_figures;
+mod scenarios;
 mod system_figures;
 mod tables;
 
 use context::Ctx;
-
-/// Every runnable target, in execution order.
-const TARGETS: &[&str] = &[
-    "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "table4", "fig5", "fig6",
-    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "extras",
-];
+use runner::{RunOutcome, RunStatus, Runner};
+use scenarios::TARGETS;
+use telemetry::Snapshot;
 
 fn print_usage() {
     println!(
@@ -35,6 +37,8 @@ run with --list for every individual target name.
 options:
   --seed N       master RNG seed (default 0xD1A2)
   --ops N        memory operations per core in node-level runs
+  --jobs N       worker threads for running targets (0 or default:
+                 one per CPU); output is identical for every N
   --quick        shrink every run for a fast smoke pass
   --csv DIR      also write per-experiment CSV files into DIR
   --metrics DIR  record simulator telemetry; writes
@@ -55,6 +59,7 @@ fn usage_error(msg: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut target = String::from("all");
+    let mut jobs = 0usize; // 0 = one worker per CPU
     let mut ctx = Ctx::default();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -81,6 +86,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage_error("--ops needs an integer"));
             }
+            "--jobs" => {
+                jobs = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage_error("--jobs needs an integer"));
+            }
             "--quick" => ctx.quick(),
             "--csv" => {
                 let dir = iter
@@ -102,61 +113,68 @@ fn main() {
         }
     }
 
-    let all = target == "all";
-    let mut ran = false;
-    let start = std::time::Instant::now();
-    macro_rules! run {
-        ($name:literal, $f:expr) => {
-            if all || target == $name {
-                println!("\n================ {} ================", $name);
-                $f;
-                ran = true;
-            }
-        };
-    }
-
-    run!("table1", tables::table1(&ctx));
-    run!("fig1", characterization::fig1(&ctx));
-    run!("fig2", characterization::fig2(&ctx));
-    run!("fig3", characterization::fig3(&ctx));
-    run!("fig4", characterization::fig4(&ctx));
-    run!("table2", tables::table2(&ctx));
-    run!("table3", tables::table3(&ctx));
-    run!("table4", tables::table4(&ctx));
-    run!("fig5", node_figures::fig5(&ctx));
-    run!("fig6", characterization::fig6(&ctx));
-    run!("fig11", system_figures::fig11(&ctx));
-    run!("fig12", node_figures::fig12(&ctx));
-    run!("fig13", node_figures::fig13(&ctx));
-    run!("fig14", node_figures::fig14(&ctx));
-    run!("fig15", node_figures::fig15(&ctx));
-    run!("fig16", node_figures::fig16(&ctx));
-    run!("fig17", system_figures::fig17(&ctx));
-    run!("extras", extras::extras(&ctx));
-
-    if !ran {
+    let names: Vec<&str> = if target == "all" {
+        TARGETS.to_vec()
+    } else if scenarios::is_target(&target) {
+        vec![target.as_str()]
+    } else {
         eprintln!("unknown target '{target}'; valid targets:");
         eprintln!("  all {}", TARGETS.join(" "));
         std::process::exit(2);
+    };
+
+    let start = std::time::Instant::now();
+    let runner = Runner::new(jobs);
+    let outcomes = runner.run(scenarios::build(&ctx, &names));
+
+    // Print buffered outputs in canonical order; failures go to stderr
+    // after each target's partial output so the run context survives.
+    let mut failed = 0usize;
+    for o in &outcomes {
+        println!("\n================ {} ================", o.name);
+        print!("{}", o.out);
+        if let RunStatus::Failed { panic } = &o.status {
+            eprintln!("target '{}' panicked: {panic}", o.name);
+            failed += 1;
+        }
     }
 
     let wall_ms = start.elapsed().as_millis() as u64;
-    if let Err(e) = write_metrics(&ctx, &target, wall_ms) {
+    if let Err(e) = write_metrics(&ctx, &target, &outcomes, wall_ms) {
         eprintln!("cannot write metrics: {e}");
+        std::process::exit(1);
+    }
+    // Timing is inherently non-deterministic, so it goes to stderr
+    // only: stdout stays byte-comparable across --jobs values.
+    eprintln!(
+        "ran {} target(s) in {wall_ms} ms on {} worker(s)",
+        outcomes.len(),
+        runner::jobs()
+    );
+    if failed > 0 {
+        eprintln!("{failed} target(s) failed");
         std::process::exit(1);
     }
 }
 
 /// Exports the run's metric snapshot and manifest when `--metrics` was
-/// requested. The JSONL file holds only simulation metrics (stripped
-/// of wall-clock series), so it is byte-identical across runs of the
-/// same seed; everything non-deterministic lands in the manifest.
-fn write_metrics(ctx: &Ctx, target: &str, wall_ms: u64) -> std::io::Result<()> {
-    let (Some(dir), Some(registry)) = (&ctx.metrics_dir, &ctx.registry) else {
+/// requested. Per-task snapshots are merged in canonical target order
+/// (so the merge is independent of completion order), then stripped of
+/// wall-clock series; the JSONL file is therefore byte-identical across
+/// runs of the same seed at any `--jobs`. Everything non-deterministic
+/// lands in the manifest.
+fn write_metrics(
+    ctx: &Ctx,
+    target: &str,
+    outcomes: &[RunOutcome],
+    wall_ms: u64,
+) -> std::io::Result<()> {
+    let Some(dir) = &ctx.metrics_dir else {
         return Ok(());
     };
     std::fs::create_dir_all(dir)?;
-    let sim = registry.snapshot().sim_only();
+    let parts: Vec<Snapshot> = outcomes.iter().filter_map(|o| o.snapshot.clone()).collect();
+    let sim = Snapshot::merged(&parts).sim_only();
     std::fs::write(
         format!("{dir}/{target}.metrics.jsonl"),
         telemetry::format_jsonl(&sim),
@@ -166,6 +184,7 @@ fn write_metrics(ctx: &Ctx, target: &str, wall_ms: u64) -> std::io::Result<()> {
         .knob("trials", ctx.trials)
         .knob("trace_jobs", ctx.trace_jobs)
         .knob("quick", ctx.quick_run)
+        .knob("jobs", runner::jobs())
         .with_git_describe()
         .with_snapshot(&sim)
         .with_wall_ms(wall_ms);

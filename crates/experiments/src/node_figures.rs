@@ -1,7 +1,7 @@
 //! Node-level figures (5, 12, 13, 14, 15, 16), all driven by the
 //! `hetero_dmr::NodeModel` evaluation engine.
 
-use crate::context::Ctx;
+use crate::context::{say, sayp, Ctx};
 use energy::EnergyModel;
 use hetero_dmr::emulation::EmulationInputs;
 use hetero_dmr::monte_carlo::MonteCarlo;
@@ -27,7 +27,7 @@ fn model(ctx: &Ctx, h: HierarchyConfig) -> NodeModel {
 
 /// Figure 5: real-system speedup from exploiting margins, per suite
 /// and hierarchy.
-pub fn fig5(ctx: &Ctx) {
+pub fn fig5(ctx: &mut Ctx) {
     let mut rows = vec![vec![
         "hierarchy".into(),
         "suite".into(),
@@ -37,16 +37,21 @@ pub fn fig5(ctx: &Ctx) {
     ]];
     for h in HierarchyConfig::both() {
         let m = model(ctx, h);
-        println!("{} (speedup over manufacturer specification):", h.name);
-        println!(
+        say!(ctx, "{} (speedup over manufacturer specification):", h.name);
+        say!(
+            ctx,
             "{:<10} {:>10} {:>10} {:>10}",
-            "suite", "latency", "frequency", "freq+lat"
+            "suite",
+            "latency",
+            "frequency",
+            "freq+lat"
         );
         for suite in Suite::ALL {
             let lat = m.normalized(MemoryDesign::ExploitLatency, suite, UsageBucket::Low);
             let freq = m.normalized(MemoryDesign::ExploitFrequency, suite, UsageBucket::Low);
             let both = m.normalized(MemoryDesign::ExploitFreqLat, suite, UsageBucket::Low);
-            println!(
+            say!(
+                ctx,
                 "{:<10} {:>9.3}x {:>9.3}x {:>9.3}x",
                 suite.name(),
                 lat,
@@ -61,7 +66,8 @@ pub fn fig5(ctx: &Ctx) {
                 format!("{both:.4}"),
             ]);
         }
-        println!(
+        say!(
+            ctx,
             "average    {:>9.3}x {:>9.3}x {:>9.3}x   (paper freq+lat avg: 1.19x, Linpack 1.24x)",
             m.suite_average(MemoryDesign::ExploitLatency, UsageBucket::Low),
             m.suite_average(MemoryDesign::ExploitFrequency, UsageBucket::Low),
@@ -86,7 +92,7 @@ fn fig12_designs(margin: u32) -> [MemoryDesign; 3] {
 /// protocol latencies but never decodes blocks): conventional fills,
 /// replication activation, injected reads across the whole error-model
 /// taxonomy, a write-mode round trip, and a persistent-fault remap.
-fn protocol_exercise(ctx: &Ctx) {
+fn protocol_exercise(ctx: &mut Ctx) {
     use ecc::ErrorModel;
     use hetero_dmr::protocol::HeteroDmrChannel;
     use rand::rngs::StdRng;
@@ -134,7 +140,7 @@ fn protocol_exercise(ctx: &Ctx) {
 /// Figure 12: normalized performance per design × usage bucket ×
 /// margin × hierarchy, plus the usage-weighted `[0~100%]` bars and the
 /// paper's headline margin-weighted average.
-pub fn fig12(ctx: &Ctx) {
+pub fn fig12(ctx: &mut Ctx) {
     protocol_exercise(ctx);
     let weights = UtilizationModel::for_cluster(Cluster::Grizzly).bucket_weights();
     let groups =
@@ -150,17 +156,22 @@ pub fn fig12(ctx: &Ctx) {
     for h in HierarchyConfig::both() {
         let m = model(ctx, h);
         for margin in [800u32, 600] {
-            println!("{} @ {:.1} GT/s margin:", h.name, margin as f64 / 1000.0);
-            print!("{:<24}", "design");
+            say!(
+                ctx,
+                "{} @ {:.1} GT/s margin:",
+                h.name,
+                margin as f64 / 1000.0
+            );
+            sayp!(ctx, "{:<24}", "design");
             for b in UsageBucket::ALL {
-                print!(" {:>10}", b.label());
+                sayp!(ctx, " {:>10}", b.label());
             }
-            println!(" {:>10}", "[0~100%]");
+            say!(ctx, " {:>10}", "[0~100%]");
             for design in fig12_designs(margin) {
-                print!("{:<24}", design.name());
+                sayp!(ctx, "{:<24}", design.name());
                 for b in UsageBucket::ALL {
                     let v = m.suite_average(design, b);
-                    print!(" {:>9.3}x", v);
+                    sayp!(ctx, " {:>9.3}x", v);
                     rows.push(vec![
                         h.name.into(),
                         margin.to_string(),
@@ -169,7 +180,7 @@ pub fn fig12(ctx: &Ctx) {
                         format!("{v:.4}"),
                     ]);
                 }
-                println!(" {:>9.3}x", m.usage_weighted(design, weights));
+                say!(ctx, " {:>9.3}x", m.usage_weighted(design, weights));
             }
         }
         let hdmr = m.margin_weighted(
@@ -183,7 +194,7 @@ pub fn fig12(ctx: &Ctx) {
             weights,
         );
         let fmr = m.usage_weighted(MemoryDesign::Fmr, weights);
-        println!(
+        say!(ctx,
             "{}: margin+usage-weighted Hetero-DMR {:.3}x | FMR {:.3}x | Hetero-DMR+FMR {:.3}x (H+F/FMR = {:.3}x)",
             h.name,
             hdmr,
@@ -194,7 +205,7 @@ pub fn fig12(ctx: &Ctx) {
         overall.push(hdmr);
     }
     let headline = overall.iter().sum::<f64>() / overall.len() as f64;
-    println!(
+    say!(ctx,
         "HEADLINE: Hetero-DMR node-level improvement, weighted across margins, usage, and hierarchies: {:.1}% (paper: 18%)",
         (headline - 1.0) * 100.0
     );
@@ -202,7 +213,7 @@ pub fn fig12(ctx: &Ctx) {
 }
 
 /// Figure 13: system-level energy per instruction, normalized.
-pub fn fig13(ctx: &Ctx) {
+pub fn fig13(ctx: &mut Ctx) {
     let em = EnergyModel::default();
     let mut rows = vec![vec![
         "hierarchy".into(),
@@ -211,7 +222,8 @@ pub fn fig13(ctx: &Ctx) {
     ]];
     for h in HierarchyConfig::both() {
         let m = model(ctx, h);
-        println!(
+        say!(
+            ctx,
             "{} (EPI normalized to Commercial Baseline, [0~25%) usage):",
             h.name
         );
@@ -227,7 +239,8 @@ pub fn fig13(ctx: &Ctx) {
                 epi_ratio += d.epi_nj() / base.epi_nj();
             }
             epi_ratio /= Suite::ALL.len() as f64;
-            println!(
+            say!(
+                ctx,
                 "  {:<24} {:>6.3} (paper: Hetero-DMR ~0.94)",
                 design.name(),
                 epi_ratio
@@ -243,20 +256,24 @@ pub fn fig13(ctx: &Ctx) {
 }
 
 /// Figure 14: DRAM accesses per instruction, normalized to baseline.
-pub fn fig14(ctx: &Ctx) {
+pub fn fig14(ctx: &mut Ctx) {
     let m = model(ctx, HierarchyConfig::hierarchy1());
     let mut rows = vec![vec!["suite".into(), "normalized_accesses_per_instr".into()]];
-    println!("Hetero-DMR+FMR@0.8GT/s DRAM accesses/instruction vs baseline (Hierarchy1):");
+    say!(
+        ctx,
+        "Hetero-DMR+FMR@0.8GT/s DRAM accesses/instruction vs baseline (Hierarchy1):"
+    );
     let mut avg = 0.0;
     for suite in Suite::ALL {
         let base = m.run(MemoryDesign::CommercialBaseline, suite);
         let hf = m.run(MemoryDesign::HeteroDmrFmr { margin_mts: 800 }, suite);
         let ratio = hf.dram_accesses_per_instruction() / base.dram_accesses_per_instruction();
-        println!("  {:<10} {:>6.3}", suite.name(), ratio);
+        say!(ctx, "  {:<10} {:>6.3}", suite.name(), ratio);
         rows.push(vec![suite.name().into(), format!("{ratio:.4}")]);
         avg += ratio;
     }
-    println!(
+    say!(
+        ctx,
         "  average    {:>6.3}  (paper: <1% overhead on average)",
         avg / Suite::ALL.len() as f64
     );
@@ -264,22 +281,26 @@ pub fn fig14(ctx: &Ctx) {
 }
 
 /// Figure 15: DRAM bandwidth utilization and write share per suite.
-pub fn fig15(ctx: &Ctx) {
+pub fn fig15(ctx: &mut Ctx) {
     let m = model(ctx, HierarchyConfig::hierarchy1());
     let mut rows = vec![vec![
         "suite".into(),
         "bandwidth_utilization".into(),
         "write_fraction".into(),
     ]];
-    println!("Commercial Baseline, Hierarchy1:");
-    println!(
+    say!(ctx, "Commercial Baseline, Hierarchy1:");
+    say!(
+        ctx,
         "{:<10} {:>14} {:>14}",
-        "suite", "bandwidth util", "write fraction"
+        "suite",
+        "bandwidth util",
+        "write fraction"
     );
     let mut wf = 0.0;
     for suite in Suite::ALL {
         let r = m.run(MemoryDesign::CommercialBaseline, suite);
-        println!(
+        say!(
+            ctx,
             "{:<10} {:>13.1}% {:>13.1}%",
             suite.name(),
             r.bandwidth_utilization() * 100.0,
@@ -292,7 +313,8 @@ pub fn fig15(ctx: &Ctx) {
         ]);
         wf += r.write_fraction();
     }
-    println!(
+    say!(
+        ctx,
         "average write fraction: {:.1}% (paper: ~15%)",
         wf / Suite::ALL.len() as f64 * 100.0
     );
@@ -301,7 +323,7 @@ pub fn fig15(ctx: &Ctx) {
 
 /// Figure 16: silicon corroboration — simulated Hetero-DMR vs the
 /// emulation formula applied to the Exploit-Freq+Lat run.
-pub fn fig16(ctx: &Ctx) {
+pub fn fig16(ctx: &mut Ctx) {
     let m = model(ctx, HierarchyConfig::hierarchy1());
     let mut rows = vec![vec![
         "suite".into(),
@@ -309,10 +331,14 @@ pub fn fig16(ctx: &Ctx) {
         "emulated_hdmr".into(),
         "freq_lat".into(),
     ]];
-    println!("Hierarchy1, speedups over Commercial Baseline:");
-    println!(
+    say!(ctx, "Hierarchy1, speedups over Commercial Baseline:");
+    say!(
+        ctx,
         "{:<10} {:>14} {:>14} {:>10}",
-        "suite", "sim Hetero-DMR", "emu Hetero-DMR", "freq+lat"
+        "suite",
+        "sim Hetero-DMR",
+        "emu Hetero-DMR",
+        "freq+lat"
     );
     let (mut ds, mut de) = (0.0, 0.0);
     for suite in Suite::ALL {
@@ -326,7 +352,8 @@ pub fn fig16(ctx: &Ctx) {
         let emu = EmulationInputs::from_fast_run(&fast, dram::rate::DataRate::MT3200)
             .emulated_speedup(base.exec_time_ps);
         let fl = fast.speedup_over(&base);
-        println!(
+        say!(
+            ctx,
             "{:<10} {:>13.3}x {:>13.3}x {:>9.3}x",
             suite.name(),
             sim,
@@ -343,7 +370,8 @@ pub fn fig16(ctx: &Ctx) {
         de += emu;
     }
     let n = Suite::ALL.len() as f64;
-    println!(
+    say!(
+        ctx,
         "average: simulated {:.3}x vs emulated {:.3}x — difference {:.1}% (paper: ~2-3%)",
         ds / n,
         de / n,

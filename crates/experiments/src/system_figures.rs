@@ -1,7 +1,7 @@
 //! System-level figures: 11 (margin variability) and 17 (cluster
 //! simulation).
 
-use crate::context::Ctx;
+use crate::context::{say, Ctx};
 use energy::EnergyModel;
 use hetero_dmr::monte_carlo::MonteCarlo;
 use hetero_dmr::{EvalConfig, MemoryDesign, NodeModel};
@@ -12,7 +12,7 @@ use workloads::utilization::{Cluster as LanlCluster, UtilizationModel};
 
 /// Figure 11: channel- and node-level margin distributions under
 /// margin-aware vs margin-unaware module selection.
-pub fn fig11(ctx: &Ctx) {
+pub fn fig11(ctx: &mut Ctx) {
     let mc = MonteCarlo::default();
     let mut rows = vec![vec![
         "level".into(),
@@ -20,9 +20,13 @@ pub fn fig11(ctx: &Ctx) {
         "threshold_mts".into(),
         "fraction".into(),
     ]];
-    println!(
+    say!(
+        ctx,
         "{:<8} {:<15} {:>10} {:>10}",
-        "level", "policy", ">=0.8GT/s", ">=0.6GT/s"
+        "level",
+        "policy",
+        ">=0.8GT/s",
+        ">=0.6GT/s"
     );
     for (level, node) in [("channel", false), ("node", true)] {
         for (policy, name) in [
@@ -38,7 +42,8 @@ pub fn fig11(ctx: &Ctx) {
             };
             let f800 = frac(800, 1);
             let f600 = frac(600, 2);
-            println!(
+            say!(
+                ctx,
                 "{:<8} {:<15} {:>9.1}% {:>9.1}%",
                 level,
                 name,
@@ -56,7 +61,8 @@ pub fn fig11(ctx: &Ctx) {
         }
     }
     let groups = mc.node_groups(SelectionPolicy::MarginAware, ctx.trials, ctx.seed ^ 3);
-    println!(
+    say!(
+        ctx,
         "node groups (margin-aware): {:.0}% @0.8GT/s, {:.0}% @0.6GT/s, {:.0}% @0 (paper: 62/36/2)",
         groups.at_800 * 100.0,
         groups.at_600 * 100.0,
@@ -69,7 +75,7 @@ pub fn fig11(ctx: &Ctx) {
 ///
 /// Job speedups are *measured* from the node model (not hard-coded):
 /// the Figure 12 usage-bucket numbers feed the cluster simulator.
-pub fn fig17(ctx: &Ctx) {
+pub fn fig17(ctx: &mut Ctx) {
     // Measure the per-(margin, bucket) speedups from the node model,
     // averaged over the two hierarchies as the paper does.
     let mut at_800 = [0.0f64; 2];
@@ -96,9 +102,11 @@ pub fn fig17(ctx: &Ctx) {
         }
     }
     let speedups = SpeedupModel { at_800, at_600 };
-    println!(
+    say!(
+        ctx,
         "node-model speedups fed to the scheduler: 0.8GT/s {:?}, 0.6GT/s {:?}",
-        at_800, at_600
+        at_800,
+        at_600
     );
 
     let trace = GrizzlyTrace {
@@ -151,9 +159,14 @@ pub fn fig17(ctx: &Ctx) {
         "norm_turnaround".into(),
         "turnaround_speedup".into(),
     ]];
-    println!(
+    say!(
+        ctx,
         "{:<28} {:>10} {:>10} {:>12} {:>10}",
-        "system", "exec", "queueing", "turnaround", "speedup"
+        "system",
+        "exec",
+        "queueing",
+        "turnaround",
+        "speedup"
     );
     for (name, s) in [
         ("conventional", &s_conv),
@@ -162,7 +175,8 @@ pub fn fig17(ctx: &Ctx) {
         ("conventional + 17% nodes", &s_plus17),
     ] {
         let (e, q, t) = s.normalized_to(&s_conv);
-        println!(
+        say!(
+            ctx,
             "{:<28} {:>10.3} {:>10.3} {:>12.3} {:>9.3}x",
             name,
             e,
@@ -178,13 +192,14 @@ pub fn fig17(ctx: &Ctx) {
             format!("{:.4}", s.turnaround_speedup_over(&s_conv)),
         ]);
     }
-    println!(
+    say!(
+        ctx,
         "margin-aware over default scheduler: {:.3}x turnaround (paper: 1.2x)",
         s_default.mean_turnaround_s / s_aware.mean_turnaround_s
     );
     let conv_tail = QueueTail::from_outcomes(&conv_outcomes);
     let aware_tail = QueueTail::from_outcomes(&aware_outcomes);
-    println!(
+    say!(ctx,
         "queueing tail (conventional -> Hetero-DMR): p50 {:.0}->{:.0}s, p95 {:.0}->{:.0}s, p99 {:.0}->{:.0}s",
         conv_tail.p50_s, aware_tail.p50_s, conv_tail.p95_s, aware_tail.p95_s, conv_tail.p99_s, aware_tail.p99_s
     );

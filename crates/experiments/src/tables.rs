@@ -1,15 +1,19 @@
 //! Tables I–IV.
 
-use crate::context::Ctx;
+use crate::context::{say, Ctx};
 use dram::timing::MemorySetting;
 use margin::study::TABLE_I;
 use memsim::config::HierarchyConfig;
 
 /// Table I: scale of the characterization study vs prior works.
-pub fn table1(ctx: &Ctx) {
-    println!(
+pub fn table1(ctx: &mut Ctx) {
+    say!(
+        ctx,
         "{:<17} {:<13} {:>9} {:>8}  Margin",
-        "Study", "DRAM type", "# modules", "# chips"
+        "Study",
+        "DRAM type",
+        "# modules",
+        "# chips"
     );
     let mut rows = vec![vec![
         "study".into(),
@@ -23,9 +27,14 @@ pub fn table1(ctx: &Ctx) {
             .modules
             .map(|m| m.to_string())
             .unwrap_or_else(|| "N/A".into());
-        println!(
+        say!(
+            ctx,
             "{:<17} {:<13} {:>9} {:>8}  {}",
-            s.name, s.dram_type, modules, s.chips, s.margin
+            s.name,
+            s.dram_type,
+            modules,
+            s.chips,
+            s.margin
         );
         rows.push(vec![
             s.name.into(),
@@ -39,10 +48,16 @@ pub fn table1(ctx: &Ctx) {
 }
 
 /// Table II: the four memory settings.
-pub fn table2(ctx: &Ctx) {
-    println!(
+pub fn table2(ctx: &mut Ctx) {
+    say!(
+        ctx,
         "{:<38} {:>9} {:>8} {:>7} {:>7} {:>7}",
-        "Setting", "Data Rate", "tRCD", "tRP", "tRAS", "tREFI"
+        "Setting",
+        "Data Rate",
+        "tRCD",
+        "tRP",
+        "tRAS",
+        "tREFI"
     );
     let mut rows = vec![vec![
         "setting".into(),
@@ -54,7 +69,8 @@ pub fn table2(ctx: &Ctx) {
     ]];
     for setting in MemorySetting::ALL {
         let t = setting.timing();
-        println!(
+        say!(
+            ctx,
             "{:<38} {:>7}MT/s {:>6}ns {:>5}ns {:>5}ns {:>5}us",
             setting.name(),
             t.data_rate.mts(),
@@ -76,7 +92,7 @@ pub fn table2(ctx: &Ctx) {
 }
 
 /// Table III: the two real-system hierarchies.
-pub fn table3(ctx: &Ctx) {
+pub fn table3(ctx: &mut Ctx) {
     let mut rows = vec![vec![
         "hierarchy".into(),
         "cores".into(),
@@ -86,7 +102,8 @@ pub fn table3(ctx: &Ctx) {
         "ranks_per_module".into(),
     ]];
     for h in HierarchyConfig::both() {
-        println!(
+        say!(
+            ctx,
             "{}: {} cores, {:.3} MB L2+L3/core, {} channel(s), {} modules/channel, {} ranks/module",
             h.name,
             h.cores,
@@ -108,43 +125,55 @@ pub fn table3(ctx: &Ctx) {
 }
 
 /// Table IV: simulated CPU and memory parameters.
-pub fn table4(ctx: &Ctx) {
+pub fn table4(ctx: &mut Ctx) {
     let h = HierarchyConfig::hierarchy1();
     let c = h.core;
-    println!(
+    say!(
+        ctx,
         "Cores            : {} GHz, {}-wide OoO, {}-entry ROB, {} MSHRs",
-        c.clock_ghz, c.width, c.rob_entries, c.mshrs
+        c.clock_ghz,
+        c.width,
+        c.rob_entries,
+        c.mshrs
     );
-    println!(
+    say!(
+        ctx,
         "L1$              : {} KB, {}-way",
         c.l1_bytes / 1024,
         c.l1_ways
     );
-    println!(
+    say!(
+        ctx,
         "L1/L2 Prefetcher : stride (degree {}), next-line with auto turn-off",
         c.prefetch_degree
     );
-    println!(
+    say!(
+        ctx,
         "L2$              : {} MB per core, {}-way",
         c.l2_bytes / (1024 * 1024),
         c.l2_ways
     );
-    println!(
+    say!(
+        ctx,
         "L3$              : per Table III, {} ns latency",
         c.l3_latency_ns
     );
-    println!(
+    say!(
+        ctx,
         "Memory Controller: DDR4, {} ranks/channel, {} banks/rank, FR-FCFS w/ bank fairness,",
         h.memory.ranks_per_channel(),
         h.memory.banks_per_rank
     );
-    println!(
+    say!(
+        ctx,
         "                   hybrid page policy ({} cycle timeout), XOR bank mapping,",
         200
     );
-    println!(
+    say!(
+        ctx,
         "                   read queue {} entries/channel, write queue {} entries/channel",
-        h.memory.read_queue, h.memory.write_queue
+        h.memory.read_queue,
+        h.memory.write_queue
     );
     ctx.csv(
         "table4",

@@ -1,0 +1,109 @@
+//! The parallel runner's core contract: for a fixed seed, stdout and
+//! the `--metrics` JSONL export are byte-identical for any `--jobs`
+//! value, because every RNG stream is derived from `(seed, target,
+//! iteration)` counters and never from thread identity or completion
+//! order.
+//!
+//! Targets are chosen to cover the three parallelism layers:
+//! `fig2`/`fig3` (population study + parallel grouping panels),
+//! `fig11` (Monte Carlo with parallel per-trial streams), and `fig5`
+//! (node simulations primed concurrently across designs × suites).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hdmr_det_{name}_{}", std::process::id()))
+}
+
+/// Runs `target` under the given worker count, writing metrics into
+/// `dir` (the same dir for every worker count so the stdout summary
+/// line is comparable), and returns `(stdout, metrics JSONL bytes)`.
+fn run_with_jobs(target: &str, jobs: &str, dir: &std::path::Path) -> (Vec<u8>, Vec<u8>) {
+    let _ = std::fs::remove_dir_all(dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args([
+            target,
+            "--seed",
+            "7",
+            "--quick",
+            "--ops",
+            "1200",
+            "--jobs",
+            jobs,
+            "--metrics",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn experiments binary");
+    assert!(
+        out.status.success(),
+        "{target} --jobs {jobs} failed: {out:?}"
+    );
+    let jsonl =
+        std::fs::read(dir.join(format!("{target}.metrics.jsonl"))).expect("metrics written");
+    let _ = std::fs::remove_dir_all(dir);
+    (out.stdout, jsonl)
+}
+
+fn assert_jobs_invariant(target: &str, expect_series: bool) {
+    let dir = tmp_dir(target);
+    let (serial_out, serial_jsonl) = run_with_jobs(target, "1", &dir);
+    let (parallel_out, parallel_jsonl) = run_with_jobs(target, "8", &dir);
+    if expect_series {
+        assert!(
+            !serial_jsonl.is_empty(),
+            "{target} must export at least one metric series"
+        );
+    }
+    assert_eq!(
+        serial_out, parallel_out,
+        "{target}: stdout differs between --jobs 1 and --jobs 8"
+    );
+    assert_eq!(
+        serial_jsonl, parallel_jsonl,
+        "{target}: metrics JSONL differs between --jobs 1 and --jobs 8"
+    );
+}
+
+#[test]
+fn fig2_is_jobs_invariant() {
+    // Statistics-only target: the export is legitimately empty of
+    // simulator series, but stdout must still be byte-stable.
+    assert_jobs_invariant("fig2", false);
+}
+
+#[test]
+fn fig3_is_jobs_invariant() {
+    assert_jobs_invariant("fig3", false);
+}
+
+#[test]
+fn fig5_is_jobs_invariant() {
+    assert_jobs_invariant("fig5", true);
+}
+
+#[test]
+fn fig11_is_jobs_invariant() {
+    assert_jobs_invariant("fig11", false);
+}
+
+#[test]
+fn fig17_is_jobs_invariant() {
+    // Cluster variants run concurrently under distinct metric scopes.
+    assert_jobs_invariant("fig17", true);
+}
+
+/// Odd worker counts and a second pass over cheap whole-table targets:
+/// task-level parallelism must merge per-target registries in
+/// canonical order no matter which worker finishes first.
+#[test]
+fn multi_target_merge_is_jobs_invariant() {
+    for target in ["table1", "fig1"] {
+        let dir = tmp_dir(target);
+        let (a_out, a_jsonl) = run_with_jobs(target, "1", &dir);
+        let (b_out, b_jsonl) = run_with_jobs(target, "3", &dir);
+        assert_eq!(a_out, b_out, "{target} stdout");
+        assert_eq!(a_jsonl, b_jsonl, "{target} metrics");
+    }
+}

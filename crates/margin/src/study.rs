@@ -188,6 +188,20 @@ pub fn by_year(pop: &ModulePopulation) -> Vec<GroupSummary> {
         .collect()
 }
 
+/// One panel of a Figure 3/4-style breakdown: a label plus the
+/// grouping function that produces its bars.
+pub type Panel = (&'static str, fn(&ModulePopulation) -> Vec<GroupSummary>);
+
+/// Computes several breakdown panels over the same population in
+/// parallel on the worker pool, returning `(label, bars)` in input
+/// order. Each grouping is a pure function of the population, so the
+/// result is identical at any worker budget.
+pub fn panels(pop: &ModulePopulation, specs: &[Panel]) -> Vec<(&'static str, Vec<GroupSummary>)> {
+    runner::parallel_map(specs.to_vec(), |_, (label, grouping)| {
+        (label, grouping(pop))
+    })
+}
+
 /// Impact of manufacturer-specified data rate (Section II-A's
 /// cap-confounded comparison).
 pub fn by_specified_rate(pop: &ModulePopulation) -> Vec<GroupSummary> {
@@ -252,6 +266,15 @@ mod tests {
         let spread = means.iter().cloned().fold(f64::MIN, f64::max)
             - means.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread < 250.0, "aging spread {spread}");
+    }
+
+    #[test]
+    fn panel_driver_matches_direct_calls() {
+        let p = pop();
+        let computed = panels(&p, &[("brand", by_brand), ("ranks", by_ranks)]);
+        assert_eq!(computed[0].0, "brand");
+        assert_eq!(computed[0].1, by_brand(&p));
+        assert_eq!(computed[1].1, by_ranks(&p));
     }
 
     #[test]

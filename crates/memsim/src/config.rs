@@ -3,6 +3,49 @@
 use dram::rate::DataRate;
 use dram::timing::{MemorySetting, TimingParams};
 use dram::Picos;
+use std::fmt;
+
+/// Why a memory configuration could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A structural count or capacity that must be at least 1 is 0.
+    ZeroField(&'static str),
+    /// The channel count must be a power of two for the XOR address
+    /// mapping to cover the space evenly.
+    ChannelsNotPowerOfTwo(usize),
+    /// Writes scheduled at a faster data rate than reads: the
+    /// protection model certifies margin for reads against a copy
+    /// while originals are written at (or below) specification, so a
+    /// write rate above the read rate is always a configuration bug.
+    WriteFasterThanRead { read_mts: u32, write_mts: u32 },
+    /// `Some(0)` ranks for reads or the software address space: the
+    /// channel could never serve an access.
+    EmptyRankSet(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroField(field) => write!(f, "{field} must be at least 1"),
+            ConfigError::ChannelsNotPowerOfTwo(n) => {
+                write!(f, "channels must be a power of two, got {n}")
+            }
+            ConfigError::WriteFasterThanRead {
+                read_mts,
+                write_mts,
+            } => write!(
+                f,
+                "write rate {write_mts} MT/s exceeds read rate {read_mts} MT/s; \
+                 originals must not be written faster than reads are certified"
+            ),
+            ConfigError::EmptyRankSet(field) => {
+                write!(f, "{field} restricted to an empty rank set (Some(0))")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Core microarchitecture parameters (Table IV).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -140,6 +183,153 @@ impl ChannelMode {
             software_ranks: None,
         }
     }
+
+    /// The uniform mode for one of the paper's Table II settings:
+    /// reads and writes both at `setting`'s timing, every other knob
+    /// as the Commercial Baseline.
+    pub fn preset(setting: MemorySetting) -> ChannelMode {
+        let t = setting.timing();
+        ChannelMode {
+            read_timing: t,
+            write_timing: t,
+            ..Self::commercial_baseline()
+        }
+    }
+
+    /// Starts a validating builder from the Commercial Baseline.
+    pub fn builder() -> ChannelModeBuilder {
+        ChannelModeBuilder {
+            mode: Self::commercial_baseline(),
+        }
+    }
+
+    /// A builder seeded with this mode's current knobs, for deriving
+    /// one design from another.
+    pub fn to_builder(self) -> ChannelModeBuilder {
+        ChannelModeBuilder { mode: self }
+    }
+}
+
+/// Validating builder for [`ChannelMode`] (see [`ChannelMode::builder`]).
+///
+/// ```
+/// use dram::timing::MemorySetting;
+/// use memsim::config::ChannelMode;
+///
+/// let mode = ChannelMode::builder()
+///     .read_timing(MemorySetting::FreqLatMargin.timing())
+///     .read_ranks(Some(2))
+///     .build()
+///     .unwrap();
+/// assert_eq!(mode.write_timing.data_rate.mts(), 3200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChannelModeBuilder {
+    mode: ChannelMode,
+}
+
+impl ChannelModeBuilder {
+    /// Timing in force while the channel serves reads.
+    pub fn read_timing(mut self, t: TimingParams) -> Self {
+        self.mode.read_timing = t;
+        self
+    }
+
+    /// Timing in force while the channel drains writes.
+    pub fn write_timing(mut self, t: TimingParams) -> Self {
+        self.mode.write_timing = t;
+        self
+    }
+
+    /// One timing for both directions (unprotected overclocking).
+    pub fn timings(self, t: TimingParams) -> Self {
+        self.read_timing(t).write_timing(t)
+    }
+
+    /// Retarget both directions' current timings to `rate`.
+    pub fn data_rate(mut self, rate: DataRate) -> Self {
+        self.mode.read_timing = self.mode.read_timing.at_rate(rate);
+        self.mode.write_timing = self.mode.write_timing.at_rate(rate);
+        self
+    }
+
+    /// Extra latency per read↔write mode switch, picoseconds.
+    pub fn turnaround_penalty_ps(mut self, ps: Picos) -> Self {
+        self.mode.turnaround_penalty_ps = ps;
+        self
+    }
+
+    /// Pending writes that trigger a write-mode entry.
+    pub fn write_high_watermark(mut self, writes: usize) -> Self {
+        self.mode.write_high_watermark = writes;
+        self
+    }
+
+    /// Maximum writes drained per write-mode entry.
+    pub fn write_batch(mut self, writes: usize) -> Self {
+        self.mode.write_batch = writes;
+        self
+    }
+
+    /// Dirty LLC blocks explicitly cleaned per write-mode entry.
+    pub fn llc_clean_target(mut self, blocks: usize) -> Self {
+        self.mode.llc_clean_target = blocks;
+        self
+    }
+
+    /// Whether the per-channel victim writeback cache is present.
+    pub fn writeback_cache(mut self, present: bool) -> Self {
+        self.mode.writeback_cache = present;
+        self
+    }
+
+    /// Restrict reads to the top `n` ranks (`None` = all ranks).
+    pub fn read_ranks(mut self, ranks: Option<usize>) -> Self {
+        self.mode.read_ranks = ranks;
+        self
+    }
+
+    /// Additional same-channel copies receiving each write.
+    pub fn broadcast_copies(mut self, copies: u32) -> Self {
+        self.mode.broadcast_copies = copies;
+        self
+    }
+
+    /// FMR's faster-copy read choice.
+    pub fn fmr_read_choice(mut self, enabled: bool) -> Self {
+        self.mode.fmr_read_choice = enabled;
+        self
+    }
+
+    /// Ranks the software address space maps onto (`None` = all).
+    pub fn software_ranks(mut self, ranks: Option<usize>) -> Self {
+        self.mode.software_ranks = ranks;
+        self
+    }
+
+    /// Validates the timing/rate combination and knob ranges.
+    pub fn build(self) -> Result<ChannelMode, ConfigError> {
+        let m = &self.mode;
+        if m.write_timing.data_rate.mts() > m.read_timing.data_rate.mts() {
+            return Err(ConfigError::WriteFasterThanRead {
+                read_mts: m.read_timing.data_rate.mts(),
+                write_mts: m.write_timing.data_rate.mts(),
+            });
+        }
+        if m.write_high_watermark == 0 {
+            return Err(ConfigError::ZeroField("write_high_watermark"));
+        }
+        if m.write_batch == 0 {
+            return Err(ConfigError::ZeroField("write_batch"));
+        }
+        if m.read_ranks == Some(0) {
+            return Err(ConfigError::EmptyRankSet("read_ranks"));
+        }
+        if m.software_ranks == Some(0) {
+            return Err(ConfigError::EmptyRankSet("software_ranks"));
+        }
+        Ok(self.mode)
+    }
 }
 
 /// Node-level memory-system shape (Tables III & IV).
@@ -159,10 +349,104 @@ pub struct MemoryConfig {
     pub write_queue: usize,
 }
 
+/// The paper's per-channel shape with a single channel: two dual-rank
+/// modules, 16 banks/rank, 256/128-entry read/write queues.
+impl Default for MemoryConfig {
+    fn default() -> MemoryConfig {
+        MemoryConfig {
+            channels: 1,
+            modules_per_channel: 2,
+            ranks_per_module: 2,
+            banks_per_rank: 16,
+            read_queue: 256,
+            write_queue: 128,
+        }
+    }
+}
+
 impl MemoryConfig {
     /// Ranks per channel (modules × ranks/module; Table IV's 4).
     pub fn ranks_per_channel(&self) -> usize {
         self.modules_per_channel * self.ranks_per_module
+    }
+
+    /// Starts a validating builder from the paper's default shape.
+    pub fn builder() -> MemoryConfigBuilder {
+        MemoryConfigBuilder {
+            config: MemoryConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`MemoryConfig`] (see
+/// [`MemoryConfig::builder`]).
+///
+/// ```
+/// use memsim::config::MemoryConfig;
+///
+/// let memory = MemoryConfig::builder().channels(4).build().unwrap();
+/// assert_eq!(memory.ranks_per_channel(), 4);
+/// assert!(MemoryConfig::builder().channels(3).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryConfigBuilder {
+    config: MemoryConfig,
+}
+
+impl MemoryConfigBuilder {
+    /// Channel count (must end up a power of two).
+    pub fn channels(mut self, n: usize) -> Self {
+        self.config.channels = n;
+        self
+    }
+
+    pub fn modules_per_channel(mut self, n: usize) -> Self {
+        self.config.modules_per_channel = n;
+        self
+    }
+
+    pub fn ranks_per_module(mut self, n: usize) -> Self {
+        self.config.ranks_per_module = n;
+        self
+    }
+
+    pub fn banks_per_rank(mut self, n: usize) -> Self {
+        self.config.banks_per_rank = n;
+        self
+    }
+
+    /// Read-queue capacity per channel.
+    pub fn read_queue(mut self, entries: usize) -> Self {
+        self.config.read_queue = entries;
+        self
+    }
+
+    /// Write-queue capacity per channel.
+    pub fn write_queue(mut self, entries: usize) -> Self {
+        self.config.write_queue = entries;
+        self
+    }
+
+    /// Validates the shape: every count ≥ 1 and channels a power of
+    /// two (the XOR channel mapping needs one).
+    pub fn build(self) -> Result<MemoryConfig, ConfigError> {
+        let c = &self.config;
+        for (value, field) in [
+            (c.channels, "channels"),
+            (c.modules_per_channel, "modules_per_channel"),
+            (c.ranks_per_module, "ranks_per_module"),
+            (c.banks_per_rank, "banks_per_rank"),
+            (c.read_queue, "read_queue"),
+            (c.write_queue, "write_queue"),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::ZeroField(field));
+            }
+        }
+        if !c.channels.is_power_of_two() {
+            return Err(ConfigError::ChannelsNotPowerOfTwo(c.channels));
+        }
+        Ok(self.config)
     }
 }
 
@@ -189,14 +473,7 @@ impl HierarchyConfig {
             name: "Hierarchy1",
             cores: 8,
             cache_per_core_bytes: 4_718_592, // 4.5 MB
-            memory: MemoryConfig {
-                channels: 1,
-                modules_per_channel: 2,
-                ranks_per_module: 2,
-                banks_per_rank: 16,
-                read_queue: 256,
-                write_queue: 128,
-            },
+            memory: MemoryConfig::default(),
             core: CoreConfig::default(),
         }
     }
@@ -208,14 +485,10 @@ impl HierarchyConfig {
             name: "Hierarchy2",
             cores: 16,
             cache_per_core_bytes: 2_490_368, // 2.375 MB
-            memory: MemoryConfig {
-                channels: 4,
-                modules_per_channel: 2,
-                ranks_per_module: 2,
-                banks_per_rank: 16,
-                read_queue: 256,
-                write_queue: 128,
-            },
+            memory: MemoryConfig::builder()
+                .channels(4)
+                .build()
+                .expect("Table III preset is valid"),
             core: CoreConfig::default(),
         }
     }
@@ -294,6 +567,85 @@ mod tests {
         assert_eq!(m.broadcast_copies, 0);
         assert!(m.writeback_cache);
         assert!(m.read_ranks.is_none());
+    }
+
+    #[test]
+    fn memory_builder_validates_shape() {
+        assert_eq!(
+            MemoryConfig::builder().build().unwrap(),
+            MemoryConfig::default()
+        );
+        let wide = MemoryConfig::builder()
+            .channels(8)
+            .modules_per_channel(2)
+            .banks_per_rank(32)
+            .build()
+            .unwrap();
+        assert_eq!(wide.channels, 8);
+        assert_eq!(wide.banks_per_rank, 32);
+        assert_eq!(
+            MemoryConfig::builder().channels(0).build(),
+            Err(ConfigError::ZeroField("channels"))
+        );
+        assert_eq!(
+            MemoryConfig::builder().channels(6).build(),
+            Err(ConfigError::ChannelsNotPowerOfTwo(6))
+        );
+        assert_eq!(
+            MemoryConfig::builder().read_queue(0).build(),
+            Err(ConfigError::ZeroField("read_queue"))
+        );
+    }
+
+    #[test]
+    fn mode_builder_validates_knobs() {
+        let spec = MemorySetting::Specified.timing();
+        let fast = MemorySetting::FrequencyMargin.timing();
+        // Protected split: reads fast, writes at spec.
+        let ok = ChannelMode::builder()
+            .read_timing(fast)
+            .write_timing(spec)
+            .read_ranks(Some(2))
+            .build()
+            .unwrap();
+        assert_eq!(ok.read_timing.data_rate.mts(), 4000);
+        assert_eq!(ok.write_timing.data_rate.mts(), 3200);
+        // The inverse split can never be a valid protection setting.
+        assert_eq!(
+            ChannelMode::builder()
+                .read_timing(spec)
+                .write_timing(fast)
+                .build(),
+            Err(ConfigError::WriteFasterThanRead {
+                read_mts: 3200,
+                write_mts: 4000,
+            })
+        );
+        assert_eq!(
+            ChannelMode::builder().write_batch(0).build(),
+            Err(ConfigError::ZeroField("write_batch"))
+        );
+        assert_eq!(
+            ChannelMode::builder().read_ranks(Some(0)).build(),
+            Err(ConfigError::EmptyRankSet("read_ranks"))
+        );
+        // to_builder round-trips.
+        let base = ChannelMode::commercial_baseline();
+        assert_eq!(base.to_builder().build().unwrap(), base);
+    }
+
+    #[test]
+    fn mode_presets_cover_table2() {
+        for setting in MemorySetting::ALL {
+            let m = ChannelMode::preset(setting);
+            assert_eq!(m.read_timing, setting.timing());
+            assert_eq!(m.write_timing, m.read_timing);
+            assert_eq!(m.broadcast_copies, 0, "{setting:?}");
+        }
+        assert_eq!(
+            ChannelMode::preset(MemorySetting::Specified),
+            ChannelMode::commercial_baseline()
+        );
     }
 
     #[test]
@@ -402,14 +754,12 @@ impl HierarchyBuilder {
             name: self.name,
             cores: self.cores,
             cache_per_core_bytes: self.cache_per_core_bytes,
-            memory: MemoryConfig {
-                channels: self.channels,
-                modules_per_channel: self.modules_per_channel,
-                ranks_per_module: self.ranks_per_module,
-                banks_per_rank: 16,
-                read_queue: 256,
-                write_queue: 128,
-            },
+            memory: MemoryConfig::builder()
+                .channels(self.channels)
+                .modules_per_channel(self.modules_per_channel)
+                .ranks_per_module(self.ranks_per_module)
+                .build()
+                .unwrap_or_else(|e| panic!("invalid memory shape: {e}")),
             core: self.core,
         }
     }

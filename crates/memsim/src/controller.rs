@@ -430,8 +430,17 @@ impl ChannelController {
         self.completions.remove(&token).expect("just scheduled")
     }
 
-    /// Immediately schedules one read (submit + process + resolve).
-    /// Bypasses queue reordering; used by tests and simple callers.
+    /// Immediately schedules one read: a thin wrapper over
+    /// [`submit_read`](Self::submit_read) +
+    /// [`resolve_read`](Self::resolve_read), kept only so historical
+    /// callers compile. It can never diverge from the pipeline because
+    /// it *is* the pipeline — but it also forfeits queue reordering,
+    /// which is the pipeline's whole point, so new code should submit
+    /// and resolve explicitly.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use submit_read/resolve_read; the one-shot wrapper forfeits queue reordering"
+    )]
     pub fn read(&mut self, coord: DramCoord, now: Picos) -> Picos {
         let token = self.submit_read(coord, now, true);
         self.resolve_read(token)
@@ -684,12 +693,31 @@ mod tests {
         ChannelController::new(mode, h.memory, h.core.page_timeout_ps())
     }
 
+    /// One-shot read through the pipeline API (what the deprecated
+    /// `read` wrapper does).
+    fn read_now(c: &mut ChannelController, coord: DramCoord, now: Picos) -> Picos {
+        let token = c.submit_read(coord, now, true);
+        c.resolve_read(token)
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_equals_the_pipeline() {
+        let mut wrapped = controller(ChannelMode::commercial_baseline());
+        let mut piped = controller(ChannelMode::commercial_baseline());
+        for i in 0..50u64 {
+            let c = coord((i % 4) as usize, (i % 16) as usize, i % 8, i);
+            assert_eq!(wrapped.read(c, i * 700), read_now(&mut piped, c, i * 700));
+        }
+        assert_eq!(wrapped.stats().row_hits, piped.stats().row_hits);
+    }
+
     #[test]
     fn row_hit_faster_than_row_miss() {
         let mut c = controller(ChannelMode::commercial_baseline());
-        let first = c.read(coord(0, 0, 10, 0), 0); // cold: ACT + CL
-        let hit = c.read(coord(0, 0, 10, 1), first) - first;
-        let miss = c.read(coord(0, 0, 99, 0), first * 4) - first * 4;
+        let first = read_now(&mut c, coord(0, 0, 10, 0), 0); // cold: ACT + CL
+        let hit = read_now(&mut c, coord(0, 0, 10, 1), first) - first;
+        let miss = read_now(&mut c, coord(0, 0, 99, 0), first * 4) - first * 4;
         assert!(hit < miss, "hit {hit} vs miss {miss}");
         assert_eq!(c.stats().row_hits, 1);
         assert_eq!(c.stats().activates, 2);
@@ -700,8 +728,8 @@ mod tests {
         let mut c = controller(ChannelMode::commercial_baseline());
         // Two same-time reads to different banks: second's data must
         // wait for the first burst to clear the bus.
-        let a = c.read(coord(0, 0, 1, 0), 0);
-        let b = c.read(coord(0, 1, 1, 0), 0);
+        let a = read_now(&mut c, coord(0, 0, 1, 0), 0);
+        let b = read_now(&mut c, coord(0, 1, 1, 0), 0);
         let t = ChannelMode::commercial_baseline().read_timing;
         assert!(b >= a + t.burst_ps());
     }
@@ -709,16 +737,19 @@ mod tests {
     #[test]
     fn faster_rate_reduces_latency_under_load() {
         let spec = ChannelMode::commercial_baseline();
-        let mut fast_mode = spec;
-        fast_mode.read_timing = dram::timing::MemorySetting::FreqLatMargin.timing();
+        let fast_mode = spec
+            .to_builder()
+            .read_timing(dram::timing::MemorySetting::FreqLatMargin.timing())
+            .build()
+            .expect("fast reads over spec writes are valid");
         let mut slow = controller(spec);
         let mut fast = controller(fast_mode);
         // Saturate the bus: arrivals come faster than service.
         let (mut ts, mut tf) = (0, 0);
         for i in 0..2_000u64 {
             let arrival = i * 500; // one request every 0.5 ns
-            ts = slow.read(coord(0, 0, 5, i % 128), arrival);
-            tf = fast.read(coord(0, 0, 5, i % 128), arrival);
+            ts = read_now(&mut slow, coord(0, 0, 5, i % 128), arrival);
+            tf = read_now(&mut fast, coord(0, 0, 5, i % 128), arrival);
         }
         assert!(
             tf < ts,
@@ -733,11 +764,11 @@ mod tests {
     fn hybrid_policy_closes_idle_rows() {
         let mut c = controller(ChannelMode::commercial_baseline());
         let t = ChannelMode::commercial_baseline().read_timing;
-        let first = c.read(coord(0, 0, 10, 0), 0);
+        let first = read_now(&mut c, coord(0, 0, 10, 0), 0);
         // Long idle: the row times out and is closed in background, so
         // a different-row access skips the precharge.
         let late = first + 10_000_000;
-        let miss = c.read(coord(0, 0, 20, 0), late) - late;
+        let miss = read_now(&mut c, coord(0, 0, 20, 0), late) - late;
         // Closed-page access: ACT + CL + burst, no tRP on the critical
         // path.
         let expect = t.t_rcd_ps() + t.t_cas_ps() + t.burst_ps();
@@ -756,9 +787,9 @@ mod tests {
         assert_eq!(c.pending_writes(), 0);
         // A conventional controller interleaves: the read only waits
         // for the bus the drain booked, it is not frozen to `resume`.
-        let unloaded =
-            controller(ChannelMode::commercial_baseline()).read(coord(0, 0, 3, 0), 2_000);
-        let done = c.read(coord(0, 0, 3, 0), 2_000);
+        let mut idle = controller(ChannelMode::commercial_baseline());
+        let unloaded = read_now(&mut idle, coord(0, 0, 3, 0), 2_000);
+        let done = read_now(&mut c, coord(0, 0, 3, 0), 2_000);
         assert!(done > unloaded, "bus contention delays the read");
     }
 
@@ -773,7 +804,7 @@ mod tests {
         let resume = c.drain_writes(1_000, Vec::new());
         // A read arriving mid-write-mode waits for the channel to be
         // clocked back up.
-        let done = c.read(coord(0, 0, 3, 0), 2_000);
+        let done = read_now(&mut c, coord(0, 0, 3, 0), 2_000);
         assert!(done >= resume);
     }
 
@@ -817,8 +848,8 @@ mod tests {
         // Reads to home ranks 0..3 must all land on ranks 2/3: verify
         // via bank state — read rank 0 then rank 2 with the same
         // bank/row; the second is a row hit because they share a bank.
-        let first = c.read(coord(0, 5, 77, 0), 0);
-        let _second = c.read(coord(2, 5, 77, 1), first);
+        let first = read_now(&mut c, coord(0, 5, 77, 0), 0);
+        let _second = read_now(&mut c, coord(2, 5, 77, 1), first);
         assert_eq!(c.stats().row_hits, 1);
     }
 
@@ -828,10 +859,10 @@ mod tests {
         mode.fmr_read_choice = true;
         let mut c = controller(mode);
         // Open row 10 on rank 0 bank 0.
-        let t0 = c.read(coord(0, 0, 10, 0), 0);
+        let t0 = read_now(&mut c, coord(0, 0, 10, 0), 0);
         // Now rank 2 (mirror) bank 0 is cold; a read to row 10 rank 2
         // should be served by rank 0's open row → row hit.
-        let _ = c.read(coord(2, 0, 10, 1), t0);
+        let _ = read_now(&mut c, coord(2, 0, 10, 1), t0);
         assert_eq!(c.stats().row_hits, 1);
     }
 
@@ -858,7 +889,7 @@ mod tests {
         let refi = ChannelMode::commercial_baseline().read_timing.t_refi_ps();
         let mut t = 0;
         for i in 0..1_000u64 {
-            t = c.read(coord(0, 0, i % 4, 0), t.max(i * refi / 100));
+            t = read_now(&mut c, coord(0, 0, i % 4, 0), t.max(i * refi / 100));
         }
         assert!(c.stats().refreshes > 5, "refreshes {}", c.stats().refreshes);
     }

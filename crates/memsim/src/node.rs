@@ -527,9 +527,7 @@ mod tests {
             HierarchyConfig::hierarchy1(),
             4_000,
         );
-        let mut fast_mode = ChannelMode::commercial_baseline();
-        fast_mode.read_timing = dram::timing::MemorySetting::FreqLatMargin.timing();
-        fast_mode.write_timing = fast_mode.read_timing;
+        let fast_mode = ChannelMode::preset(dram::timing::MemorySetting::FreqLatMargin);
         let fast = run(fast_mode, HierarchyConfig::hierarchy1(), 4_000);
         let speedup = fast.speedup_over(&base);
         assert!(

@@ -75,10 +75,12 @@ proptest! {
         let mut now = 0u64;
         for (row, bank, rank) in rows {
             now += 1_000;
-            let done = ctrl.read(
+            let token = ctrl.submit_read(
                 memsim::address::DramCoord { channel: 0, rank, bank, row, column: 0 },
                 now,
+                true,
             );
+            let done = ctrl.resolve_read(token);
             prop_assert!(done >= now + min_latency, "read finished impossibly fast");
         }
         let stats = ctrl.stats();

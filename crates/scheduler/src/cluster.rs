@@ -104,6 +104,34 @@ impl ClusterMetrics {
     }
 }
 
+/// One labelled configuration of a side-by-side scheduling sweep
+/// (Figure 17 compares four of these over the same job trace).
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Display label (also useful as a telemetry scope prefix).
+    pub label: String,
+    pub cluster: Cluster,
+    pub policy: Policy,
+    pub speedups: SpeedupModel,
+    /// When set, the run is metered ([`Cluster::run_metered`]) under
+    /// this scope; otherwise it runs unobserved.
+    pub scope: Option<Scope>,
+}
+
+/// Replays `jobs` under every variant, in parallel on the worker
+/// pool, returning outcomes in variant order. Each replay is
+/// single-threaded and depends only on its variant and the shared
+/// trace, so the sweep's results are identical at any worker budget.
+pub fn run_variants(jobs: &[Job], variants: Vec<Variant>) -> Vec<(String, Vec<JobOutcome>)> {
+    runner::parallel_map(variants, |_, v| {
+        let outcomes = match &v.scope {
+            Some(scope) => v.cluster.run_metered(jobs, v.policy, &v.speedups, scope),
+            None => v.cluster.run(jobs, v.policy, &v.speedups),
+        };
+        (v.label, outcomes)
+    })
+}
+
 /// Jobs ending: (end time, allocation per group).
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Completion {
@@ -580,6 +608,46 @@ mod tests {
         let qf: f64 = fast.iter().map(JobOutcome::queue_delay_s).sum();
         let qs: f64 = slow.iter().map(JobOutcome::queue_delay_s).sum();
         assert!(qf < qs, "queueing must shrink: {qf} vs {qs}");
+    }
+
+    #[test]
+    fn variant_sweep_matches_individual_runs() {
+        let trace = crate::trace::GrizzlyTrace::scaled(300, 64).generate(3);
+        let hdmr = Cluster::new(64, [0.62, 0.36, 0.02]);
+        let conv = Cluster::conventional(64);
+        let sweep = run_variants(
+            &trace,
+            vec![
+                Variant {
+                    label: "conventional".into(),
+                    cluster: conv.clone(),
+                    policy: Policy::Default,
+                    speedups: SpeedupModel::conventional(),
+                    scope: None,
+                },
+                Variant {
+                    label: "margin_aware".into(),
+                    cluster: hdmr.clone(),
+                    policy: Policy::MarginAware,
+                    speedups: SpeedupModel::hetero_dmr_default(),
+                    scope: None,
+                },
+            ],
+        );
+        assert_eq!(sweep[0].0, "conventional");
+        assert_eq!(sweep[1].0, "margin_aware");
+        assert_eq!(
+            sweep[0].1,
+            conv.run(&trace, Policy::Default, &SpeedupModel::conventional())
+        );
+        assert_eq!(
+            sweep[1].1,
+            hdmr.run(
+                &trace,
+                Policy::MarginAware,
+                &SpeedupModel::hetero_dmr_default()
+            )
+        );
     }
 
     #[test]

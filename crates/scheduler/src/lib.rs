@@ -20,7 +20,7 @@ pub mod job;
 pub mod stats;
 pub mod trace;
 
-pub use cluster::{Cluster, Policy, SpeedupModel};
+pub use cluster::{run_variants, Cluster, Policy, SpeedupModel, Variant};
 pub use job::{Job, JobOutcome};
 pub use stats::{QueueTail, RunSummary};
 pub use trace::GrizzlyTrace;

@@ -23,27 +23,66 @@
 //!   LANL memory-utilization model,
 //! * [`scheduler`] — the Grizzly-scale cluster simulator with the
 //!   margin-aware job scheduler,
-//! * [`energy`] — the CPU+DRAM energy-per-instruction model.
+//! * [`energy`] — the CPU+DRAM energy-per-instruction model,
+//! * [`runner`] — the deterministic parallel experiment engine
+//!   (counter-based RNG streams, fixed-size worker pool, per-task
+//!   panic isolation),
+//! * [`telemetry`] — counters/gauges/histograms, mergeable snapshots,
+//!   JSONL export and run manifests.
 //!
-//! # Quickstart
+//! The most commonly combined types are re-exported at the crate root:
+//! [`Scenario`]/[`Runner`] (experiment orchestration),
+//! [`MemoryConfig`] (validated memory-shape builder),
+//! [`ModulePopulation`] (the characterization study),
+//! [`ClusterSim`] (the HPC cluster simulator), and [`Registry`]
+//! (telemetry).
+//!
+//! # Quickstart: deterministic parallel experiments
+//!
+//! Wrap any per-seed computation in [`Scenario`]s and hand them to a
+//! [`Runner`]. Results come back in input order with per-task output,
+//! telemetry, and panic isolation — and because every RNG stream is
+//! derived from `(seed, scenario name)` counters rather than thread
+//! identity, the outcome is byte-identical for **any** worker count:
 //!
 //! ```
-//! use hetero_dmr_repro::hetero_dmr::protocol::HeteroDmrChannel;
-//! use hetero_dmr_repro::ecc::ErrorModel;
-//! use rand::SeedableRng;
+//! use hetero_dmr_repro::{ModulePopulation, Runner, Scenario};
 //!
-//! // A channel with two 1-GiB-of-blocks modules, 25% utilized:
-//! let mut channel = HeteroDmrChannel::new(1 << 24);
-//! let t = channel.set_used_blocks(1 << 22, 0);
+//! let scenarios: Vec<Scenario> = ["brand-study", "rank-study"]
+//!     .into_iter()
+//!     .map(|name| {
+//!         Scenario::builder(name)
+//!             .derived_seed(0xD1A2) // root seed -> per-task stream
+//!             .task(|ctx| {
+//!                 let pop = ModulePopulation::paper_study(ctx.seed);
+//!                 ctx.say(format!("{} modules", pop.modules().len()));
+//!             })
+//!             .build()
+//!     })
+//!     .collect();
 //!
-//! // Reads are served unsafely fast; a corrupted copy is detected and
-//! // recovered from the always-in-spec original, transparently.
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-//! let (data, outcome, _t) = channel
-//!     .read(42, t, Some((&mut rng, ErrorModel::FullBlock)))
-//!     .unwrap();
-//! assert_eq!(data, [0u8; 64]); // never written → zeros, despite the error
-//! assert_eq!(outcome, hetero_dmr_repro::hetero_dmr::ReadOutcome::Recovered);
+//! // `Runner::new(n)` pins the worker count (0 = one per CPU); the
+//! // output below is identical for every choice.
+//! let outcomes = Runner::new(2).run(scenarios);
+//! assert_eq!(outcomes.len(), 2);
+//! assert!(outcomes.iter().all(|o| !o.is_failed()));
+//! assert_eq!(outcomes[0].name, "brand-study");
+//! assert_eq!(outcomes[0].out, "119 modules\n");
+//! ```
+//!
+//! Memory shapes are built (and validated) with the
+//! [`MemoryConfig`] builder:
+//!
+//! ```
+//! use hetero_dmr_repro::MemoryConfig;
+//!
+//! let shape = MemoryConfig::builder()
+//!     .channels(4)
+//!     .ranks_per_module(2)
+//!     .build()
+//!     .expect("a power-of-two channel count is valid");
+//! assert_eq!(shape.ranks_per_channel(), 4);
+//! assert!(MemoryConfig::builder().channels(3).build().is_err());
 //! ```
 
 pub use dram;
@@ -52,5 +91,13 @@ pub use energy;
 pub use hetero_dmr;
 pub use margin;
 pub use memsim;
+pub use runner;
 pub use scheduler;
+pub use telemetry;
 pub use workloads;
+
+pub use margin::population::ModulePopulation;
+pub use memsim::config::MemoryConfig;
+pub use runner::{RunOutcome, RunStatus, Runner, Scenario, ScenarioBuilder, TaskCtx};
+pub use scheduler::Cluster as ClusterSim;
+pub use telemetry::{Registry, Snapshot};

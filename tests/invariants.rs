@@ -121,12 +121,13 @@ proptest! {
     /// Raising only the data rate never slows a run down.
     #[test]
     fn more_data_rate_never_hurts(extra in prop_oneof![Just(0u32), Just(400), Just(800)]) {
-        let mut mode = ChannelMode::commercial_baseline();
         let faster = dram::timing::MemorySetting::Specified
             .timing()
             .at_rate(dram::rate::DataRate::MT3200.plus_margin(extra));
-        mode.read_timing = faster;
-        mode.write_timing = faster;
+        let mode = ChannelMode::builder()
+            .timings(faster)
+            .build()
+            .expect("uniform overclock is a valid mode");
         let base = run_suite(ChannelMode::commercial_baseline(), Suite::Hpcg, 2_000, 21);
         let fast = run_suite(mode, Suite::Hpcg, 2_000, 21);
         prop_assert!(fast.exec_time_ps <= base.exec_time_ps * 101 / 100,
