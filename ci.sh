@@ -24,6 +24,11 @@ cargo clippy --offline --workspace \
 echo "== benches compile =="
 cargo bench --offline --workspace --no-run
 
+echo "== bench smoke (wall-clock guardrail) =="
+# Fails when a smoke target regresses >20% against the recorded
+# BENCH_PR4.json baseline; skips silently when no baseline is recorded.
+./scripts/bench_smoke.sh check
+
 echo "== jobs-invariance (parallel vs serial experiments) =="
 # The full evaluation under the parallel runner must produce
 # byte-identical stdout and metrics to a serial run.

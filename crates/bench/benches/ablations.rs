@@ -112,13 +112,15 @@ fn ablation_ecc_decode(c: &mut Criterion) {
 /// fast, mirrored writes) vs same-channel Hetero-DMR, on Hierarchy2
 /// (the strawman needs multiple channels).
 fn ablation_naive_dmr(c: &mut Criterion) {
-    let model = NodeModel::new(
+    let mut model = NodeModel::new(
         HierarchyConfig::hierarchy2(),
         EvalConfig {
             ops_per_core: 2_000,
             seed: 0xAB1A,
         },
     );
+    model.set_shared_cache(false);
+    let model = model;
     let naive = model.suite_average(MemoryDesign::NaiveDmr { margin_mts: 800 }, UsageBucket::Low);
     let hdmr = model.suite_average(
         MemoryDesign::HeteroDmr { margin_mts: 800 },

@@ -13,13 +13,17 @@ use workloads::Suite;
 /// A reduced node model sized for benchmarking (small but large
 /// enough to exercise write drains and steady-state behaviour).
 pub fn bench_model(h: HierarchyConfig) -> NodeModel {
-    NodeModel::new(
+    let mut m = NodeModel::new(
         h,
         EvalConfig {
             ops_per_core: 4_000,
             seed: 0xBE7C,
         },
-    )
+    );
+    // Benchmarks measure real simulation cost; results shared across
+    // benches through the process-wide cache would corrupt timings.
+    m.set_shared_cache(false);
+    m
 }
 
 /// One normalized-performance evaluation (the unit of Figures 5/12).

@@ -51,7 +51,7 @@ pub use designs::MemoryDesign;
 pub use faults::PermanentFaultTracker;
 pub use governor::{EpochGovernor, GovernorState};
 pub use monte_carlo::{MarginGroups, MonteCarlo};
-pub use node_model::{EvalConfig, NodeModel, UsageBucket};
+pub use node_model::{shared_cache_stats, EvalConfig, NodeModel, UsageBucket};
 pub use profiler::{NodeProfile, NodeProfiler};
 pub use protocol::{HeteroDmrChannel, ReadOutcome};
 pub use replication::ReplicationManager;

@@ -7,6 +7,14 @@
 //! threshold), and aggregates suite averages / usage-bucket weights /
 //! margin-group weights exactly as the paper's "average across six
 //! HPC benchmark suites" and "[0~100%]" bars do.
+//!
+//! Results are memoized twice: per engine (a plain map) and process
+//! wide ([`shared_cache`]), keyed by a content fingerprint of the
+//! hierarchy and eval config plus the exact design and suite, so
+//! trials, variants, and figures that evaluate the same configuration
+//! share one simulation. Cached entries carry the run's telemetry
+//! snapshot, replayed into the recalling engine's scope on a hit —
+//! metrics output is byte-identical with the cache on or off.
 
 use crate::designs::MemoryDesign;
 use crate::monte_carlo::MarginGroups;
@@ -16,7 +24,9 @@ use memsim::config::HierarchyConfig;
 use memsim::{NodeSim, SimResult};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use telemetry::{slug, Scope};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use telemetry::{slug, Registry, Scope, Snapshot};
 use workloads::{Suite, TraceGen};
 
 /// The paper's Figure 12 memory-usage buckets.
@@ -71,21 +81,28 @@ impl Default for EvalConfig {
     }
 }
 
+/// The telemetry label for one `(design, suite)` run, relative to an
+/// engine's metrics scope.
+fn run_label(design: MemoryDesign, suite: Suite) -> String {
+    format!("{}.{}", slug(&design.name()), slug(suite.name()))
+}
+
 /// One full simulation of `design` on `suite`: pure with respect to
 /// its arguments (no memoization, no engine state), which is what
 /// makes [`NodeModel::prime`] safe to fan out across workers.
+/// `sink`, when present, is the fully-labelled scope the run's
+/// telemetry lands under (callers nest [`run_label`] themselves).
 fn simulate(
     hierarchy: &HierarchyConfig,
     config: &EvalConfig,
-    metrics: Option<&Scope>,
+    sink: Option<&Scope>,
     design: MemoryDesign,
     suite: Suite,
 ) -> SimResult {
     let (modes, mirror) = design.per_channel_modes(hierarchy.memory.channels);
     let mut node = NodeSim::with_modes(*hierarchy, modes, mirror);
-    if let Some(scope) = metrics {
-        let label = format!("{}.{}", slug(&design.name()), slug(suite.name()));
-        node.attach_telemetry(&scope.scope(&label));
+    if let Some(scope) = sink {
+        node.attach_telemetry(scope);
     }
     let streams: Vec<TraceGen> = (0..hierarchy.cores)
         .map(|i| {
@@ -109,6 +126,62 @@ fn simulate(
     node.run(streams)
 }
 
+/// [`simulate`] with its telemetry captured in a private registry, so
+/// the run's metrics travel with the result: the shared cache stores
+/// the snapshot and replays it (see [`Scope::absorb`]) into whichever
+/// scope later recalls the entry.
+fn simulate_snapshotted(
+    hierarchy: &HierarchyConfig,
+    config: &EvalConfig,
+    design: MemoryDesign,
+    suite: Suite,
+) -> (SimResult, Snapshot) {
+    let registry = Registry::new();
+    let scope = registry.scope(&run_label(design, suite));
+    let result = simulate(hierarchy, config, Some(&scope), design, suite);
+    (result, registry.snapshot())
+}
+
+/// A shared-cache key: the content fingerprint of everything that
+/// determines a run's outcome (hierarchy and eval config, hashed) plus
+/// the design and suite, kept exact.
+type SharedKey = (u64, MemoryDesign, Suite);
+
+/// A cached run: the simulation result plus, when the miss ran with
+/// metrics attached, the telemetry snapshot a hit replays.
+type SharedEntry = (SimResult, Option<Snapshot>);
+
+/// The process-wide result cache: identical `(hierarchy, eval config,
+/// design, suite)` runs across engines — different trials, variants,
+/// figures — resolve to one simulation.
+fn shared_cache() -> &'static Mutex<HashMap<SharedKey, SharedEntry>> {
+    static CACHE: OnceLock<Mutex<HashMap<SharedKey, SharedEntry>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static SHARED_HITS: AtomicU64 = AtomicU64::new(0);
+static SHARED_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Lifetime `(hits, misses)` of the process-wide result cache.
+pub fn shared_cache_stats() -> (u64, u64) {
+    (
+        SHARED_HITS.load(Ordering::Relaxed),
+        SHARED_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Folds the eval config into the hierarchy fingerprint: the complete
+/// content address of a simulation's inputs (the design and suite ride
+/// alongside in the key, unhashed).
+fn cache_fingerprint(hierarchy: &HierarchyConfig, config: &EvalConfig) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = hierarchy.fingerprint();
+    for w in [config.ops_per_core as u64, config.seed] {
+        h = (h ^ w).wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// The evaluation engine for one hierarchy, with run memoization.
 #[derive(Debug)]
 pub struct NodeModel {
@@ -116,17 +189,29 @@ pub struct NodeModel {
     config: EvalConfig,
     cache: RefCell<HashMap<(MemoryDesign, Suite), SimResult>>,
     metrics: Option<Scope>,
+    fingerprint: u64,
+    shared: bool,
 }
 
 impl NodeModel {
     /// Creates an engine for `hierarchy`.
     pub fn new(hierarchy: HierarchyConfig, config: EvalConfig) -> NodeModel {
+        let fingerprint = cache_fingerprint(&hierarchy, &config);
         NodeModel {
             hierarchy,
             config,
             cache: RefCell::new(HashMap::new()),
             metrics: None,
+            fingerprint,
+            shared: true,
         }
+    }
+
+    /// Opts this engine in or out of the process-wide result cache
+    /// (on by default; benchmarks opt out to measure real simulation
+    /// cost, and `--no-model-cache` opts whole runs out).
+    pub fn set_shared_cache(&mut self, shared: bool) {
+        self.shared = shared;
     }
 
     /// Routes simulator telemetry into `scope`: every fresh (design,
@@ -149,17 +234,72 @@ impl NodeModel {
         if let Some(hit) = self.cache.borrow().get(&(design, suite)) {
             return hit.clone();
         }
-        let result = simulate(
-            &self.hierarchy,
-            &self.config,
-            self.metrics.as_ref(),
-            design,
-            suite,
-        );
+        let result = self.run_uncached(design, suite);
         self.cache
             .borrow_mut()
             .insert((design, suite), result.clone());
         result
+    }
+
+    /// A run that missed this engine's memo: consult the shared cache
+    /// (replaying the stored telemetry snapshot on a hit, so metrics
+    /// output is indistinguishable from simulating here), or simulate
+    /// and publish.
+    fn run_uncached(&self, design: MemoryDesign, suite: Suite) -> SimResult {
+        if !self.shared {
+            let sink = self
+                .metrics
+                .as_ref()
+                .map(|s| s.scope(&run_label(design, suite)));
+            return simulate(&self.hierarchy, &self.config, sink.as_ref(), design, suite);
+        }
+        if let Some(result) = self.shared_lookup(design, suite) {
+            return result;
+        }
+        SHARED_MISSES.fetch_add(1, Ordering::Relaxed);
+        let key = (self.fingerprint, design, suite);
+        match &self.metrics {
+            Some(scope) => {
+                let (result, snap) =
+                    simulate_snapshotted(&self.hierarchy, &self.config, design, suite);
+                scope.absorb(&snap);
+                // Unconditional insert: also upgrades a snapshot-less
+                // entry left by a metrics-free run.
+                shared_cache()
+                    .lock()
+                    .unwrap()
+                    .insert(key, (result.clone(), Some(snap)));
+                result
+            }
+            None => {
+                let result = simulate(&self.hierarchy, &self.config, None, design, suite);
+                shared_cache()
+                    .lock()
+                    .unwrap()
+                    .entry(key)
+                    .or_insert_with(|| (result.clone(), None));
+                result
+            }
+        }
+    }
+
+    /// A shared-cache hit usable by this engine. With metrics attached
+    /// the entry must carry a snapshot to replay — snapshot-less
+    /// entries (recorded by metrics-free runs) miss instead, and the
+    /// re-run upgrades them.
+    fn shared_lookup(&self, design: MemoryDesign, suite: Suite) -> Option<SimResult> {
+        let cache = shared_cache().lock().unwrap();
+        let (result, snap) = cache.get(&(self.fingerprint, design, suite))?;
+        let result = match (&self.metrics, snap) {
+            (None, _) => result.clone(),
+            (Some(scope), Some(snap)) => {
+                scope.absorb(snap);
+                result.clone()
+            }
+            (Some(_), None) => return None,
+        };
+        SHARED_HITS.fetch_add(1, Ordering::Relaxed);
+        Some(result)
     }
 
     /// Runs every not-yet-memoized `(design, suite)` pair on the
@@ -180,16 +320,59 @@ impl NodeModel {
                 }
             }
         }
+        if self.shared {
+            // Shared-cache hits resolve inline (replaying their stored
+            // snapshots); only true misses go to the worker pool.
+            missing.retain(|&(design, suite)| match self.shared_lookup(design, suite) {
+                Some(result) => {
+                    self.cache.borrow_mut().insert((design, suite), result);
+                    false
+                }
+                None => true,
+            });
+        }
         if missing.is_empty() {
             return;
         }
         let (hierarchy, config, metrics) = (&self.hierarchy, &self.config, self.metrics.as_ref());
+        if !self.shared {
+            let results = runner::parallel_map(missing.clone(), move |_, (design, suite)| {
+                let sink = metrics.map(|s| s.scope(&run_label(design, suite)));
+                simulate(hierarchy, config, sink.as_ref(), design, suite)
+            });
+            let mut cache = self.cache.borrow_mut();
+            for (pair, result) in missing.into_iter().zip(results) {
+                cache.insert(pair, result);
+            }
+            return;
+        }
+        let want_snap = metrics.is_some();
         let results = runner::parallel_map(missing.clone(), move |_, (design, suite)| {
-            simulate(hierarchy, config, metrics, design, suite)
+            if want_snap {
+                let (result, snap) = simulate_snapshotted(hierarchy, config, design, suite);
+                (result, Some(snap))
+            } else {
+                (simulate(hierarchy, config, None, design, suite), None)
+            }
         });
+        SHARED_MISSES.fetch_add(results.len() as u64, Ordering::Relaxed);
         let mut cache = self.cache.borrow_mut();
-        for (pair, result) in missing.into_iter().zip(results) {
-            cache.insert(pair, result);
+        for ((design, suite), (result, snap)) in missing.into_iter().zip(results) {
+            if let (Some(scope), Some(snap)) = (&self.metrics, &snap) {
+                scope.absorb(snap);
+            }
+            let key = (self.fingerprint, design, suite);
+            let mut shared = shared_cache().lock().unwrap();
+            match snap {
+                Some(snap) => {
+                    shared.insert(key, (result.clone(), Some(snap)));
+                }
+                None => {
+                    shared.entry(key).or_insert_with(|| (result.clone(), None));
+                }
+            }
+            drop(shared);
+            cache.insert((design, suite), result);
         }
     }
 
@@ -427,6 +610,49 @@ mod tests {
                 "{design:?}/{suite:?}"
             );
         }
+    }
+
+    #[test]
+    fn shared_cache_replays_metrics_identically() {
+        let pair = (MemoryDesign::ExploitLatency, Suite::Lulesh);
+        // Reference: record directly, shared cache off.
+        let mut direct = model(HierarchyConfig::hierarchy1());
+        direct.set_shared_cache(false);
+        let rd = telemetry::Registry::new();
+        direct.set_metrics_scope(rd.scope("node"));
+        let _ = direct.run(pair.0, pair.1);
+        // Ensure a snapshot-bearing shared entry exists (miss or hit,
+        // either leaves one behind)...
+        let mut warm = model(HierarchyConfig::hierarchy1());
+        let rw = telemetry::Registry::new();
+        warm.set_metrics_scope(rw.scope("node"));
+        let _ = warm.run(pair.0, pair.1);
+        // ...so this run is a guaranteed snapshot replay.
+        let (hits_before, _) = shared_cache_stats();
+        let mut replay = model(HierarchyConfig::hierarchy1());
+        let rr = telemetry::Registry::new();
+        replay.set_metrics_scope(rr.scope("node"));
+        let result = replay.run(pair.0, pair.1);
+        let (hits_after, _) = shared_cache_stats();
+        assert!(hits_after > hits_before, "expected a shared-cache hit");
+        assert_eq!(result.exec_time_ps, direct.run(pair.0, pair.1).exec_time_ps);
+        assert_eq!(rr.snapshot(), rd.snapshot(), "replayed metrics differ");
+    }
+
+    #[test]
+    fn shared_cache_keys_on_eval_config() {
+        let cfg = |seed| EvalConfig {
+            ops_per_core: 3_000,
+            seed,
+        };
+        let a = NodeModel::new(HierarchyConfig::hierarchy1(), cfg(7));
+        let b = NodeModel::new(HierarchyConfig::hierarchy1(), cfg(8));
+        let ra = a.run(MemoryDesign::CommercialBaseline, Suite::Lulesh);
+        let rb = b.run(MemoryDesign::CommercialBaseline, Suite::Lulesh);
+        assert_ne!(
+            ra.exec_time_ps, rb.exec_time_ps,
+            "different seeds must not share cache entries"
+        );
     }
 
     #[test]

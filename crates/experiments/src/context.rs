@@ -40,6 +40,10 @@ pub struct Ctx {
     pub trace_jobs: usize,
     /// Whether `--quick` shrank the run (recorded in the manifest).
     pub quick_run: bool,
+    /// Whether node models may share the process-wide result cache
+    /// (`--no-model-cache` turns it off; output is identical either
+    /// way, only wall time changes).
+    pub model_cache: bool,
     /// Where to write CSV copies of every series (optional).
     pub csv_dir: Option<String>,
     /// Where `--metrics` writes the JSONL snapshot + manifest.
@@ -61,6 +65,7 @@ impl Default for Ctx {
             trials: 50_000,
             trace_jobs: 58_000,
             quick_run: false,
+            model_cache: true,
             csv_dir: None,
             metrics_dir: None,
             registry: None,

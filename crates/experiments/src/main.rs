@@ -44,6 +44,9 @@ options:
   --metrics DIR  record simulator telemetry; writes
                  DIR/<target>.metrics.jsonl (deterministic for a fixed
                  seed) and DIR/manifest.json
+  --no-model-cache
+                 disable the cross-target node-model result cache
+                 (output is identical either way; runs are slower)
   --list         print the available targets and exit
   -h, --help     print this help and exit"
     );
@@ -93,6 +96,7 @@ fn main() {
                     .unwrap_or_else(|| usage_error("--jobs needs an integer"));
             }
             "--quick" => ctx.quick(),
+            "--no-model-cache" => ctx.model_cache = false,
             "--csv" => {
                 let dir = iter
                     .next()
@@ -179,15 +183,20 @@ fn write_metrics(
         format!("{dir}/{target}.metrics.jsonl"),
         telemetry::format_jsonl(&sim),
     )?;
+    let (cache_hits, cache_misses) = hetero_dmr::shared_cache_stats();
     let manifest = telemetry::RunManifest::new(target, ctx.seed)
         .knob("ops_per_core", ctx.ops_per_core)
         .knob("trials", ctx.trials)
         .knob("trace_jobs", ctx.trace_jobs)
         .knob("quick", ctx.quick_run)
         .knob("jobs", runner::jobs())
+        .knob("model_cache", ctx.model_cache)
+        .knob("model_cache_hits", cache_hits)
+        .knob("model_cache_misses", cache_misses)
         .with_git_describe()
         .with_snapshot(&sim)
-        .with_wall_ms(wall_ms);
+        .with_wall_ms(wall_ms)
+        .with_target_walls(outcomes.iter().map(|o| (o.name.clone(), o.wall_ms as u64)));
     std::fs::write(format!("{dir}/manifest.json"), manifest.to_json())?;
     println!(
         "\nmetrics: {} series -> {dir}/{target}.metrics.jsonl (+ manifest.json)",

@@ -19,6 +19,7 @@ fn model(ctx: &Ctx, h: HierarchyConfig) -> NodeModel {
             seed: ctx.seed,
         },
     );
+    m.set_shared_cache(ctx.model_cache);
     if let Some(scope) = ctx.metrics_scope(&format!("node.{}", telemetry::slug(h.name))) {
         m.set_metrics_scope(scope);
     }

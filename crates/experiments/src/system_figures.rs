@@ -88,6 +88,7 @@ pub fn fig17(ctx: &mut Ctx) {
                 seed: ctx.seed,
             },
         );
+        m.set_shared_cache(ctx.model_cache);
         if let Some(scope) = ctx.metrics_scope(&format!("node.{}", telemetry::slug(h.name))) {
             m.set_metrics_scope(scope);
         }

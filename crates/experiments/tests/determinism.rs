@@ -19,7 +19,13 @@ fn tmp_dir(name: &str) -> PathBuf {
 /// Runs `target` under the given worker count, writing metrics into
 /// `dir` (the same dir for every worker count so the stdout summary
 /// line is comparable), and returns `(stdout, metrics JSONL bytes)`.
-fn run_with_jobs(target: &str, jobs: &str, dir: &std::path::Path) -> (Vec<u8>, Vec<u8>) {
+/// `extra` carries additional flags (e.g. `--no-model-cache`).
+fn run_with_jobs_and(
+    target: &str,
+    jobs: &str,
+    dir: &std::path::Path,
+    extra: &[&str],
+) -> (Vec<u8>, Vec<u8>) {
     let _ = std::fs::remove_dir_all(dir);
     let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
         .args([
@@ -34,6 +40,7 @@ fn run_with_jobs(target: &str, jobs: &str, dir: &std::path::Path) -> (Vec<u8>, V
             "--metrics",
             dir.to_str().unwrap(),
         ])
+        .args(extra)
         .output()
         .expect("spawn experiments binary");
     assert!(
@@ -44,6 +51,10 @@ fn run_with_jobs(target: &str, jobs: &str, dir: &std::path::Path) -> (Vec<u8>, V
         std::fs::read(dir.join(format!("{target}.metrics.jsonl"))).expect("metrics written");
     let _ = std::fs::remove_dir_all(dir);
     (out.stdout, jsonl)
+}
+
+fn run_with_jobs(target: &str, jobs: &str, dir: &std::path::Path) -> (Vec<u8>, Vec<u8>) {
+    run_with_jobs_and(target, jobs, dir, &[])
 }
 
 fn assert_jobs_invariant(target: &str, expect_series: bool) {
@@ -92,6 +103,51 @@ fn fig11_is_jobs_invariant() {
 fn fig17_is_jobs_invariant() {
     // Cluster variants run concurrently under distinct metric scopes.
     assert_jobs_invariant("fig17", true);
+}
+
+/// The node-model result cache must be output-invisible twice over:
+/// with the cache enabled, `--jobs 1` and `--jobs 8` agree (hit/miss
+/// order differs across schedules, but replayed snapshots record the
+/// same values); and a cache-off run produces the same bytes as a
+/// cache-on run.
+#[test]
+fn model_cache_is_output_invisible() {
+    // fig5 and fig14 share node simulations, so a multi-target run
+    // exercises real cross-target hits.
+    let target = "fig5";
+    let dir = tmp_dir("cache_on");
+    let (on_serial_out, on_serial_jsonl) = run_with_jobs(target, "1", &dir);
+    let (on_par_out, on_par_jsonl) = run_with_jobs(target, "8", &dir);
+    assert_eq!(on_serial_out, on_par_out, "cache-on stdout jobs 1 vs 8");
+    assert_eq!(on_serial_jsonl, on_par_jsonl, "cache-on JSONL jobs 1 vs 8");
+
+    let dir_off = tmp_dir("cache_off");
+    let (off_serial_out, off_serial_jsonl) =
+        run_with_jobs_and(target, "1", &dir_off, &["--no-model-cache"]);
+    let (off_par_out, off_par_jsonl) =
+        run_with_jobs_and(target, "8", &dir_off, &["--no-model-cache"]);
+    assert_eq!(off_serial_out, off_par_out, "cache-off stdout jobs 1 vs 8");
+    assert_eq!(
+        off_serial_jsonl, off_par_jsonl,
+        "cache-off JSONL jobs 1 vs 8"
+    );
+
+    // The two stdouts differ only in the metrics-dir path they echo;
+    // normalize before comparing across cache settings.
+    let norm = |bytes: &[u8], dir: &std::path::Path| {
+        String::from_utf8(bytes.to_vec())
+            .expect("utf8 stdout")
+            .replace(dir.to_str().unwrap(), "METRICS")
+    };
+    assert_eq!(
+        norm(&on_serial_out, &dir),
+        norm(&off_serial_out, &dir_off),
+        "stdout differs between cache on and off"
+    );
+    assert_eq!(
+        on_serial_jsonl, off_serial_jsonl,
+        "metrics JSONL differs between cache on and off"
+    );
 }
 
 /// Odd worker counts and a second pass over cheap whole-table targets:

@@ -10,23 +10,43 @@ pub struct AccessResult {
     pub writeback: Option<u64>,
 }
 
+/// One cache line slot. `lru == 0` marks an empty slot — the access
+/// tick is pre-incremented, so a resident line's recency is always
+/// nonzero. Empty slots carry [`TAG_EMPTY`] so the hit path can scan
+/// on the tag alone: a real tag is `addr >> (6 + index_bits)`, which
+/// can never reach `u64::MAX`.
 #[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u64,
     dirty: bool,
-    /// Higher = more recently used.
+    /// Higher = more recently used; 0 = slot empty.
     lru: u64,
 }
 
+/// Tag sentinel for empty slots (unreachable by any real address).
+const TAG_EMPTY: u64 = u64::MAX;
+
+const EMPTY: Line = Line {
+    tag: TAG_EMPTY,
+    dirty: false,
+    lru: 0,
+};
+
 /// A set-associative write-back, write-allocate cache.
 ///
-/// Operates on 64-byte block addresses (`addr >> 6`).
+/// Operates on 64-byte block addresses (`addr >> 6`). Lines live in
+/// one contiguous `ways`-strided array (a set is a slice of it), so an
+/// access probes a single cache-resident span instead of chasing a
+/// per-set allocation.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<Line>>,
+    lines: Vec<Line>,
     ways: usize,
+    set_count: usize,
     set_mask: u64,
     set_shift: u32,
+    /// `set_count.trailing_zeros()`, cached for address reassembly.
+    index_bits: u32,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -47,10 +67,12 @@ impl Cache {
             "cache must have a power-of-two number of sets (got {set_count})"
         );
         Cache {
-            sets: vec![Vec::with_capacity(ways); set_count],
+            lines: vec![EMPTY; set_count * ways],
             ways,
+            set_count,
             set_mask: (set_count - 1) as u64,
             set_shift: 6,
+            index_bits: set_count.trailing_zeros(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -59,12 +81,12 @@ impl Cache {
 
     /// Number of sets.
     pub fn set_count(&self) -> usize {
-        self.sets.len()
+        self.set_count
     }
 
     /// Total capacity in bytes.
     pub fn capacity_bytes(&self) -> usize {
-        self.sets.len() * self.ways * 64
+        self.set_count * self.ways * 64
     }
 
     /// Demand hits so far.
@@ -89,10 +111,38 @@ impl Cache {
 
     fn index(&self, addr: u64) -> (usize, u64) {
         let block = addr >> self.set_shift;
-        (
-            (block & self.set_mask) as usize,
-            block >> self.sets.len().trailing_zeros(),
-        )
+        ((block & self.set_mask) as usize, block >> self.index_bits)
+    }
+
+    /// Reassembles a line's block address from its tag and set.
+    fn block_of(&self, set_idx: usize, tag: u64) -> u64 {
+        let shift_back = self.set_shift + self.index_bits;
+        let set_bits = (set_idx as u64) << self.set_shift;
+        ((tag << shift_back) | set_bits) >> self.set_shift
+    }
+
+    /// The matching slot, or the insertion slot (first empty, else
+    /// LRU victim). The hit scan compares tags alone — [`TAG_EMPTY`]
+    /// makes empty slots unmatchable — so the common (hit) path is a
+    /// single compare per way; the insertion scan only runs on a
+    /// miss.
+    #[inline]
+    fn probe(set: &[Line], tag: u64) -> Result<usize, usize> {
+        if let Some(at) = set.iter().position(|l| l.tag == tag) {
+            return Ok(at);
+        }
+        let mut slot = 0;
+        let mut slot_lru = u64::MAX;
+        for (i, line) in set.iter().enumerate() {
+            if line.lru == 0 {
+                return Err(i); // first empty slot wins
+            }
+            if line.lru < slot_lru {
+                slot_lru = line.lru;
+                slot = i;
+            }
+        }
+        Err(slot)
     }
 
     /// Accesses `addr`; on a miss the block is allocated (write-
@@ -100,43 +150,34 @@ impl Cache {
     pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.ways;
         let (set_idx, tag) = self.index(addr);
-        let shift_back = self.set_shift + self.sets.len().trailing_zeros();
-        let set_bits = (set_idx as u64) << self.set_shift;
-        let set = &mut self.sets[set_idx];
-
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            line.lru = tick;
-            line.dirty |= is_write;
-            self.hits += 1;
-            return AccessResult {
-                hit: true,
-                writeback: None,
-            };
-        }
-        self.misses += 1;
-        let mut writeback = None;
-        if set.len() == ways {
-            let victim_idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .expect("nonempty set");
-            let victim = set.swap_remove(victim_idx);
-            if victim.dirty {
-                writeback = Some(((victim.tag << shift_back) | set_bits) >> self.set_shift);
+        let base = set_idx * self.ways;
+        match Self::probe(&self.lines[base..base + self.ways], tag) {
+            Ok(at) => {
+                let line = &mut self.lines[base + at];
+                line.lru = tick;
+                line.dirty |= is_write;
+                self.hits += 1;
+                AccessResult {
+                    hit: true,
+                    writeback: None,
+                }
             }
-        }
-        set.push(Line {
-            tag,
-            dirty: is_write,
-            lru: tick,
-        });
-        AccessResult {
-            hit: false,
-            writeback,
+            Err(slot) => {
+                self.misses += 1;
+                let victim = self.lines[base + slot];
+                let writeback =
+                    (victim.lru != 0 && victim.dirty).then(|| self.block_of(set_idx, victim.tag));
+                self.lines[base + slot] = Line {
+                    tag,
+                    dirty: is_write,
+                    lru: tick,
+                };
+                AccessResult {
+                    hit: false,
+                    writeback,
+                }
+            }
         }
     }
 
@@ -145,74 +186,62 @@ impl Cache {
     pub fn fill(&mut self, addr: u64) -> Option<u64> {
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.ways;
         let (set_idx, tag) = self.index(addr);
-        let shift_back = self.set_shift + self.sets.len().trailing_zeros();
-        let set_bits = (set_idx as u64) << self.set_shift;
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            // Already present: refresh recency only.
-            line.lru = tick;
-            return None;
-        }
-        let mut writeback = None;
-        if set.len() == ways {
-            let victim_idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .expect("nonempty set");
-            let victim = set.swap_remove(victim_idx);
-            if victim.dirty {
-                writeback = Some(((victim.tag << shift_back) | set_bits) >> self.set_shift);
+        let base = set_idx * self.ways;
+        match Self::probe(&self.lines[base..base + self.ways], tag) {
+            Ok(at) => {
+                // Already present: refresh recency only.
+                self.lines[base + at].lru = tick;
+                None
+            }
+            Err(slot) => {
+                let victim = self.lines[base + slot];
+                let writeback =
+                    (victim.lru != 0 && victim.dirty).then(|| self.block_of(set_idx, victim.tag));
+                self.lines[base + slot] = Line {
+                    tag,
+                    dirty: false,
+                    lru: tick,
+                };
+                writeback
             }
         }
-        set.push(Line {
-            tag,
-            dirty: false,
-            lru: tick,
-        });
-        writeback
     }
 
     /// Installs `addr` with an explicit dirty flag, without counting
     /// statistics or producing writebacks — cache warmup for starting
     /// a simulation in steady state (the paper warms its gem5 caches
-    /// before measuring). Silently skips the insert when the set is
-    /// full of warmer lines would be wrong — instead the LRU victim is
-    /// dropped (warmup victims carry no obligations).
+    /// before measuring). The LRU victim of a full set is dropped
+    /// (warmup victims carry no obligations).
     pub fn prewarm(&mut self, addr: u64, dirty: bool) {
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.ways;
         let (set_idx, tag) = self.index(addr);
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            line.lru = tick;
-            line.dirty |= dirty;
-            return;
+        let base = set_idx * self.ways;
+        match Self::probe(&self.lines[base..base + self.ways], tag) {
+            Ok(at) => {
+                let line = &mut self.lines[base + at];
+                line.lru = tick;
+                line.dirty |= dirty;
+            }
+            Err(slot) => {
+                self.lines[base + slot] = Line {
+                    tag,
+                    dirty,
+                    lru: tick,
+                };
+            }
         }
-        if set.len() == ways {
-            let victim_idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .expect("nonempty set");
-            set.swap_remove(victim_idx);
-        }
-        set.push(Line {
-            tag,
-            dirty,
-            lru: tick,
-        });
     }
 
     /// Whether `addr`'s block is currently cached (no LRU update).
     pub fn contains(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.index(addr);
-        self.sets[set_idx].iter().any(|l| l.tag == tag)
+        let base = set_idx * self.ways;
+        // Tag-only compare: TAG_EMPTY keeps empty slots unmatchable.
+        self.lines[base..base + self.ways]
+            .iter()
+            .any(|l| l.tag == tag)
     }
 
     /// Collects up to `limit` least-recently-used *dirty* blocks across
@@ -221,14 +250,12 @@ impl Cache {
     /// enters write mode (Section III-E: "first cleans least-recently
     /// used blocks as they are unlikely to be re-written").
     pub fn clean_lru_dirty(&mut self, limit: usize) -> Vec<u64> {
-        let shift_back = self.set_shift + self.sets.len().trailing_zeros();
         let mut dirty: Vec<(u64, u64)> = Vec::new();
-        for (set_idx, set) in self.sets.iter().enumerate() {
-            for line in set {
-                if line.dirty {
-                    let block = ((line.tag << shift_back) | ((set_idx as u64) << self.set_shift))
-                        >> self.set_shift;
-                    dirty.push((line.lru, block));
+        for set_idx in 0..self.set_count {
+            let base = set_idx * self.ways;
+            for line in &self.lines[base..base + self.ways] {
+                if line.lru != 0 && line.dirty {
+                    dirty.push((line.lru, self.block_of(set_idx, line.tag)));
                 }
             }
         }
@@ -238,7 +265,11 @@ impl Cache {
         for &b in &chosen {
             let addr = b << self.set_shift;
             let (set_idx, tag) = self.index(addr);
-            if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.tag == tag) {
+            let base = set_idx * self.ways;
+            if let Some(line) = self.lines[base..base + self.ways]
+                .iter_mut()
+                .find(|l| l.lru != 0 && l.tag == tag)
+            {
                 line.dirty = false;
             }
         }
@@ -247,10 +278,7 @@ impl Cache {
 
     /// Number of dirty lines currently resident.
     pub fn dirty_count(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|l| l.dirty).count())
-            .sum()
+        self.lines.iter().filter(|l| l.lru != 0 && l.dirty).count()
     }
 }
 
@@ -358,5 +386,18 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn non_power_of_two_sets_rejected() {
         let _ = Cache::new(4096, 3);
+    }
+
+    #[test]
+    fn empty_slots_fill_before_eviction() {
+        let mut c = Cache::new(256, 4); // 1 set, 4 ways
+        c.access(0, true);
+        // Three more fills must use empty slots, not evict the dirty
+        // line.
+        for i in 1..4u64 {
+            assert_eq!(c.access(i * 64, false).writeback, None);
+        }
+        // Now the set is full: the next miss evicts LRU (block 0).
+        assert_eq!(c.access(4 * 64, false).writeback, Some(0));
     }
 }

@@ -508,6 +508,44 @@ impl HierarchyConfig {
         (sets.max(1)) * 64 * ways
     }
 
+    /// A stable 64-bit content fingerprint (FNV-1a over every field,
+    /// floats by bit pattern). Two hierarchies with equal fields have
+    /// equal fingerprints; result caches key on it so a simulation
+    /// outcome is reused only for a configuration that would produce
+    /// the identical run.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |w: u64| h = (h ^ w).wrapping_mul(PRIME);
+        for &b in self.name.as_bytes() {
+            mix(b as u64);
+        }
+        mix(self.name.len() as u64);
+        mix(self.cores as u64);
+        mix(self.cache_per_core_bytes as u64);
+        let m = &self.memory;
+        for field in [
+            m.channels,
+            m.modules_per_channel,
+            m.ranks_per_module,
+            m.banks_per_rank,
+            m.read_queue,
+            m.write_queue,
+        ] {
+            mix(field as u64);
+        }
+        let c = &self.core;
+        mix(c.clock_ghz.to_bits());
+        for field in [c.width, c.rob_entries, c.mshrs, c.prefetch_degree] {
+            mix(field as u64);
+        }
+        for field in [c.l1_bytes, c.l1_ways, c.l2_bytes, c.l2_ways] {
+            mix(field as u64);
+        }
+        mix(c.l3_latency_ns.to_bits());
+        h
+    }
+
     /// The memory setting pair for a Hetero-DMR node with a given
     /// frequency margin: reads at `spec + margin` with latency margins,
     /// writes at specification.
@@ -556,6 +594,28 @@ mod tests {
             // Power-of-two sets for the cache constructor.
             assert!((l3 / (64 * 16)).is_power_of_two());
         }
+    }
+
+    #[test]
+    fn fingerprint_separates_hierarchies_and_tracks_fields() {
+        let h1 = HierarchyConfig::hierarchy1();
+        let h2 = HierarchyConfig::hierarchy2();
+        assert_ne!(h1.fingerprint(), h2.fingerprint());
+        assert_eq!(
+            h1.fingerprint(),
+            HierarchyConfig::hierarchy1().fingerprint()
+        );
+
+        // Every cached-run-relevant knob must move the fingerprint.
+        let mut tweaked = HierarchyConfig::hierarchy1();
+        tweaked.cores += 1;
+        assert_ne!(tweaked.fingerprint(), h1.fingerprint());
+        let mut tweaked = HierarchyConfig::hierarchy1();
+        tweaked.core.clock_ghz += 0.1;
+        assert_ne!(tweaked.fingerprint(), h1.fingerprint());
+        let mut tweaked = HierarchyConfig::hierarchy1();
+        tweaked.memory.banks_per_rank *= 2;
+        assert_ne!(tweaked.fingerprint(), h1.fingerprint());
     }
 
     #[test]

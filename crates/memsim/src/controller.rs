@@ -14,18 +14,73 @@
 //!   cache,
 //! * read-rank restriction (only the Free Module is read), and
 //! * FMR's read-from-the-faster-copy choice.
+//!
+//! # Scheduling structures
+//!
+//! The FR-FCFS pick runs on indexed structures instead of linear
+//! scans (the original scan-and-sort forms survive as
+//! [`crate::reference::ReferenceController`], the differential-test
+//! referee):
+//!
+//! * the oldest request (key `(arrival, slot)` — the slot component
+//!   reproduces the old first-position tie-break exactly, because
+//!   slots mirror the `swap_remove` positions the scans used to walk)
+//!   is a cached minimum: submissions can only lower it in `O(1)`,
+//!   and the one pass that must touch every queued request anyway —
+//!   bank-fairness aging after a pick — recomputes it for free,
+//! * per-bank row groups map an open row to its waiting requests, so
+//!   the row-hit pick touches only banks that can serve one,
+//! * completions live in a token→slot slab (`Vec` + free list) rather
+//!   than a `HashMap`,
+//! * the write queue is a `BTreeMap` keyed by the old per-drain sort
+//!   key `(rank, bank, row, column)` with multiplicity, so draining
+//!   iterates in sorted order without sorting, and
+//! * refresh catch-up is computed in closed form instead of walking
+//!   one tREFI at a time.
 
 use crate::address::DramCoord;
 use crate::config::{ChannelMode, MemoryConfig};
 use dram::timing::TimingParams;
 use dram::Picos;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 use telemetry::{Counter, Histogram, Scope};
 
 /// How many younger row-hit requests may bypass an older request
 /// before age wins — Table IV's "FR-FCFS scheduling policy with bank
 /// fairness".
 const MAX_BYPASS: u32 = 64;
+
+/// Token handed out for untracked (fire-and-forget) reads. Callers
+/// never resolve these, so no completion slot is consumed.
+const UNTRACKED_TOKEN: u64 = u64::MAX;
+
+/// Minimal multiply-xor hasher for the small integer keys of the
+/// per-bank row groups (the default SipHash is overkill there).
+#[derive(Debug, Clone, Copy, Default)]
+struct RowHasher(u64);
+
+impl RowHasher {
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for RowHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+    fn write_u64(&mut self, word: u64) {
+        self.mix(word);
+    }
+}
+
+type RowGroups = HashMap<u64, Vec<(Picos, u32)>, BuildHasherDefault<RowHasher>>;
 
 /// The controller's live metric handles. Counting happens directly on
 /// these (relaxed atomics — one `fetch_add` per event); the legacy
@@ -181,11 +236,25 @@ struct BankState {
 
 #[derive(Debug, Clone, Copy)]
 struct PendingRead {
+    /// Completion slot for tracked reads, [`UNTRACKED_TOKEN`] otherwise.
     token: u64,
     coord: DramCoord,
     arrival: Picos,
     bypasses: u32,
     tracked: bool,
+    /// Precomputed serving-bank index (read-rank restriction applied).
+    bank_idx: u32,
+}
+
+/// A completion slot in the token slab.
+#[derive(Debug, Clone, Copy)]
+enum Completion {
+    /// Slot available for reuse.
+    Free,
+    /// Submitted, not yet scheduled.
+    Pending,
+    /// Scheduled; holds the completion time until resolved.
+    Done(Picos),
 }
 
 /// One channel's memory controller.
@@ -199,13 +268,35 @@ pub struct ChannelController {
     write_mode_until: Picos,
     /// Per-rank next scheduled refresh.
     next_refresh: Vec<Picos>,
-    /// Pending writes (block addresses with their coordinates).
-    write_queue: Vec<DramCoord>,
-    /// Read queue awaiting FR-FCFS scheduling.
+    /// Pending writes keyed by the drain order `(rank, bank, row,
+    /// column)` with multiplicity — already in the order a drain
+    /// serves them.
+    write_queue: BTreeMap<(usize, usize, u64, u64), u64>,
+    write_queue_len: usize,
+    /// Read queue awaiting FR-FCFS scheduling (slot storage; order is
+    /// carried by the indexes below).
     pending_reads: Vec<PendingRead>,
-    /// Completion times of scheduled, tracked reads, by token.
-    completions: HashMap<u64, Picos>,
-    next_token: u64,
+    /// Cached minimum `(arrival, slot)` over the queue — the oldest
+    /// request with the original first-position tie-break. Kept exact
+    /// in `O(1)`: a submission can only lower it, and the post-pick
+    /// aging pass (which walks the queue regardless) recomputes it.
+    oldest: Option<(Picos, u32)>,
+    /// Per serving-bank map from row to the `(arrival, slot)` pairs
+    /// waiting on it.
+    bank_groups: Vec<RowGroups>,
+    /// Pending-read count per serving bank, to skip empty banks in
+    /// the row-hit pick.
+    bank_pending: Vec<u32>,
+    /// Retired row-group vectors, reused to avoid reallocation.
+    group_pool: Vec<Vec<(Picos, u32)>>,
+    /// First bank index a read can be served from (read-rank
+    /// restriction); banks below it never hold row-hit candidates.
+    read_bank_start: usize,
+    /// Queued untracked (prefetch) reads, for the drop threshold.
+    untracked_queued: usize,
+    /// Completion slab for tracked reads; tokens are slot indexes.
+    completions: Vec<Completion>,
+    free_slots: Vec<u32>,
     /// Hybrid page policy timeout.
     page_timeout_ps: Picos,
     metrics: ControllerMetrics,
@@ -223,9 +314,16 @@ impl Clone for ChannelController {
             write_mode_until: self.write_mode_until,
             next_refresh: self.next_refresh.clone(),
             write_queue: self.write_queue.clone(),
+            write_queue_len: self.write_queue_len,
             pending_reads: self.pending_reads.clone(),
+            oldest: self.oldest,
+            bank_groups: self.bank_groups.clone(),
+            bank_pending: self.bank_pending.clone(),
+            group_pool: Vec::new(),
+            read_bank_start: self.read_bank_start,
+            untracked_queued: self.untracked_queued,
             completions: self.completions.clone(),
-            next_token: self.next_token,
+            free_slots: self.free_slots.clone(),
             page_timeout_ps: self.page_timeout_ps,
             metrics: self.metrics.fork(),
         }
@@ -237,17 +335,26 @@ impl ChannelController {
     pub fn new(mode: ChannelMode, mem: MemoryConfig, page_timeout_ps: Picos) -> ChannelController {
         let ranks = mem.ranks_per_channel();
         let refi = mode.read_timing.t_refi_ps();
+        let bank_count = ranks * mem.banks_per_rank;
+        let read_bank_start = (ranks - mode.read_ranks.unwrap_or(ranks)) * mem.banks_per_rank;
         ChannelController {
             mode,
             mem,
-            banks: vec![BankState::default(); ranks * mem.banks_per_rank],
+            banks: vec![BankState::default(); bank_count],
             bus_free_at: 0,
             write_mode_until: 0,
             next_refresh: (0..ranks).map(|r| refi + r as Picos * 100_000).collect(),
-            write_queue: Vec::new(),
+            write_queue: BTreeMap::new(),
+            write_queue_len: 0,
             pending_reads: Vec::new(),
-            completions: HashMap::new(),
-            next_token: 0,
+            oldest: None,
+            bank_groups: vec![RowGroups::default(); bank_count],
+            bank_pending: vec![0; bank_count],
+            group_pool: Vec::new(),
+            read_bank_start,
+            untracked_queued: 0,
+            completions: Vec::new(),
+            free_slots: Vec::new(),
             page_timeout_ps,
             metrics: ControllerMetrics::default(),
         }
@@ -283,12 +390,12 @@ impl ChannelController {
 
     /// Pending (queued, not yet drained) writes.
     pub fn pending_writes(&self) -> usize {
-        self.write_queue.len()
+        self.write_queue_len
     }
 
     /// Whether the write queue has reached its drain threshold.
     pub fn wants_write_mode(&self) -> bool {
-        self.write_queue.len() >= self.mode.write_high_watermark
+        self.write_queue_len >= self.mode.write_high_watermark
     }
 
     fn bank_index(&self, rank: usize, bank: usize) -> usize {
@@ -306,20 +413,26 @@ impl ChannelController {
                 return; // self-refreshed original module
             }
         }
-        let t = self.mode.read_timing;
-        while self.next_refresh[rank] <= now {
-            let start = self.next_refresh[rank];
-            let end = start + t.t_rfc_ps();
-            for b in 0..self.mem.banks_per_rank {
-                let idx = self.bank_index(rank, b);
-                let bank = &mut self.banks[idx];
-                bank.act_allowed_at = bank.act_allowed_at.max(end);
-                bank.next_column_at = bank.next_column_at.max(end);
-                bank.open_row = None;
-            }
-            self.next_refresh[rank] += t.t_refi_ps();
-            self.metrics.refreshes.inc();
+        let due = self.next_refresh[rank];
+        if due > now {
+            return;
         }
+        let t = self.mode.read_timing;
+        let refi = t.t_refi_ps();
+        // All due refreshes collapse into one bank update: maxing the
+        // bank gates against each window's ascending end time equals
+        // maxing against the last, and closing the row is idempotent.
+        let catch_up = (now - due) / refi;
+        let end = due + catch_up * refi + t.t_rfc_ps();
+        for b in 0..self.mem.banks_per_rank {
+            let idx = self.bank_index(rank, b);
+            let bank = &mut self.banks[idx];
+            bank.act_allowed_at = bank.act_allowed_at.max(end);
+            bank.next_column_at = bank.next_column_at.max(end);
+            bank.open_row = None;
+        }
+        self.next_refresh[rank] = due + (catch_up + 1) * refi;
+        self.metrics.refreshes.add(catch_up + 1);
     }
 
     /// The rank a *read* is served from, honouring the Free-Module
@@ -334,6 +447,64 @@ impl ChannelController {
         }
     }
 
+    /// Adds slot `pos`'s oldest-tracking and row-group entries.
+    fn index_insert(&mut self, pos: u32) {
+        let r = self.pending_reads[pos as usize];
+        let key = (r.arrival, pos);
+        if self.oldest.is_none_or(|b| key < b) {
+            self.oldest = Some(key);
+        }
+        self.bank_pending[r.bank_idx as usize] += 1;
+        let groups = &mut self.bank_groups[r.bank_idx as usize];
+        let pool = &mut self.group_pool;
+        groups
+            .entry(r.coord.row)
+            .or_insert_with(|| pool.pop().unwrap_or_default())
+            .push((r.arrival, pos));
+    }
+
+    /// Drops slot `pos`'s row-group entry. The cached `oldest` is
+    /// deliberately left stale — every removal happens inside
+    /// [`Self::schedule_one_read`], whose aging pass rebuilds it.
+    fn index_remove(&mut self, pos: u32) {
+        let r = self.pending_reads[pos as usize];
+        self.bank_pending[r.bank_idx as usize] -= 1;
+        let groups = &mut self.bank_groups[r.bank_idx as usize];
+        let list = groups.get_mut(&r.coord.row).expect("slot is indexed");
+        let at = list
+            .iter()
+            .position(|&(_, p)| p == pos)
+            .expect("slot is indexed");
+        list.swap_remove(at);
+        if list.is_empty() {
+            let empty = groups.remove(&r.coord.row).expect("just found");
+            self.group_pool.push(empty);
+        }
+    }
+
+    /// Removes and returns the request in slot `pos`, keeping the
+    /// indexes consistent with the `swap_remove` relocation.
+    fn remove_pending(&mut self, pos: u32) -> PendingRead {
+        self.index_remove(pos);
+        let last = self.pending_reads.len() as u32 - 1;
+        if pos != last {
+            let moved = self.pending_reads[last as usize];
+            let list = self.bank_groups[moved.bank_idx as usize]
+                .get_mut(&moved.coord.row)
+                .expect("slot is indexed");
+            let at = list
+                .iter()
+                .position(|&(_, p)| p == last)
+                .expect("slot is indexed");
+            list[at] = (moved.arrival, pos);
+        }
+        let r = self.pending_reads.swap_remove(pos as usize);
+        if !r.tracked {
+            self.untracked_queued -= 1;
+        }
+        r
+    }
+
     /// Enqueues a read into the FR-FCFS read queue. Returns a token to
     /// resolve the completion with (meaningless when `tracked` is
     /// false — fire-and-forget prefetch traffic).
@@ -341,21 +512,35 @@ impl ChannelController {
     /// Prefetch requests are dropped when too many are already queued,
     /// as real prefetchers throttle under queue pressure.
     pub fn submit_read(&mut self, coord: DramCoord, arrival: Picos, tracked: bool) -> u64 {
-        let token = self.next_token;
-        self.next_token += 1;
-        if !tracked {
-            let queued_prefetches = self.pending_reads.iter().filter(|r| !r.tracked).count();
-            if queued_prefetches >= 192 {
-                return token;
+        let token = if tracked {
+            match self.free_slots.pop() {
+                Some(slot) => {
+                    self.completions[slot as usize] = Completion::Pending;
+                    slot as u64
+                }
+                None => {
+                    self.completions.push(Completion::Pending);
+                    (self.completions.len() - 1) as u64
+                }
             }
-        }
+        } else {
+            if self.untracked_queued >= 192 {
+                return UNTRACKED_TOKEN;
+            }
+            self.untracked_queued += 1;
+            UNTRACKED_TOKEN
+        };
+        let bank_idx = self.bank_index(self.read_rank(coord.rank), coord.bank) as u32;
+        let pos = self.pending_reads.len() as u32;
         self.pending_reads.push(PendingRead {
             token,
             coord,
             arrival,
             bypasses: 0,
             tracked,
+            bank_idx,
         });
+        self.index_insert(pos);
         token
     }
 
@@ -371,43 +556,52 @@ impl ChannelController {
     /// Schedules exactly one queued read (FR-FCFS pick).
     fn schedule_one_read(&mut self) {
         let pick = self.pick_next_read();
-        let request = self.pending_reads.swap_remove(pick);
-        // Requests that the pick bypassed age toward the cap.
-        for other in &mut self.pending_reads {
-            if other.arrival < request.arrival {
-                other.bypasses += 1;
+        let request = self.remove_pending(pick);
+        // Requests that the pick bypassed age toward the cap; the same
+        // pass rebuilds the cached oldest key over the shrunk queue.
+        let mut oldest: Option<(Picos, u32)> = None;
+        for (i, r) in self.pending_reads.iter_mut().enumerate() {
+            if r.arrival < request.arrival {
+                r.bypasses += 1;
+            }
+            let key = (r.arrival, i as u32);
+            if oldest.is_none_or(|b| key < b) {
+                oldest = Some(key);
             }
         }
+        self.oldest = oldest;
         let done = self.serve_read(request.coord, request.arrival);
         if request.tracked {
-            self.completions.insert(request.token, done);
+            self.completions[request.token as usize] = Completion::Done(done);
         }
     }
 
     /// FR-FCFS pick: the oldest row-hit request, unless the oldest
     /// overall has been bypassed too often (bank fairness), in which
     /// case age wins.
-    fn pick_next_read(&self) -> usize {
-        let oldest = self
-            .pending_reads
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, r)| r.arrival)
-            .map(|(i, _)| i)
-            .expect("nonempty queue");
-        if self.pending_reads[oldest].bypasses >= MAX_BYPASS {
+    fn pick_next_read(&self) -> u32 {
+        let (_, oldest) = self.oldest.expect("nonempty queue");
+        if self.pending_reads[oldest as usize].bypasses >= MAX_BYPASS {
             return oldest;
         }
-        self.pending_reads
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| {
-                let idx = self.bank_index(self.read_rank(r.coord.rank), r.coord.bank);
-                self.banks[idx].open_row == Some(r.coord.row)
-            })
-            .min_by_key(|(_, r)| r.arrival)
-            .map(|(i, _)| i)
-            .unwrap_or(oldest)
+        let mut best: Option<(Picos, u32)> = None;
+        for idx in self.read_bank_start..self.banks.len() {
+            if self.bank_pending[idx] == 0 {
+                continue;
+            }
+            let Some(row) = self.banks[idx].open_row else {
+                continue;
+            };
+            let Some(list) = self.bank_groups[idx].get(&row) else {
+                continue;
+            };
+            for &key in list {
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map_or(oldest, |(_, pos)| pos)
     }
 
     /// The completion time of a previously submitted tracked read.
@@ -420,30 +614,18 @@ impl ChannelController {
     /// Panics if the token was never submitted as tracked (or resolved
     /// twice).
     pub fn resolve_read(&mut self, token: u64) -> Picos {
-        while !self.completions.contains_key(&token) {
+        loop {
+            if let Some(Completion::Done(done)) = self.completions.get(token as usize).copied() {
+                self.completions[token as usize] = Completion::Free;
+                self.free_slots.push(token as u32);
+                return done;
+            }
             assert!(
                 !self.pending_reads.is_empty(),
                 "token submitted, tracked, and not yet resolved"
             );
             self.schedule_one_read();
         }
-        self.completions.remove(&token).expect("just scheduled")
-    }
-
-    /// Immediately schedules one read: a thin wrapper over
-    /// [`submit_read`](Self::submit_read) +
-    /// [`resolve_read`](Self::resolve_read), kept only so historical
-    /// callers compile. It can never diverge from the pipeline because
-    /// it *is* the pipeline — but it also forfeits queue reordering,
-    /// which is the pipeline's whole point, so new code should submit
-    /// and resolve explicitly.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use submit_read/resolve_read; the one-shot wrapper forfeits queue reordering"
-    )]
-    pub fn read(&mut self, coord: DramCoord, now: Picos) -> Picos {
-        let token = self.submit_read(coord, now, true);
-        self.resolve_read(token)
     }
 
     /// Performs the DRAM work of one read at its scheduling point.
@@ -589,74 +771,101 @@ impl ChannelController {
     }
 
     /// Queues a write (an LLC writeback that missed or overflowed the
-    /// victim writeback cache, or a drained victim entry).
+    /// victim writeback cache, or a drained victim / LLC-cleaning
+    /// block fed in just before a drain).
     pub fn enqueue_write(&mut self, coord: DramCoord) {
-        self.write_queue.push(coord);
+        *self
+            .write_queue
+            .entry((coord.rank, coord.bank, coord.row, coord.column))
+            .or_insert(0) += 1;
+        self.write_queue_len += 1;
     }
 
-    /// Enters write mode at `now`, draining all pending writes plus
-    /// `extra` (LLC-cleaning and writeback-cache blocks). Returns the
-    /// time the channel is back in read mode.
+    /// Enters write mode at `now`, draining all pending writes (up to
+    /// the batch limit). Returns the time the channel is back in read
+    /// mode.
     ///
     /// The sequence models Hetero-DMR's Figure 8a: (optional frequency
     /// transition down), batched writes at the write-mode timing,
     /// (optional transition back up).
-    pub fn drain_writes(&mut self, now: Picos, extra: Vec<DramCoord>) -> Picos {
+    pub fn drain_writes(&mut self, now: Picos) -> Picos {
         // Reads already queued were issued before the drain decision.
         self.process_reads();
         let t = self.mode.write_timing;
-        let mut queue = std::mem::take(&mut self.write_queue);
-        queue.extend(extra);
-        if queue.is_empty() {
+        if self.write_queue_len == 0 {
             return now;
         }
         self.metrics.write_mode_entries.inc();
-        // FR-FCFS freely reorders the drained batch for row locality:
-        // group writes by bank and row so most issue as row hits.
-        queue.sort_unstable_by_key(|c| (c.rank, c.bank, c.row, c.column));
 
         // Transition into write mode: wait for the bus, pay turnaround.
         let start = now.max(self.bus_free_at) + t.t_wtr_ps() + self.mode.turnaround_penalty_ps;
         self.bus_free_at = start;
 
-        let batch = queue.len().min(self.mode.write_batch.max(1));
+        // FR-FCFS freely reorders the drained batch for row locality:
+        // the queue iterates grouped by bank and row, so most writes
+        // issue as row hits. Anything beyond the batch stays queued.
+        let batch = self.write_queue_len.min(self.mode.write_batch.max(1));
         let mut clock = start;
-        for coord in queue.drain(..batch) {
-            self.apply_refresh(coord.rank, start);
-            // Writes pipeline: each issues as soon as its bank and the
-            // data bus allow (the bus serializes bursts; banks overlap).
-            let (end, hit) = self.column_access(
-                self.bank_index(coord.rank, coord.bank),
-                coord.row,
-                start,
-                &t,
-                false,
-            );
-            self.metrics.writes.inc();
-            if hit {
-                self.metrics.row_hits.inc();
+        let mut left = batch as u64;
+        while left > 0 {
+            let (key, count) = self.write_queue.pop_first().expect("len says nonempty");
+            let take = count.min(left);
+            if take < count {
+                self.write_queue.insert(key, count - take);
             }
-            if self.mode.broadcast_copies > 0 {
-                self.metrics
-                    .broadcast_extra_cells
-                    .add(self.mode.broadcast_copies as u64);
-                // The broadcast transaction also lands in the copy
-                // rank(s): no extra bus time, but the copy bank's row
-                // buffer now holds the written row and the bank is
-                // busy through write recovery.
-                let total = self.mem.ranks_per_channel();
-                let copy_rank = match self.mode.read_ranks {
-                    Some(n) if n > 0 => total - n + coord.rank % n,
-                    _ => (coord.rank + total / 2) % total,
-                };
-                if copy_rank != coord.rank {
-                    self.shadow_write(self.bank_index(copy_rank, coord.bank), coord.row, end, &t);
+            left -= take;
+            let (rank, bank, row, column) = key;
+            let coord = DramCoord {
+                // Every write in one controller shares the channel and
+                // nothing downstream reads it.
+                channel: 0,
+                rank,
+                bank,
+                row,
+                column,
+            };
+            for _ in 0..take {
+                self.apply_refresh(coord.rank, start);
+                // Writes pipeline: each issues as soon as its bank and
+                // the data bus allow (the bus serializes bursts; banks
+                // overlap).
+                let (end, hit) = self.column_access(
+                    self.bank_index(coord.rank, coord.bank),
+                    coord.row,
+                    start,
+                    &t,
+                    false,
+                );
+                self.metrics.writes.inc();
+                if hit {
+                    self.metrics.row_hits.inc();
                 }
+                if self.mode.broadcast_copies > 0 {
+                    self.metrics
+                        .broadcast_extra_cells
+                        .add(self.mode.broadcast_copies as u64);
+                    // The broadcast transaction also lands in the copy
+                    // rank(s): no extra bus time, but the copy bank's
+                    // row buffer now holds the written row and the
+                    // bank is busy through write recovery.
+                    let total = self.mem.ranks_per_channel();
+                    let copy_rank = match self.mode.read_ranks {
+                        Some(n) if n > 0 => total - n + coord.rank % n,
+                        _ => (coord.rank + total / 2) % total,
+                    };
+                    if copy_rank != coord.rank {
+                        self.shadow_write(
+                            self.bank_index(copy_rank, coord.bank),
+                            coord.row,
+                            end,
+                            &t,
+                        );
+                    }
+                }
+                clock = clock.max(end);
             }
-            clock = clock.max(end);
         }
-        // Anything beyond the batch stays queued.
-        self.write_queue = queue;
+        self.write_queue_len -= batch;
 
         // Transition back to read mode.
         let resume = clock + t.t_wtr_ps() + self.mode.turnaround_penalty_ps;
@@ -693,23 +902,10 @@ mod tests {
         ChannelController::new(mode, h.memory, h.core.page_timeout_ps())
     }
 
-    /// One-shot read through the pipeline API (what the deprecated
-    /// `read` wrapper does).
+    /// One-shot read through the pipeline API.
     fn read_now(c: &mut ChannelController, coord: DramCoord, now: Picos) -> Picos {
         let token = c.submit_read(coord, now, true);
         c.resolve_read(token)
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_equals_the_pipeline() {
-        let mut wrapped = controller(ChannelMode::commercial_baseline());
-        let mut piped = controller(ChannelMode::commercial_baseline());
-        for i in 0..50u64 {
-            let c = coord((i % 4) as usize, (i % 16) as usize, i % 8, i);
-            assert_eq!(wrapped.read(c, i * 700), read_now(&mut piped, c, i * 700));
-        }
-        assert_eq!(wrapped.stats().row_hits, piped.stats().row_hits);
     }
 
     #[test]
@@ -781,7 +977,7 @@ mod tests {
         for i in 0..64 {
             c.enqueue_write(coord(0, (i % 16) as usize, 3, i));
         }
-        let resume = c.drain_writes(1_000, Vec::new());
+        let resume = c.drain_writes(1_000);
         assert!(resume > 1_000);
         assert_eq!(c.stats().writes, 64);
         assert_eq!(c.pending_writes(), 0);
@@ -801,7 +997,7 @@ mod tests {
         for i in 0..64 {
             c.enqueue_write(coord(0, (i % 16) as usize, 3, i));
         }
-        let resume = c.drain_writes(1_000, Vec::new());
+        let resume = c.drain_writes(1_000);
         // A read arriving mid-write-mode waits for the channel to be
         // clocked back up.
         let done = read_now(&mut c, coord(0, 0, 3, 0), 2_000);
@@ -818,8 +1014,8 @@ mod tests {
             base.enqueue_write(coord(0, 0, 1, i));
             hdmr.enqueue_write(coord(0, 0, 1, i));
         }
-        let base_resume = base.drain_writes(0, Vec::new());
-        let hdmr_resume = hdmr.drain_writes(0, Vec::new());
+        let base_resume = base.drain_writes(0);
+        let hdmr_resume = hdmr.drain_writes(0);
         let delta = hdmr_resume - base_resume;
         assert!(
             (1_900_000..=2_100_000).contains(&delta),
@@ -835,7 +1031,7 @@ mod tests {
         for i in 0..25 {
             c.enqueue_write(coord(0, 0, 1, i));
         }
-        c.drain_writes(0, Vec::new());
+        c.drain_writes(0);
         assert_eq!(c.stats().writes, 10);
         assert_eq!(c.pending_writes(), 15);
     }
@@ -876,8 +1072,8 @@ mod tests {
             with.enqueue_write(coord(0, 0, 1, i));
             without.enqueue_write(coord(0, 0, 1, i));
         }
-        let a = with.drain_writes(0, Vec::new());
-        let b = without.drain_writes(0, Vec::new());
+        let a = with.drain_writes(0);
+        let b = without.drain_writes(0);
         assert_eq!(a, b, "broadcast writes cost no extra bus time");
         assert_eq!(with.stats().broadcast_extra_cells, 16);
         assert_eq!(without.stats().broadcast_extra_cells, 0);
@@ -897,7 +1093,25 @@ mod tests {
     #[test]
     fn empty_drain_is_noop() {
         let mut c = controller(ChannelMode::commercial_baseline());
-        assert_eq!(c.drain_writes(500, Vec::new()), 500);
+        assert_eq!(c.drain_writes(500), 500);
         assert_eq!(c.stats().write_mode_entries, 0);
+    }
+
+    #[test]
+    fn completion_slots_recycle() {
+        let mut c = controller(ChannelMode::commercial_baseline());
+        // Sequential submit/resolve keeps reusing one slot; the slab
+        // never grows past the outstanding count.
+        for i in 0..100u64 {
+            let t = c.submit_read(coord(0, 0, i % 8, i), i * 700, true);
+            c.resolve_read(t);
+        }
+        assert_eq!(c.completions.len(), 1);
+        // Outstanding tokens are distinct.
+        let a = c.submit_read(coord(0, 0, 1, 0), 100_000, true);
+        let b = c.submit_read(coord(0, 0, 1, 1), 100_100, true);
+        assert_ne!(a, b);
+        c.resolve_read(b);
+        c.resolve_read(a);
     }
 }

@@ -35,6 +35,7 @@ pub mod controller;
 pub mod core;
 pub mod node;
 pub mod prefetch;
+pub mod reference;
 pub mod result;
 pub mod trace;
 pub mod wbcache;

@@ -35,6 +35,11 @@ pub struct NodeSim {
     /// the batch cadence of LLC-cleaning designs: one write mode per
     /// `llc_clean_target` stores, the paper's 12 800-write batches).
     stores_since_drain: u64,
+    /// Reusable per-op buffers for L3 writebacks and prefetch requests
+    /// (lent to `CoreSim::access_caches` so the hot loop is
+    /// allocation-free).
+    scratch_writebacks: Vec<u64>,
+    scratch_prefetches: Vec<u64>,
     metrics: NodeMetrics,
 }
 
@@ -118,6 +123,8 @@ impl NodeSim {
             wbcaches,
             mirror_writes,
             stores_since_drain: 0,
+            scratch_writebacks: Vec::new(),
+            scratch_prefetches: Vec::new(),
             metrics: NodeMetrics::default(),
         }
     }
@@ -207,13 +214,17 @@ impl NodeSim {
             LoadHandle::Ready(t) => t,
             LoadHandle::Queued { channel, token } => controllers[channel].resolve_read(token),
         });
-        let outcome = self.cores[core_idx].access_caches(op);
+        // Lend the scratch buffers out for this op (putting them back
+        // afterwards keeps their capacity across ops).
+        let mut writebacks = std::mem::take(&mut self.scratch_writebacks);
+        let mut prefetches = std::mem::take(&mut self.scratch_prefetches);
+        let outcome = self.cores[core_idx].access_caches(op, &mut writebacks, &mut prefetches);
         let l3_lat = self.cores[core_idx].l3_latency_ps();
 
-        for wb in &outcome.writebacks {
-            self.handle_writeback(*wb);
+        for &wb in &writebacks {
+            self.handle_writeback(wb);
         }
-        for pf in outcome.prefetches {
+        for &pf in &prefetches {
             if self.cores[core_idx].needs_prefetch(pf) {
                 if let Some(victim) = self.cores[core_idx].install_prefetch(pf) {
                     self.handle_writeback(victim);
@@ -225,6 +236,8 @@ impl NodeSim {
                 let _ = self.controllers[coord.channel].submit_read(coord, issue_t + l3_lat, false);
             }
         }
+        self.scratch_writebacks = writebacks;
+        self.scratch_prefetches = prefetches;
 
         if let Some(block) = outcome.demand_miss {
             self.metrics.demand_misses.inc();
@@ -320,11 +333,13 @@ impl NodeSim {
 
     fn drain_channel(&mut self, ch: usize, now: Picos, clean_llc: bool) -> Picos {
         self.metrics.drains.inc();
-        let mut extra = Vec::new();
+        // The drained victim-cache blocks and this channel's cleaned
+        // LLC blocks feed straight into the (order-insensitive) write
+        // queue the drain below serves.
         if let Some(wb) = self.wbcaches[ch].as_mut() {
-            for block in wb.drain() {
-                extra.push(self.mapping.map(block << 6));
-            }
+            let mapping = &self.mapping;
+            let controller = &mut self.controllers[ch];
+            wb.drain_with(|block| controller.enqueue_write(mapping.map(block << 6)));
         }
         if clean_llc && self.modes[ch].llc_clean_target > 0 {
             let per_core = self.modes[ch].llc_clean_target / self.cores.len().max(1);
@@ -332,7 +347,7 @@ impl NodeSim {
                 for block in core.clean_llc(per_core) {
                     let coord = self.mapping.map(block << 6);
                     if coord.channel == ch {
-                        extra.push(coord);
+                        self.controllers[ch].enqueue_write(coord);
                     } else {
                         // Cleaned blocks belonging to other channels
                         // join those channels' write paths.
@@ -346,7 +361,7 @@ impl NodeSim {
                 }
             }
         }
-        self.controllers[ch].drain_writes(now, extra)
+        self.controllers[ch].drain_writes(now)
     }
 
     /// Final drain of all pending writes and outstanding loads, then

@@ -66,15 +66,25 @@ impl Prefetcher {
     }
 
     /// Observes a demand access to `block` (64-byte block address) and
-    /// returns the blocks to prefetch.
+    /// returns the blocks to prefetch. Convenience form of
+    /// [`observe_into`](Self::observe_into) that allocates the output.
+    pub fn observe(&mut self, block: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.observe_into(block, &mut out);
+        out
+    }
+
+    /// Observes a demand access to `block` (64-byte block address) and
+    /// appends the blocks to prefetch to `out` (the hot loop lends a
+    /// reusable scratch buffer instead of allocating per access).
     ///
     /// Detection is region-based: the access is attributed to the
     /// tracked stream whose last access is nearest (within a 16-block
     /// region radius), so several interleaved operand streams train
     /// independently.
-    pub fn observe(&mut self, block: u64) -> Vec<u64> {
+    pub fn observe_into(&mut self, block: u64, out: &mut Vec<u64>) {
         self.tick += 1;
-        let mut out = Vec::new();
+        let issued_before = out.len();
 
         // Credit next-line predictions that proved useful.
         if let Some(pos) = self.pending_next_line.iter().position(|&b| b == block) {
@@ -143,8 +153,7 @@ impl Prefetcher {
             }
         }
 
-        self.issued += out.len() as u64;
-        out
+        self.issued += (out.len() - issued_before) as u64;
     }
 }
 

@@ -78,10 +78,20 @@ impl WritebackCache {
     /// cache empty.
     pub fn drain(&mut self) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.len());
-        for set in &mut self.sets {
-            out.append(set);
-        }
+        self.drain_with(|block| out.push(block));
         out
+    }
+
+    /// Drains every pending block through `sink` (same set order as
+    /// [`drain`](Self::drain)), leaving the cache empty — the write
+    /// path feeds blocks straight into the controller's write queue
+    /// without building an intermediate vector.
+    pub fn drain_with<F: FnMut(u64)>(&mut self, mut sink: F) {
+        for set in &mut self.sets {
+            for block in set.drain(..) {
+                sink(block);
+            }
+        }
     }
 
     /// Pending block count.

@@ -22,6 +22,9 @@ pub struct RunManifest {
     /// binary are available.
     pub git_describe: Option<String>,
     pub wall_ms: u64,
+    /// Per-target wall-clock durations, in run order. Like `wall_ms`,
+    /// diagnostic only — never part of byte-compared output.
+    pub target_wall_ms: Vec<(String, u64)>,
     pub metric_count: usize,
 }
 
@@ -41,6 +44,12 @@ impl RunManifest {
 
     pub fn with_wall_ms(mut self, wall_ms: u64) -> Self {
         self.wall_ms = wall_ms;
+        self
+    }
+
+    /// Record each target's wall-clock duration.
+    pub fn with_target_walls(mut self, walls: impl IntoIterator<Item = (String, u64)>) -> Self {
+        self.target_wall_ms = walls.into_iter().collect();
         self
     }
 
@@ -79,6 +88,18 @@ impl RunManifest {
             None => out.push_str("  \"git_describe\": null,\n"),
         }
         let _ = writeln!(out, "  \"wall_ms\": {},", self.wall_ms);
+        out.push_str("  \"target_wall_ms\": {");
+        for (i, (name, ms)) in self.target_wall_ms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", escape_json(name), ms);
+        }
+        if self.target_wall_ms.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str("\n  },\n");
+        }
         let _ = writeln!(out, "  \"metric_count\": {}", self.metric_count);
         out.push_str("}\n");
         out
@@ -116,6 +137,7 @@ mod tests {
             .knob("ops_per_core", 8_000)
             .knob("quick", true)
             .with_wall_ms(17)
+            .with_target_walls([("fig12".to_string(), 11), ("fig13".to_string(), 6)])
             .with_snapshot(&r.snapshot());
         let json = m.to_json();
         assert!(json.contains("\"target\": \"fig12\""));
@@ -123,6 +145,8 @@ mod tests {
         assert!(json.contains("\"ops_per_core\": \"8000\""));
         assert!(json.contains("\"quick\": \"true\""));
         assert!(json.contains("\"wall_ms\": 17"));
+        assert!(json.contains("\"fig12\": 11"));
+        assert!(json.contains("\"fig13\": 6"));
         assert!(json.contains("\"metric_count\": 2"));
         // Balanced braces (crude well-formedness check, no serde here).
         assert_eq!(

@@ -204,6 +204,23 @@ impl Histogram {
         Some(u64::MAX)
     }
 
+    /// Fold a snapshot's contents back into this live histogram —
+    /// the inverse of [`snapshot`](Self::snapshot). Replaying a
+    /// snapshot into a fresh histogram then snapshotting again yields
+    /// the original snapshot.
+    pub fn merge_snapshot(&self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        let inner = &*self.0;
+        for &(lo, _hi, n) in &snap.buckets {
+            inner.buckets[bucket_index(lo)].fetch_add(n, Ordering::Relaxed);
+        }
+        inner.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        inner.min.fetch_min(snap.min, Ordering::Relaxed);
+        inner.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
     /// Fold another histogram's contents into this one.
     pub fn merge_from(&self, other: &Histogram) {
         for (mine, theirs) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
@@ -431,6 +448,21 @@ mod tests {
         assert_eq!(h.sum(), expected_sum);
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), Some(19_999));
+    }
+
+    #[test]
+    fn merge_snapshot_round_trips() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 7, 300, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let replay = Histogram::new();
+        replay.merge_snapshot(&snap);
+        assert_eq!(replay.snapshot(), snap);
+        // Merging an empty snapshot is a no-op (min stays untouched).
+        replay.merge_snapshot(&Histogram::new().snapshot());
+        assert_eq!(replay.snapshot(), snap);
     }
 
     #[test]

@@ -177,6 +177,23 @@ impl Scope {
         &self.prefix
     }
 
+    /// Replay a snapshot into this scope: each entry is re-recorded
+    /// under `<prefix>.<entry name>`. Counters add, gauges set, and
+    /// histograms fold via [`Histogram::merge_snapshot`] — so
+    /// absorbing the snapshot of a private registry produces exactly
+    /// the metrics that recording into this scope directly would
+    /// have. Used by result caches to credit a cache hit's metrics to
+    /// the requesting scope without re-running the simulation.
+    pub fn absorb(&self, snap: &Snapshot) {
+        for entry in &snap.entries {
+            match &entry.value {
+                MetricValue::Counter(v) => self.counter(&entry.name).add(*v),
+                MetricValue::Gauge(v) => self.gauge(&entry.name).set(*v),
+                MetricValue::Histogram(h) => self.histogram(&entry.name).merge_snapshot(h),
+            }
+        }
+    }
+
     fn qualified(&self, name: &str) -> String {
         format!("{}.{name}", self.prefix)
     }
@@ -408,6 +425,40 @@ mod tests {
         let b = Registry::new();
         b.gauge("x");
         let _ = Snapshot::merged(&[a.snapshot(), b.snapshot()]);
+    }
+
+    #[test]
+    fn absorb_equals_direct_recording() {
+        // Recording into a private registry and absorbing its
+        // snapshot must equal recording into the scope directly.
+        let private = Registry::new();
+        private.counter("reads").add(9);
+        private.gauge("depth").set(-2);
+        for v in [3u64, 12, 700] {
+            private.histogram("lat").record(v);
+        }
+
+        let direct = Registry::new();
+        let scope = direct.scope("node.a");
+        scope.counter("reads").add(9);
+        scope.gauge("depth").set(-2);
+        for v in [3u64, 12, 700] {
+            scope.histogram("lat").record(v);
+        }
+
+        let absorbed = Registry::new();
+        absorbed.scope("node.a").absorb(&private.snapshot());
+        assert_eq!(absorbed.snapshot(), direct.snapshot());
+
+        // Absorbing twice doubles counters/histograms (replay
+        // semantics), matching two direct recordings.
+        absorbed.scope("node.a").absorb(&private.snapshot());
+        scope.counter("reads").add(9);
+        scope.gauge("depth").set(-2);
+        for v in [3u64, 12, 700] {
+            scope.histogram("lat").record(v);
+        }
+        assert_eq!(absorbed.snapshot(), direct.snapshot());
     }
 
     #[test]

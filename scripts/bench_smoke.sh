@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Wall-clock guardrail for the experiments binary.
+#
+#   check (default) — if BENCH_PR4.json exists at the repo root, time
+#       each smoke target (best of two runs) and fail when any exceeds
+#       its recorded wall-clock by more than max_regression_pct.
+#       Without a recorded file the check is skipped, not failed, so
+#       fresh clones and foreign machines stay green until they record
+#       their own baseline.
+#   record — re-measure the smoke targets *and* the full `all --jobs 1`
+#       run, then rewrite BENCH_PR4.json. Run on the reference machine
+#       after intentional performance changes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXP=target/release/experiments
+BASE=BENCH_PR4.json
+SMOKE_TARGETS=(fig14 fig5)
+MAX_REGRESSION_PCT=20
+
+if [ ! -x "$EXP" ]; then
+    echo "missing $EXP; run: cargo build --offline --release" >&2
+    exit 1
+fi
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# Best-of-two wall time for one target, in ms (two runs smooth over
+# one-off scheduler noise; the 20% margin absorbs the rest).
+time_target() {
+    local t=$1 best="" s e d
+    for _ in 1 2; do
+        s=$(now_ms)
+        "$EXP" "$t" --jobs 1 > /dev/null
+        e=$(now_ms)
+        d=$(( e - s ))
+        if [ -z "$best" ] || [ "$d" -lt "$best" ]; then best=$d; fi
+    done
+    echo "$best"
+}
+
+record() {
+    declare -A wall
+    for t in "${SMOKE_TARGETS[@]}"; do
+        wall[$t]=$(time_target "$t")
+        echo "recorded $t: ${wall[$t]} ms"
+    done
+
+    local dir full_s full_e full_ms ops ops_per_sec
+    dir=$(mktemp -d)
+    trap 'rm -rf "$dir"' RETURN
+    full_s=$(now_ms)
+    "$EXP" all --jobs 1 --metrics "$dir" > /dev/null
+    full_e=$(now_ms)
+    full_ms=$(( full_e - full_s ))
+    # Total simulated memory operations: the sum of every per-run
+    # `.ops` counter in the metrics export.
+    ops=$(grep '\.ops"' "$dir/all.metrics.jsonl" \
+        | sed 's/.*"value"://; s/}//' \
+        | awk '{s+=$1} END {print s+0}')
+    ops_per_sec=$(( ops * 1000 / full_ms ))
+    echo "recorded full run: ${full_ms} ms, ${ops} simulated ops, ${ops_per_sec} ops/s"
+
+    {
+        echo '{'
+        echo "  \"recorded_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+        echo "  \"host\": \"$(uname -sm)\","
+        echo "  \"max_regression_pct\": ${MAX_REGRESSION_PCT},"
+        echo '  "smoke": {'
+        local first=1
+        for t in "${SMOKE_TARGETS[@]}"; do
+            [ "$first" = 1 ] || echo ','
+            first=0
+            printf '    "%s_wall_ms": %d' "$t" "${wall[$t]}"
+        done
+        echo ''
+        echo '  },'
+        echo '  "full_run": {'
+        echo '    "args": "all --jobs 1",'
+        echo "    \"wall_ms\": ${full_ms},"
+        echo "    \"simulated_mem_ops\": ${ops},"
+        echo "    \"ops_per_sec\": ${ops_per_sec}"
+        echo '  }'
+        echo '}'
+    } > "$BASE"
+    echo "wrote $BASE"
+}
+
+check() {
+    if [ ! -f "$BASE" ]; then
+        echo "no $BASE recorded; skipping bench smoke"
+        return 0
+    fi
+    local pct fail=0 t rec got limit
+    pct=$(sed -n 's/.*"max_regression_pct": *\([0-9]*\).*/\1/p' "$BASE")
+    pct=${pct:-$MAX_REGRESSION_PCT}
+    for t in "${SMOKE_TARGETS[@]}"; do
+        rec=$(sed -n 's/.*"'"$t"'_wall_ms": *\([0-9]*\).*/\1/p' "$BASE")
+        if [ -z "$rec" ]; then
+            echo "$t: no recorded wall-clock; skipping"
+            continue
+        fi
+        got=$(time_target "$t")
+        limit=$(( rec * (100 + pct) / 100 ))
+        if [ "$got" -gt "$limit" ]; then
+            echo "REGRESSION: $t took ${got} ms, recorded ${rec} ms (limit ${limit} ms = +${pct}%)"
+            fail=1
+        else
+            echo "$t: ${got} ms (recorded ${rec} ms, limit ${limit} ms)"
+        fi
+    done
+    return $fail
+}
+
+case "${1:-check}" in
+    record) record ;;
+    check) check ;;
+    *) echo "usage: $0 [check|record]" >&2; exit 2 ;;
+esac
