@@ -50,4 +50,19 @@ diff -u "$DET_DIR/ser.out" "$DET_DIR/par.out"
 diff -u "$DET_DIR/ser/all.metrics.jsonl" "$DET_DIR/par/all.metrics.jsonl"
 echo "wall-clock: --jobs $(nproc) ran in ${t_par}s, --jobs 1 in ${t_ser}s"
 
+echo "== trace + drift report smoke =="
+# A traced single-target run must be byte-identical across --jobs
+# (the 'all' sweep is excluded: its shared model cache makes which
+# target pays each simulation schedule-dependent), the Chrome trace
+# must parse and nest, and the drift report must come back clean
+# against the reference figures in results/.
+"$EXP" fig5 --quick --metrics "$DET_DIR/rep" --trace "$DET_DIR/rep" \
+    > /dev/null
+"$EXP" fig5 --quick --jobs 1 --trace "$DET_DIR/rep1" > /dev/null
+diff -u "$DET_DIR/rep1/fig5.trace.json" "$DET_DIR/rep/fig5.trace.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "$DET_DIR/rep/fig5.trace.json"
+"$EXP" report "$DET_DIR/rep" --out "$DET_DIR/rep/report.md"
+grep -q "## Paper drift" "$DET_DIR/rep/report.md"
+
 echo "CI OK"

@@ -26,6 +26,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+use telemetry::trace::{kv, Clock, Tracer};
 use telemetry::{slug, Registry, Scope, Snapshot};
 use workloads::{Suite, TraceGen};
 
@@ -96,13 +97,28 @@ fn simulate(
     hierarchy: &HierarchyConfig,
     config: &EvalConfig,
     sink: Option<&Scope>,
+    trace: Option<&Tracer>,
     design: MemoryDesign,
     suite: Suite,
 ) -> SimResult {
+    // The sim span opens at t=0 on the simulation clock and closes at
+    // the run's final exec time; the simulator's own spans (write
+    // drains, recovery chains) nest under it by stack discipline.
+    let span = trace.map(|t| {
+        t.begin(
+            format!("sim.{}", run_label(design, suite)),
+            "model",
+            Clock::SimPs,
+            0,
+        )
+    });
     let (modes, mirror) = design.per_channel_modes(hierarchy.memory.channels);
     let mut node = NodeSim::with_modes(*hierarchy, modes, mirror);
     if let Some(scope) = sink {
         node.attach_telemetry(scope);
+    }
+    if let Some(t) = trace {
+        node.attach_trace(t);
     }
     let streams: Vec<TraceGen> = (0..hierarchy.cores)
         .map(|i| {
@@ -123,7 +139,15 @@ fn simulate(
     for (i, stream) in streams.iter().enumerate() {
         node.prewarm_core(i, stream.warmup_blocks(warm, suite.params().write_fraction));
     }
-    node.run(streams)
+    let result = node.run(streams);
+    if let (Some(t), Some(span)) = (trace, span) {
+        t.end_with(
+            span,
+            result.exec_time_ps,
+            vec![kv("instructions", result.instructions)],
+        );
+    }
+    result
 }
 
 /// [`simulate`] with its telemetry captured in a private registry, so
@@ -133,12 +157,13 @@ fn simulate(
 fn simulate_snapshotted(
     hierarchy: &HierarchyConfig,
     config: &EvalConfig,
+    trace: Option<&Tracer>,
     design: MemoryDesign,
     suite: Suite,
 ) -> (SimResult, Snapshot) {
     let registry = Registry::new();
     let scope = registry.scope(&run_label(design, suite));
-    let result = simulate(hierarchy, config, Some(&scope), design, suite);
+    let result = simulate(hierarchy, config, Some(&scope), trace, design, suite);
     (result, registry.snapshot())
 }
 
@@ -189,6 +214,7 @@ pub struct NodeModel {
     config: EvalConfig,
     cache: RefCell<HashMap<(MemoryDesign, Suite), SimResult>>,
     metrics: Option<Scope>,
+    trace: Option<Tracer>,
     fingerprint: u64,
     shared: bool,
 }
@@ -202,6 +228,7 @@ impl NodeModel {
             config,
             cache: RefCell::new(HashMap::new()),
             metrics: None,
+            trace: None,
             fingerprint,
             shared: true,
         }
@@ -221,6 +248,16 @@ impl NodeModel {
     /// counts no matter how many figures consult it.
     pub fn set_metrics_scope(&mut self, scope: Scope) {
         self.metrics = Some(scope);
+    }
+
+    /// Routes causal trace spans into `tracer`: fresh runs record a
+    /// `sim.<design>.<suite>` span on the simulation clock with the
+    /// simulator's own spans nested inside, and shared-cache lookups
+    /// record `cache.hit` / `cache.miss` instants on the engine's tick
+    /// clock. Engine-local memo hits record nothing, mirroring the
+    /// metrics contract.
+    pub fn set_trace(&mut self, tracer: &Tracer) {
+        self.trace = Some(tracer.clone());
     }
 
     /// The hierarchy under evaluation.
@@ -251,17 +288,30 @@ impl NodeModel {
                 .metrics
                 .as_ref()
                 .map(|s| s.scope(&run_label(design, suite)));
-            return simulate(&self.hierarchy, &self.config, sink.as_ref(), design, suite);
+            return simulate(
+                &self.hierarchy,
+                &self.config,
+                sink.as_ref(),
+                self.trace.as_ref(),
+                design,
+                suite,
+            );
         }
         if let Some(result) = self.shared_lookup(design, suite) {
             return result;
         }
         SHARED_MISSES.fetch_add(1, Ordering::Relaxed);
+        self.trace_cache_event("cache.miss", design, suite);
         let key = (self.fingerprint, design, suite);
         match &self.metrics {
             Some(scope) => {
-                let (result, snap) =
-                    simulate_snapshotted(&self.hierarchy, &self.config, design, suite);
+                let (result, snap) = simulate_snapshotted(
+                    &self.hierarchy,
+                    &self.config,
+                    self.trace.as_ref(),
+                    design,
+                    suite,
+                );
                 scope.absorb(&snap);
                 // Unconditional insert: also upgrades a snapshot-less
                 // entry left by a metrics-free run.
@@ -272,7 +322,14 @@ impl NodeModel {
                 result
             }
             None => {
-                let result = simulate(&self.hierarchy, &self.config, None, design, suite);
+                let result = simulate(
+                    &self.hierarchy,
+                    &self.config,
+                    None,
+                    self.trace.as_ref(),
+                    design,
+                    suite,
+                );
                 shared_cache()
                     .lock()
                     .unwrap()
@@ -299,7 +356,23 @@ impl NodeModel {
             (Some(_), None) => return None,
         };
         SHARED_HITS.fetch_add(1, Ordering::Relaxed);
+        self.trace_cache_event("cache.hit", design, suite);
         Some(result)
+    }
+
+    /// A `cache.hit` / `cache.miss` instant on the engine's tick
+    /// clock, naming the run it resolved.
+    fn trace_cache_event(&self, name: &str, design: MemoryDesign, suite: Suite) {
+        if let Some(t) = &self.trace {
+            let tick = t.tick();
+            t.instant(
+                name,
+                "model",
+                Clock::Ticks,
+                tick,
+                vec![kv("run", run_label(design, suite))],
+            );
+        }
     }
 
     /// Runs every not-yet-memoized `(design, suite)` pair on the
@@ -335,31 +408,57 @@ impl NodeModel {
             return;
         }
         let (hierarchy, config, metrics) = (&self.hierarchy, &self.config, self.metrics.as_ref());
+        // Workers trace into private tracers; the engine absorbs the
+        // buffers in `missing` input order, so the merged trace is
+        // identical to running the pairs serially.
+        let want_trace = self.trace.is_some();
         if !self.shared {
             let results = runner::parallel_map(missing.clone(), move |_, (design, suite)| {
                 let sink = metrics.map(|s| s.scope(&run_label(design, suite)));
-                simulate(hierarchy, config, sink.as_ref(), design, suite)
+                let worker = want_trace.then(Tracer::new);
+                let result = simulate(
+                    hierarchy,
+                    config,
+                    sink.as_ref(),
+                    worker.as_ref(),
+                    design,
+                    suite,
+                );
+                (result, worker.map(|t| t.take()))
             });
             let mut cache = self.cache.borrow_mut();
-            for (pair, result) in missing.into_iter().zip(results) {
+            for (pair, (result, spans)) in missing.into_iter().zip(results) {
+                if let (Some(t), Some(spans)) = (&self.trace, spans) {
+                    t.absorb(spans);
+                }
                 cache.insert(pair, result);
             }
             return;
         }
         let want_snap = metrics.is_some();
         let results = runner::parallel_map(missing.clone(), move |_, (design, suite)| {
-            if want_snap {
-                let (result, snap) = simulate_snapshotted(hierarchy, config, design, suite);
+            let worker = want_trace.then(Tracer::new);
+            let out = if want_snap {
+                let (result, snap) =
+                    simulate_snapshotted(hierarchy, config, worker.as_ref(), design, suite);
                 (result, Some(snap))
             } else {
-                (simulate(hierarchy, config, None, design, suite), None)
-            }
+                (
+                    simulate(hierarchy, config, None, worker.as_ref(), design, suite),
+                    None,
+                )
+            };
+            (out.0, out.1, worker.map(|t| t.take()))
         });
         SHARED_MISSES.fetch_add(results.len() as u64, Ordering::Relaxed);
         let mut cache = self.cache.borrow_mut();
-        for ((design, suite), (result, snap)) in missing.into_iter().zip(results) {
+        for ((design, suite), (result, snap, spans)) in missing.into_iter().zip(results) {
             if let (Some(scope), Some(snap)) = (&self.metrics, &snap) {
                 scope.absorb(snap);
+            }
+            if let (Some(t), Some(spans)) = (&self.trace, spans) {
+                self.trace_cache_event("cache.miss", design, suite);
+                t.absorb(spans);
             }
             let key = (self.fingerprint, design, suite);
             let mut shared = shared_cache().lock().unwrap();
@@ -673,6 +772,52 @@ mod tests {
         let overhead =
             hdmr.dram_accesses_per_instruction() / base.dram_accesses_per_instruction() - 1.0;
         assert!(overhead.abs() < 0.10, "accesses/instr overhead {overhead}");
+    }
+
+    #[test]
+    fn trace_records_sim_spans_and_cache_instants() {
+        use telemetry::trace::{check_nesting, Clock, Ph, Tracer};
+        // Private seed so this test owns its shared-cache entries.
+        let mk = || {
+            NodeModel::new(
+                HierarchyConfig::hierarchy1(),
+                EvalConfig {
+                    ops_per_core: 2_000,
+                    seed: 0xACE5,
+                },
+            )
+        };
+        let tracer = Tracer::new();
+        let mut m = mk();
+        m.set_trace(&tracer);
+        let pairs = [
+            (MemoryDesign::CommercialBaseline, Suite::Hpcg),
+            (MemoryDesign::ExploitFreqLat, Suite::Hpcg),
+        ];
+        m.prime(&pairs);
+        let _ = m.run(pairs[0].0, pairs[0].1);
+        let events = tracer.take();
+        check_nesting(&events).unwrap();
+        let sims: Vec<_> = events
+            .iter()
+            .filter(|e| e.name.starts_with("sim.") && e.ph == Ph::Span)
+            .collect();
+        assert_eq!(sims.len(), 2, "one sim span per primed pair");
+        assert!(sims.iter().all(|e| e.clock == Clock::SimPs && e.end > 0));
+        assert_eq!(
+            events.iter().filter(|e| e.name == "cache.miss").count(),
+            2,
+            "both primed pairs were shared-cache misses"
+        );
+        // A second engine recalling the same config hits the shared
+        // cache and records only the hit instant, no sim span.
+        let hit_tracer = Tracer::new();
+        let mut m2 = mk();
+        m2.set_trace(&hit_tracer);
+        let _ = m2.run(pairs[0].0, pairs[0].1);
+        let hits = hit_tracer.take();
+        assert!(hits.iter().any(|e| e.name == "cache.hit"));
+        assert!(!hits.iter().any(|e| e.name.starts_with("sim.")));
     }
 
     #[test]

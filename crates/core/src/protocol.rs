@@ -26,6 +26,7 @@ use rand::Rng;
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use telemetry::trace::{kv, Clock, Tracer};
 use telemetry::{Counter, Scope};
 
 /// The operating state of a Hetero-DMR channel.
@@ -166,6 +167,8 @@ pub struct HeteroDmrChannel {
     /// Whether module roles have been swapped to move copies off the
     /// faulty module.
     roles_swapped: bool,
+    /// Causal trace sink (see [`HeteroDmrChannel::attach_trace`]).
+    trace: Option<Tracer>,
 }
 
 impl HeteroDmrChannel {
@@ -194,6 +197,7 @@ impl HeteroDmrChannel {
             fault_tracker: PermanentFaultTracker::default(),
             faulty_copy_blocks: HashSet::new(),
             roles_swapped: false,
+            trace: None,
         }
     }
 
@@ -218,6 +222,17 @@ impl HeteroDmrChannel {
     /// The channel's CE/UE/SDC error ledgers.
     pub fn tally(&self) -> &ErrorTally {
         &self.tally
+    }
+
+    /// Records protocol causality into `tracer`, all on the
+    /// simulation-picosecond clock: `mode.read_enter` / `mode.read_exit`
+    /// instants at every Figure 8 transition, an `ecc.detect` instant
+    /// when a fast read fails the detection-only decode, an
+    /// `ecc.reread` span (parented to its detect instant) covering the
+    /// slow-down → re-read → repair → resume chain, and a `down_bin`
+    /// instant when the governor exhausts the epoch budget.
+    pub fn attach_trace(&mut self, tracer: &Tracer) {
+        self.trace = Some(tracer.clone());
     }
 
     /// Switches the operating mode, tallying actual transitions.
@@ -323,6 +338,15 @@ impl HeteroDmrChannel {
             .begin_speed_up(now)
             .expect("safe channel can speed up");
         self.set_mode(OpMode::ReadMode);
+        if let Some(tracer) = &self.trace {
+            tracer.instant(
+                "mode.read_enter",
+                "protocol",
+                Clock::SimPs,
+                ready,
+                Vec::new(),
+            );
+        }
         ready
     }
 
@@ -341,7 +365,17 @@ impl HeteroDmrChannel {
         let ready = originals
             .exit_self_refresh(until, &timing)
             .expect("originals were in self-refresh");
-        ready.max(until)
+        let safe_at = ready.max(until);
+        if let Some(tracer) = &self.trace {
+            tracer.instant(
+                "mode.read_exit",
+                "protocol",
+                Clock::SimPs,
+                safe_at,
+                Vec::new(),
+            );
+        }
+        safe_at
     }
 
     /// Enters write mode (Figure 8a). Legal from read mode; a no-op
@@ -495,7 +529,16 @@ impl HeteroDmrChannel {
                 Ok((observed.data, ReadOutcome::FastClean, now))
             }
             DetectOutcome::Detected => {
-                let result = self.recover(block, now);
+                let detect = self.trace.as_ref().map(|t| {
+                    t.instant(
+                        "ecc.detect",
+                        "protocol",
+                        Clock::SimPs,
+                        now,
+                        vec![kv("block", block), kv("injected", injected)],
+                    )
+                });
+                let result = self.recover(block, now, detect);
                 if result.is_ok() && self.fault_tracker.record_recovery(block) {
                     self.swap_roles();
                 }
@@ -511,6 +554,7 @@ impl HeteroDmrChannel {
         &mut self,
         block: u64,
         now: Picos,
+        cause: Option<u64>,
     ) -> Result<([u8; BLOCK_DATA_BYTES], ReadOutcome, Picos), ProtocolError> {
         let addr = Self::address_of(block);
         let safe_at = self.leave_read_mode(now);
@@ -520,10 +564,21 @@ impl HeteroDmrChannel {
         if self.roles_swapped && self.faulty_copy_blocks.contains(&block) {
             original.data[0] ^= 0x01;
         }
-        self.codec.correct(addr, &mut original).map_err(|_| {
+        if self.codec.correct(addr, &mut original).is_err() {
             self.tally.note_ue();
-            ProtocolError::UncorrectableOriginal { block }
-        })?;
+            if let Some(tracer) = &self.trace {
+                tracer.complete_with_parent(
+                    "ecc.reread",
+                    "protocol",
+                    Clock::SimPs,
+                    now,
+                    safe_at,
+                    cause,
+                    vec![kv("block", block), kv("outcome", "uncorrectable")],
+                );
+            }
+            return Err(ProtocolError::UncorrectableOriginal { block });
+        }
         self.originals.insert(block, original);
         // Overwrite (repair) the corrupted copy with the good value.
         let offset = self.replication.copy_offset(block);
@@ -544,6 +599,35 @@ impl HeteroDmrChannel {
                 safe_at
             }
         };
+        if let Some(tracer) = &self.trace {
+            let outcome = match self.mode {
+                OpMode::ReadMode => "resumed",
+                OpMode::Degraded => "degraded",
+                _ => "write_mode",
+            };
+            let reread = tracer.complete_with_parent(
+                "ecc.reread",
+                "protocol",
+                Clock::SimPs,
+                now,
+                end,
+                cause,
+                vec![kv("block", block), kv("outcome", outcome)],
+            );
+            if self.mode == OpMode::Degraded {
+                // The governor exhausted the epoch's error budget: the
+                // channel stays down-binned (at specification) until
+                // the next epoch.
+                tracer.instant_with_parent(
+                    "down_bin",
+                    "protocol",
+                    Clock::SimPs,
+                    safe_at,
+                    Some(reread),
+                    vec![kv("block", block)],
+                );
+            }
+        }
         Ok((original.data, ReadOutcome::Recovered, end))
     }
 
@@ -646,6 +730,40 @@ mod tests {
             assert_eq!(d2, data(0x5C));
             assert_eq!(o2, ReadOutcome::FastClean, "copy was repaired in place");
         }
+    }
+
+    #[test]
+    fn trace_chains_detect_to_reread_and_marks_down_bin() {
+        use telemetry::trace::{check_nesting, Ph, Tracer};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ch = HeteroDmrChannel::with_governor(BLOCKS, EpochGovernor::new(1));
+        let tracer = Tracer::new();
+        ch.attach_trace(&tracer);
+        let t = ch.set_used_blocks(BLOCKS / 4, 0);
+        // One erroring read exhausts the single-error budget, so the
+        // recovery chain ends in a down-bin.
+        let (_, outcome, end) = ch
+            .read(1, t, Some((&mut rng, ErrorModel::SingleByte)))
+            .unwrap();
+        assert_eq!(outcome, ReadOutcome::Recovered);
+        assert_eq!(ch.mode(), OpMode::Degraded);
+        let events = tracer.take();
+        check_nesting(&events).unwrap();
+        let find = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        let detect = find("ecc.detect");
+        let reread = find("ecc.reread");
+        let down_bin = find("down_bin");
+        assert_eq!(detect.ph, Ph::Instant);
+        assert_eq!(detect.start, t);
+        assert_eq!(reread.parent, Some(detect.id), "reread caused by detect");
+        assert_eq!((reread.start, reread.end), (t, end));
+        assert_eq!(down_bin.parent, Some(reread.id));
+        assert!(events.iter().any(|e| e.name == "mode.read_enter"));
+        assert!(events.iter().any(|e| e.name == "mode.read_exit"));
+        assert!(reread
+            .args
+            .iter()
+            .any(|(k, v)| k == "outcome" && v == "degraded"));
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub fn fig2(ctx: &mut Ctx) {
         "    most common margin: {:?} MT/s (paper: 800 MT/s)",
         hist.mode_bucket()
     );
+    if let Some(bucket) = hist.mode_bucket() {
+        ctx.summary("fig2.mode_bucket_mts", bucket);
+    }
     ctx.csv("fig2", &rows);
 }
 
@@ -153,6 +156,9 @@ pub fn fig4(ctx: &mut Ctx) {
                 g.count,
                 g.mean_mts
             );
+            if panel == "(a) condition" && g.label == "Brand new" {
+                ctx.summary("fig4.brand_new_mean_mts", g.mean_mts);
+            }
             rows.push(vec![
                 panel.into(),
                 g.label.clone(),

@@ -4,6 +4,7 @@
 
 use std::fs;
 use std::io::Write;
+use telemetry::trace::Tracer;
 use telemetry::{Registry, Scope};
 
 /// Appends a formatted line to the context's output buffer (the
@@ -27,6 +28,32 @@ macro_rules! sayp {
 
 pub(crate) use {say, sayp};
 
+/// How chatty the run is on stderr (`--log-level`). Stdout is never
+/// affected — it stays byte-comparable across levels and `--jobs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogLevel {
+    /// Nothing beyond errors.
+    Off,
+    /// One line per run: wall time, worker count, event-log pressure.
+    #[default]
+    Summary,
+    /// Summary plus every retained event-log entry, in canonical
+    /// target order.
+    Verbose,
+}
+
+impl LogLevel {
+    /// Parses a `--log-level` value.
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        Some(match s {
+            "off" => LogLevel::Off,
+            "summary" => LogLevel::Summary,
+            "verbose" => LogLevel::Verbose,
+            _ => return None,
+        })
+    }
+}
+
 /// Global experiment parameters.
 #[derive(Debug, Clone)]
 pub struct Ctx {
@@ -48,6 +75,15 @@ pub struct Ctx {
     pub csv_dir: Option<String>,
     /// Where `--metrics` writes the JSONL snapshot + manifest.
     pub metrics_dir: Option<String>,
+    /// Where `--trace` writes the Chrome trace + span tree.
+    pub trace_dir: Option<String>,
+    /// The causal tracer every instrumented component records into;
+    /// present exactly when `trace_dir` is. Like `registry`, task
+    /// contexts each get their *own* tracer ([`Ctx::for_task`]); the
+    /// runner collects the buffers in canonical target order.
+    pub tracer: Option<Tracer>,
+    /// stderr verbosity (never affects stdout or exported files).
+    pub log_level: LogLevel,
     /// The registry every instrumented component records into; present
     /// exactly when `metrics_dir` is. Task contexts built by
     /// [`Ctx::for_task`] each get their *own* registry so concurrent
@@ -68,6 +104,9 @@ impl Default for Ctx {
             model_cache: true,
             csv_dir: None,
             metrics_dir: None,
+            trace_dir: None,
+            tracer: None,
+            log_level: LogLevel::Summary,
             registry: None,
             out: String::new(),
         }
@@ -89,16 +128,24 @@ impl Ctx {
         self.registry = Some(Registry::new());
     }
 
+    /// Turns on causal tracing, exported to `dir` at exit.
+    pub fn enable_trace(&mut self, dir: String) {
+        self.trace_dir = Some(dir);
+        self.tracer = Some(Tracer::new());
+    }
+
     /// A context for one experiment task: same knobs, but a fresh
-    /// output buffer and (when metrics are on) a fresh private
-    /// registry, so tasks running on different worker threads share no
-    /// mutable state.
+    /// output buffer and (when metrics/tracing are on) a fresh private
+    /// registry and tracer, so tasks running on different worker
+    /// threads share no mutable state.
     pub fn for_task(&self) -> Ctx {
         Ctx {
             registry: self.registry.is_some().then(Registry::new),
+            tracer: self.tracer.is_some().then(Tracer::new),
             out: String::new(),
             csv_dir: self.csv_dir.clone(),
             metrics_dir: self.metrics_dir.clone(),
+            trace_dir: self.trace_dir.clone(),
             ..*self
         }
     }
@@ -106,6 +153,18 @@ impl Ctx {
     /// A registry scope named `prefix`, when `--metrics` is on.
     pub fn metrics_scope(&self, prefix: &str) -> Option<Scope> {
         self.registry.as_ref().map(|r| r.scope(prefix))
+    }
+
+    /// Records a headline result as a `summary.<name>` gauge (the
+    /// value scaled by 10⁴ and rounded, so it survives the integer
+    /// metric model losslessly enough for drift checks). These gauges
+    /// are what `experiments report` compares against the reference
+    /// CSVs in `results/`.
+    pub fn summary(&self, name: &str, value: f64) {
+        if let Some(r) = &self.registry {
+            r.gauge(&format!("summary.{name}"))
+                .set((value * 1e4).round() as i64);
+        }
     }
 
     /// Writes `rows` (first row = header) as `<name>.csv` when a CSV

@@ -18,13 +18,15 @@ mod characterization;
 mod context;
 mod extras;
 mod node_figures;
+mod report;
 mod scenarios;
 mod system_figures;
 mod tables;
 
-use context::Ctx;
+use context::{Ctx, LogLevel};
 use runner::{RunOutcome, RunStatus, Runner};
 use scenarios::TARGETS;
+use telemetry::trace::TraceGroup;
 use telemetry::Snapshot;
 
 fn print_usage() {
@@ -44,11 +46,24 @@ options:
   --metrics DIR  record simulator telemetry; writes
                  DIR/<target>.metrics.jsonl (deterministic for a fixed
                  seed) and DIR/manifest.json
+  --trace DIR    record causal sim-time traces; writes
+                 DIR/<target>.trace.json (Chrome trace-event JSON,
+                 deterministic for a fixed seed at any --jobs when
+                 <target> is a single target), DIR/<target>.spans.txt
+                 (span tree) and DIR/timing.jsonl (wall clock,
+                 quarantined from the deterministic files)
+  --log-level L  stderr verbosity: off, summary (default) or verbose
+                 (stdout and exported files are never affected)
   --no-model-cache
                  disable the cross-target node-model result cache
                  (output is identical either way; runs are slower)
   --list         print the available targets and exit
-  -h, --help     print this help and exit"
+  -h, --help     print this help and exit
+
+subcommands:
+  report DIR [--refs DIR] [--out FILE]
+                 generate a Markdown run report (and paper-drift
+                 check) from a --metrics/--trace output directory"
     );
 }
 
@@ -61,6 +76,9 @@ fn usage_error(msg: &str) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("report") {
+        std::process::exit(report::run(&args[1..]));
+    }
     let mut target = String::from("all");
     let mut jobs = 0usize; // 0 = one worker per CPU
     let mut ctx = Ctx::default();
@@ -109,6 +127,18 @@ fn main() {
                     .unwrap_or_else(|| usage_error("--metrics needs a directory"));
                 ctx.enable_metrics(dir.clone());
             }
+            "--trace" => {
+                let dir = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--trace needs a directory"));
+                ctx.enable_trace(dir.clone());
+            }
+            "--log-level" => {
+                ctx.log_level = iter
+                    .next()
+                    .and_then(|v| LogLevel::parse(v))
+                    .unwrap_or_else(|| usage_error("--log-level needs off, summary or verbose"));
+            }
             other if !other.starts_with('-') => target = other.to_string(),
             other => {
                 eprintln!("unknown flag {other} (run with --help for usage)");
@@ -148,13 +178,30 @@ fn main() {
         eprintln!("cannot write metrics: {e}");
         std::process::exit(1);
     }
+    if let Err(e) = write_trace(&ctx, &target, &outcomes) {
+        eprintln!("cannot write trace: {e}");
+        std::process::exit(1);
+    }
     // Timing is inherently non-deterministic, so it goes to stderr
     // only: stdout stays byte-comparable across --jobs values.
-    eprintln!(
-        "ran {} target(s) in {wall_ms} ms on {} worker(s)",
-        outcomes.len(),
-        runner::jobs()
-    );
+    if ctx.log_level != LogLevel::Off {
+        let recorded: u64 = outcomes.iter().map(|o| o.events_recorded).sum();
+        let dropped: u64 = outcomes.iter().map(|o| o.events_dropped).sum();
+        eprintln!(
+            "ran {} target(s) in {wall_ms} ms on {} worker(s); {recorded} event(s) logged, {dropped} dropped",
+            outcomes.len(),
+            runner::jobs()
+        );
+    }
+    if ctx.log_level == LogLevel::Verbose {
+        // Retained event-log entries, in canonical target order (the
+        // outcome order), so verbose output is reproducible too.
+        for o in &outcomes {
+            for ev in &o.events {
+                eprintln!("[{}] #{} {} = {}", o.name, ev.seq, ev.label, ev.value);
+            }
+        }
+    }
     if failed > 0 {
         eprintln!("{failed} target(s) failed");
         std::process::exit(1);
@@ -196,11 +243,55 @@ fn write_metrics(
         .with_git_describe()
         .with_snapshot(&sim)
         .with_wall_ms(wall_ms)
-        .with_target_walls(outcomes.iter().map(|o| (o.name.clone(), o.wall_ms as u64)));
+        .with_target_walls(outcomes.iter().map(|o| (o.name.clone(), o.wall_ms as u64)))
+        .with_events(
+            outcomes.iter().map(|o| o.events_recorded).sum(),
+            outcomes.iter().map(|o| o.events_dropped).sum(),
+        );
     std::fs::write(format!("{dir}/manifest.json"), manifest.to_json())?;
     println!(
         "\nmetrics: {} series -> {dir}/{target}.metrics.jsonl (+ manifest.json)",
         sim.len()
     );
+    Ok(())
+}
+
+/// Exports the run's causal trace when `--trace` was requested: one
+/// Chrome trace-event JSON and one span-tree text file, with per-task
+/// traces grouped in canonical target order so both files are
+/// byte-identical across `--jobs` for single-target runs (the `all`
+/// sweep shares a process-wide model cache, so which target pays each
+/// simulation — and therefore its trace — depends on completion
+/// order). Wall-clock timings are quarantined in `timing.jsonl`.
+fn write_trace(ctx: &Ctx, target: &str, outcomes: &[RunOutcome]) -> std::io::Result<()> {
+    let Some(dir) = &ctx.trace_dir else {
+        return Ok(());
+    };
+    std::fs::create_dir_all(dir)?;
+    let groups: Vec<TraceGroup> = outcomes
+        .iter()
+        .filter_map(|o| o.trace.clone().map(|t| (o.name.clone(), t)))
+        .collect();
+    let spans: usize = groups.iter().map(|(_, t)| t.len()).sum();
+    std::fs::write(
+        format!("{dir}/{target}.trace.json"),
+        telemetry::trace::chrome_trace(&groups),
+    )?;
+    std::fs::write(
+        format!("{dir}/{target}.spans.txt"),
+        telemetry::trace::span_tree(&groups),
+    )?;
+    let mut timing = String::new();
+    for o in outcomes {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            timing,
+            "{{\"target\": \"{}\", \"wall_ms\": {}}}",
+            telemetry::escape_json(&o.name),
+            o.wall_ms
+        );
+    }
+    std::fs::write(format!("{dir}/timing.jsonl"), timing)?;
+    println!("trace: {spans} span(s) -> {dir}/{target}.trace.json (+ spans.txt)");
     Ok(())
 }

@@ -23,6 +23,9 @@ fn model(ctx: &Ctx, h: HierarchyConfig) -> NodeModel {
     if let Some(scope) = ctx.metrics_scope(&format!("node.{}", telemetry::slug(h.name))) {
         m.set_metrics_scope(scope);
     }
+    if let Some(t) = &ctx.tracer {
+        m.set_trace(t);
+    }
     m
 }
 
@@ -67,13 +70,20 @@ pub fn fig5(ctx: &mut Ctx) {
                 format!("{both:.4}"),
             ]);
         }
+        let lat_avg = m.suite_average(MemoryDesign::ExploitLatency, UsageBucket::Low);
+        let freq_avg = m.suite_average(MemoryDesign::ExploitFrequency, UsageBucket::Low);
+        let both_avg = m.suite_average(MemoryDesign::ExploitFreqLat, UsageBucket::Low);
         say!(
             ctx,
             "average    {:>9.3}x {:>9.3}x {:>9.3}x   (paper freq+lat avg: 1.19x, Linpack 1.24x)",
-            m.suite_average(MemoryDesign::ExploitLatency, UsageBucket::Low),
-            m.suite_average(MemoryDesign::ExploitFrequency, UsageBucket::Low),
-            m.suite_average(MemoryDesign::ExploitFreqLat, UsageBucket::Low)
+            lat_avg,
+            freq_avg,
+            both_avg
         );
+        let hs = telemetry::slug(h.name);
+        ctx.summary(&format!("fig5.{hs}.latency_margin"), lat_avg);
+        ctx.summary(&format!("fig5.{hs}.frequency_margin"), freq_avg);
+        ctx.summary(&format!("fig5.{hs}.freq_lat_margins"), both_avg);
     }
     ctx.csv("fig5", &rows);
 }
@@ -99,12 +109,18 @@ fn protocol_exercise(ctx: &mut Ctx) {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    let Some(scope) = ctx.metrics_scope("protocol") else {
+    let scope = ctx.metrics_scope("protocol");
+    if scope.is_none() && ctx.tracer.is_none() {
         return;
-    };
+    }
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x0F16_0012);
     let mut ch = HeteroDmrChannel::new(1 << 12);
-    ch.attach_telemetry(&scope);
+    if let Some(scope) = &scope {
+        ch.attach_telemetry(scope);
+    }
+    if let Some(t) = &ctx.tracer {
+        ch.attach_trace(t);
+    }
     for block in 0..64u64 {
         ch.write(block, &[block as u8; 64], 0).expect("spec write");
     }
@@ -172,6 +188,12 @@ pub fn fig12(ctx: &mut Ctx) {
                 sayp!(ctx, "{:<24}", design.name());
                 for b in UsageBucket::ALL {
                     let v = m.suite_average(design, b);
+                    if h.name == "Hierarchy1"
+                        && b == UsageBucket::Low
+                        && design == (MemoryDesign::HeteroDmr { margin_mts: 800 })
+                    {
+                        ctx.summary("fig12.h1.hdmr800.low", v);
+                    }
                     sayp!(ctx, " {:>9.3}x", v);
                     rows.push(vec![
                         h.name.into(),
@@ -240,6 +262,9 @@ pub fn fig13(ctx: &mut Ctx) {
                 epi_ratio += d.epi_nj() / base.epi_nj();
             }
             epi_ratio /= Suite::ALL.len() as f64;
+            if h.name == "Hierarchy1" && matches!(design, MemoryDesign::HeteroDmr { .. }) {
+                ctx.summary("fig13.h1.hdmr800.epi", epi_ratio);
+            }
             say!(
                 ctx,
                 "  {:<24} {:>6.3} (paper: Hetero-DMR ~0.94)",
@@ -278,6 +303,7 @@ pub fn fig14(ctx: &mut Ctx) {
         "  average    {:>6.3}  (paper: <1% overhead on average)",
         avg / Suite::ALL.len() as f64
     );
+    ctx.summary("fig14.mean_accesses", avg / Suite::ALL.len() as f64);
     ctx.csv("fig14", &rows);
 }
 
@@ -297,7 +323,7 @@ pub fn fig15(ctx: &mut Ctx) {
         "bandwidth util",
         "write fraction"
     );
-    let mut wf = 0.0;
+    let (mut wf, mut bw) = (0.0, 0.0);
     for suite in Suite::ALL {
         let r = m.run(MemoryDesign::CommercialBaseline, suite);
         say!(
@@ -313,12 +339,14 @@ pub fn fig15(ctx: &mut Ctx) {
             format!("{:.4}", r.write_fraction()),
         ]);
         wf += r.write_fraction();
+        bw += r.bandwidth_utilization();
     }
     say!(
         ctx,
         "average write fraction: {:.1}% (paper: ~15%)",
         wf / Suite::ALL.len() as f64 * 100.0
     );
+    ctx.summary("fig15.mean_bw_util", bw / Suite::ALL.len() as f64);
     ctx.csv("fig15", &rows);
 }
 

@@ -1,0 +1,587 @@
+//! `experiments report`: turns a `--metrics`/`--trace` output
+//! directory into a Markdown run report with a paper-drift check.
+//!
+//! The report ingests the run manifest, the deterministic metrics
+//! snapshot, and (when present) the Chrome trace, then compares the
+//! run's `summary.*` gauges against the reference figures in
+//! `results/` (`--refs`). Any comparison outside its tolerance is a
+//! **drift breach**: the breach is flagged in the report and the
+//! process exits non-zero, so CI catches a reproduction silently
+//! walking away from the paper.
+
+use std::fmt::Write as _;
+use telemetry::json::{self, Json};
+use telemetry::trace::{check_well_nested, parse_chrome_trace, ChromeEvent};
+use telemetry::{parse_csv_line, parse_jsonl, MetricValue, Snapshot};
+
+/// How a reference value is derived from a results CSV.
+enum RefKind {
+    /// Mean of the column over every row matching the filters.
+    Mean,
+    /// The column of the single row matching the filters.
+    Cell,
+    /// The `key` column of the row maximizing the (numeric) column.
+    ArgmaxKey { key: &'static str },
+}
+
+/// One drift comparison: a `summary.<gauge>` metric vs a value derived
+/// from a reference CSV, with a relative tolerance sized for the
+/// `--quick` smoke configuration (quick runs simulate fewer ops, so
+/// they sit near — not on — the full-run references).
+struct RefSpec {
+    /// Metric name, without the `summary.` prefix.
+    gauge: &'static str,
+    /// CSV file inside the `--refs` directory.
+    file: &'static str,
+    /// Column holding the reference value.
+    col: &'static str,
+    /// `(column, value)` row filters (all must match).
+    filters: &'static [(&'static str, &'static str)],
+    kind: RefKind,
+    /// Allowed |measured − reference| / |reference|.
+    rel_tol: f64,
+}
+
+/// Every comparison the drift table can make. A run only evaluates
+/// the specs whose gauges it recorded (a fig5-only run checks the six
+/// fig5 rows and skips the rest).
+const REF_SPECS: &[RefSpec] = &[
+    RefSpec {
+        gauge: "fig5.hierarchy1.latency_margin",
+        file: "fig5.csv",
+        col: "latency_margin",
+        filters: &[("hierarchy", "Hierarchy1")],
+        kind: RefKind::Mean,
+        rel_tol: 0.05,
+    },
+    RefSpec {
+        gauge: "fig5.hierarchy1.frequency_margin",
+        file: "fig5.csv",
+        col: "frequency_margin",
+        filters: &[("hierarchy", "Hierarchy1")],
+        kind: RefKind::Mean,
+        rel_tol: 0.05,
+    },
+    RefSpec {
+        gauge: "fig5.hierarchy1.freq_lat_margins",
+        file: "fig5.csv",
+        col: "freq_lat_margins",
+        filters: &[("hierarchy", "Hierarchy1")],
+        kind: RefKind::Mean,
+        rel_tol: 0.05,
+    },
+    RefSpec {
+        gauge: "fig5.hierarchy2.latency_margin",
+        file: "fig5.csv",
+        col: "latency_margin",
+        filters: &[("hierarchy", "Hierarchy2")],
+        kind: RefKind::Mean,
+        rel_tol: 0.05,
+    },
+    RefSpec {
+        gauge: "fig5.hierarchy2.frequency_margin",
+        file: "fig5.csv",
+        col: "frequency_margin",
+        filters: &[("hierarchy", "Hierarchy2")],
+        kind: RefKind::Mean,
+        rel_tol: 0.05,
+    },
+    RefSpec {
+        gauge: "fig5.hierarchy2.freq_lat_margins",
+        file: "fig5.csv",
+        col: "freq_lat_margins",
+        filters: &[("hierarchy", "Hierarchy2")],
+        kind: RefKind::Mean,
+        rel_tol: 0.05,
+    },
+    RefSpec {
+        gauge: "fig2.mode_bucket_mts",
+        file: "fig2.csv",
+        col: "modules",
+        filters: &[],
+        kind: RefKind::ArgmaxKey { key: "bucket_mts" },
+        rel_tol: 0.001,
+    },
+    RefSpec {
+        gauge: "fig4.brand_new_mean_mts",
+        file: "fig4.csv",
+        col: "mean_mts",
+        filters: &[("panel", "(a) condition"), ("group", "Brand new")],
+        kind: RefKind::Cell,
+        rel_tol: 0.02,
+    },
+    RefSpec {
+        gauge: "fig12.h1.hdmr800.low",
+        file: "fig12.csv",
+        col: "normalized_perf",
+        filters: &[
+            ("hierarchy", "Hierarchy1"),
+            ("margin_mts", "800"),
+            ("design", "Hetero-DMR@0.8GT/s"),
+            ("bucket", "[0~25%)"),
+        ],
+        kind: RefKind::Cell,
+        rel_tol: 0.05,
+    },
+    RefSpec {
+        gauge: "fig13.h1.hdmr800.epi",
+        file: "fig13.csv",
+        col: "normalized_epi",
+        filters: &[
+            ("hierarchy", "Hierarchy1"),
+            ("design", "Hetero-DMR@0.8GT/s"),
+        ],
+        kind: RefKind::Cell,
+        rel_tol: 0.05,
+    },
+    RefSpec {
+        gauge: "fig14.mean_accesses",
+        file: "fig14.csv",
+        col: "normalized_accesses_per_instr",
+        filters: &[],
+        kind: RefKind::Mean,
+        rel_tol: 0.02,
+    },
+    RefSpec {
+        gauge: "fig15.mean_bw_util",
+        file: "fig15.csv",
+        col: "bandwidth_utilization",
+        filters: &[],
+        kind: RefKind::Mean,
+        rel_tol: 0.05,
+    },
+    RefSpec {
+        gauge: "fig17.aware_turnaround_speedup",
+        file: "fig17.csv",
+        col: "turnaround_speedup",
+        filters: &[("system", "Hetero-DMR + margin-aware")],
+        kind: RefKind::Cell,
+        rel_tol: 0.08,
+    },
+];
+
+/// Entry point for the `report` subcommand. Returns the process exit
+/// code: 0 on a clean report, 1 on malformed inputs or drift breaches,
+/// 2 on usage errors.
+pub fn run(args: &[String]) -> i32 {
+    let mut dir: Option<String> = None;
+    let mut refs = String::from("results");
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--refs" => match iter.next() {
+                Some(v) => refs = v.clone(),
+                None => return usage("--refs needs a directory"),
+            },
+            "--out" => match iter.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return usage("--out needs a file path"),
+            },
+            other if !other.starts_with('-') && dir.is_none() => dir = Some(other.to_string()),
+            other => return usage(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let Some(dir) = dir else {
+        return usage("report needs a metrics/trace directory");
+    };
+    let out = out.unwrap_or_else(|| format!("{dir}/report.md"));
+    match generate(&dir, &refs) {
+        Ok((text, breaches)) => {
+            if let Err(e) = std::fs::write(&out, &text) {
+                eprintln!("cannot write {out}: {e}");
+                return 1;
+            }
+            println!("report -> {out}");
+            if breaches > 0 {
+                eprintln!("{breaches} drift breach(es) against {refs}/");
+                1
+            } else {
+                0
+            }
+        }
+        Err(e) => {
+            eprintln!("report failed: {e}");
+            1
+        }
+    }
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!("{msg}\nusage: experiments report DIR [--refs DIR] [--out FILE]");
+    2
+}
+
+/// Builds the report text; the second return is the breach count.
+fn generate(dir: &str, refs: &str) -> Result<(String, usize), String> {
+    let manifest_path = format!("{dir}/manifest.json");
+    let manifest_text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {manifest_path}: {e}"))?;
+    let manifest = json::parse(&manifest_text).map_err(|e| format!("{manifest_path}: {e}"))?;
+    let target = manifest
+        .get("target")
+        .and_then(Json::as_str)
+        .ok_or("manifest has no target")?
+        .to_string();
+
+    let metrics_path = format!("{dir}/{target}.metrics.jsonl");
+    let snapshot = match std::fs::read_to_string(&metrics_path) {
+        Ok(text) => parse_jsonl(&text).map_err(|e| format!("{metrics_path}: {e}"))?,
+        Err(_) => Snapshot::default(),
+    };
+
+    let trace_path = format!("{dir}/{target}.trace.json");
+    let trace = match std::fs::read_to_string(&trace_path) {
+        Ok(text) => {
+            let events = parse_chrome_trace(&text).map_err(|e| format!("{trace_path}: {e}"))?;
+            check_well_nested(&events).map_err(|e| format!("{trace_path}: {e}"))?;
+            Some(events)
+        }
+        Err(_) => None,
+    };
+
+    let mut md = String::new();
+    let _ = writeln!(md, "# Run report: `{target}`\n");
+    render_provenance(&mut md, &manifest, &snapshot);
+    render_wall_clock(&mut md, &manifest);
+    if let Some(events) = &trace {
+        render_trace(&mut md, events);
+    }
+    render_ecc(&mut md, &snapshot);
+    let breaches = render_drift(&mut md, &snapshot, refs);
+    Ok((md, breaches))
+}
+
+fn render_provenance(md: &mut String, manifest: &Json, snapshot: &Snapshot) {
+    let _ = writeln!(md, "## Provenance\n");
+    let _ = writeln!(md, "| field | value |");
+    let _ = writeln!(md, "|---|---|");
+    for key in ["seed", "git_describe", "metric_count"] {
+        if let Some(v) = manifest.get(key) {
+            let _ = writeln!(md, "| {key} | {} |", json_scalar(v));
+        }
+    }
+    if let Some(knobs) = manifest.get("knobs").and_then(Json::as_obj) {
+        for (k, v) in knobs {
+            let _ = writeln!(md, "| knob: {k} | {} |", json_scalar(v));
+        }
+    }
+    let _ = writeln!(md, "| metrics parsed | {} series |", snapshot.len());
+    let recorded = manifest
+        .get("events_recorded")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let dropped = manifest
+        .get("events_dropped")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let _ = writeln!(md, "| event log | {recorded} recorded, {dropped} dropped |");
+    if dropped > 0 {
+        let _ = writeln!(
+            md,
+            "\n> Note: the bounded event ring evicted {dropped} event(s); the retained window is partial."
+        );
+    }
+    md.push('\n');
+}
+
+fn render_wall_clock(md: &mut String, manifest: &Json) {
+    let Some(walls) = manifest.get("target_wall_ms").and_then(Json::as_obj) else {
+        return;
+    };
+    if walls.is_empty() {
+        return;
+    }
+    let _ = writeln!(md, "## Wall clock (non-deterministic)\n");
+    let _ = writeln!(md, "| target | wall (ms) |");
+    let _ = writeln!(md, "|---|---|");
+    for (name, ms) in walls {
+        let _ = writeln!(md, "| {name} | {} |", json_scalar(ms));
+    }
+    if let Some(total) = manifest.get("wall_ms").and_then(Json::as_u64) {
+        let _ = writeln!(md, "| **total** | **{total}** |");
+    }
+    md.push('\n');
+}
+
+/// Buckets a span name into a reporting family (`write_drain.ch3` and
+/// `write_drain.ch0` are the same row; `mode.read_enter` stays whole).
+fn name_stem(name: &str) -> &str {
+    for prefix in ["write_drain", "job", "sim", "task"] {
+        if name
+            .strip_prefix(prefix)
+            .is_some_and(|r| r.starts_with('.'))
+        {
+            return prefix;
+        }
+    }
+    name
+}
+
+fn render_trace(md: &mut String, events: &[ChromeEvent]) {
+    let _ = writeln!(md, "## Trace\n");
+    let spans = events.iter().filter(|e| e.ph == "X").count();
+    let instants = events.len() - spans;
+    let _ = writeln!(
+        md,
+        "{} event(s): {spans} span(s), {instants} instant(s), well-nested.\n",
+        events.len()
+    );
+    // Family tallies: count and (for spans) total duration.
+    let mut families: Vec<(String, usize, u64)> = Vec::new();
+    for ev in events {
+        let stem = name_stem(&ev.name).to_string();
+        match families.iter_mut().find(|(n, _, _)| *n == stem) {
+            Some((_, count, dur)) => {
+                *count += 1;
+                *dur += ev.dur;
+            }
+            None => families.push((stem, 1, ev.dur)),
+        }
+    }
+    families.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let _ = writeln!(md, "| span family | events | total duration |");
+    let _ = writeln!(md, "|---|---|---|");
+    for (name, count, dur) in &families {
+        let _ = writeln!(md, "| {name} | {count} | {dur} |");
+    }
+    md.push('\n');
+    // Mode-transition / down-bin timeline (the down-bin triage view):
+    // the first few epoch boundaries in (process, time) order.
+    let mut timeline: Vec<&ChromeEvent> = events
+        .iter()
+        .filter(|e| e.name.starts_with("mode.") || e.name == "down_bin")
+        .collect();
+    timeline.sort_by_key(|e| (e.pid, e.ts));
+    if !timeline.is_empty() {
+        let _ = writeln!(md, "### Mode transitions\n");
+        const SHOWN: usize = 12;
+        for ev in timeline.iter().take(SHOWN) {
+            let _ = writeln!(md, "- pid {} @ {} ps: `{}`", ev.pid, ev.ts, ev.name);
+        }
+        if timeline.len() > SHOWN {
+            let _ = writeln!(md, "- … {} more", timeline.len() - SHOWN);
+        }
+        md.push('\n');
+    }
+}
+
+/// CE/UE/SDC ledgers per telemetry scope, from the metrics snapshot.
+fn render_ecc(md: &mut String, snapshot: &Snapshot) {
+    let mut scopes: Vec<(String, [u64; 4])> = Vec::new();
+    for entry in &snapshot.entries {
+        let Some((scope, leaf)) = entry.name.rsplit_once(".ecc.") else {
+            continue;
+        };
+        let slot = match leaf {
+            "injected" => 0,
+            "ce" => 1,
+            "ue" => 2,
+            "sdc" => 3,
+            _ => continue,
+        };
+        let MetricValue::Counter(v) = entry.value else {
+            continue;
+        };
+        match scopes.iter_mut().find(|(s, _)| *s == scope) {
+            Some((_, row)) => row[slot] += v,
+            None => {
+                let mut row = [0u64; 4];
+                row[slot] = v;
+                scopes.push((scope.to_string(), row));
+            }
+        }
+    }
+    if scopes.is_empty() {
+        return;
+    }
+    let _ = writeln!(md, "## ECC outcomes\n");
+    let _ = writeln!(md, "| scope | injected | CE | UE | SDC |");
+    let _ = writeln!(md, "|---|---|---|---|---|");
+    for (scope, [injected, ce, ue, sdc]) in &scopes {
+        let _ = writeln!(md, "| {scope} | {injected} | {ce} | {ue} | {sdc} |");
+    }
+    md.push('\n');
+}
+
+/// The paper-drift table. Returns the number of tolerance breaches.
+fn render_drift(md: &mut String, snapshot: &Snapshot, refs: &str) -> usize {
+    let _ = writeln!(md, "## Paper drift\n");
+    let _ = writeln!(
+        md,
+        "`summary.*` gauges vs the reference figures in `{refs}/` \
+         (tolerances are sized for `--quick` runs).\n"
+    );
+    let _ = writeln!(md, "| gauge | measured | reference | Δ | tol | status |");
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
+    let mut breaches = 0;
+    let mut compared = 0;
+    for spec in REF_SPECS {
+        let measured = match snapshot.get(&format!("summary.{}", spec.gauge)) {
+            Some(MetricValue::Gauge(v)) => *v as f64 / 1e4,
+            _ => {
+                let _ = writeln!(md, "| {} | — | — | — | — | not run |", spec.gauge);
+                continue;
+            }
+        };
+        let reference = match reference_value(refs, spec) {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = writeln!(
+                    md,
+                    "| {} | {measured:.4} | — | — | — | no reference ({e}) |",
+                    spec.gauge
+                );
+                continue;
+            }
+        };
+        compared += 1;
+        let delta = if reference.abs() > f64::EPSILON {
+            (measured - reference).abs() / reference.abs()
+        } else {
+            (measured - reference).abs()
+        };
+        let ok = delta <= spec.rel_tol;
+        if !ok {
+            breaches += 1;
+        }
+        let _ = writeln!(
+            md,
+            "| {} | {measured:.4} | {reference:.4} | {:.2}% | {:.2}% | {} |",
+            spec.gauge,
+            delta * 100.0,
+            spec.rel_tol * 100.0,
+            if ok { "ok" } else { "**BREACH**" }
+        );
+    }
+    let _ = writeln!(md, "\n{compared} comparison(s), {breaches} breach(es).\n");
+    breaches
+}
+
+/// Derives one reference value from a results CSV.
+fn reference_value(refs: &str, spec: &RefSpec) -> Result<f64, String> {
+    let path = format!("{refs}/{}", spec.file);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = parse_csv_line(lines.next().ok_or("empty CSV")?);
+    let col_idx = |name: &str| {
+        header
+            .iter()
+            .position(|h| h == name)
+            .ok_or_else(|| format!("{path}: no column '{name}'"))
+    };
+    let value_col = col_idx(spec.col)?;
+    let filter_cols: Vec<(usize, &str)> = spec
+        .filters
+        .iter()
+        .map(|(col, want)| col_idx(col).map(|i| (i, *want)))
+        .collect::<Result<_, _>>()?;
+    let mut matched: Vec<Vec<String>> = Vec::new();
+    for line in lines {
+        let row = parse_csv_line(line);
+        if filter_cols
+            .iter()
+            .all(|&(i, want)| row.get(i).is_some_and(|v| v == want))
+        {
+            matched.push(row);
+        }
+    }
+    if matched.is_empty() {
+        return Err(format!("{path}: no row matches the filters"));
+    }
+    let cell = |row: &[String], i: usize| -> Result<f64, String> {
+        row.get(i)
+            .and_then(|v| v.parse::<f64>().ok())
+            .ok_or_else(|| format!("{path}: non-numeric cell in '{}'", header[i]))
+    };
+    match &spec.kind {
+        RefKind::Mean => {
+            let mut sum = 0.0;
+            for row in &matched {
+                sum += cell(row, value_col)?;
+            }
+            Ok(sum / matched.len() as f64)
+        }
+        RefKind::Cell => {
+            if matched.len() > 1 {
+                return Err(format!("{path}: filters match {} rows", matched.len()));
+            }
+            cell(&matched[0], value_col)
+        }
+        RefKind::ArgmaxKey { key } => {
+            let key_col = col_idx(key)?;
+            let mut best: Option<(f64, f64)> = None;
+            for row in &matched {
+                let v = cell(row, value_col)?;
+                let k = cell(row, key_col)?;
+                if best.is_none_or(|(bv, _)| v > bv) {
+                    best = Some((v, k));
+                }
+            }
+            Ok(best.expect("matched is non-empty").1)
+        }
+    }
+}
+
+/// Renders a scalar JSON value without quotes-for-numbers noise.
+fn json_scalar(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        Json::Null => "—".into(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => {
+            if n.fract() == 0.0 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        _ => "…".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_specs_resolve_against_checked_in_results() {
+        // Every spec must derive a finite reference from the repo's
+        // own results/ directory — catches renamed columns or labels.
+        for spec in REF_SPECS {
+            let v = reference_value("../../results", spec)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.gauge));
+            assert!(v.is_finite() && v > 0.0, "{}: {v}", spec.gauge);
+        }
+    }
+
+    #[test]
+    fn fig5_reference_is_the_suite_mean() {
+        let spec = REF_SPECS
+            .iter()
+            .find(|s| s.gauge == "fig5.hierarchy1.freq_lat_margins")
+            .unwrap();
+        let v = reference_value("../../results", spec).unwrap();
+        // Mean of the six Hierarchy1 freq_lat_margins cells.
+        assert!((v - 1.2160).abs() < 0.0015, "{v}");
+    }
+
+    #[test]
+    fn fig2_reference_is_the_mode_bucket() {
+        let spec = REF_SPECS
+            .iter()
+            .find(|s| s.gauge == "fig2.mode_bucket_mts")
+            .unwrap();
+        assert_eq!(reference_value("../../results", spec).unwrap(), 800.0);
+    }
+
+    #[test]
+    fn name_stem_buckets_families() {
+        assert_eq!(name_stem("write_drain.ch3"), "write_drain");
+        assert_eq!(name_stem("job.4711"), "job");
+        assert_eq!(name_stem("sim.fmr.hpcg"), "sim");
+        assert_eq!(name_stem("mode.read_enter"), "mode.read_enter");
+        assert_eq!(name_stem("down_bin"), "down_bin");
+        assert_eq!(name_stem("jobless"), "jobless");
+    }
+}

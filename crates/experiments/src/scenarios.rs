@@ -57,14 +57,22 @@ pub fn build(template: &Ctx, names: &[&str]) -> Vec<Scenario> {
         .map(|name| {
             let f = target_fn(name).unwrap_or_else(|| panic!("unknown target '{name}'"));
             let mut ctx = template.for_task();
-            Scenario::builder(*name)
-                .derived_seed(template.seed)
-                .task(move |tc| {
-                    f(&mut ctx);
-                    tc.out = std::mem::take(&mut ctx.out);
-                    tc.snapshot = ctx.registry.as_ref().map(|r| r.snapshot());
-                })
-                .build()
+            let mut b = Scenario::builder(*name).derived_seed(template.seed);
+            if let Some(t) = &ctx.tracer {
+                b = b.tracer(t.clone());
+            }
+            b.task(move |tc| {
+                f(&mut ctx);
+                tc.out = std::mem::take(&mut ctx.out);
+                tc.snapshot = ctx.registry.as_ref().map(|r| r.snapshot());
+                if let Some(r) = &ctx.registry {
+                    let log = r.events();
+                    tc.events_recorded = log.total_pushed();
+                    tc.events_dropped = log.dropped();
+                    tc.events = log.drain_snapshot();
+                }
+            })
+            .build()
         })
         .collect()
 }

@@ -92,6 +92,9 @@ pub fn fig17(ctx: &mut Ctx) {
         if let Some(scope) = ctx.metrics_scope(&format!("node.{}", telemetry::slug(h.name))) {
             m.set_metrics_scope(scope);
         }
+        if let Some(t) = &ctx.tracer {
+            m.set_trace(t);
+        }
         for (slot, bucket) in [
             (0, hetero_dmr::UsageBucket::Low),
             (1, hetero_dmr::UsageBucket::Mid),
@@ -124,12 +127,16 @@ pub fn fig17(ctx: &mut Ctx) {
     let plus17 = HpcCluster::conventional((nodes as f64 * 1.17).round() as u32);
 
     // With `--metrics`, each system variant records queue depth and
-    // per-group latency histograms under its own `cluster.<label>`.
-    let run = |cluster: &HpcCluster, label: &str, policy: Policy, sp: &SpeedupModel| match ctx
-        .metrics_scope(&format!("cluster.{label}"))
-    {
-        Some(scope) => cluster.run_metered(&trace, policy, sp, &scope),
-        None => cluster.run(&trace, policy, sp),
+    // per-group latency histograms under its own `cluster.<label>`;
+    // with `--trace`, each run adds a `schedule` span with per-job
+    // child spans on the schedule clock.
+    let run = |cluster: &HpcCluster, label: &str, policy: Policy, sp: &SpeedupModel| {
+        let scope = ctx.metrics_scope(&format!("cluster.{label}"));
+        match (&scope, &ctx.tracer) {
+            (scope, Some(t)) => cluster.run_traced(&trace, policy, sp, scope.as_ref(), t),
+            (Some(scope), None) => cluster.run_metered(&trace, policy, sp, scope),
+            (None, None) => cluster.run(&trace, policy, sp),
+        }
     };
     let conv_outcomes = run(
         &conventional,
@@ -176,6 +183,12 @@ pub fn fig17(ctx: &mut Ctx) {
         ("conventional + 17% nodes", &s_plus17),
     ] {
         let (e, q, t) = s.normalized_to(&s_conv);
+        if name == "Hetero-DMR + margin-aware" {
+            ctx.summary(
+                "fig17.aware_turnaround_speedup",
+                s.turnaround_speedup_over(&s_conv),
+            );
+        }
         say!(
             ctx,
             "{:<28} {:>10.3} {:>10.3} {:>12.3} {:>9.3}x",

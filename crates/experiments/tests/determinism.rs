@@ -150,6 +150,56 @@ fn model_cache_is_output_invisible() {
     );
 }
 
+/// Runs `target` with `--trace` and returns the Chrome trace bytes.
+fn run_with_trace(target: &str, jobs: &str, dir: &std::path::Path) -> Vec<u8> {
+    let _ = std::fs::remove_dir_all(dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args([
+            target,
+            "--seed",
+            "7",
+            "--quick",
+            "--ops",
+            "1200",
+            "--jobs",
+            jobs,
+            "--trace",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn experiments binary");
+    assert!(
+        out.status.success(),
+        "{target} --jobs {jobs} --trace failed: {out:?}"
+    );
+    let trace = std::fs::read(dir.join(format!("{target}.trace.json"))).expect("trace written");
+    let _ = std::fs::remove_dir_all(dir);
+    trace
+}
+
+/// Single-target traces are byte-identical across `--jobs`, parse as
+/// Chrome trace-event JSON, and respect the span-nesting invariants.
+/// Covers the three clock domains: fig5 (SimPs node sims + write
+/// drains), fig12 (ECC detect→re-read chains + mode transitions) and
+/// fig17 (SchedUs scheduler job spans).
+#[test]
+fn single_target_traces_are_jobs_invariant_and_well_formed() {
+    for target in ["fig5", "fig12", "fig17"] {
+        let dir = tmp_dir(&format!("trace_{target}"));
+        let serial = run_with_trace(target, "1", &dir);
+        let parallel = run_with_trace(target, "8", &dir);
+        assert_eq!(
+            serial, parallel,
+            "{target}: trace differs between --jobs 1 and --jobs 8"
+        );
+        let text = String::from_utf8(serial).expect("trace is utf8");
+        let events = telemetry::trace::parse_chrome_trace(&text)
+            .unwrap_or_else(|e| panic!("{target}: trace does not parse: {e}"));
+        assert!(!events.is_empty(), "{target}: trace is empty");
+        telemetry::trace::check_well_nested(&events).unwrap_or_else(|e| panic!("{target}: {e}"));
+    }
+}
+
 /// Odd worker counts and a second pass over cheap whole-table targets:
 /// task-level parallelism must merge per-target registries in
 /// canonical order no matter which worker finishes first.

@@ -8,6 +8,7 @@ use crate::result::SimResult;
 use crate::trace::AccessStream;
 use crate::wbcache::WritebackCache;
 use dram::Picos;
+use telemetry::trace::{kv, Clock, Tracer};
 use telemetry::{Counter, Scope};
 
 /// Latency of a load serviced by the victim writeback cache (it sits
@@ -41,6 +42,9 @@ pub struct NodeSim {
     scratch_writebacks: Vec<u64>,
     scratch_prefetches: Vec<u64>,
     metrics: NodeMetrics,
+    /// Causal trace sink (see [`NodeSim::attach_trace`]): write-drain
+    /// batches become simulation-time spans.
+    trace: Option<Tracer>,
 }
 
 /// Node-level traffic tallies, above the per-channel controller view.
@@ -126,6 +130,7 @@ impl NodeSim {
             scratch_writebacks: Vec::new(),
             scratch_prefetches: Vec::new(),
             metrics: NodeMetrics::default(),
+            trace: None,
         }
     }
 
@@ -138,6 +143,16 @@ impl NodeSim {
             let ch_scope = scope.scope(&format!("ch{i}.controller"));
             ctrl.attach_telemetry(&ch_scope);
         }
+    }
+
+    /// Records mode-transition spans into `tracer`: every write-mode
+    /// entry (victim-cache drain + LLC cleaning + batched writes)
+    /// becomes a `write_drain.ch<N>` span on the simulation-picosecond
+    /// clock, from entry until the channel resumes read mode. All
+    /// timestamps are simulation time, so traces are as deterministic
+    /// as the simulation itself.
+    pub fn attach_trace(&mut self, tracer: &Tracer) {
+        self.trace = Some(tracer.clone());
     }
 
     /// The hierarchy this node models.
@@ -333,6 +348,8 @@ impl NodeSim {
 
     fn drain_channel(&mut self, ch: usize, now: Picos, clean_llc: bool) -> Picos {
         self.metrics.drains.inc();
+        let pending_at_entry = self.controllers[ch].pending_writes()
+            + self.wbcaches[ch].as_ref().map_or(0, WritebackCache::len);
         // The drained victim-cache blocks and this channel's cleaned
         // LLC blocks feed straight into the (order-insensitive) write
         // queue the drain below serves.
@@ -361,7 +378,20 @@ impl NodeSim {
                 }
             }
         }
-        self.controllers[ch].drain_writes(now)
+        let resume = self.controllers[ch].drain_writes(now);
+        if let Some(tracer) = &self.trace {
+            // The span covers write mode: read mode is re-entered at
+            // `resume` (the span's close is the read-mode entry edge).
+            tracer.complete(
+                format!("write_drain.ch{ch}"),
+                "memsim",
+                Clock::SimPs,
+                now,
+                resume,
+                vec![kv("pending", pending_at_entry), kv("clean_llc", clean_llc)],
+            );
+        }
+        resume
     }
 
     /// Final drain of all pending writes and outstanding loads, then

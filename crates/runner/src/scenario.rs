@@ -14,7 +14,8 @@ use crate::pool;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
-use telemetry::{Registry, Snapshot};
+use telemetry::trace::{kv, Clock, TraceEvent, Tracer};
+use telemetry::{Event, Registry, Snapshot};
 
 /// What a task sees while running: its derived seed plus buffers for
 /// everything it wants to surface. Tasks write human-readable output
@@ -30,6 +31,12 @@ pub struct TaskCtx {
     pub out: String,
     /// The task's telemetry, captured from a task-private registry.
     pub snapshot: Option<Snapshot>,
+    /// Event-log pressure from the task's registry: total pushes and
+    /// ring evictions (see `telemetry::EventLog::dropped`).
+    pub events_recorded: u64,
+    pub events_dropped: u64,
+    /// The retained event window, for verbose diagnostic dumps.
+    pub events: Vec<Event>,
 }
 
 impl TaskCtx {
@@ -54,6 +61,7 @@ pub struct Scenario {
     name: String,
     seed: u64,
     task: TaskFn,
+    tracer: Option<Tracer>,
 }
 
 impl Scenario {
@@ -63,6 +71,7 @@ impl Scenario {
             name: name.into(),
             seed: 0,
             task: None,
+            tracer: None,
         }
     }
 
@@ -89,6 +98,7 @@ pub struct ScenarioBuilder {
     name: String,
     seed: u64,
     task: Option<TaskFn>,
+    tracer: Option<Tracer>,
 }
 
 impl ScenarioBuilder {
@@ -113,6 +123,17 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Record a causal trace of this scenario into `tracer` (the task
+    /// closure should share the same tracer for its own spans). The
+    /// runner wraps the task in a `task.<name>` span on the tracer's
+    /// tick clock and drains the buffer into
+    /// [`RunOutcome::trace`] after the task finishes, so traces are
+    /// per-task private and deterministic like snapshots.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// # Panics
     /// If no [`task`](ScenarioBuilder::task) was supplied.
     pub fn build(self) -> Scenario {
@@ -122,6 +143,7 @@ impl ScenarioBuilder {
                 .unwrap_or_else(|| panic!("scenario '{}' built without a task", self.name)),
             name: self.name,
             seed: self.seed,
+            tracer: self.tracer,
         }
     }
 }
@@ -148,6 +170,15 @@ pub struct RunOutcome {
     pub out: String,
     /// The task's telemetry snapshot, if it captured one.
     pub snapshot: Option<Snapshot>,
+    /// The task's causal trace, when the scenario carried a tracer.
+    /// Deterministic: every timestamp comes from a simulation clock
+    /// or the tracer's tick counter, never from wall time.
+    pub trace: Option<Vec<TraceEvent>>,
+    /// Event-log pressure, copied from the [`TaskCtx`].
+    pub events_recorded: u64,
+    pub events_dropped: u64,
+    /// Retained event window, for verbose diagnostic dumps.
+    pub events: Vec<Event>,
     /// Wall-clock duration. Non-deterministic by nature — report it on
     /// diagnostic channels only, never in byte-compared output.
     pub wall_ms: u128,
@@ -191,13 +222,24 @@ impl Runner {
     pub fn run(&self, scenarios: Vec<Scenario>) -> Vec<RunOutcome> {
         let registry = &self.registry;
         pool::parallel_map(scenarios, |_, scenario| {
-            let Scenario { name, seed, task } = scenario;
+            let Scenario {
+                name,
+                seed,
+                task,
+                tracer,
+            } = scenario;
             let _span = registry.span(&format!("task.{name}"));
+            let task_span = tracer
+                .as_ref()
+                .map(|t| t.begin(format!("task.{name}"), "runner", Clock::Ticks, t.tick()));
             let started = Instant::now();
             let mut ctx = TaskCtx {
                 seed,
                 out: String::new(),
                 snapshot: None,
+                events_recorded: 0,
+                events_dropped: 0,
+                events: Vec::new(),
             };
             let status = match catch_unwind(AssertUnwindSafe(|| task(&mut ctx))) {
                 Ok(()) => {
@@ -211,12 +253,25 @@ impl Runner {
                     }
                 }
             };
+            let trace = tracer.map(|t| {
+                let label = match &status {
+                    RunStatus::Completed => "completed",
+                    RunStatus::Failed { .. } => "failed",
+                };
+                // Also unwinds any spans the task left open on panic.
+                t.end_with(task_span.unwrap(), t.tick(), vec![kv("status", label)]);
+                t.take()
+            });
             RunOutcome {
                 name,
                 seed,
                 status,
                 out: ctx.out,
                 snapshot: ctx.snapshot,
+                trace,
+                events_recorded: ctx.events_recorded,
+                events_dropped: ctx.events_dropped,
+                events: ctx.events,
                 wall_ms: started.elapsed().as_millis(),
             }
         })
@@ -309,5 +364,52 @@ mod tests {
     #[should_panic(expected = "built without a task")]
     fn builder_requires_a_task() {
         let _ = Scenario::builder("empty").build();
+    }
+
+    #[test]
+    fn traced_scenarios_emit_a_task_span() {
+        let tracer = Tracer::new();
+        let inner = tracer.clone();
+        let scenario = Scenario::builder("probe")
+            .derived_seed(1)
+            .tracer(tracer)
+            .task(move |_| {
+                inner.instant("probe.mark", "test", Clock::SimPs, 42, Vec::new());
+            })
+            .build();
+        let outcomes = Runner::new(1).run(vec![scenario]);
+        let trace = outcomes[0].trace.as_ref().expect("trace captured");
+        telemetry::trace::check_nesting(trace).unwrap();
+        assert_eq!(trace[0].name, "task.probe");
+        assert!(trace[0]
+            .args
+            .iter()
+            .any(|(k, v)| k == "status" && v == "completed"));
+        assert_eq!(trace[1].name, "probe.mark");
+        assert_eq!(trace[1].parent, Some(trace[0].id), "task span is the root");
+        // Untraced scenarios carry no trace.
+        let plain = Runner::new(1).run(sweep(1));
+        assert!(plain[0].trace.is_none());
+    }
+
+    #[test]
+    fn panicking_task_still_yields_a_closed_trace() {
+        let tracer = Tracer::new();
+        let inner = tracer.clone();
+        let scenario = Scenario::builder("boom")
+            .tracer(tracer)
+            .task(move |_| {
+                let _open = inner.begin("never_closed", "test", Clock::SimPs, 7);
+                panic!("die mid-span");
+            })
+            .build();
+        let outcomes = Runner::new(1).run(vec![scenario]);
+        assert!(outcomes[0].is_failed());
+        let trace = outcomes[0].trace.as_ref().unwrap();
+        telemetry::trace::check_nesting(trace).unwrap();
+        assert!(trace[0]
+            .args
+            .iter()
+            .any(|(k, v)| k == "status" && v == "failed"));
     }
 }

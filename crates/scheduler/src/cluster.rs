@@ -2,8 +2,10 @@
 //! nodes.
 
 use crate::job::{Job, JobOutcome};
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use telemetry::trace::{kv, Clock, SpanId, Tracer};
 use telemetry::{Counter, Gauge, Histogram, Scope};
 use workloads::utilization::UtilizationModel;
 
@@ -104,6 +106,47 @@ impl ClusterMetrics {
     }
 }
 
+/// Per-run cap on individually traced job spans: enough to read a
+/// schedule's shape in a trace viewer without ballooning the file on
+/// multi-thousand-job traces. The `schedule` root span's args record
+/// both the cap'd and the true job count.
+pub const TRACED_JOB_CAP: usize = 256;
+
+/// Causal tracing for one scheduling run: job spans on the schedule
+/// clock (microseconds) under a single `schedule` root span.
+struct ClusterTrace<'a> {
+    tracer: &'a Tracer,
+    root: SpanId,
+    traced: Cell<usize>,
+}
+
+/// Schedule seconds → the trace's microsecond clock.
+fn sched_us(seconds: f64) -> u64 {
+    (seconds.max(0.0) * 1e6).round() as u64
+}
+
+impl ClusterTrace<'_> {
+    fn note_start(&self, outcome: &JobOutcome, min_group: u32, backfilled: bool) {
+        if self.traced.get() >= TRACED_JOB_CAP {
+            return;
+        }
+        self.traced.set(self.traced.get() + 1);
+        self.tracer.complete(
+            format!("job.{}", outcome.job.id),
+            "sched",
+            Clock::SchedUs,
+            sched_us(outcome.start_s),
+            sched_us(outcome.start_s + outcome.exec_s),
+            vec![
+                kv("nodes", outcome.job.nodes),
+                kv("min_group", min_group),
+                kv("backfilled", backfilled),
+                kv("submit_us", sched_us(outcome.job.submit_s)),
+            ],
+        );
+    }
+}
+
 /// One labelled configuration of a side-by-side scheduling sweep
 /// (Figure 17 compares four of these over the same job trace).
 #[derive(Debug, Clone)]
@@ -116,6 +159,10 @@ pub struct Variant {
     /// When set, the run is metered ([`Cluster::run_metered`]) under
     /// this scope; otherwise it runs unobserved.
     pub scope: Option<Scope>,
+    /// When set, the run records job spans ([`Cluster::run_traced`])
+    /// into this tracer. Each variant needs its own tracer — sweeps
+    /// run variants concurrently.
+    pub tracer: Option<Tracer>,
 }
 
 /// Replays `jobs` under every variant, in parallel on the worker
@@ -124,9 +171,13 @@ pub struct Variant {
 /// trace, so the sweep's results are identical at any worker budget.
 pub fn run_variants(jobs: &[Job], variants: Vec<Variant>) -> Vec<(String, Vec<JobOutcome>)> {
     runner::parallel_map(variants, |_, v| {
-        let outcomes = match &v.scope {
-            Some(scope) => v.cluster.run_metered(jobs, v.policy, &v.speedups, scope),
-            None => v.cluster.run(jobs, v.policy, &v.speedups),
+        let outcomes = match (&v.scope, &v.tracer) {
+            (scope, Some(t)) => {
+                v.cluster
+                    .run_traced(jobs, v.policy, &v.speedups, scope.as_ref(), t)
+            }
+            (Some(scope), None) => v.cluster.run_metered(jobs, v.policy, &v.speedups, scope),
+            (None, None) => v.cluster.run(jobs, v.policy, &v.speedups),
         };
         (v.label, outcomes)
     })
@@ -198,7 +249,7 @@ impl Cluster {
     /// Runs `jobs` (sorted by submit time) under `policy` and
     /// `speedups`, returning one outcome per job.
     pub fn run(&self, jobs: &[Job], policy: Policy, speedups: &SpeedupModel) -> Vec<JobOutcome> {
-        self.run_impl(jobs, policy, speedups, None)
+        self.run_impl(jobs, policy, speedups, None, None)
     }
 
     /// [`Cluster::run`] with observability: queue depth, start and
@@ -212,7 +263,41 @@ impl Cluster {
         scope: &Scope,
     ) -> Vec<JobOutcome> {
         let metrics = ClusterMetrics::new(scope);
-        self.run_impl(jobs, policy, speedups, Some(&metrics))
+        self.run_impl(jobs, policy, speedups, Some(&metrics), None)
+    }
+
+    /// [`Cluster::run`] with causal tracing (and optionally metering):
+    /// the whole run becomes a `schedule` span on the schedule clock
+    /// ending at the makespan, with one `job.<id>` span per started
+    /// job (capped at [`TRACED_JOB_CAP`]) carrying its allocation.
+    pub fn run_traced(
+        &self,
+        jobs: &[Job],
+        policy: Policy,
+        speedups: &SpeedupModel,
+        scope: Option<&Scope>,
+        tracer: &Tracer,
+    ) -> Vec<JobOutcome> {
+        let metrics = scope.map(ClusterMetrics::new);
+        let trace = ClusterTrace {
+            tracer,
+            root: tracer.begin("schedule", "sched", Clock::SchedUs, 0),
+            traced: Cell::new(0),
+        };
+        let outcomes = self.run_impl(jobs, policy, speedups, metrics.as_ref(), Some(&trace));
+        let makespan = outcomes
+            .iter()
+            .map(|o| o.start_s + o.exec_s)
+            .fold(0.0, f64::max);
+        tracer.end_with(
+            trace.root,
+            sched_us(makespan),
+            vec![
+                kv("jobs", outcomes.len()),
+                kv("jobs_traced", trace.traced.get()),
+            ],
+        );
+        outcomes
     }
 
     #[allow(unused_assignments)] // `now` is (re)written by each event arm
@@ -222,6 +307,7 @@ impl Cluster {
         policy: Policy,
         speedups: &SpeedupModel,
         metrics: Option<&ClusterMetrics>,
+        trace: Option<&ClusterTrace>,
     ) -> Vec<JobOutcome> {
         let mut free = self.total;
         let mut completions: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
@@ -265,6 +351,7 @@ impl Cluster {
                 policy,
                 speedups,
                 metrics,
+                trace,
             );
             if let Some(m) = metrics {
                 m.queue_depth.set(waiting.len() as i64);
@@ -286,6 +373,7 @@ impl Cluster {
         policy: Policy,
         speedups: &SpeedupModel,
         metrics: Option<&ClusterMetrics>,
+        trace: Option<&ClusterTrace>,
     ) {
         // Start FCFS-eligible jobs from the head.
         while let Some(&head) = waiting.first() {
@@ -300,6 +388,7 @@ impl Cluster {
                     policy,
                     speedups,
                     metrics,
+                    trace,
                     false,
                 );
             } else {
@@ -342,6 +431,7 @@ impl Cluster {
                     policy,
                     speedups,
                     metrics,
+                    trace,
                     true,
                 );
             } else {
@@ -394,6 +484,7 @@ impl Cluster {
         policy: Policy,
         speedups: &SpeedupModel,
         metrics: Option<&ClusterMetrics>,
+        trace: Option<&ClusterTrace>,
         backfilled: bool,
     ) {
         let alloc = match policy {
@@ -417,6 +508,9 @@ impl Cluster {
         };
         if let Some(m) = metrics {
             m.note_start(&outcome, min_group, backfilled);
+        }
+        if let Some(t) = trace {
+            t.note_start(&outcome, min_group, backfilled);
         }
         outcomes.push(outcome);
     }
@@ -624,6 +718,7 @@ mod tests {
                     policy: Policy::Default,
                     speedups: SpeedupModel::conventional(),
                     scope: None,
+                    tracer: None,
                 },
                 Variant {
                     label: "margin_aware".into(),
@@ -631,6 +726,7 @@ mod tests {
                     policy: Policy::MarginAware,
                     speedups: SpeedupModel::hetero_dmr_default(),
                     scope: None,
+                    tracer: None,
                 },
             ],
         );
@@ -648,6 +744,53 @@ mod tests {
                 &SpeedupModel::hetero_dmr_default()
             )
         );
+    }
+
+    #[test]
+    fn traced_run_wraps_job_spans_in_schedule_root() {
+        use telemetry::trace::{check_nesting, Ph};
+        let c = Cluster::new(8, [0.5, 0.25, 0.25]);
+        let jobs = [
+            job(0, 0.0, 4, 100.0, 0.1),
+            job(1, 1.0, 4, 50.0, 0.3),
+            job(2, 2.0, 8, 25.0, 0.8),
+        ];
+        let tracer = Tracer::new();
+        let out = c.run_traced(
+            &jobs,
+            Policy::MarginAware,
+            &SpeedupModel::hetero_dmr_default(),
+            None,
+            &tracer,
+        );
+        assert_eq!(
+            out,
+            c.run(
+                &jobs,
+                Policy::MarginAware,
+                &SpeedupModel::hetero_dmr_default()
+            ),
+            "tracing must not perturb the schedule"
+        );
+        let events = tracer.take();
+        check_nesting(&events).unwrap();
+        let root = &events[0];
+        assert_eq!(root.name, "schedule");
+        assert!(root.args.contains(&kv("jobs", 3)));
+        assert!(root.args.contains(&kv("jobs_traced", 3)));
+        let job_spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.name.starts_with("job."))
+            .collect();
+        assert_eq!(job_spans.len(), 3);
+        for s in &job_spans {
+            assert_eq!(s.ph, Ph::Span);
+            assert_eq!(s.parent, Some(root.id));
+            assert!(s.end <= root.end, "job span inside the makespan");
+        }
+        let j0 = job_spans.iter().find(|e| e.name == "job.0").unwrap();
+        assert!(j0.args.contains(&kv("nodes", 4)));
+        assert!(j0.args.contains(&kv("backfilled", false)));
     }
 
     #[test]

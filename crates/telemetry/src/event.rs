@@ -27,6 +27,9 @@ pub struct Event {
 struct Ring {
     next_seq: u64,
     capacity: usize,
+    /// Events evicted to make room — surfaced via
+    /// [`EventLog::dropped`] so overflow is never silent.
+    dropped: u64,
     entries: VecDeque<Event>,
 }
 
@@ -48,6 +51,7 @@ impl EventLog {
             inner: Arc::new(Mutex::new(Ring {
                 next_seq: 0,
                 capacity: capacity.max(1),
+                dropped: 0,
                 entries: VecDeque::new(),
             })),
         }
@@ -57,6 +61,7 @@ impl EventLog {
         let mut ring = self.inner.lock().unwrap();
         if ring.entries.len() == ring.capacity {
             ring.entries.pop_front();
+            ring.dropped += 1;
         }
         let seq = ring.next_seq;
         ring.next_seq += 1;
@@ -72,6 +77,13 @@ impl EventLog {
     /// Total events ever pushed (including evicted ones).
     pub fn total_pushed(&self) -> u64 {
         self.inner.lock().unwrap().next_seq
+    }
+
+    /// Events evicted by ring overflow since creation. Report this
+    /// next to exported windows (the run manifest does) so a
+    /// truncated event log is visible rather than silently partial.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
     }
 
     pub fn capacity(&self) -> usize {
@@ -151,6 +163,18 @@ mod tests {
         assert_eq!(events[2].seq, 4);
         assert_eq!(events[2].label, "e4");
         assert_eq!(log.total_pushed(), 5);
+        assert_eq!(log.dropped(), 2, "evictions are counted");
+    }
+
+    #[test]
+    fn dropped_stays_zero_until_overflow() {
+        let log = EventLog::with_capacity(4);
+        for i in 0..4u64 {
+            log.push("e", i);
+        }
+        assert_eq!(log.dropped(), 0);
+        log.push("e", 4);
+        assert_eq!(log.dropped(), 1);
     }
 
     #[test]

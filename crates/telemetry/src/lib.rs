@@ -18,6 +18,10 @@
 //!   as JSONL, CSV, or a console table (all hand-rolled, no serde).
 //! - [`RunManifest`] captures run provenance (seed, knobs, git
 //!   describe, wall time) next to the metric files.
+//! - [`trace`] records causal spans against deterministic clocks and
+//!   exports them as Chrome trace-event JSON or a span-tree dump;
+//!   [`json`] is the matching hand-rolled parser used by readers
+//!   (report generation, trace validation, round-trip tests).
 //!
 //! # Determinism
 //!
@@ -32,12 +36,16 @@
 
 mod event;
 mod export;
+pub mod json;
 mod manifest;
 mod metric;
 mod registry;
+pub mod trace;
 
 pub use event::{Event, EventLog, Span};
-pub use export::{escape_json, format_console_table, format_csv, format_jsonl, slug};
+pub use export::{
+    escape_json, format_console_table, format_csv, format_jsonl, parse_csv_line, parse_jsonl, slug,
+};
 pub use manifest::RunManifest;
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{MetricValue, Registry, Scope, Snapshot, SnapshotEntry, WALL_SUFFIX};

@@ -26,6 +26,12 @@ pub struct RunManifest {
     /// diagnostic only — never part of byte-compared output.
     pub target_wall_ms: Vec<(String, u64)>,
     pub metric_count: usize,
+    /// Events pushed into the run's bounded event logs…
+    pub events_recorded: u64,
+    /// …and how many of those the ring evicted. Non-zero means the
+    /// retained window is partial — the overflow is surfaced here
+    /// instead of being silently discarded.
+    pub events_dropped: u64,
 }
 
 impl RunManifest {
@@ -50,6 +56,15 @@ impl RunManifest {
     /// Record each target's wall-clock duration.
     pub fn with_target_walls(mut self, walls: impl IntoIterator<Item = (String, u64)>) -> Self {
         self.target_wall_ms = walls.into_iter().collect();
+        self
+    }
+
+    /// Record event-log pressure: total events pushed and how many
+    /// the bounded ring evicted (see [`EventLog::dropped`]
+    /// (crate::EventLog::dropped)).
+    pub fn with_events(mut self, recorded: u64, dropped: u64) -> Self {
+        self.events_recorded = recorded;
+        self.events_dropped = dropped;
         self
     }
 
@@ -100,7 +115,9 @@ impl RunManifest {
         } else {
             out.push_str("\n  },\n");
         }
-        let _ = writeln!(out, "  \"metric_count\": {}", self.metric_count);
+        let _ = writeln!(out, "  \"metric_count\": {},", self.metric_count);
+        let _ = writeln!(out, "  \"events_recorded\": {},", self.events_recorded);
+        let _ = writeln!(out, "  \"events_dropped\": {}", self.events_dropped);
         out.push_str("}\n");
         out
     }
@@ -138,6 +155,7 @@ mod tests {
             .knob("quick", true)
             .with_wall_ms(17)
             .with_target_walls([("fig12".to_string(), 11), ("fig13".to_string(), 6)])
+            .with_events(1500, 476)
             .with_snapshot(&r.snapshot());
         let json = m.to_json();
         assert!(json.contains("\"target\": \"fig12\""));
@@ -148,11 +166,16 @@ mod tests {
         assert!(json.contains("\"fig12\": 11"));
         assert!(json.contains("\"fig13\": 6"));
         assert!(json.contains("\"metric_count\": 2"));
-        // Balanced braces (crude well-formedness check, no serde here).
+        assert!(json.contains("\"events_recorded\": 1500"));
+        assert!(json.contains("\"events_dropped\": 476"));
+        // The emitted document must satisfy our own parser.
+        let doc = crate::json::parse(&json).expect("manifest parses as JSON");
+        assert_eq!(doc.get("seed").and_then(|v| v.as_u64()), Some(42));
         assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count(),
-            "unbalanced JSON: {json}"
+            doc.get("target_wall_ms")
+                .and_then(|w| w.get("fig13"))
+                .and_then(|v| v.as_u64()),
+            Some(6)
         );
     }
 
