@@ -25,8 +25,8 @@ echo "== benches compile =="
 cargo bench --offline --workspace --no-run
 
 echo "== bench smoke (wall-clock guardrail) =="
-# Fails when a smoke target regresses >20% against the recorded
-# BENCH_PR4.json baseline; skips silently when no baseline is recorded.
+# Fails when a smoke target regresses >20% against the newest recorded
+# BENCH_PR*.json baseline; skips silently when none is recorded.
 ./scripts/bench_smoke.sh check
 
 echo "== jobs-invariance (parallel vs serial experiments) =="
@@ -64,5 +64,16 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
     "$DET_DIR/rep/fig5.trace.json"
 "$EXP" report "$DET_DIR/rep" --out "$DET_DIR/rep/report.md"
 grep -q "## Paper drift" "$DET_DIR/rep/report.md"
+
+echo "== power/energy smoke =="
+# The residency-model targets must run, their report must render the
+# Power/energy section, and the drift table must stay clean (the new
+# summary gauges add no reference comparisons).
+"$EXP" energy --quick --metrics "$DET_DIR/energy" > /dev/null
+"$EXP" report "$DET_DIR/energy" --out "$DET_DIR/energy/report.md"
+grep -q "## Power/energy" "$DET_DIR/energy/report.md"
+grep -q "0 breach(es)" "$DET_DIR/energy/report.md"
+"$EXP" configurator --quick > "$DET_DIR/configurator.out"
+grep -q "meet all requirements" "$DET_DIR/configurator.out"
 
 echo "CI OK"

@@ -542,8 +542,10 @@ impl NodeModel {
             + groups.at_0
     }
 
-    /// Energy of a run for Figure 13, including the self-refresh
-    /// residency of the original-holding modules under Hetero-DMR.
+    /// Energy of a run for Figure 13. The self-refresh residency of
+    /// the original-holding modules under Hetero-DMR comes from the
+    /// simulator's bank-state residency tap (via
+    /// [`SimResult::activity`]), not a fixed fraction.
     pub fn energy(
         &self,
         design: MemoryDesign,
@@ -551,16 +553,7 @@ impl NodeModel {
         model: &EnergyModel,
     ) -> EnergyBreakdown {
         let result = self.run(design, suite);
-        let mut activity: ActivityCounters = result.activity();
-        if matches!(
-            design,
-            MemoryDesign::HeteroDmr { .. } | MemoryDesign::HeteroDmrFmr { .. }
-        ) {
-            // One module per channel sits in self-refresh for ~95 % of
-            // the run (everything except write mode).
-            activity.self_refresh_time =
-                (result.exec_time_ps as f64 * 0.95) as u64 * self.hierarchy.memory.channels as u64;
-        }
+        let activity: ActivityCounters = result.activity();
         let modules = self.hierarchy.memory.channels * self.hierarchy.memory.modules_per_channel;
         model.energy(&activity, modules, result.instructions)
     }

@@ -96,6 +96,31 @@ impl ModuleOrganization {
         }
     }
 
+    /// A DDR5-6400 dual-rank module (mid-generation speed bin; same
+    /// 10-chips/rank geometry as entry DDR5).
+    pub fn ddr5_6400_10cpr_dual_rank() -> ModuleOrganization {
+        ModuleOrganization {
+            chips_per_rank: 10,
+            ranks: 2,
+            density: ChipDensity::Gb16,
+            specified_rate: DataRate::MT6400,
+        }
+    }
+
+    /// An MRDIMM-8800: two physical DDR5 ranks, each multiplexed into
+    /// two pseudo-ranks by the rank-mux buffer, presented to the host
+    /// as four ranks behind one 8800 MT/s interface. Geometry per
+    /// physical rank matches DDR5 (10 chips, 16 Gb), so the module
+    /// doubles capacity as well as interface rate.
+    pub fn mrdimm_8800_10cpr_quad_rank() -> ModuleOrganization {
+        ModuleOrganization {
+            chips_per_rank: 10,
+            ranks: 4,
+            density: ChipDensity::Gb16,
+            specified_rate: DataRate::MT8800,
+        }
+    }
+
     /// Total DRAM devices on the module (all ranks).
     pub fn total_chips(self) -> u32 {
         self.chips_per_rank as u32 * self.ranks as u32
@@ -165,6 +190,18 @@ mod tests {
         assert!(org.chips_per_rank <= 10, "DDR5 caps chips/rank at 10");
         assert_eq!(org.ecc_chips_per_rank(), 1);
         assert_eq!(org.specified_rate.mts(), 4800);
+    }
+
+    #[test]
+    fn mrdimm_doubles_ddr5_capacity_and_rate() {
+        let ddr5 = ModuleOrganization::ddr5_4800_10cpr_dual_rank();
+        let mr = ModuleOrganization::mrdimm_8800_10cpr_quad_rank();
+        assert_eq!(mr.ranks, 4, "two physical ranks × two mux pseudo-ranks");
+        assert_eq!(mr.chips_per_rank, 10, "DDR5 geometry per physical rank");
+        assert_eq!(mr.capacity_gb(), 2 * ddr5.capacity_gb());
+        assert_eq!(mr.specified_rate.mts(), 2 * 4400);
+        // 9 data chips × 4 ranks × 16 Gb = 72 GB.
+        assert_eq!(mr.capacity_gb(), 72);
     }
 
     #[test]

@@ -38,6 +38,9 @@ impl DataRate {
     pub const MT5600: DataRate = DataRate(5600);
     /// DDR5-6400.
     pub const MT6400: DataRate = DataRate(6400);
+    /// MRDIMM-8800: a multiplexed-rank DIMM whose buffer interleaves
+    /// two DDR5-4400 pseudo-channels onto one 8800 MT/s host interface.
+    pub const MT8800: DataRate = DataRate(8800);
 
     /// The characterization step size the paper used (BIOS limitation).
     pub const STEP_MTS: u32 = 200;

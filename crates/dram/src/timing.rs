@@ -105,6 +105,32 @@ impl TimingParams {
         }
     }
 
+    /// DDR5-6400 timings: mid-generation DDR5 keeps the entry
+    /// generation's analog (row) latencies while binning a faster CAS
+    /// path onto a faster interface.
+    pub fn ddr5_6400_spec() -> TimingParams {
+        TimingParams {
+            data_rate: DataRate::MT6400,
+            t_cas_ns: 15.0,
+            t_cwl_ns: 13.0,
+            ..TimingParams::ddr5_4800_spec()
+        }
+    }
+
+    /// MRDIMM-8800 timings: a multiplexed-rank DIMM runs each physical
+    /// rank at DDR5-4400 internally while the mux buffer interleaves
+    /// two pseudo-channels onto an 8800 MT/s host interface. The
+    /// buffer's mux/demux hop adds ~2 ns to the CAS path; array (row)
+    /// timings stay DDR5.
+    pub fn mrdimm_8800_spec() -> TimingParams {
+        TimingParams {
+            data_rate: DataRate::MT8800,
+            t_cas_ns: 18.0,
+            t_cwl_ns: 16.0,
+            ..TimingParams::ddr5_4800_spec()
+        }
+    }
+
     /// Returns a copy with a different interface data rate, leaving all
     /// analog (nanosecond) latencies unchanged — i.e. exploiting
     /// *frequency* margin only.
@@ -359,6 +385,24 @@ mod tests {
     }
 
     #[test]
+    fn generation_presets_scale_burst_time_with_rate() {
+        let g: [TimingParams; 4] = [
+            TimingParams::ddr4_3200_spec(),
+            TimingParams::ddr5_4800_spec(),
+            TimingParams::ddr5_6400_spec(),
+            TimingParams::mrdimm_8800_spec(),
+        ];
+        for pair in g.windows(2) {
+            assert!(pair[1].data_rate.mts() > pair[0].data_rate.mts());
+            assert!(pair[1].burst_ps() < pair[0].burst_ps());
+        }
+        // MRDIMM pays the mux-buffer hop on the CAS path.
+        assert!(
+            TimingParams::mrdimm_8800_spec().t_cas_ns > TimingParams::ddr5_6400_spec().t_cas_ns
+        );
+    }
+
+    #[test]
     fn refresh_interval_doubles_under_latency_margin() {
         let spec = MemorySetting::Specified.timing();
         let lat = MemorySetting::LatencyMargin.timing();
@@ -419,6 +463,8 @@ mod validation_tests {
             TimingParams::ddr4_3200_spec(),
             TimingParams::ddr4_2400_spec(),
             TimingParams::ddr5_4800_spec(),
+            TimingParams::ddr5_6400_spec(),
+            TimingParams::mrdimm_8800_spec(),
             TimingParams::ddr4_3200_spec().with_latency_margin(),
             MemorySetting::FreqLatMargin.timing(),
         ] {

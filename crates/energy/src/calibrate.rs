@@ -1,0 +1,192 @@
+//! Datasheet-current calibration.
+//!
+//! Maps IDD/IPP-style datasheet currents to the state powers and
+//! command-edge energies the residency model consumes, following the
+//! Micron system-power-calculator decomposition:
+//!
+//! * standby powers come straight from the standby currents
+//!   (`P = VDD × IDDxN`), scaled by devices per rank;
+//! * activate/precharge energy is the IDD0 loop current with the
+//!   standby floor subtracted over the tRAS/tRP phases of one tRC,
+//!   plus the wordline pump (VPP × IPP0) on DDR5-class parts;
+//! * burst energies are the read/write current deltas over one
+//!   64-byte burst;
+//! * refresh energy is the IDD5B delta over one tRFC — the standby
+//!   floor during refresh is charged by the residency model as
+//!   active-standby time, so only the delta lives on the edge.
+//!
+//! Units work out as `V × mA × ns = pJ`; everything is returned in
+//! nanojoules and watts.
+
+use crate::residency::{EdgeEnergies, StatePowers};
+use dram::timing::TimingParams;
+
+/// IDD/IPP-style datasheet currents for one DRAM device.
+///
+/// Currents are per device; [`DatasheetCurrents::state_powers`] and
+/// [`DatasheetCurrents::edge_energies`] scale them to a full rank,
+/// since every chip in a rank sees every command in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasheetCurrents {
+    /// Core supply voltage, volts.
+    pub vdd_v: f64,
+    /// Wordline pump voltage, volts.
+    pub vpp_v: f64,
+    /// One-bank activate-precharge loop current (tRC cadence), mA.
+    pub idd0_ma: f64,
+    /// Pump current during the activate loop, mA.
+    pub ipp0_ma: f64,
+    /// Precharge standby current (all banks closed, CKE high), mA.
+    pub idd2n_ma: f64,
+    /// Active standby current (a bank open, no data), mA.
+    pub idd3n_ma: f64,
+    /// Burst read current, mA.
+    pub idd4r_ma: f64,
+    /// Burst write current, mA.
+    pub idd4w_ma: f64,
+    /// Burst (distributed) refresh current, mA.
+    pub idd5b_ma: f64,
+    /// Self-refresh current, mA.
+    pub idd6_ma: f64,
+}
+
+impl DatasheetCurrents {
+    /// Representative 8 Gb DDR4 device currents (x8, 1.2 V core,
+    /// 2.5 V pump), the Micron power-calculator ballpark for the
+    /// paper's module population.
+    pub fn ddr4_8gb() -> DatasheetCurrents {
+        DatasheetCurrents {
+            vdd_v: 1.2,
+            vpp_v: 2.5,
+            idd0_ma: 58.0,
+            ipp0_ma: 3.0,
+            idd2n_ma: 34.0,
+            idd3n_ma: 44.0,
+            idd4r_ma: 140.0,
+            idd4w_ma: 130.0,
+            idd5b_ma: 195.0,
+            idd6_ma: 22.0,
+        }
+    }
+
+    /// Representative 16 Gb DDR5 device currents (x8, 1.1 V core,
+    /// 1.8 V pump).
+    pub fn ddr5_16gb() -> DatasheetCurrents {
+        DatasheetCurrents {
+            vdd_v: 1.1,
+            vpp_v: 1.8,
+            idd0_ma: 65.0,
+            ipp0_ma: 3.0,
+            idd2n_ma: 35.0,
+            idd3n_ma: 50.0,
+            idd4r_ma: 180.0,
+            idd4w_ma: 165.0,
+            idd5b_ma: 250.0,
+            idd6_ma: 25.0,
+        }
+    }
+
+    /// 16 Gb DDR5 devices behind an MRDIMM mux buffer: the data buffer
+    /// and RCD add standby and burst current on top of the bare device.
+    pub fn mrdimm_16gb() -> DatasheetCurrents {
+        DatasheetCurrents {
+            idd0_ma: 68.0,
+            idd2n_ma: 40.0,
+            idd3n_ma: 55.0,
+            idd4r_ma: 190.0,
+            idd4w_ma: 175.0,
+            idd5b_ma: 255.0,
+            idd6_ma: 28.0,
+            ..DatasheetCurrents::ddr5_16gb()
+        }
+    }
+
+    /// Per-rank state powers: standby currents × VDD × devices.
+    pub fn state_powers(&self, chips_per_rank: u32) -> StatePowers {
+        let rank_w = |ma: f64| self.vdd_v * ma * chips_per_rank as f64 / 1000.0;
+        StatePowers {
+            active_standby_w: rank_w(self.idd3n_ma),
+            precharge_standby_w: rank_w(self.idd2n_ma),
+            self_refresh_w: rank_w(self.idd6_ma),
+        }
+    }
+
+    /// Per-rank command-edge energies at a given timing set.
+    pub fn edge_energies(&self, timing: &TimingParams, chips_per_rank: u32) -> EdgeEnergies {
+        let chips = chips_per_rank as f64;
+        let trc_ns = timing.t_rc_ns();
+        let burst_ns = timing.burst_ps() as f64 / 1000.0;
+        // IDD0 is measured on a continuous ACT/PRE loop, so the standby
+        // floor (IDD3N while the row is open, IDD2N while precharged)
+        // must come out to leave the pure activate energy.
+        let act_ma = self.idd0_ma
+            - self.idd3n_ma * timing.t_ras_ns / trc_ns
+            - self.idd2n_ma * timing.t_rp_ns / trc_ns;
+        let act_pj = self.vdd_v * act_ma * trc_ns + self.vpp_v * self.ipp0_ma * trc_ns;
+        let pj_to_nj = chips / 1000.0;
+        EdgeEnergies {
+            act_pre_nj: act_pj * pj_to_nj,
+            read_nj: self.vdd_v * (self.idd4r_ma - self.idd3n_ma) * burst_ns * pj_to_nj,
+            write_nj: self.vdd_v * (self.idd4w_ma - self.idd3n_ma) * burst_ns * pj_to_nj,
+            refresh_nj: self.vdd_v * (self.idd5b_ma - self.idd3n_ma) * timing.t_rfc_ns * pj_to_nj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_powers_order_and_scale() {
+        for c in [
+            DatasheetCurrents::ddr4_8gb(),
+            DatasheetCurrents::ddr5_16gb(),
+            DatasheetCurrents::mrdimm_16gb(),
+        ] {
+            let p = c.state_powers(9);
+            // Self-refresh < precharge standby < active standby.
+            assert!(p.self_refresh_w < p.precharge_standby_w);
+            assert!(p.precharge_standby_w < p.active_standby_w);
+            // A 9-device rank idles well under a watt per state.
+            assert!(p.active_standby_w < 1.0, "{p:?}");
+            assert!(p.self_refresh_w > 0.05, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn ddr4_edge_energies_match_power_calculator_ballpark() {
+        let e = DatasheetCurrents::ddr4_8gb().edge_energies(&TimingParams::ddr4_3200_spec(), 9);
+        // Micron's DDR4 calculator puts a rank ACT+PRE around 10 nJ and
+        // a 64-byte read burst at a few nJ.
+        assert!((5.0..25.0).contains(&e.act_pre_nj), "{e:?}");
+        assert!((1.0..6.0).contains(&e.read_nj), "{e:?}");
+        assert!((1.0..6.0).contains(&e.write_nj), "{e:?}");
+        // A REF covers all banks of an 8 Gb device: hundreds of nJ/rank.
+        assert!((200.0..1200.0).contains(&e.refresh_nj), "{e:?}");
+        // Reads drive the bus harder than writes on these parts.
+        assert!(e.read_nj > e.write_nj);
+    }
+
+    #[test]
+    fn edge_energies_scale_linearly_with_devices() {
+        let c = DatasheetCurrents::ddr4_8gb();
+        let t = TimingParams::ddr4_3200_spec();
+        let one = c.edge_energies(&t, 9);
+        let two = c.edge_energies(&t, 18);
+        assert!((two.act_pre_nj - 2.0 * one.act_pre_nj).abs() < 1e-9);
+        assert!((two.refresh_nj - 2.0 * one.refresh_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_interface_cheapens_bursts_only() {
+        let c = DatasheetCurrents::ddr5_16gb();
+        let base = c.edge_energies(&TimingParams::ddr5_4800_spec(), 10);
+        let fast = c.edge_energies(&TimingParams::ddr5_6400_spec(), 10);
+        assert!(fast.read_nj < base.read_nj);
+        assert!(fast.write_nj < base.write_nj);
+        // Row timings are unchanged, so ACT and REF energy are too.
+        assert!((fast.act_pre_nj - base.act_pre_nj).abs() < 1e-9);
+        assert!((fast.refresh_nj - base.refresh_nj).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,414 @@
+//! The original per-operation energy model — Figure 13's
+//! Energy-Per-Instruction metric.
+//!
+//! The model follows the paper's reasoning about why Hetero-DMR
+//! *improves* energy efficiency despite writing every block twice:
+//!
+//! 1. CPU idle/static power dominates: finishing 18 % sooner saves
+//!    more static energy than the extra DRAM writes cost;
+//! 2. DRAM is a minority of system power (~18 % in 2018 per the
+//!    datacenter literature the paper cites);
+//! 3. writes are only ~15 % of DRAM traffic, so doubling write *cell*
+//!    energy moves total DRAM energy by a few percent.
+//!
+//! DRAM per-operation energies follow the Micron DDR4 power-calculator
+//! decomposition (background, activate/precharge, read/write bursts,
+//! refresh, with self-refresh as a reduced background state). The
+//! state-residency model in [`crate::residency`] supersedes this one
+//! where simulated bank-state residency is available; this model stays
+//! as the cheap approximation and the differential-test referee.
+
+use crate::calibrate::DatasheetCurrents;
+use crate::ps_to_s;
+use dram::power::ActivityCounters;
+use dram::timing::TimingParams;
+
+/// Per-operation and background DRAM energy parameters (one module).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramEnergyParams {
+    /// Background (standby) power per module, watts.
+    pub background_w: f64,
+    /// Self-refresh power per module, watts.
+    pub self_refresh_w: f64,
+    /// Energy per activate+precharge pair, nanojoules.
+    pub act_nj: f64,
+    /// Energy per 64-byte read burst (array + I/O), nanojoules.
+    pub read_nj: f64,
+    /// Energy per 64-byte write burst, nanojoules.
+    pub write_nj: f64,
+    /// Energy per (all-bank) refresh command, nanojoules.
+    pub refresh_nj: f64,
+}
+
+impl Default for DramEnergyParams {
+    fn default() -> DramEnergyParams {
+        // Representative 8 Gb DDR4-3200 RDIMM values (per module:
+        // ~0.3 W/chip × 18 chips peaks ~5.4 W; background is a
+        // fraction of that).
+        DramEnergyParams {
+            background_w: 1.4,
+            self_refresh_w: 0.25,
+            act_nj: 2.0,
+            read_nj: 4.0,
+            write_nj: 4.4,
+            refresh_nj: 120.0,
+        }
+    }
+}
+
+impl DramEnergyParams {
+    /// Derives a parameter table from datasheet currents and a timing
+    /// set — the Micron power-calculator mapping in
+    /// [`crate::calibrate`], folded down to per-module constants.
+    pub fn from_currents(
+        currents: &DatasheetCurrents,
+        timing: &TimingParams,
+        chips_per_rank: u32,
+        ranks: u32,
+    ) -> DramEnergyParams {
+        let powers = currents.state_powers(chips_per_rank);
+        let edges = currents.edge_energies(timing, chips_per_rank);
+        DramEnergyParams {
+            background_w: powers.precharge_standby_w * ranks as f64,
+            self_refresh_w: powers.self_refresh_w * ranks as f64,
+            act_nj: edges.act_pre_nj,
+            read_nj: edges.read_nj,
+            write_nj: edges.write_nj,
+            refresh_nj: edges.refresh_nj,
+        }
+    }
+
+    /// Calibrated DDR4-3200 RDIMM (9 chips/rank, dual rank, 8 Gb).
+    pub fn ddr4_3200() -> DramEnergyParams {
+        DramEnergyParams::from_currents(
+            &DatasheetCurrents::ddr4_8gb(),
+            &TimingParams::ddr4_3200_spec(),
+            9,
+            2,
+        )
+    }
+
+    /// Calibrated DDR4-2400 RDIMM (9 chips/rank, dual rank, 8 Gb).
+    pub fn ddr4_2400() -> DramEnergyParams {
+        DramEnergyParams::from_currents(
+            &DatasheetCurrents::ddr4_8gb(),
+            &TimingParams::ddr4_2400_spec(),
+            9,
+            2,
+        )
+    }
+
+    /// Calibrated DDR5-4800 RDIMM (10 chips/rank, dual rank, 16 Gb).
+    pub fn ddr5_4800() -> DramEnergyParams {
+        DramEnergyParams::from_currents(
+            &DatasheetCurrents::ddr5_16gb(),
+            &TimingParams::ddr5_4800_spec(),
+            10,
+            2,
+        )
+    }
+
+    /// Calibrated DDR5-6400 RDIMM (10 chips/rank, dual rank, 16 Gb).
+    pub fn ddr5_6400() -> DramEnergyParams {
+        DramEnergyParams::from_currents(
+            &DatasheetCurrents::ddr5_16gb(),
+            &TimingParams::ddr5_6400_spec(),
+            10,
+            2,
+        )
+    }
+
+    /// Calibrated MRDIMM-8800 (10 chips per host-visible rank, four
+    /// host-visible ranks — two physical ranks × two mux pseudo-ranks).
+    pub fn mrdimm_8800() -> DramEnergyParams {
+        DramEnergyParams::from_currents(
+            &DatasheetCurrents::mrdimm_16gb(),
+            &TimingParams::mrdimm_8800_spec(),
+            10,
+            4,
+        )
+    }
+}
+
+/// CPU power parameters for one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuPowerParams {
+    /// Static + idle power, watts (dominant, per the paper).
+    pub static_w: f64,
+    /// Dynamic power at peak retirement rate, watts.
+    pub peak_dynamic_w: f64,
+    /// Peak retirement rate used to scale dynamic power,
+    /// instructions per second.
+    pub peak_ips: f64,
+}
+
+impl Default for CpuPowerParams {
+    fn default() -> CpuPowerParams {
+        CpuPowerParams {
+            static_w: 120.0,
+            peak_dynamic_w: 90.0,
+            peak_ips: 8.0 * 4.0 * 3.1e9, // 8 cores × 4-wide × 3.1 GHz
+        }
+    }
+}
+
+impl CpuPowerParams {
+    /// CPU energy of a run: static power over the wall time plus
+    /// dynamic power scaled by achieved retirement rate.
+    pub fn energy_j(&self, secs: f64, instructions: u64) -> f64 {
+        let dynamic = if secs > 0.0 {
+            let ips = instructions as f64 / secs;
+            self.peak_dynamic_w * (ips / self.peak_ips).min(1.0)
+        } else {
+            0.0
+        };
+        (self.static_w + dynamic) * secs
+    }
+}
+
+/// The full node energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyModel {
+    /// CPU parameters.
+    pub cpu: CpuPowerParams,
+    /// DRAM parameters.
+    pub dram: DramEnergyParams,
+}
+
+/// Itemized energy of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// CPU static + dynamic energy, joules.
+    pub cpu_j: f64,
+    /// DRAM background (+ self-refresh) energy, joules.
+    pub dram_background_j: f64,
+    /// DRAM activate/read/write/refresh energy, joules.
+    pub dram_dynamic_j: f64,
+    /// Instructions the run retired.
+    pub instructions: u64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, joules.
+    pub fn total_j(&self) -> f64 {
+        self.cpu_j + self.dram_background_j + self.dram_dynamic_j
+    }
+
+    /// Energy per instruction, nanojoules (Figure 13's metric).
+    pub fn epi_nj(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.total_j() * 1e9 / self.instructions as f64
+        }
+    }
+
+    /// DRAM share of total energy.
+    pub fn dram_share(&self) -> f64 {
+        if self.total_j() == 0.0 {
+            0.0
+        } else {
+            (self.dram_background_j + self.dram_dynamic_j) / self.total_j()
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Computes the energy of a run from its DRAM activity counters.
+    ///
+    /// `modules` is the number of DIMMs powered in the node;
+    /// `instructions` the retired instruction count.
+    pub fn energy(
+        &self,
+        activity: &ActivityCounters,
+        modules: usize,
+        instructions: u64,
+    ) -> EnergyBreakdown {
+        let secs = ps_to_s(activity.total_time);
+        let normal_time = activity
+            .total_time
+            .saturating_sub(activity.self_refresh_time / modules.max(1) as u64);
+        let cpu_j = self.cpu.energy_j(secs, instructions);
+
+        let background_j = self.dram.background_w * modules as f64 * ps_to_s(normal_time)
+            + self.dram.self_refresh_w * ps_to_s(activity.self_refresh_time);
+
+        // Broadcast copies charge DRAM cells in the extra module even
+        // though the bus transaction is shared.
+        let dynamic_nj = activity.activates as f64 * self.dram.act_nj
+            + activity.reads as f64 * self.dram.read_nj
+            + activity.writes as f64 * self.dram.write_nj
+            + activity.broadcast_extra_cells as f64 * self.dram.write_nj
+            + activity.refreshes as f64 * self.dram.refresh_nj;
+
+        EnergyBreakdown {
+            cpu_j,
+            dram_background_j: background_j,
+            dram_dynamic_j: dynamic_nj * 1e-9,
+            instructions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activity(time_ms: u64, reads: u64, writes: u64) -> ActivityCounters {
+        ActivityCounters {
+            activates: (reads + writes) / 4,
+            reads,
+            writes,
+            broadcast_extra_cells: 0,
+            refreshes: time_ms * 128, // ~one per 7.8 us per ms
+            active_time: 0,
+            self_refresh_time: 0,
+            total_time: time_ms * 1_000_000_000,
+        }
+    }
+
+    #[test]
+    fn faster_run_has_lower_epi() {
+        let model = EnergyModel::default();
+        let instrs = 4_000_000_000;
+        let slow = model.energy(&activity(1_000, 50_000_000, 8_000_000), 4, instrs);
+        let fast = model.energy(&activity(820, 50_000_000, 8_000_000), 4, instrs);
+        assert!(fast.epi_nj() < slow.epi_nj());
+        // ~18% faster with static-dominated power → EPI gain of a few
+        // to ~15 percent, bracketing the paper's 6%.
+        let gain = 1.0 - fast.epi_nj() / slow.epi_nj();
+        assert!(gain > 0.02 && gain < 0.2, "gain {gain}");
+    }
+
+    #[test]
+    fn doubled_writes_cost_little() {
+        let model = EnergyModel::default();
+        let instrs = 4_000_000_000;
+        let base = model.energy(&activity(1_000, 50_000_000, 8_000_000), 4, instrs);
+        let mut dup = activity(1_000, 50_000_000, 8_000_000);
+        dup.broadcast_extra_cells = 8_000_000; // every write duplicated
+        let dup = model.energy(&dup, 4, instrs);
+        let overhead = dup.total_j() / base.total_j() - 1.0;
+        assert!(overhead > 0.0);
+        assert!(overhead < 0.02, "write duplication overhead {overhead}");
+    }
+
+    #[test]
+    fn dram_share_is_minority() {
+        let model = EnergyModel::default();
+        let b = model.energy(&activity(1_000, 50_000_000, 8_000_000), 4, 4_000_000_000);
+        let share = b.dram_share();
+        assert!(share > 0.02 && share < 0.35, "dram share {share}");
+    }
+
+    #[test]
+    fn self_refresh_cheaper_than_standby() {
+        let model = EnergyModel::default();
+        let mut a = activity(1_000, 1_000_000, 100_000);
+        // Two of four modules spend the whole run in self-refresh.
+        a.self_refresh_time = 2 * a.total_time;
+        let with_sr = model.energy(&a, 4, 1_000_000_000);
+        let without = model.energy(&activity(1_000, 1_000_000, 100_000), 4, 1_000_000_000);
+        assert!(with_sr.dram_background_j < without.dram_background_j);
+    }
+
+    #[test]
+    fn per_chip_power_matches_the_papers_order_of_magnitude() {
+        // Section II-A justifies ignoring thermal risk because DRAM
+        // devices draw ~0.3 W/chip at full utilization. Check our
+        // parameters land in that regime: one module saturated with
+        // reads (25.6 GB/s = 400M bursts/s) across 18 devices.
+        let model = EnergyModel::default();
+        let one_second = ActivityCounters {
+            activates: 12_500_000, // a row per 32 bursts
+            reads: 400_000_000,
+            writes: 0,
+            broadcast_extra_cells: 0,
+            refreshes: 128_000, // every 7.8 us
+            active_time: 0,
+            self_refresh_time: 0,
+            total_time: dram::PS_PER_S,
+        };
+        let b = model.energy(&one_second, 1, 1);
+        let module_watts = b.dram_background_j + b.dram_dynamic_j; // J over 1 s
+        let per_chip = module_watts / 18.0;
+        assert!(
+            (0.05..0.5).contains(&per_chip),
+            "per-chip power {per_chip} W out of the paper's regime"
+        );
+    }
+
+    #[test]
+    fn zero_instruction_run_is_safe() {
+        let model = EnergyModel::default();
+        let b = model.energy(&ActivityCounters::new(), 4, 0);
+        assert_eq!(b.epi_nj(), 0.0);
+        assert_eq!(b.total_j(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_components_sum() {
+        let model = EnergyModel::default();
+        let b = model.energy(&activity(500, 10_000_000, 1_000_000), 4, 1_000_000_000);
+        let total = b.cpu_j + b.dram_background_j + b.dram_dynamic_j;
+        assert!((b.total_j() - total).abs() < 1e-12);
+        assert!(b.cpu_j > 0.0 && b.dram_background_j > 0.0 && b.dram_dynamic_j > 0.0);
+    }
+
+    #[test]
+    fn preset_tables_are_positive() {
+        for p in [
+            DramEnergyParams::ddr4_2400(),
+            DramEnergyParams::ddr4_3200(),
+            DramEnergyParams::ddr5_4800(),
+            DramEnergyParams::ddr5_6400(),
+            DramEnergyParams::mrdimm_8800(),
+        ] {
+            assert!(p.background_w > 0.0, "{p:?}");
+            assert!(
+                p.self_refresh_w > 0.0 && p.self_refresh_w < p.background_w,
+                "{p:?}"
+            );
+            assert!(p.act_nj > 0.0, "{p:?}");
+            assert!(p.read_nj > 0.0, "{p:?}");
+            assert!(p.write_nj > 0.0, "{p:?}");
+            assert!(p.refresh_nj > 0.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn burst_energy_is_monotone_decreasing_in_data_rate() {
+        // Within a device family, the burst current delta is fixed, so
+        // a faster interface (shorter burst) costs less energy per
+        // 64-byte transfer; the MRDIMM continues the trend at 8800.
+        let chain = [DramEnergyParams::ddr4_2400(), DramEnergyParams::ddr4_3200()];
+        assert!(chain[1].read_nj < chain[0].read_nj);
+        assert!(chain[1].write_nj < chain[0].write_nj);
+        let chain = [
+            DramEnergyParams::ddr5_4800(),
+            DramEnergyParams::ddr5_6400(),
+            DramEnergyParams::mrdimm_8800(),
+        ];
+        for pair in chain.windows(2) {
+            assert!(pair[1].read_nj < pair[0].read_nj);
+            assert!(pair[1].write_nj < pair[0].write_nj);
+        }
+    }
+
+    #[test]
+    fn calibrated_ddr4_roundtrips_near_the_default_table() {
+        // The hand-tuned Default table and the datasheet-derived
+        // DDR4-3200 table describe the same module: every per-op field
+        // agrees within an order of magnitude (the calibration charges
+        // ACT and REF more faithfully, hence the wider bound there).
+        let d = DramEnergyParams::default();
+        let c = DramEnergyParams::ddr4_3200();
+        let ratio = |a: f64, b: f64| a.max(b) / a.min(b);
+        assert!(ratio(d.background_w, c.background_w) < 3.0);
+        assert!(ratio(d.self_refresh_w, c.self_refresh_w) < 3.0);
+        assert!(ratio(d.read_nj, c.read_nj) < 3.0);
+        assert!(ratio(d.write_nj, c.write_nj) < 3.0);
+        assert!(ratio(d.act_nj, c.act_nj) < 10.0);
+        assert!(ratio(d.refresh_nj, c.refresh_nj) < 10.0);
+    }
+}

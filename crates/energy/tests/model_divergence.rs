@@ -1,0 +1,143 @@
+//! Differential test between the two DRAM energy models.
+//!
+//! The per-op [`energy::simple`] model and the state-residency
+//! [`energy::residency`] model are calibrated from the same DDR4-3200
+//! datasheet currents, so on real simulated command streams they must
+//! agree on the big picture: same edge energies by construction, and a
+//! background term that differs only by the active-vs-precharged
+//! standby delta the simple model cannot see. This test drives the
+//! memsim channel controller with randomized traffic, feeds the same
+//! run to both models, and bounds the divergence.
+
+use dram::Picos;
+use energy::{DramEnergyParams, EnergyModel, ResidencyInput, ResidencyModel};
+use memsim::address::DramCoord;
+use memsim::config::{ChannelMode, MemoryConfig};
+use memsim::controller::ChannelController;
+
+/// splitmix64, as in memsim's own differential test.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Runs a random command stream and returns (simple DRAM J, residency
+/// DRAM J) for the identical simulated behavior.
+fn both_models(seed: u64, ops: u64, gap: u64) -> (f64, f64) {
+    let mut rng = Rng(seed);
+    let mode = ChannelMode::commercial_baseline();
+    let mem = MemoryConfig::default();
+    let mut ctrl = ChannelController::new(mode, mem, 200 * 625);
+
+    let ranks = mem.ranks_per_channel() as u64;
+    let banks = mem.banks_per_rank as u64;
+    let mut now: Picos = 0;
+    for _ in 0..ops {
+        now += 1 + rng.below(gap);
+        let coord = DramCoord {
+            channel: 0,
+            rank: rng.below(ranks) as usize,
+            bank: rng.below(banks) as usize,
+            row: rng.below(24),
+            column: rng.below(64),
+        };
+        match rng.below(100) {
+            0..=69 => {
+                let t = ctrl.submit_read(coord, now, true);
+                ctrl.resolve_read(t);
+            }
+            70..=89 => ctrl.enqueue_write(coord),
+            _ => {
+                ctrl.drain_writes(now);
+            }
+        }
+    }
+    ctrl.process_reads();
+    while ctrl.pending_writes() > 0 {
+        now += 1_000_000;
+        ctrl.drain_writes(now);
+    }
+    let end = now + 10_000_000;
+    let res = ctrl.finalize_residency(end);
+    let stats = ctrl.stats();
+
+    // Same run through the per-op model. The calibrated preset
+    // describes a dual-rank module, so the channel's rank count maps
+    // to ranks/2 modules.
+    let modules = mem.ranks_per_channel() / 2;
+    let activity = dram::power::ActivityCounters {
+        activates: stats.activates,
+        reads: stats.reads,
+        writes: stats.writes,
+        broadcast_extra_cells: stats.broadcast_extra_cells,
+        refreshes: stats.refreshes,
+        active_time: res.active_bank_ps,
+        self_refresh_time: 0,
+        total_time: end,
+    };
+    let simple = EnergyModel {
+        dram: DramEnergyParams::ddr4_3200(),
+        ..EnergyModel::default()
+    }
+    .energy(&activity, modules, 1);
+    let simple_j = simple.dram_background_j + simple.dram_dynamic_j;
+
+    // And through the residency model.
+    let breakdown = ResidencyModel::ddr4_3200().energy(&ResidencyInput {
+        active_bank_ps: res.active_bank_ps,
+        precharged_bank_ps: res.precharged_bank_ps(),
+        refresh_bank_ps: res.refresh_bank_ps,
+        self_refresh_bank_ps: res.self_refresh_bank_ps,
+        banks_per_rank: mem.banks_per_rank as u32,
+        activates: stats.activates,
+        reads: stats.reads,
+        writes: stats.writes,
+        broadcast_extra_cells: stats.broadcast_extra_cells,
+        refreshes: stats.refreshes,
+    });
+    assert_eq!(res.act_edges, stats.activates, "seed {seed}");
+    (simple_j, breakdown.total_j())
+}
+
+#[test]
+fn models_agree_within_bounds_on_random_traffic() {
+    for seed in 0..32u64 {
+        // Mixed gaps: bursty (small gap) through idle-heavy (large).
+        let gap = [5_000, 40_000, 400_000][(seed % 3) as usize];
+        let (simple_j, residency_j) = both_models(0xE6E6_0000 + seed, 3_000, gap);
+        assert!(simple_j > 0.0 && residency_j > 0.0);
+        let ratio = residency_j / simple_j;
+        // Same calibration, same command stream: the models may only
+        // diverge by the standby-state detail the simple model lacks.
+        assert!(
+            (0.7..1.5).contains(&ratio),
+            "seed {seed} gap {gap}: residency {residency_j} J vs simple {simple_j} J (ratio {ratio})"
+        );
+    }
+}
+
+#[test]
+fn residency_charges_open_rows_the_simple_model_misses() {
+    // A bursty run keeps rows open (page timeout) a larger fraction of
+    // the time than an idle-heavy run, so the residency model's extra
+    // active-standby charge is larger relative to the simple model.
+    let (s_busy, r_busy) = both_models(0xAB, 6_000, 4_000);
+    let (s_idle, r_idle) = both_models(0xCD, 600, 4_000_000);
+    let busy_ratio = r_busy / s_busy;
+    let idle_ratio = r_idle / s_idle;
+    assert!(
+        busy_ratio > idle_ratio,
+        "busy {busy_ratio} vs idle {idle_ratio}"
+    );
+}

@@ -155,15 +155,14 @@ impl Ctx {
         self.registry.as_ref().map(|r| r.scope(prefix))
     }
 
-    /// Records a headline result as a `summary.<name>` gauge (the
-    /// value scaled by 10⁴ and rounded, so it survives the integer
-    /// metric model losslessly enough for drift checks). These gauges
-    /// are what `experiments report` compares against the reference
-    /// CSVs in `results/`.
+    /// Records a headline result as a `summary.<name>` gauge (stored
+    /// in the ×10⁴ fixed point of [`telemetry::GAUGE_SCALE`], so it
+    /// survives the integer metric model losslessly enough for drift
+    /// checks). These gauges are what `experiments report` compares
+    /// against the reference CSVs in `results/`.
     pub fn summary(&self, name: &str, value: f64) {
         if let Some(r) = &self.registry {
-            r.gauge(&format!("summary.{name}"))
-                .set((value * 1e4).round() as i64);
+            r.gauge(&format!("summary.{name}")).set_scaled(value);
         }
     }
 

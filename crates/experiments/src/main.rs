@@ -18,6 +18,7 @@ mod characterization;
 mod context;
 mod extras;
 mod node_figures;
+mod power;
 mod report;
 mod scenarios;
 mod system_figures;

@@ -11,7 +11,7 @@ use memsim::config::HierarchyConfig;
 use workloads::utilization::{Cluster, UtilizationModel};
 use workloads::Suite;
 
-fn model(ctx: &Ctx, h: HierarchyConfig) -> NodeModel {
+pub(crate) fn model(ctx: &Ctx, h: HierarchyConfig) -> NodeModel {
     let mut m = NodeModel::new(
         h,
         EvalConfig {

@@ -248,6 +248,7 @@ fn generate(dir: &str, refs: &str) -> Result<(String, usize), String> {
         render_trace(&mut md, events);
     }
     render_ecc(&mut md, &snapshot);
+    render_energy(&mut md, &snapshot);
     let breaches = render_drift(&mut md, &snapshot, refs);
     Ok((md, breaches))
 }
@@ -402,6 +403,61 @@ fn render_ecc(md: &mut String, snapshot: &Snapshot) {
         let _ = writeln!(md, "| {scope} | {injected} | {ce} | {ue} | {sdc} |");
     }
     md.push('\n');
+}
+
+/// Power/energy results: the `energy` and `configurator` headline
+/// gauges plus the simulator's bank-state residency tallies (summed
+/// across channel scopes), when the run recorded any.
+fn render_energy(md: &mut String, snapshot: &Snapshot) {
+    let mut gauges: Vec<(&str, f64)> = Vec::new();
+    let mut residency = [("active", 0u64), ("refresh", 0u64), ("self_refresh", 0u64)];
+    let mut saw_residency = false;
+    for entry in &snapshot.entries {
+        if let Some(name) = entry.name.strip_prefix("summary.") {
+            if name.starts_with("energy.") || name.starts_with("configurator.") {
+                if let MetricValue::Gauge(v) = entry.value {
+                    gauges.push((name, v as f64 / telemetry::GAUGE_SCALE));
+                }
+            }
+            continue;
+        }
+        let Some((_, leaf)) = entry.name.rsplit_once('.') else {
+            continue;
+        };
+        let MetricValue::Counter(v) = entry.value else {
+            continue;
+        };
+        for (state, total) in residency.iter_mut() {
+            if leaf == format!("residency_{state}_bank_ps") {
+                *total += v;
+                saw_residency = true;
+            }
+        }
+    }
+    if gauges.is_empty() && !saw_residency {
+        return;
+    }
+    let _ = writeln!(md, "## Power/energy\n");
+    if !gauges.is_empty() {
+        let _ = writeln!(md, "| gauge | value |");
+        let _ = writeln!(md, "|---|---|");
+        for (name, v) in &gauges {
+            let _ = writeln!(md, "| {name} | {v:.4} |");
+        }
+        md.push('\n');
+    }
+    if saw_residency {
+        let _ = writeln!(
+            md,
+            "Bank-state residency (bank·ps, summed over every recorded channel):\n"
+        );
+        let _ = writeln!(md, "| state | bank·ps |");
+        let _ = writeln!(md, "|---|---|");
+        for (state, total) in &residency {
+            let _ = writeln!(md, "| {state} | {total} |");
+        }
+        md.push('\n');
+    }
 }
 
 /// The paper-drift table. Returns the number of tolerance breaches.
@@ -573,6 +629,30 @@ mod tests {
             .find(|s| s.gauge == "fig2.mode_bucket_mts")
             .unwrap();
         assert_eq!(reference_value("../../results", spec).unwrap(), 800.0);
+    }
+
+    #[test]
+    fn energy_section_renders_gauges_and_residency() {
+        let r = telemetry::Registry::new();
+        r.gauge("summary.energy.sweep.ddr5_6400.perf_per_w_rel")
+            .set_scaled(1.23);
+        r.gauge("summary.configurator.feasible").set_scaled(4.0);
+        r.scope("sweep.ddr5_6400.hpcg.ch0.controller")
+            .counter("residency_active_bank_ps")
+            .add(500);
+        r.scope("sweep.ddr5_6400.hpcg.ch1.controller")
+            .counter("residency_active_bank_ps")
+            .add(250);
+        let mut md = String::new();
+        render_energy(&mut md, &r.snapshot());
+        assert!(md.contains("## Power/energy"));
+        assert!(md.contains("| energy.sweep.ddr5_6400.perf_per_w_rel | 1.2300 |"));
+        assert!(md.contains("| configurator.feasible | 4.0000 |"));
+        assert!(md.contains("| active | 750 |"), "{md}");
+        // A snapshot without energy gauges or residency renders nothing.
+        let mut empty = String::new();
+        render_energy(&mut empty, &Snapshot::default());
+        assert!(empty.is_empty());
     }
 
     #[test]

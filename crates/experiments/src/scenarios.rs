@@ -7,14 +7,32 @@
 //! order with byte-identical output.
 
 use crate::context::Ctx;
-use crate::{characterization, extras, node_figures, system_figures, tables};
+use crate::{characterization, extras, node_figures, power, system_figures, tables};
 use runner::Scenario;
 
 /// Every runnable target, in canonical (paper) order. Output and
 /// merged metrics always follow this order regardless of `--jobs`.
 pub const TARGETS: &[&str] = &[
-    "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "table4", "fig5", "fig6",
-    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "extras",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "table2",
+    "table3",
+    "table4",
+    "fig5",
+    "fig6",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "energy",
+    "configurator",
+    "extras",
 ];
 
 type TargetFn = fn(&mut Ctx);
@@ -39,6 +57,8 @@ fn target_fn(name: &str) -> Option<TargetFn> {
         "fig15" => node_figures::fig15,
         "fig16" => node_figures::fig16,
         "fig17" => system_figures::fig17,
+        "energy" => power::energy,
+        "configurator" => power::configurator,
         "extras" => extras::extras,
         _ => return None,
     })

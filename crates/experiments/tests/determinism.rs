@@ -105,6 +105,18 @@ fn fig17_is_jobs_invariant() {
     assert_jobs_invariant("fig17", true);
 }
 
+#[test]
+fn energy_is_jobs_invariant() {
+    // Residency-model EPI tables: node simulations (shared-cache) plus
+    // direct generation-sweep runs, all inside one scenario.
+    assert_jobs_invariant("energy", true);
+}
+
+#[test]
+fn configurator_is_jobs_invariant() {
+    assert_jobs_invariant("configurator", true);
+}
+
 /// The node-model result cache must be output-invisible twice over:
 /// with the cache enabled, `--jobs 1` and `--jobs 8` agree (hit/miss
 /// order differs across schedules, but replayed snapshots record the

@@ -105,6 +105,14 @@ pub struct ControllerMetrics {
     refreshes: Counter,
     broadcast_extra_cells: Counter,
     read_latency_ps: Histogram,
+    /// Residency tap: bank-time-in-state totals published once by
+    /// [`ChannelController::finalize_residency`] (the hot path accrues
+    /// into a plain struct; only the finalized totals reach the
+    /// registry).
+    residency_active_bank_ps: Counter,
+    residency_refresh_bank_ps: Counter,
+    residency_self_refresh_bank_ps: Counter,
+    residency_write_mode_ps: Counter,
 }
 
 impl ControllerMetrics {
@@ -126,6 +134,16 @@ impl ControllerMetrics {
         self.read_latency_sum_ps = rebind("read_latency_sum_ps", &self.read_latency_sum_ps);
         self.refreshes = rebind("refreshes", &self.refreshes);
         self.broadcast_extra_cells = rebind("broadcast_extra_cells", &self.broadcast_extra_cells);
+        self.residency_active_bank_ps =
+            rebind("residency_active_bank_ps", &self.residency_active_bank_ps);
+        self.residency_refresh_bank_ps =
+            rebind("residency_refresh_bank_ps", &self.residency_refresh_bank_ps);
+        self.residency_self_refresh_bank_ps = rebind(
+            "residency_self_refresh_bank_ps",
+            &self.residency_self_refresh_bank_ps,
+        );
+        self.residency_write_mode_ps =
+            rebind("residency_write_mode_ps", &self.residency_write_mode_ps);
         let hist = scope.histogram("read_latency_ps");
         hist.merge_from(&self.read_latency_ps);
         self.read_latency_ps = hist;
@@ -147,6 +165,10 @@ impl ControllerMetrics {
             refreshes: self.refreshes.fork(),
             broadcast_extra_cells: self.broadcast_extra_cells.fork(),
             read_latency_ps: self.read_latency_ps.fork(),
+            residency_active_bank_ps: self.residency_active_bank_ps.fork(),
+            residency_refresh_bank_ps: self.residency_refresh_bank_ps.fork(),
+            residency_self_refresh_bank_ps: self.residency_self_refresh_bank_ps.fork(),
+            residency_write_mode_ps: self.residency_write_mode_ps.fork(),
         }
     }
 
@@ -220,9 +242,70 @@ impl ControllerStats {
     }
 }
 
+/// DRAMPower-style bank-state residency: per-bank time-in-state
+/// (active, precharged, refreshing, self-refresh) and command edges,
+/// accumulated from the same bank-state transitions the controller
+/// already schedules around. This is the simulated-behaviour input
+/// the `energy` crate's residency model consumes — deliberately *not*
+/// part of [`ControllerStats`], which the frozen reference controller
+/// must keep matching field-for-field.
+///
+/// All `*_bank_ps` fields are bank·picoseconds (one bank active for
+/// 2 ps and two banks active for 1 ps both read 2). The precharged
+/// residue is derived, not accumulated: see
+/// [`precharged_bank_ps`](ResidencyStats::precharged_bank_ps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidencyStats {
+    /// Bank·time with a row open (activate state).
+    pub active_bank_ps: Picos,
+    /// Bank·time inside controller-issued tRFC refresh windows.
+    pub refresh_bank_ps: Picos,
+    /// Bank·time in self-refresh (Hetero-DMR's parked original-module
+    /// ranks; zero for conventional modes).
+    pub self_refresh_bank_ps: Picos,
+    /// Channel time spent in write-mode drains, transitions included.
+    pub write_mode_ps: Picos,
+    /// Row-activate edges, explicit and broadcast-implied.
+    pub act_edges: u64,
+    /// Precharge edges: conflict closes, timeout closes, and the
+    /// all-bank precharge a refresh implies.
+    pub pre_edges: u64,
+    /// Banks behind this accumulator (summed across channels when
+    /// merged).
+    pub banks: u64,
+    /// The horizon the residency was finalized at (max when merged).
+    pub end_ps: Picos,
+}
+
+impl ResidencyStats {
+    /// Bank·time precharged-idle: whatever part of `banks × end_ps`
+    /// is not active, refreshing, or self-refreshing.
+    pub fn precharged_bank_ps(&self) -> Picos {
+        (self.banks * self.end_ps)
+            .saturating_sub(self.active_bank_ps)
+            .saturating_sub(self.refresh_bank_ps)
+            .saturating_sub(self.self_refresh_bank_ps)
+    }
+
+    /// Accumulates another channel's residency into this one.
+    pub fn merge(&mut self, other: &ResidencyStats) {
+        self.active_bank_ps += other.active_bank_ps;
+        self.refresh_bank_ps += other.refresh_bank_ps;
+        self.self_refresh_bank_ps += other.self_refresh_bank_ps;
+        self.write_mode_ps += other.write_mode_ps;
+        self.act_edges += other.act_edges;
+        self.pre_edges += other.pre_edges;
+        self.banks += other.banks;
+        self.end_ps = self.end_ps.max(other.end_ps);
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct BankState {
     open_row: Option<u64>,
+    /// When the currently open row was activated (meaningful only
+    /// while `open_row` is `Some`); closes accrue `active_bank_ps`.
+    open_since: Picos,
     /// Earliest next ACT (gated by tRP after precharge / tRFC).
     act_allowed_at: Picos,
     /// Earliest next column command (gated by tRCD after ACT and by
@@ -299,6 +382,12 @@ pub struct ChannelController {
     free_slots: Vec<u32>,
     /// Hybrid page policy timeout.
     page_timeout_ps: Picos,
+    /// Bank time-in-state accumulator (plain fields, not atomics: one
+    /// add per row close keeps the hot path cheap).
+    residency: ResidencyStats,
+    /// Set once [`finalize_residency`](Self::finalize_residency) has
+    /// closed the books; further calls are no-ops.
+    residency_final: bool,
     metrics: ControllerMetrics,
 }
 
@@ -325,6 +414,8 @@ impl Clone for ChannelController {
             completions: self.completions.clone(),
             free_slots: self.free_slots.clone(),
             page_timeout_ps: self.page_timeout_ps,
+            residency: self.residency,
+            residency_final: self.residency_final,
             metrics: self.metrics.fork(),
         }
     }
@@ -356,6 +447,8 @@ impl ChannelController {
             completions: Vec::new(),
             free_slots: Vec::new(),
             page_timeout_ps,
+            residency: ResidencyStats::default(),
+            residency_final: false,
             metrics: ControllerMetrics::default(),
         }
     }
@@ -373,6 +466,66 @@ impl ChannelController {
     /// The live metric handles (e.g. the read-latency histogram).
     pub fn metrics(&self) -> &ControllerMetrics {
         &self.metrics
+    }
+
+    /// Bank time-in-state residency accrued so far. Open rows and
+    /// self-refresh time are only charged by
+    /// [`finalize_residency`](Self::finalize_residency); call that
+    /// first for end-of-run totals.
+    pub fn residency(&self) -> ResidencyStats {
+        self.residency
+    }
+
+    /// Closes the residency books at horizon `end`: charges still-open
+    /// rows, credits the parked (read-rank-restricted) ranks with
+    /// self-refresh time, stamps the bank count and horizon, and
+    /// publishes the totals through the telemetry tap. Idempotent —
+    /// only the first call accrues.
+    pub fn finalize_residency(&mut self, end: Picos) -> ResidencyStats {
+        if !self.residency_final {
+            self.residency_final = true;
+            let banks_per_rank = self.mem.banks_per_rank;
+            let first_read_rank = match self.mode.read_ranks {
+                Some(n) => self.mem.ranks_per_channel() - n,
+                None => 0,
+            };
+            for idx in 0..self.banks.len() {
+                let bank = &mut self.banks[idx];
+                if bank.open_row.is_some() {
+                    // Parked ranks precharge when they re-enter
+                    // self-refresh after their last write burst;
+                    // everyone else holds the row to the horizon.
+                    let close = if idx / banks_per_rank < first_read_rank {
+                        bank.last_use.min(end)
+                    } else {
+                        end
+                    };
+                    self.residency.active_bank_ps += close.saturating_sub(bank.open_since);
+                    self.residency.pre_edges += 1;
+                    bank.open_row = None;
+                }
+            }
+            // Parked ranks self-refresh whenever the channel is not in
+            // a write-mode drain (the only time they are woken).
+            let sr_banks = (first_read_rank * banks_per_rank) as Picos;
+            self.residency.self_refresh_bank_ps +=
+                sr_banks * end.saturating_sub(self.residency.write_mode_ps);
+            self.residency.banks = self.banks.len() as u64;
+            self.residency.end_ps = self.residency.end_ps.max(end);
+            self.metrics
+                .residency_active_bank_ps
+                .add(self.residency.active_bank_ps);
+            self.metrics
+                .residency_refresh_bank_ps
+                .add(self.residency.refresh_bank_ps);
+            self.metrics
+                .residency_self_refresh_bank_ps
+                .add(self.residency.self_refresh_bank_ps);
+            self.metrics
+                .residency_write_mode_ps
+                .add(self.residency.write_mode_ps);
+        }
+        self.residency
     }
 
     /// Rebind this controller's metrics into `scope` (folding in any
@@ -427,11 +580,19 @@ impl ChannelController {
         for b in 0..self.mem.banks_per_rank {
             let idx = self.bank_index(rank, b);
             let bank = &mut self.banks[idx];
+            if bank.open_row.is_some() {
+                // Refresh implies an all-bank precharge at the window
+                // edge; the open row's active time ends there.
+                self.residency.active_bank_ps += due.saturating_sub(bank.open_since);
+                self.residency.pre_edges += 1;
+            }
             bank.act_allowed_at = bank.act_allowed_at.max(end);
             bank.next_column_at = bank.next_column_at.max(end);
             bank.open_row = None;
         }
         self.next_refresh[rank] = due + (catch_up + 1) * refi;
+        self.residency.refresh_bank_ps +=
+            (catch_up + 1) * t.t_rfc_ps() * self.mem.banks_per_rank as Picos;
         self.metrics.refreshes.add(catch_up + 1);
     }
 
@@ -714,6 +875,8 @@ impl ChannelController {
             let closed_at = bank.pre_allowed_at.max(bank.last_use + page_timeout);
             bank.open_row = None;
             bank.act_allowed_at = bank.act_allowed_at.max(closed_at + t.t_rp_ps());
+            self.residency.active_bank_ps += closed_at.saturating_sub(bank.open_since);
+            self.residency.pre_edges += 1;
         }
 
         let cas = if is_read { t.t_cas_ps() } else { t.t_cwl_ps() };
@@ -724,14 +887,20 @@ impl ChannelController {
                 let pre_at = now.max(bank.pre_allowed_at);
                 let act_at = pre_at + t.t_rp_ps();
                 self.metrics.activates.inc();
+                self.residency.active_bank_ps += pre_at.saturating_sub(bank.open_since);
+                self.residency.pre_edges += 1;
+                self.residency.act_edges += 1;
                 bank.open_row = Some(row);
+                bank.open_since = act_at;
                 bank.pre_allowed_at = act_at + t.t_ras_ps();
                 (act_at + t.t_rcd_ps(), false)
             }
             None => {
                 let act_at = now.max(bank.act_allowed_at);
                 self.metrics.activates.inc();
+                self.residency.act_edges += 1;
                 bank.open_row = Some(row);
+                bank.open_since = act_at;
                 bank.pre_allowed_at = act_at + t.t_ras_ps();
                 (act_at + t.t_rcd_ps(), false)
             }
@@ -763,6 +932,12 @@ impl ChannelController {
         let bank = &mut self.banks[idx];
         if bank.open_row != Some(row) {
             self.metrics.activates.inc();
+            if bank.open_row.is_some() {
+                self.residency.active_bank_ps += end.saturating_sub(bank.open_since);
+                self.residency.pre_edges += 1;
+            }
+            self.residency.act_edges += 1;
+            bank.open_since = end;
         }
         bank.open_row = Some(row);
         bank.last_use = end;
@@ -798,7 +973,8 @@ impl ChannelController {
         self.metrics.write_mode_entries.inc();
 
         // Transition into write mode: wait for the bus, pay turnaround.
-        let start = now.max(self.bus_free_at) + t.t_wtr_ps() + self.mode.turnaround_penalty_ps;
+        let entered = now.max(self.bus_free_at);
+        let start = entered + t.t_wtr_ps() + self.mode.turnaround_penalty_ps;
         self.bus_free_at = start;
 
         // FR-FCFS freely reorders the drained batch for row locality:
@@ -869,6 +1045,7 @@ impl ChannelController {
 
         // Transition back to read mode.
         let resume = clock + t.t_wtr_ps() + self.mode.turnaround_penalty_ps;
+        self.residency.write_mode_ps += resume.saturating_sub(entered);
         self.bus_free_at = resume;
         // A conventional controller interleaves reads with its short
         // write bursts (they contend only for bus and banks, which
@@ -1095,6 +1272,54 @@ mod tests {
         let mut c = controller(ChannelMode::commercial_baseline());
         assert_eq!(c.drain_writes(500), 500);
         assert_eq!(c.stats().write_mode_entries, 0);
+    }
+
+    #[test]
+    fn residency_decomposes_and_matches_activates() {
+        let mut c = controller(ChannelMode::commercial_baseline());
+        let mut t = 0;
+        for i in 0..500u64 {
+            t = read_now(
+                &mut c,
+                coord(0, (i % 16) as usize, i % 8, i % 64),
+                t + 2_000,
+            );
+        }
+        for i in 0..64 {
+            c.enqueue_write(coord(1, (i % 16) as usize, 3, i));
+        }
+        let resume = c.drain_writes(t);
+        let r = c.finalize_residency(resume + 1_000_000);
+        // Every activate the stats counted opened a row the residency
+        // tracked.
+        assert_eq!(r.act_edges, c.stats().activates);
+        assert!(r.active_bank_ps > 0);
+        assert!(r.pre_edges > 0);
+        assert!(r.write_mode_ps > 0);
+        assert_eq!(r.self_refresh_bank_ps, 0, "no parked ranks here");
+        // The four states partition bank-time exactly (precharged is
+        // the derived residue).
+        let total = r.banks * r.end_ps;
+        assert!(r.active_bank_ps + r.refresh_bank_ps <= total);
+        assert_eq!(
+            r.active_bank_ps + r.refresh_bank_ps + r.self_refresh_bank_ps + r.precharged_bank_ps(),
+            total
+        );
+        // Finalizing again must not double-charge.
+        assert_eq!(c.finalize_residency(resume + 5_000_000), r);
+    }
+
+    #[test]
+    fn residency_parks_restricted_ranks_in_self_refresh() {
+        let mut mode = ChannelMode::commercial_baseline();
+        mode.read_ranks = Some(2);
+        let mut c = controller(mode);
+        let end: Picos = 100_000_000;
+        let _ = read_now(&mut c, coord(0, 0, 1, 0), 0);
+        let r = c.finalize_residency(end);
+        let h = HierarchyConfig::hierarchy1();
+        let parked = (h.memory.ranks_per_channel() - 2) * h.memory.banks_per_rank;
+        assert_eq!(r.self_refresh_bank_ps, parked as Picos * end);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod trace;
 pub mod wbcache;
 
 pub use config::{ChannelMode, CoreConfig, HierarchyConfig, MemoryConfig};
+pub use controller::ResidencyStats;
 pub use node::NodeSim;
 pub use result::SimResult;
 pub use trace::{AccessStream, MemOp};

@@ -425,12 +425,21 @@ impl NodeSim {
             exec_time_ps: mean_core + drain_extra,
             slowest_core_ps: max_core.max(drained_until),
             channels: self.controllers.len(),
+            modules_per_channel: self.hierarchy.memory.modules_per_channel,
             read_rate: self.modes[0].read_timing.data_rate,
             ..SimResult::default()
         };
         for core in &self.cores {
             result.cache_hits += core.cache_hits;
             result.cache_misses += core.cache_misses;
+        }
+        // Close the residency books at the run horizon (idempotent;
+        // parked ranks get their self-refresh time here) and merge the
+        // per-channel residencies.
+        let horizon = result.slowest_core_ps;
+        for ctrl in &mut self.controllers {
+            let res = ctrl.finalize_residency(horizon);
+            result.residency.merge(&res);
         }
         for ctrl in &self.controllers {
             let s = ctrl.stats();

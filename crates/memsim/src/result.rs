@@ -1,6 +1,6 @@
 //! Measured outputs of a node simulation.
 
-use crate::controller::ControllerStats;
+use crate::controller::{ControllerStats, ResidencyStats};
 use dram::power::ActivityCounters;
 use dram::rate::DataRate;
 use dram::Picos;
@@ -28,8 +28,14 @@ pub struct SimResult {
     pub cache_misses: u64,
     /// Number of channels that contributed (for bandwidth math).
     pub channels: usize,
+    /// Modules (DIMMs) per channel, for normalizing residency to
+    /// module units.
+    pub modules_per_channel: usize,
     /// Data rate used for reads (for bandwidth utilization math).
     pub read_rate: DataRate,
+    /// Bank time-in-state residency merged across channels (finalized
+    /// at `slowest_core_ps`), for the state-residency energy model.
+    pub residency: ResidencyStats,
 }
 
 impl Default for SimResult {
@@ -42,7 +48,9 @@ impl Default for SimResult {
             cache_hits: 0,
             cache_misses: 0,
             channels: 0,
+            modules_per_channel: 2,
             read_rate: DataRate::MT3200,
+            residency: ResidencyStats::default(),
         }
     }
 }
@@ -103,7 +111,9 @@ impl SimResult {
     }
 
     /// Converts the run into DRAM activity counters for the energy
-    /// model.
+    /// model. Self-refresh time comes from the simulated bank-state
+    /// residency, converted from bank·ps to module·ps (summed across
+    /// channels); zero when the run predates residency finalization.
     pub fn activity(&self) -> ActivityCounters {
         ActivityCounters {
             activates: self.controller.activates,
@@ -112,9 +122,24 @@ impl SimResult {
             broadcast_extra_cells: self.controller.broadcast_extra_cells,
             refreshes: self.controller.refreshes,
             active_time: self.controller.bus_busy_ps,
-            self_refresh_time: 0,
+            self_refresh_time: self.self_refresh_module_ps(),
             total_time: self.exec_time_ps,
         }
+    }
+
+    /// Self-refresh time in module·ps summed over channels: the
+    /// residency's bank·ps divided by the banks behind one module.
+    pub fn self_refresh_module_ps(&self) -> Picos {
+        let modules = self.channels * self.modules_per_channel;
+        let banks_per_module = self
+            .residency
+            .banks
+            .checked_div(modules as u64)
+            .unwrap_or(0);
+        self.residency
+            .self_refresh_bank_ps
+            .checked_div(banks_per_module)
+            .unwrap_or(0)
     }
 
     /// Overall cache hit rate across demand accesses.
@@ -145,7 +170,9 @@ mod tests {
             cache_hits: 900,
             cache_misses: 100,
             channels: 1,
+            modules_per_channel: 2,
             read_rate: DataRate::MT3200,
+            residency: ResidencyStats::default(),
         }
     }
 

@@ -43,6 +43,12 @@ impl Counter {
     }
 }
 
+/// Fixed-point scale for real-valued gauges: [`Gauge::set_scaled`]
+/// stores `value × 10⁴` rounded, which keeps four decimal places
+/// through the integer metric model (snapshots, JSONL export, drift
+/// comparisons).
+pub const GAUGE_SCALE: f64 = 1e4;
+
 /// A signed instantaneous level (queue depth, in-flight requests).
 #[derive(Clone, Debug, Default)]
 pub struct Gauge(Arc<AtomicI64>);
@@ -70,6 +76,21 @@ impl Gauge {
     #[inline]
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
+    }
+
+    /// Stores a real value as ×10⁴ fixed point (see [`GAUGE_SCALE`]) —
+    /// the convention summary and residency gauges use so fractional
+    /// results survive the integer metric model losslessly enough for
+    /// drift checks.
+    #[inline]
+    pub fn set_scaled(&self, v: f64) {
+        self.set((v * GAUGE_SCALE).round() as i64);
+    }
+
+    /// Reads back a value stored by [`Gauge::set_scaled`].
+    #[inline]
+    pub fn get_scaled(&self) -> f64 {
+        self.get() as f64 / GAUGE_SCALE
     }
 
     /// A detached copy (see [`Counter::fork`]).
@@ -410,6 +431,21 @@ mod tests {
         g.add(5);
         g.sub(3);
         assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn scaled_gauge_round_trips_four_decimals() {
+        let g = Gauge::new();
+        g.set_scaled(1.2345);
+        assert_eq!(g.get(), 12345);
+        assert!((g.get_scaled() - 1.2345).abs() < 1e-12);
+        g.set_scaled(-0.94);
+        assert_eq!(g.get(), -9400);
+        // Sub-scale digits round rather than truncate.
+        g.set_scaled(0.00004);
+        assert_eq!(g.get(), 0);
+        g.set_scaled(0.00006);
+        assert_eq!(g.get(), 1);
     }
 
     #[test]

@@ -130,6 +130,30 @@ impl Suite {
     }
 }
 
+impl Suite {
+    /// Per-node memory-capacity demand in gigabytes for a node with
+    /// `cores` cores: real HPC deployments size ~2–4 GB per core on
+    /// top of the simulated hot working set. The fleet configurator
+    /// uses this as its capacity floor per workload.
+    pub fn capacity_demand_gb(self, cores: usize) -> u32 {
+        let per_core_gb = match self {
+            // Dense linear algebra fills whatever memory it is given.
+            Suite::Linpack => 4,
+            // Graph analytics is capacity-hungry (large edge lists).
+            Suite::Graph500 => 4,
+            Suite::Hpcg | Suite::Coral2 => 3,
+            Suite::Lulesh | Suite::Npb => 2,
+        };
+        (cores as u32) * per_core_gb
+    }
+
+    /// Relative memory intensity: memory operations per instruction
+    /// (the reciprocal of the mean gap, counting the access itself).
+    pub fn memory_intensity(self) -> f64 {
+        1.0 / (1.0 + self.params().mean_gap)
+    }
+}
+
 impl fmt::Display for Suite {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
@@ -212,6 +236,32 @@ mod tests {
             .sum::<f64>()
             / 6.0;
         assert!((avg - 0.17).abs() < 0.05, "avg write fraction {avg}");
+    }
+
+    #[test]
+    fn capacity_demand_scales_with_cores() {
+        for suite in Suite::ALL {
+            assert!(suite.capacity_demand_gb(8) >= 16);
+            assert_eq!(
+                suite.capacity_demand_gb(16),
+                2 * suite.capacity_demand_gb(8)
+            );
+        }
+        // The capacity-hungry suites outrank the compact ones.
+        assert!(Suite::Graph500.capacity_demand_gb(8) > Suite::Lulesh.capacity_demand_gb(8));
+    }
+
+    #[test]
+    fn memory_intensity_orders_suites() {
+        // HPCG (gap 6) is the most memory-intensive, Graph500 (gap 16,
+        // latency-bound) the least per instruction.
+        let hpcg = Suite::Hpcg.memory_intensity();
+        let graph = Suite::Graph500.memory_intensity();
+        assert!(hpcg > graph);
+        for suite in Suite::ALL {
+            let i = suite.memory_intensity();
+            assert!(i > 0.0 && i < 1.0, "{suite}: {i}");
+        }
     }
 
     #[test]

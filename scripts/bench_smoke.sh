@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
 # Wall-clock guardrail for the experiments binary.
 #
-#   check (default) — if BENCH_PR4.json exists at the repo root, time
-#       each smoke target (best of two runs) and fail when any exceeds
-#       its recorded wall-clock by more than max_regression_pct.
+#   check (default) — if a recorded baseline exists at the repo root,
+#       time each smoke target (best of two runs) and fail when any
+#       exceeds its recorded wall-clock by more than max_regression_pct.
 #       Without a recorded file the check is skipped, not failed, so
 #       fresh clones and foreign machines stay green until they record
 #       their own baseline.
 #   record — re-measure the smoke targets *and* the full `all --jobs 1`
-#       run, then rewrite BENCH_PR4.json. Run on the reference machine
-#       after intentional performance changes.
+#       run, then rewrite the baseline file. Run on the reference
+#       machine after intentional performance changes.
+#
+# The baseline file defaults to the newest BENCH_PR*.json present
+# (BENCH_PR6.json for a fresh record); override with BENCH_BASE=...
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 EXP=target/release/experiments
-BASE=BENCH_PR4.json
-SMOKE_TARGETS=(fig14 fig5)
+BASE=${BENCH_BASE:-BENCH_PR6.json}
+SMOKE_TARGETS=(fig14 fig5 energy)
 MAX_REGRESSION_PCT=20
 
 if [ ! -x "$EXP" ]; then
@@ -87,6 +90,12 @@ record() {
 }
 
 check() {
+    if [ ! -f "$BASE" ] && [ -z "${BENCH_BASE:-}" ]; then
+        # Fall back to the newest recorded baseline of an earlier PR.
+        local latest
+        latest=$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1 || true)
+        [ -n "$latest" ] && BASE=$latest
+    fi
     if [ ! -f "$BASE" ]; then
         echo "no $BASE recorded; skipping bench smoke"
         return 0
