@@ -76,4 +76,14 @@ grep -q "0 breach(es)" "$DET_DIR/energy/report.md"
 "$EXP" configurator --quick > "$DET_DIR/configurator.out"
 grep -q "meet all requirements" "$DET_DIR/configurator.out"
 
+echo "== adaptive governor smoke =="
+# The closed-loop ablation must run (its internal asserts cover the
+# safety envelope and the UE headline), its report section must render,
+# and the drift table must stay clean.
+"$EXP" adaptive --quick --metrics "$DET_DIR/adaptive" > "$DET_DIR/adaptive.out"
+grep -q "0 envelope violations" "$DET_DIR/adaptive.out"
+"$EXP" report "$DET_DIR/adaptive" --out "$DET_DIR/adaptive/report.md"
+grep -q "## Adaptive margin" "$DET_DIR/adaptive/report.md"
+grep -q "0 breach(es)" "$DET_DIR/adaptive/report.md"
+
 echo "CI OK"

@@ -36,6 +36,16 @@ pub enum MemoryDesign {
         /// Frequency margin of the fast half, MT/s.
         margin_mts: u32,
     },
+    /// Hetero-DMR whose overclock is chosen online by the closed-loop
+    /// [`crate::adaptive`] governor instead of a one-shot stress test.
+    /// The channel mode below is the *envelope* (maximum) setting; the
+    /// per-epoch operating point walks between specification and this
+    /// bound one 200 MT/s bin at a time.
+    AdaptiveDmr {
+        /// Stress-test-derived safety envelope in MT/s: the governor
+        /// never strengthens past this margin.
+        max_margin_mts: u32,
+    },
 }
 
 impl MemoryDesign {
@@ -59,6 +69,9 @@ impl MemoryDesign {
                     margin_mts as f64 / 1000.0
                 )
             }
+            MemoryDesign::AdaptiveDmr { max_margin_mts } => {
+                format!("Adaptive-DMR<=+{:.1}GT/s", max_margin_mts as f64 / 1000.0)
+            }
         }
     }
 
@@ -66,9 +79,10 @@ impl MemoryDesign {
     /// back to the baseline when utilization crosses its threshold).
     pub fn free_memory_threshold(self) -> Option<f64> {
         match self {
-            MemoryDesign::Fmr | MemoryDesign::HeteroDmr { .. } | MemoryDesign::NaiveDmr { .. } => {
-                Some(0.5)
-            }
+            MemoryDesign::Fmr
+            | MemoryDesign::HeteroDmr { .. }
+            | MemoryDesign::NaiveDmr { .. }
+            | MemoryDesign::AdaptiveDmr { .. } => Some(0.5),
             // Two copies need ≥ 3/4 free… the paper runs H+F below
             // 25 % and regresses it to plain Hetero-DMR in [25, 50).
             MemoryDesign::HeteroDmrFmr { .. } => Some(0.25),
@@ -122,6 +136,16 @@ impl MemoryDesign {
                 ChannelMode::builder()
                     .data_rate(dram::rate::DataRate::MT3200.plus_margin(margin_mts))
                     .build()
+            }
+            // The envelope setting: identical plumbing to a static
+            // Hetero-DMR binned at the maximum margin. Intermediate
+            // operating points come from
+            // `MemoryDesign::HeteroDmr { margin_mts: bin * 200 }`.
+            MemoryDesign::AdaptiveDmr { max_margin_mts } => {
+                return MemoryDesign::HeteroDmr {
+                    margin_mts: max_margin_mts,
+                }
+                .channel_mode()
             }
         };
         built.unwrap_or_else(|e| panic!("{}: invalid channel mode: {e}", self.name()))
@@ -242,6 +266,31 @@ mod tests {
             MemoryDesign::HeteroDmrFmr { margin_mts: 800 }.free_memory_threshold(),
             Some(0.25)
         );
+    }
+
+    #[test]
+    fn adaptive_envelope_matches_static_binning() {
+        // The adaptive design's envelope mode is plumbing-identical to
+        // a static Hetero-DMR binned at the same (maximum) margin.
+        let a = MemoryDesign::AdaptiveDmr {
+            max_margin_mts: 800,
+        };
+        assert_eq!(
+            a.channel_mode(),
+            MemoryDesign::HeteroDmr { margin_mts: 800 }.channel_mode()
+        );
+        assert_eq!(a.free_memory_threshold(), Some(0.5));
+        assert_eq!(a.name(), "Adaptive-DMR<=+0.8GT/s");
+        // Intermediate bins are plain Hetero-DMR modes and must build
+        // at every 200 MT/s step of the ladder.
+        for bin in 0..=4u32 {
+            let m = MemoryDesign::HeteroDmr {
+                margin_mts: bin * 200,
+            }
+            .channel_mode();
+            assert_eq!(m.read_timing.data_rate.mts(), 3200 + bin * 200);
+            assert_eq!(m.write_timing.data_rate.mts(), 3200, "writes at spec");
+        }
     }
 
     #[test]

@@ -153,6 +153,22 @@ impl EpochGovernor {
         }
         self.state(now)
     }
+
+    /// Records `count` detected errors at `now` in one call; returns
+    /// the resulting state. Equivalent to `count` calls to
+    /// [`EpochGovernor::record_error`] at the same timestamp but O(1),
+    /// which the adaptive layer relies on when a whole epoch's error
+    /// tally (possibly millions) arrives at once.
+    pub fn record_errors(&mut self, now: Picos, count: u64) -> GovernorState {
+        self.roll(now);
+        let before = self.errors_this_epoch;
+        self.errors_this_epoch += count;
+        self.errors.add(count);
+        if before < self.threshold && self.errors_this_epoch >= self.threshold {
+            self.fallbacks.inc();
+        }
+        self.state(now)
+    }
 }
 
 #[cfg(test)]
@@ -228,5 +244,66 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_threshold_rejected() {
         let _ = EpochGovernor::new(0);
+    }
+
+    #[test]
+    fn bulk_record_matches_singles() {
+        let mut singles = EpochGovernor::new(5);
+        let mut bulk = EpochGovernor::new(5);
+        for _ in 0..7 {
+            singles.record_error(42);
+        }
+        assert_eq!(bulk.record_errors(42, 7), GovernorState::FallBack);
+        assert_eq!(bulk.errors_this_epoch(), singles.errors_this_epoch());
+        assert_eq!(bulk.total_errors(), singles.total_errors());
+        // The budget crossing counts as exactly one fallback even when
+        // a single bulk call overshoots the threshold.
+        assert_eq!(bulk.fallbacks(), 1);
+        assert_eq!(singles.fallbacks(), 1);
+        // Further errors in the same exhausted epoch add no fallback.
+        bulk.record_errors(43, 100);
+        assert_eq!(bulk.fallbacks(), 1);
+        // Zero-count records are state queries.
+        assert_eq!(bulk.record_errors(EPOCH_PS, 0), GovernorState::Exploiting);
+        assert_eq!(bulk.errors_this_epoch(), 0);
+    }
+
+    #[test]
+    fn clone_forks_the_lifetime_counters() {
+        // Monte-Carlo runs clone a template governor per trial; the
+        // clone must inherit the totals recorded so far but tally its
+        // own errors afterwards (documented on the Clone impl).
+        let mut template = EpochGovernor::new(2);
+        template.record_error(0);
+        let mut a = template.clone();
+        let mut b = template.clone();
+        a.record_error(1); // exhausts a's budget (2 errors total)
+        a.record_error(2);
+        b.record_error(3);
+        assert_eq!(template.total_errors(), 1);
+        assert_eq!(a.total_errors(), 3);
+        assert_eq!(b.total_errors(), 2);
+        assert_eq!(a.fallbacks(), 1);
+        assert_eq!(b.fallbacks(), 1, "b inherited 1 error, then hit 2");
+        assert_eq!(template.fallbacks(), 0);
+        // Per-epoch tallies are plain fields and also independent.
+        assert_eq!(template.errors_this_epoch(), 1);
+        assert_eq!(a.errors_this_epoch(), 3);
+    }
+
+    #[test]
+    fn rollover_happens_at_exactly_epoch_ps() {
+        let mut g = EpochGovernor::new(1);
+        g.record_error(0);
+        assert_eq!(g.state(EPOCH_PS - 1), GovernorState::FallBack);
+        // `roll` fires on `now >= epoch_start + EPOCH_PS`: the instant
+        // EPOCH_PS itself already belongs to the second epoch.
+        assert_eq!(g.state(EPOCH_PS), GovernorState::Exploiting);
+        assert_eq!(g.errors_this_epoch(), 0);
+        // An error recorded exactly on the boundary lands in epoch 1,
+        // which keeps the epoch start aligned to whole multiples.
+        g.record_error(EPOCH_PS);
+        assert_eq!(g.state(2 * EPOCH_PS - 1), GovernorState::FallBack);
+        assert_eq!(g.state(2 * EPOCH_PS), GovernorState::Exploiting);
     }
 }

@@ -27,6 +27,9 @@
 //!   [`dram::Channel`] + [`ecc::BlockCodec`] state (reads, writes,
 //!   error injection, recovery),
 //! * [`governor`] — the per-epoch SDC budget,
+//! * [`adaptive`] — the closed-loop adaptive margin governor that
+//!   steps the data rate per epoch from observed CE/UE telemetry
+//!   (hysteresis + cool-down + safety envelope),
 //! * [`monte_carlo`] — channel-/node-level margin variability
 //!   (Figure 11),
 //! * [`designs`] — the evaluated memory designs as
@@ -37,6 +40,7 @@
 //!   top of [`memsim`],
 //! * [`emulation`] — the Figure 16 real-system emulation formula.
 
+pub mod adaptive;
 pub mod designs;
 pub mod emulation;
 pub mod faults;
@@ -47,6 +51,7 @@ pub mod profiler;
 pub mod protocol;
 pub mod replication;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveGovernor, Decision, Environment, MarginResponse};
 pub use designs::MemoryDesign;
 pub use faults::PermanentFaultTracker;
 pub use governor::{EpochGovernor, GovernorState};

@@ -14,6 +14,7 @@
 //! a deterministic JSONL snapshot of every simulator-internal metric
 //! plus a run manifest (see README § Observability).
 
+mod adaptive;
 mod characterization;
 mod context;
 mod extras;

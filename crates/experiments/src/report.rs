@@ -249,6 +249,7 @@ fn generate(dir: &str, refs: &str) -> Result<(String, usize), String> {
     }
     render_ecc(&mut md, &snapshot);
     render_energy(&mut md, &snapshot);
+    render_adaptive(&mut md, &snapshot);
     let breaches = render_drift(&mut md, &snapshot, refs);
     Ok((md, breaches))
 }
@@ -460,6 +461,56 @@ fn render_energy(md: &mut String, snapshot: &Snapshot) {
     }
 }
 
+/// Adaptive-margin ablation results: the `adaptive` target's headline
+/// gauges (offline vs online speedup and UE outcomes per disturbance
+/// scenario) plus the governor's decision counters, when the run
+/// recorded any.
+fn render_adaptive(md: &mut String, snapshot: &Snapshot) {
+    let mut gauges: Vec<(&str, f64)> = Vec::new();
+    let mut decisions: Vec<(&str, u64)> = Vec::new();
+    for entry in &snapshot.entries {
+        if let Some(name) = entry.name.strip_prefix("summary.adaptive.") {
+            if let MetricValue::Gauge(v) = entry.value {
+                gauges.push((name, v as f64 / telemetry::GAUGE_SCALE));
+            }
+            continue;
+        }
+        let Some(name) = entry.name.strip_prefix("adaptive.") else {
+            continue;
+        };
+        let Some((_, leaf)) = name.rsplit_once('.') else {
+            continue;
+        };
+        if matches!(leaf, "steps_up" | "steps_down" | "retreats" | "fallbacks") {
+            if let MetricValue::Counter(v) = entry.value {
+                decisions.push((name, v));
+            }
+        }
+    }
+    if gauges.is_empty() && decisions.is_empty() {
+        return;
+    }
+    let _ = writeln!(md, "## Adaptive margin\n");
+    if !gauges.is_empty() {
+        let _ = writeln!(md, "Offline binning vs online adaptation, per scenario:\n");
+        let _ = writeln!(md, "| gauge | value |");
+        let _ = writeln!(md, "|---|---|");
+        for (name, v) in &gauges {
+            let _ = writeln!(md, "| {name} | {v:.4} |");
+        }
+        md.push('\n');
+    }
+    if !decisions.is_empty() {
+        let _ = writeln!(md, "Governor decisions:\n");
+        let _ = writeln!(md, "| counter | value |");
+        let _ = writeln!(md, "|---|---|");
+        for (name, v) in &decisions {
+            let _ = writeln!(md, "| {name} | {v} |");
+        }
+        md.push('\n');
+    }
+}
+
 /// The paper-drift table. Returns the number of tolerance breaches.
 fn render_drift(md: &mut String, snapshot: &Snapshot, refs: &str) -> usize {
     let _ = writeln!(md, "## Paper drift\n");
@@ -652,6 +703,37 @@ mod tests {
         // A snapshot without energy gauges or residency renders nothing.
         let mut empty = String::new();
         render_energy(&mut empty, &Snapshot::default());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn adaptive_section_renders_gauges_and_decisions() {
+        let r = telemetry::Registry::new();
+        r.gauge("summary.adaptive.temp_transient.online_speedup")
+            .set_scaled(1.12);
+        r.gauge("summary.adaptive.offline_ue_total")
+            .set_scaled(61.0);
+        r.scope("adaptive.temp_transient.online")
+            .counter("retreats")
+            .add(2);
+        r.scope("adaptive.temp_transient.online")
+            .counter("steps_up")
+            .add(5);
+        // Unrelated counters under the prefix stay out of the table.
+        r.scope("adaptive.temp_transient.online")
+            .counter("epoch_rolls")
+            .add(48);
+        let mut md = String::new();
+        render_adaptive(&mut md, &r.snapshot());
+        assert!(md.contains("## Adaptive margin"));
+        assert!(md.contains("| temp_transient.online_speedup | 1.1200 |"));
+        assert!(md.contains("| offline_ue_total | 61.0000 |"));
+        assert!(md.contains("| temp_transient.online.retreats | 2 |"));
+        assert!(md.contains("| temp_transient.online.steps_up | 5 |"));
+        assert!(!md.contains("epoch_rolls"), "{md}");
+        // A snapshot without adaptive series renders nothing.
+        let mut empty = String::new();
+        render_adaptive(&mut empty, &Snapshot::default());
         assert!(empty.is_empty());
     }
 

@@ -7,7 +7,7 @@
 //! order with byte-identical output.
 
 use crate::context::Ctx;
-use crate::{characterization, extras, node_figures, power, system_figures, tables};
+use crate::{adaptive, characterization, extras, node_figures, power, system_figures, tables};
 use runner::Scenario;
 
 /// Every runnable target, in canonical (paper) order. Output and
@@ -32,6 +32,7 @@ pub const TARGETS: &[&str] = &[
     "fig17",
     "energy",
     "configurator",
+    "adaptive",
     "extras",
 ];
 
@@ -59,6 +60,7 @@ fn target_fn(name: &str) -> Option<TargetFn> {
         "fig17" => system_figures::fig17,
         "energy" => power::energy,
         "configurator" => power::configurator,
+        "adaptive" => adaptive::adaptive,
         "extras" => extras::extras,
         _ => return None,
     })

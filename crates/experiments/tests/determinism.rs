@@ -117,6 +117,14 @@ fn configurator_is_jobs_invariant() {
     assert_jobs_invariant("configurator", true);
 }
 
+#[test]
+fn adaptive_is_jobs_invariant() {
+    // The closed-loop governor ablation: per-epoch Poisson error
+    // draws on counter-derived streams plus node-model speedups, all
+    // inside one scenario task.
+    assert_jobs_invariant("adaptive", true);
+}
+
 /// The node-model result cache must be output-invisible twice over:
 /// with the cache enabled, `--jobs 1` and `--jobs 8` agree (hit/miss
 /// order differs across schedules, but replayed snapshots record the
@@ -193,10 +201,11 @@ fn run_with_trace(target: &str, jobs: &str, dir: &std::path::Path) -> Vec<u8> {
 /// Chrome trace-event JSON, and respect the span-nesting invariants.
 /// Covers the three clock domains: fig5 (SimPs node sims + write
 /// drains), fig12 (ECC detect→re-read chains + mode transitions) and
-/// fig17 (SchedUs scheduler job spans).
+/// fig17 (SchedUs scheduler job spans), plus adaptive (epoch-aligned
+/// governor.step/governor.retreat spans).
 #[test]
 fn single_target_traces_are_jobs_invariant_and_well_formed() {
-    for target in ["fig5", "fig12", "fig17"] {
+    for target in ["fig5", "fig12", "fig17", "adaptive"] {
         let dir = tmp_dir(&format!("trace_{target}"));
         let serial = run_with_trace(target, "1", &dir);
         let parallel = run_with_trace(target, "8", &dir);

@@ -60,4 +60,4 @@ pub mod voltage;
 pub use brand::Brand;
 pub use population::{MeasuredModule, ModuleCondition, ModulePopulation, ModuleSpec};
 pub use stress::{measure_margin, measure_margin_metered, StressConfig, StressMeter};
-pub use temperature::AmbientTemperature;
+pub use temperature::{AmbientTemperature, TemperatureTransient};

@@ -56,6 +56,62 @@ impl AmbientTemperature {
     }
 }
 
+/// An epoch-granular ambient-temperature schedule: the system sits at
+/// `baseline`, spends `[onset_epoch, onset_epoch + duration_epochs)`
+/// at `excursion`, then returns to `baseline`. This models the
+/// cooling-failure / temperature-spike scenario the 45 °C chamber
+/// emulates (Section II-A) as a *transient* rather than a permanent
+/// condition, which is what an online margin governor has to track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TemperatureTransient {
+    /// Ambient before and after the excursion.
+    pub baseline: AmbientTemperature,
+    /// Ambient during the excursion window.
+    pub excursion: AmbientTemperature,
+    /// First epoch of the excursion.
+    pub onset_epoch: u64,
+    /// Length of the excursion in epochs (0 = no excursion).
+    pub duration_epochs: u64,
+}
+
+impl TemperatureTransient {
+    /// A schedule that stays at `baseline` forever.
+    pub fn steady(baseline: AmbientTemperature) -> TemperatureTransient {
+        TemperatureTransient {
+            baseline,
+            excursion: baseline,
+            onset_epoch: 0,
+            duration_epochs: 0,
+        }
+    }
+
+    /// The canonical disturbance: room temperature with a machine-room
+    /// cooling failure pushing ambient to the 45 °C chamber condition
+    /// for `duration_epochs` starting at `onset_epoch`.
+    pub fn cooling_failure(onset_epoch: u64, duration_epochs: u64) -> TemperatureTransient {
+        TemperatureTransient {
+            baseline: AmbientTemperature::Room23C,
+            excursion: AmbientTemperature::Chamber45C,
+            onset_epoch,
+            duration_epochs,
+        }
+    }
+
+    /// Ambient temperature at `epoch`.
+    pub fn ambient_at(self, epoch: u64) -> AmbientTemperature {
+        if epoch >= self.onset_epoch && epoch - self.onset_epoch < self.duration_epochs {
+            self.excursion
+        } else {
+            self.baseline
+        }
+    }
+
+    /// Whether `epoch` runs hotter than the baseline condition.
+    pub fn is_excursion(self, epoch: u64) -> bool {
+        self.ambient_at(epoch) != self.baseline
+    }
+}
+
 /// Maximum operating temperature DDR4 devices are rated for.
 pub const DDR4_MAX_OPERATING_CELSIUS: f64 = 95.0;
 
@@ -92,6 +148,21 @@ mod tests {
                     < DDR4_MAX_OPERATING_CELSIUS
             );
         }
+    }
+
+    #[test]
+    fn transient_window_is_half_open() {
+        let t = TemperatureTransient::cooling_failure(10, 5);
+        assert_eq!(t.ambient_at(9), AmbientTemperature::Room23C);
+        assert_eq!(t.ambient_at(10), AmbientTemperature::Chamber45C);
+        assert_eq!(t.ambient_at(14), AmbientTemperature::Chamber45C);
+        assert_eq!(t.ambient_at(15), AmbientTemperature::Room23C);
+        assert!(t.is_excursion(12));
+        assert!(!t.is_excursion(15));
+
+        let steady = TemperatureTransient::steady(AmbientTemperature::Room23C);
+        assert!(!steady.is_excursion(0));
+        assert_eq!(steady.ambient_at(1_000_000), AmbientTemperature::Room23C);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Epoch-granular workload phase schedules.
+//!
+//! Long HPC allocations are not one workload: jobs arrive and drain,
+//! and a node that ran Linpack all morning may spend the afternoon on
+//! Graph500. For an online margin governor this matters because the
+//! *error exposure* of an overclocked channel scales with how hard the
+//! workload drives memory — a phase change shifts the observed error
+//! rate without any change in the silicon. [`PhaseSchedule`] expresses
+//! such a rotation as a repeating list of (suite, dwell-epochs) phases
+//! aligned to the governor's one-hour epochs.
+
+use crate::suite::Suite;
+
+/// A repeating schedule of workload phases, one suite active per
+/// governor epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSchedule {
+    /// `(suite, dwell_epochs)` entries, cycled forever.
+    phases: Vec<(Suite, u64)>,
+    period: u64,
+}
+
+impl PhaseSchedule {
+    /// Builds a schedule from `(suite, dwell_epochs)` phases, repeated
+    /// cyclically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `phases` is empty or any dwell is zero.
+    pub fn new(phases: Vec<(Suite, u64)>) -> PhaseSchedule {
+        assert!(!phases.is_empty(), "schedule needs at least one phase");
+        assert!(
+            phases.iter().all(|&(_, dwell)| dwell > 0),
+            "phase dwell must be positive"
+        );
+        let period = phases.iter().map(|&(_, d)| d).sum();
+        PhaseSchedule { phases, period }
+    }
+
+    /// A single suite forever.
+    pub fn steady(suite: Suite) -> PhaseSchedule {
+        PhaseSchedule::new(vec![(suite, 1)])
+    }
+
+    /// Two suites alternating every `dwell_epochs`.
+    pub fn alternating(a: Suite, b: Suite, dwell_epochs: u64) -> PhaseSchedule {
+        PhaseSchedule::new(vec![(a, dwell_epochs), (b, dwell_epochs)])
+    }
+
+    /// Epochs until the schedule repeats.
+    pub fn period_epochs(&self) -> u64 {
+        self.period
+    }
+
+    /// The suite active at `epoch`.
+    pub fn suite_at(&self, epoch: u64) -> Suite {
+        let mut offset = epoch % self.period;
+        for &(suite, dwell) in &self.phases {
+            if offset < dwell {
+                return suite;
+            }
+            offset -= dwell;
+        }
+        unreachable!("offset < period by construction");
+    }
+
+    /// The error-exposure multiplier at `epoch`: the active suite's
+    /// memory intensity relative to the most intensive suite in the
+    /// schedule, in `(0, 1]`. An overclocked channel only produces
+    /// errors on accesses, so a compute-bound phase proportionally
+    /// shrinks the observable error rate.
+    pub fn relative_intensity_at(&self, epoch: u64) -> f64 {
+        let peak = self
+            .phases
+            .iter()
+            .map(|&(s, _)| s.memory_intensity())
+            .fold(f64::MIN, f64::max);
+        self.suite_at(epoch).memory_intensity() / peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_schedule_never_changes() {
+        let s = PhaseSchedule::steady(Suite::Hpcg);
+        assert_eq!(s.period_epochs(), 1);
+        for e in [0u64, 1, 17, 1_000_003] {
+            assert_eq!(s.suite_at(e), Suite::Hpcg);
+            assert_eq!(s.relative_intensity_at(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn alternation_cycles_with_the_dwell() {
+        let s = PhaseSchedule::alternating(Suite::Hpcg, Suite::Npb, 3);
+        assert_eq!(s.period_epochs(), 6);
+        assert_eq!(s.suite_at(0), Suite::Hpcg);
+        assert_eq!(s.suite_at(2), Suite::Hpcg);
+        assert_eq!(s.suite_at(3), Suite::Npb);
+        assert_eq!(s.suite_at(5), Suite::Npb);
+        assert_eq!(s.suite_at(6), Suite::Hpcg, "wraps after one period");
+    }
+
+    #[test]
+    fn intensity_is_relative_to_the_peak_phase() {
+        // HPCG is memory-bound, NPB compute-heavy: the HPCG phases run
+        // at full exposure and NPB phases strictly below it.
+        let s = PhaseSchedule::alternating(Suite::Hpcg, Suite::Npb, 1);
+        assert!(Suite::Hpcg.memory_intensity() > Suite::Npb.memory_intensity());
+        assert_eq!(s.relative_intensity_at(0), 1.0);
+        let npb = s.relative_intensity_at(1);
+        assert!(npb > 0.0 && npb < 1.0, "npb exposure {npb}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_rejected() {
+        let _ = PhaseSchedule::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dwell_rejected() {
+        let _ = PhaseSchedule::new(vec![(Suite::Hpcg, 0)]);
+    }
+}

@@ -12,13 +12,13 @@
 #       machine after intentional performance changes.
 #
 # The baseline file defaults to the newest BENCH_PR*.json present
-# (BENCH_PR6.json for a fresh record); override with BENCH_BASE=...
+# (BENCH_PR7.json for a fresh record); override with BENCH_BASE=...
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 EXP=target/release/experiments
-BASE=${BENCH_BASE:-BENCH_PR6.json}
-SMOKE_TARGETS=(fig14 fig5 energy)
+BASE=${BENCH_BASE:-BENCH_PR7.json}
+SMOKE_TARGETS=(fig14 fig5 energy adaptive)
 MAX_REGRESSION_PCT=20
 
 if [ ! -x "$EXP" ]; then
@@ -48,6 +48,25 @@ record() {
         wall[$t]=$(time_target "$t")
         echo "recorded $t: ${wall[$t]} ms"
     done
+
+    # New-feature overhead gate, applied once at record time: fig5 (the
+    # shared node-model hot path) must not slow by more than 5% against
+    # the previous PR's baseline. The per-run 20% check above stays
+    # loose to absorb machine noise; this tighter bar is only asserted
+    # on the reference machine where both numbers are comparable.
+    local prev prev_fig5
+    prev=$(ls BENCH_PR*.json 2>/dev/null | grep -vx "$BASE" | sort -V | tail -1 || true)
+    if [ -n "$prev" ]; then
+        prev_fig5=$(sed -n 's/.*"fig5_wall_ms": *\([0-9]*\).*/\1/p' "$prev")
+        if [ -n "$prev_fig5" ]; then
+            local limit=$(( prev_fig5 * 105 / 100 ))
+            if [ "${wall[fig5]}" -gt "$limit" ]; then
+                echo "OVERHEAD: fig5 took ${wall[fig5]} ms vs ${prev_fig5} ms in $prev (limit ${limit} ms = +5%)"
+                return 1
+            fi
+            echo "fig5 overhead vs $prev: ${wall[fig5]} ms vs ${prev_fig5} ms (limit ${limit} ms, +5%)"
+        fi
+    fi
 
     local dir full_s full_e full_ms ops ops_per_sec
     dir=$(mktemp -d)
