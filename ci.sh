@@ -17,9 +17,11 @@ cargo fmt --all -- --check
 echo "== clippy =="
 # The vendored stand-ins mimic external crate APIs and are exempt from
 # first-party lint standards.
+# `-D deprecated` keeps the run/run_metered/run_traced shims
+# compile-warn only: first-party code must stay on the builder API.
 cargo clippy --offline --workspace \
     --exclude rand --exclude proptest --exclude criterion \
-    --all-targets -- -D warnings
+    --all-targets -- -D warnings -D deprecated
 
 echo "== benches compile =="
 cargo bench --offline --workspace --no-run
@@ -75,6 +77,19 @@ grep -q "## Power/energy" "$DET_DIR/energy/report.md"
 grep -q "0 breach(es)" "$DET_DIR/energy/report.md"
 "$EXP" configurator --quick > "$DET_DIR/configurator.out"
 grep -q "meet all requirements" "$DET_DIR/configurator.out"
+
+echo "== fleet federation smoke =="
+# The federated sweep must report both placement policies on a reduced
+# stream, render its report section, and stay drift-clean. Full scale
+# (10M jobs) is covered by the bench record, not the CI gate.
+"$EXP" fleet --quick --fleet-jobs 200000 --metrics "$DET_DIR/fleet" \
+    > "$DET_DIR/fleet.out"
+grep -q "placement capacity_weighted:" "$DET_DIR/fleet.out"
+grep -q "placement margin_aware:" "$DET_DIR/fleet.out"
+grep -q "margin-aware over capacity-weighted placement" "$DET_DIR/fleet.out"
+"$EXP" report "$DET_DIR/fleet" --out "$DET_DIR/fleet/report.md"
+grep -q "## Fleet federation" "$DET_DIR/fleet/report.md"
+grep -q "0 breach(es)" "$DET_DIR/fleet/report.md"
 
 echo "== adaptive governor smoke =="
 # The closed-loop ablation must run (its internal asserts cover the

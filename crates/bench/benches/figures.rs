@@ -15,7 +15,7 @@ use margin::stress::{run_stress_test, StressConfig};
 use memsim::config::HierarchyConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use scheduler::{Cluster, GrizzlyTrace, Policy, RunSummary, SpeedupModel};
+use scheduler::{Cluster, GrizzlyTrace, RunSummary, SchedulerConfig, SliceSource, SpeedupModel};
 use std::hint::black_box;
 use workloads::utilization::{Cluster as Lanl, UtilizationModel};
 use workloads::Suite;
@@ -159,12 +159,16 @@ fn fig17_cluster(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("margin_aware_schedule", |b| {
         let cluster = Cluster::new(256, [0.62, 0.36, 0.02]);
+        let config = SchedulerConfig::builder()
+            .margin_aware()
+            .speedups(SpeedupModel::hetero_dmr_default())
+            .build()
+            .unwrap();
         b.iter(|| {
-            let out = cluster.run(
-                &trace,
-                Policy::MarginAware,
-                &SpeedupModel::hetero_dmr_default(),
-            );
+            let out = cluster
+                .schedule(SliceSource::new(&trace))
+                .config(config)
+                .run();
             black_box(RunSummary::from_outcomes(&out))
         })
     });

@@ -65,6 +65,9 @@ pub struct Ctx {
     pub trials: usize,
     /// Jobs in the system-wide trace.
     pub trace_jobs: usize,
+    /// Jobs in the fleet-federation stream (`--fleet-jobs`); `None`
+    /// derives the default from the run size (see [`Ctx::fleet_jobs`]).
+    pub fleet_jobs: Option<u64>,
     /// Whether `--quick` shrank the run (recorded in the manifest).
     pub quick_run: bool,
     /// Whether node models may share the process-wide result cache
@@ -100,6 +103,7 @@ impl Default for Ctx {
             ops_per_core: 40_000,
             trials: 50_000,
             trace_jobs: 58_000,
+            fleet_jobs: None,
             quick_run: false,
             model_cache: true,
             csv_dir: None,
@@ -120,6 +124,14 @@ impl Ctx {
         self.trials = 5_000;
         self.trace_jobs = 5_000;
         self.quick_run = true;
+    }
+
+    /// Jobs the `fleet` target streams: an explicit `--fleet-jobs`
+    /// wins; otherwise 10 M for full runs, 100 K under `--quick`
+    /// (either way the stream is generated lazily, never stored).
+    pub fn fleet_jobs(&self) -> u64 {
+        self.fleet_jobs
+            .unwrap_or(if self.quick_run { 100_000 } else { 10_000_000 })
     }
 
     /// Turns on metric collection, exported to `dir` at exit.
@@ -198,8 +210,12 @@ mod tests {
         assert!(ctx.ops_per_core < full.ops_per_core);
         assert!(ctx.trials < full.trials);
         assert!(ctx.trace_jobs < full.trace_jobs);
+        assert!(ctx.fleet_jobs() < full.fleet_jobs());
         assert_eq!(ctx.seed, full.seed, "quick keeps the seed");
         assert!(ctx.quick_run);
+        // An explicit --fleet-jobs wins regardless of flag order.
+        ctx.fleet_jobs = Some(42);
+        assert_eq!(ctx.fleet_jobs(), 42);
     }
 
     #[test]

@@ -18,6 +18,7 @@ mod adaptive;
 mod characterization;
 mod context;
 mod extras;
+mod fleet;
 mod node_figures;
 mod power;
 mod report;
@@ -44,6 +45,8 @@ options:
   --jobs N       worker threads for running targets (0 or default:
                  one per CPU); output is identical for every N
   --quick        shrink every run for a fast smoke pass
+  --fleet-jobs N jobs streamed by the 'fleet' target (default 10 M,
+                 100 K with --quick); generated lazily, never stored
   --csv DIR      also write per-experiment CSV files into DIR
   --metrics DIR  record simulator telemetry; writes
                  DIR/<target>.metrics.jsonl (deterministic for a fixed
@@ -116,6 +119,13 @@ fn main() {
                     .unwrap_or_else(|| usage_error("--jobs needs an integer"));
             }
             "--quick" => ctx.quick(),
+            "--fleet-jobs" => {
+                ctx.fleet_jobs = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage_error("--fleet-jobs needs an integer")),
+                );
+            }
             "--no-model-cache" => ctx.model_cache = false,
             "--csv" => {
                 let dir = iter
@@ -189,8 +199,11 @@ fn main() {
     if ctx.log_level != LogLevel::Off {
         let recorded: u64 = outcomes.iter().map(|o| o.events_recorded).sum();
         let dropped: u64 = outcomes.iter().map(|o| o.events_dropped).sum();
+        let rss = peak_rss_kb()
+            .map(|kb| format!("; peak RSS {kb} kB"))
+            .unwrap_or_default();
         eprintln!(
-            "ran {} target(s) in {wall_ms} ms on {} worker(s); {recorded} event(s) logged, {dropped} dropped",
+            "ran {} target(s) in {wall_ms} ms on {} worker(s); {recorded} event(s) logged, {dropped} dropped{rss}",
             outcomes.len(),
             runner::jobs()
         );
@@ -208,6 +221,26 @@ fn main() {
         eprintln!("{failed} target(s) failed");
         std::process::exit(1);
     }
+}
+
+/// Peak resident-set size of this process in kB (`VmHWM`), for the
+/// flat-memory regression gate on streaming runs. Linux-only; stderr
+/// only — never part of the deterministic stdout contract.
+#[cfg(target_os = "linux")]
+fn peak_rss_kb() -> Option<u64> {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()?
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn peak_rss_kb() -> Option<u64> {
+    None
 }
 
 /// Exports the run's metric snapshot and manifest when `--metrics` was

@@ -250,6 +250,7 @@ fn generate(dir: &str, refs: &str) -> Result<(String, usize), String> {
     render_ecc(&mut md, &snapshot);
     render_energy(&mut md, &snapshot);
     render_adaptive(&mut md, &snapshot);
+    render_fleet(&mut md, &snapshot);
     let breaches = render_drift(&mut md, &snapshot, refs);
     Ok((md, breaches))
 }
@@ -511,6 +512,61 @@ fn render_adaptive(md: &mut String, snapshot: &Snapshot) {
     }
 }
 
+/// Fleet-federation results: the `fleet` target's headline gauges
+/// (placement-policy comparison) plus per-member job-start counters,
+/// when the run recorded any.
+fn render_fleet(md: &mut String, snapshot: &Snapshot) {
+    let mut gauges: Vec<(&str, f64)> = Vec::new();
+    let mut starts: Vec<(&str, u64)> = Vec::new();
+    for entry in &snapshot.entries {
+        if let Some(name) = entry.name.strip_prefix("summary.fleet.") {
+            if let MetricValue::Gauge(v) = entry.value {
+                gauges.push((name, v as f64 / telemetry::GAUGE_SCALE));
+            }
+            continue;
+        }
+        let Some(name) = entry.name.strip_prefix("fleet.") else {
+            continue;
+        };
+        let Some((_, leaf)) = name.rsplit_once('.') else {
+            continue;
+        };
+        if matches!(
+            leaf,
+            "jobs_started" | "jobs_backfilled" | "unknown_group_starts"
+        ) {
+            if let MetricValue::Counter(v) = entry.value {
+                starts.push((name, v));
+            }
+        }
+    }
+    if gauges.is_empty() && starts.is_empty() {
+        return;
+    }
+    let _ = writeln!(md, "## Fleet federation\n");
+    if !gauges.is_empty() {
+        let _ = writeln!(
+            md,
+            "Margin-aware vs capacity-weighted placement over the streamed fleet:\n"
+        );
+        let _ = writeln!(md, "| gauge | value |");
+        let _ = writeln!(md, "|---|---|");
+        for (name, v) in &gauges {
+            let _ = writeln!(md, "| {name} | {v:.4} |");
+        }
+        md.push('\n');
+    }
+    if !starts.is_empty() {
+        let _ = writeln!(md, "Per-member scheduling counters:\n");
+        let _ = writeln!(md, "| counter | value |");
+        let _ = writeln!(md, "|---|---|");
+        for (name, v) in &starts {
+            let _ = writeln!(md, "| {name} | {v} |");
+        }
+        md.push('\n');
+    }
+}
+
 /// The paper-drift table. Returns the number of tolerance breaches.
 fn render_drift(md: &mut String, snapshot: &Snapshot, refs: &str) -> usize {
     let _ = writeln!(md, "## Paper drift\n");
@@ -734,6 +790,35 @@ mod tests {
         // A snapshot without adaptive series renders nothing.
         let mut empty = String::new();
         render_adaptive(&mut empty, &Snapshot::default());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn fleet_section_renders_gauges_and_counters() {
+        let r = telemetry::Registry::new();
+        r.gauge("summary.fleet.aware_turnaround_speedup")
+            .set_scaled(1.07);
+        r.gauge("summary.fleet.jobs").set_scaled(100_000.0);
+        r.scope("fleet.margin_aware.grizzly")
+            .counter("jobs_started")
+            .add(61_234);
+        r.scope("fleet.margin_aware.grizzly")
+            .counter("unknown_group_starts")
+            .add(0);
+        // Unrelated counters under the prefix stay out of the table.
+        r.scope("fleet.margin_aware.grizzly")
+            .counter("sched_pass_ops")
+            .add(9);
+        let mut md = String::new();
+        render_fleet(&mut md, &r.snapshot());
+        assert!(md.contains("## Fleet federation"));
+        assert!(md.contains("| aware_turnaround_speedup | 1.0700 |"));
+        assert!(md.contains("| jobs | 100000.0000 |"));
+        assert!(md.contains("| margin_aware.grizzly.jobs_started | 61234 |"));
+        assert!(!md.contains("sched_pass_ops"), "{md}");
+        // A snapshot without fleet series renders nothing.
+        let mut empty = String::new();
+        render_fleet(&mut empty, &Snapshot::default());
         assert!(empty.is_empty());
     }
 

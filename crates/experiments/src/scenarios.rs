@@ -7,7 +7,9 @@
 //! order with byte-identical output.
 
 use crate::context::Ctx;
-use crate::{adaptive, characterization, extras, node_figures, power, system_figures, tables};
+use crate::{
+    adaptive, characterization, extras, fleet, node_figures, power, system_figures, tables,
+};
 use runner::Scenario;
 
 /// Every runnable target, in canonical (paper) order. Output and
@@ -33,6 +35,7 @@ pub const TARGETS: &[&str] = &[
     "energy",
     "configurator",
     "adaptive",
+    "fleet",
     "extras",
 ];
 
@@ -61,6 +64,7 @@ fn target_fn(name: &str) -> Option<TargetFn> {
         "energy" => power::energy,
         "configurator" => power::configurator,
         "adaptive" => adaptive::adaptive,
+        "fleet" => fleet::fleet_target,
         "extras" => extras::extras,
         _ => return None,
     })

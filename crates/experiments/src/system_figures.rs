@@ -7,7 +7,10 @@ use hetero_dmr::monte_carlo::MonteCarlo;
 use hetero_dmr::{EvalConfig, MemoryDesign, NodeModel};
 use margin::composition::SelectionPolicy;
 use memsim::config::HierarchyConfig;
-use scheduler::{Cluster as HpcCluster, GrizzlyTrace, Policy, QueueTail, RunSummary, SpeedupModel};
+use scheduler::{
+    Cluster as HpcCluster, GrizzlyTrace, Policy, QueueTail, RunSummary, SchedulerConfig,
+    SliceSource, SpeedupModel,
+};
 use workloads::utilization::{Cluster as LanlCluster, UtilizationModel};
 
 /// Figure 11: channel- and node-level margin distributions under
@@ -131,12 +134,20 @@ pub fn fig17(ctx: &mut Ctx) {
     // with `--trace`, each run adds a `schedule` span with per-job
     // child spans on the schedule clock.
     let run = |cluster: &HpcCluster, label: &str, policy: Policy, sp: &SpeedupModel| {
+        let config = SchedulerConfig::builder()
+            .policy(policy)
+            .speedups(*sp)
+            .build()
+            .expect("measured speedup table is consistent");
         let scope = ctx.metrics_scope(&format!("cluster.{label}"));
-        match (&scope, &ctx.tracer) {
-            (scope, Some(t)) => cluster.run_traced(&trace, policy, sp, scope.as_ref(), t),
-            (Some(scope), None) => cluster.run_metered(&trace, policy, sp, scope),
-            (None, None) => cluster.run(&trace, policy, sp),
+        let mut run = cluster.schedule(SliceSource::new(&trace)).config(config);
+        if let Some(scope) = &scope {
+            run = run.metrics(scope);
         }
+        if let Some(t) = &ctx.tracer {
+            run = run.tracer(t);
+        }
+        run.run()
     };
     let conv_outcomes = run(
         &conventional,

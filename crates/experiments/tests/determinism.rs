@@ -125,6 +125,92 @@ fn adaptive_is_jobs_invariant() {
     assert_jobs_invariant("adaptive", true);
 }
 
+#[test]
+fn fleet_is_jobs_invariant() {
+    // Federation shards run one-per-member on the worker pool and
+    // merge streaming summaries, telemetry snapshots, and traces in
+    // member order; stdout and the JSONL export must not care how
+    // many workers carried the shards. A reduced stream keeps the
+    // debug-profile binary fast; the ci.sh smoke covers quick scale.
+    let fleet = &["--fleet-jobs", "20000"];
+    let dir = tmp_dir("fleet");
+    let (serial_out, serial_jsonl) = run_with_jobs_and("fleet", "1", &dir, fleet);
+    let (parallel_out, parallel_jsonl) = run_with_jobs_and("fleet", "8", &dir, fleet);
+    assert!(
+        !serial_jsonl.is_empty(),
+        "fleet must export at least one metric series"
+    );
+    assert_eq!(
+        serial_out, parallel_out,
+        "fleet: stdout differs between --jobs 1 and --jobs 8"
+    );
+    assert_eq!(
+        serial_jsonl, parallel_jsonl,
+        "fleet: metrics JSONL differs between --jobs 1 and --jobs 8"
+    );
+}
+
+#[test]
+fn fleet_trace_is_jobs_invariant() {
+    let fleet = &["--fleet-jobs", "20000"];
+    let dir = tmp_dir("trace_fleet");
+    let serial = run_with_trace_and("fleet", "1", &dir, fleet);
+    let parallel = run_with_trace_and("fleet", "8", &dir, fleet);
+    assert_eq!(
+        serial, parallel,
+        "fleet: trace differs between --jobs 1 and --jobs 8"
+    );
+    let text = String::from_utf8(serial).expect("trace is utf8");
+    let events = telemetry::trace::parse_chrome_trace(&text).expect("fleet trace parses");
+    // One schedule root per member per placement policy.
+    let roots = events.iter().filter(|e| e.name == "schedule").count();
+    assert_eq!(roots, 10, "5 members x 2 placements");
+    telemetry::trace::check_well_nested(&events).expect("fleet trace is well-nested");
+}
+
+/// Streaming ingestion holds RSS flat: a 10x bigger fleet stream may
+/// not cost 10x the memory. Compares the scheduler's peak RSS (VmHWM,
+/// reported on stderr) between 100 K- and 1 M-job runs and allows only
+/// a small constant-factor drift.
+#[cfg(target_os = "linux")]
+#[test]
+fn fleet_memory_stays_flat_as_jobs_scale() {
+    let peak_rss_kb = |fleet_jobs: &str| -> u64 {
+        let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args([
+                "fleet",
+                "--seed",
+                "7",
+                "--quick",
+                "--fleet-jobs",
+                fleet_jobs,
+                "--jobs",
+                "2",
+            ])
+            .output()
+            .expect("spawn experiments binary");
+        assert!(
+            out.status.success(),
+            "fleet --fleet-jobs {fleet_jobs}: {out:?}"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        stderr
+            .lines()
+            .find_map(|l| l.split("peak RSS ").nth(1))
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|kb| kb.parse().ok())
+            .unwrap_or_else(|| panic!("no peak RSS on stderr:\n{stderr}"))
+    };
+    let small = peak_rss_kb("100000");
+    let large = peak_rss_kb("1000000");
+    // Flat means bounded, not bit-equal: allocator noise moves peaks
+    // by a few MB, but a materialized trace would cost ~50 MB/1M jobs.
+    assert!(
+        large < small * 2 + 16_384,
+        "peak RSS grew from {small} kB (100K jobs) to {large} kB (1M jobs); streaming is broken"
+    );
+}
+
 /// The node-model result cache must be output-invisible twice over:
 /// with the cache enabled, `--jobs 1` and `--jobs 8` agree (hit/miss
 /// order differs across schedules, but replayed snapshots record the
@@ -172,6 +258,10 @@ fn model_cache_is_output_invisible() {
 
 /// Runs `target` with `--trace` and returns the Chrome trace bytes.
 fn run_with_trace(target: &str, jobs: &str, dir: &std::path::Path) -> Vec<u8> {
+    run_with_trace_and(target, jobs, dir, &[])
+}
+
+fn run_with_trace_and(target: &str, jobs: &str, dir: &std::path::Path, extra: &[&str]) -> Vec<u8> {
     let _ = std::fs::remove_dir_all(dir);
     let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
         .args([
@@ -186,6 +276,7 @@ fn run_with_trace(target: &str, jobs: &str, dir: &std::path::Path) -> Vec<u8> {
             "--trace",
             dir.to_str().unwrap(),
         ])
+        .args(extra)
         .output()
         .expect("spawn experiments binary");
     assert!(

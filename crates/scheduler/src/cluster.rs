@@ -1,10 +1,13 @@
 //! The cluster simulator: FCFS + EASY backfill over margin-grouped
-//! nodes.
+//! nodes, driven by a streaming job source and an ordered event queue.
 
+use crate::config::SchedulerConfig;
 use crate::job::{Job, JobOutcome};
+use crate::queue::EventQueue;
+use crate::source::{JobSource, SliceSource};
+use crate::stats::StreamSummary;
 use std::cell::Cell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 use telemetry::trace::{kv, Clock, SpanId, Tracer};
 use telemetry::{Counter, Gauge, Histogram, Scope};
 use workloads::utilization::UtilizationModel;
@@ -71,13 +74,17 @@ impl SpeedupModel {
 /// Registry-bound observability for one scheduling run: the live
 /// queue depth, start/backfill tallies, and per-margin-group latency
 /// distributions (queue delay and execution time, in milliseconds).
-/// Built per run by [`Cluster::run_metered`], so concurrently metered
-/// runs never alias each other's handles.
+/// Built per run by [`ScheduleBuilder::metrics`], so concurrently
+/// metered runs never alias each other's handles.
 #[derive(Debug)]
 struct ClusterMetrics {
     queue_depth: Gauge,
     jobs_started: Counter,
     jobs_backfilled: Counter,
+    /// Starts whose `min_group` was not one of [`GROUPS`] — always 0
+    /// unless an allocator bug invents a margin group (see
+    /// [`ClusterMetrics::note_start`]).
+    unknown_group_starts: Counter,
     /// Indexed like [`GROUPS`]: 800, 600, 0.
     queue_delay_ms: [Histogram; 3],
     exec_ms: [Histogram; 3],
@@ -90,6 +97,7 @@ impl ClusterMetrics {
             queue_depth: scope.gauge("queue_depth"),
             jobs_started: scope.counter("jobs_started"),
             jobs_backfilled: scope.counter("jobs_backfilled"),
+            unknown_group_starts: scope.counter("unknown_group_starts"),
             queue_delay_ms: per_group("queue_delay_ms"),
             exec_ms: per_group("exec_ms"),
         }
@@ -100,7 +108,17 @@ impl ClusterMetrics {
         if backfilled {
             self.jobs_backfilled.inc();
         }
-        let idx = GROUPS.iter().position(|&g| g == min_group).unwrap_or(2);
+        // An unknown margin group means the allocator handed out nodes
+        // that do not exist: loud in debug builds, a counted telemetry
+        // event (never a silent re-bin) in release.
+        let idx = match GROUPS.iter().position(|&g| g == min_group) {
+            Some(idx) => idx,
+            None => {
+                debug_assert!(false, "min_group {min_group} is not one of {GROUPS:?}");
+                self.unknown_group_starts.inc();
+                GROUPS.len() - 1
+            }
+        };
         self.queue_delay_ms[idx].record((outcome.queue_delay_s() * 1e3).max(0.0) as u64);
         self.exec_ms[idx].record((outcome.exec_s * 1e3).max(0.0) as u64);
     }
@@ -156,12 +174,12 @@ pub struct Variant {
     pub cluster: Cluster,
     pub policy: Policy,
     pub speedups: SpeedupModel,
-    /// When set, the run is metered ([`Cluster::run_metered`]) under
-    /// this scope; otherwise it runs unobserved.
+    /// When set, the run is metered under this scope; otherwise it
+    /// runs unobserved.
     pub scope: Option<Scope>,
-    /// When set, the run records job spans ([`Cluster::run_traced`])
-    /// into this tracer. Each variant needs its own tracer — sweeps
-    /// run variants concurrently.
+    /// When set, the run records job spans into this tracer. Each
+    /// variant needs its own tracer — sweeps run variants
+    /// concurrently.
     pub tracer: Option<Tracer>,
 }
 
@@ -171,35 +189,25 @@ pub struct Variant {
 /// trace, so the sweep's results are identical at any worker budget.
 pub fn run_variants(jobs: &[Job], variants: Vec<Variant>) -> Vec<(String, Vec<JobOutcome>)> {
     runner::parallel_map(variants, |_, v| {
-        let outcomes = match (&v.scope, &v.tracer) {
-            (scope, Some(t)) => {
-                v.cluster
-                    .run_traced(jobs, v.policy, &v.speedups, scope.as_ref(), t)
-            }
-            (Some(scope), None) => v.cluster.run_metered(jobs, v.policy, &v.speedups, scope),
-            (None, None) => v.cluster.run(jobs, v.policy, &v.speedups),
+        let Variant {
+            label,
+            cluster,
+            policy,
+            speedups,
+            scope,
+            tracer,
+        } = v;
+        let config = SchedulerConfig::from_parts_unchecked(policy, speedups);
+        let mut run = cluster.schedule(SliceSource::new(jobs)).config(config);
+        if let Some(scope) = &scope {
+            run = run.metrics(scope);
+        }
+        let outcomes = match &tracer {
+            Some(t) => run.tracer(t).run(),
+            None => run.run(),
         };
-        (v.label, outcomes)
+        (label, outcomes)
     })
-}
-
-/// Jobs ending: (end time, allocation per group).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Completion {
-    end_s: f64,
-    freed: [u32; 3],
-}
-
-impl Eq for Completion {}
-impl Ord for Completion {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.end_s.total_cmp(&other.end_s)
-    }
-}
-impl PartialOrd for Completion {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// A margin-grouped cluster.
@@ -246,15 +254,39 @@ impl Cluster {
         self.total
     }
 
-    /// Runs `jobs` (sorted by submit time) under `policy` and
-    /// `speedups`, returning one outcome per job.
-    pub fn run(&self, jobs: &[Job], policy: Policy, speedups: &SpeedupModel) -> Vec<JobOutcome> {
-        self.run_impl(jobs, policy, speedups, None, None)
+    /// Starts a scheduling run over `source`: configure with
+    /// [`config`](ScheduleBuilder::config), attach observability with
+    /// [`metrics`](ScheduleBuilder::metrics) /
+    /// [`tracer`](ScheduleBuilder::tracer), then finish with
+    /// [`run`](ScheduleBuilder::run) (collected outcomes) or
+    /// [`run_streaming`](ScheduleBuilder::run_streaming) (O(1)-memory
+    /// summary).
+    pub fn schedule<S: JobSource>(&self, source: S) -> ScheduleBuilder<'_, S> {
+        ScheduleBuilder {
+            cluster: self,
+            source,
+            config: SchedulerConfig::default(),
+            scope: None,
+            tracer: None,
+        }
     }
 
-    /// [`Cluster::run`] with observability: queue depth, start and
-    /// backfill tallies, and per-group latency histograms are recorded
-    /// under `scope` as the simulation progresses.
+    /// Deprecated spelling of the builder entry point.
+    #[deprecated(
+        note = "use `cluster.schedule(SliceSource::new(jobs)).config(cfg).run()` \
+                (see README: migrating from run/run_metered/run_traced)"
+    )]
+    pub fn run(&self, jobs: &[Job], policy: Policy, speedups: &SpeedupModel) -> Vec<JobOutcome> {
+        self.schedule(SliceSource::new(jobs))
+            .config(SchedulerConfig::from_parts_unchecked(policy, *speedups))
+            .run()
+    }
+
+    /// Deprecated spelling of the builder entry point with metrics.
+    #[deprecated(
+        note = "use `cluster.schedule(SliceSource::new(jobs)).config(cfg).metrics(scope).run()` \
+                (see README: migrating from run/run_metered/run_traced)"
+    )]
     pub fn run_metered(
         &self,
         jobs: &[Job],
@@ -262,14 +294,17 @@ impl Cluster {
         speedups: &SpeedupModel,
         scope: &Scope,
     ) -> Vec<JobOutcome> {
-        let metrics = ClusterMetrics::new(scope);
-        self.run_impl(jobs, policy, speedups, Some(&metrics), None)
+        self.schedule(SliceSource::new(jobs))
+            .config(SchedulerConfig::from_parts_unchecked(policy, *speedups))
+            .metrics(scope)
+            .run()
     }
 
-    /// [`Cluster::run`] with causal tracing (and optionally metering):
-    /// the whole run becomes a `schedule` span on the schedule clock
-    /// ending at the makespan, with one `job.<id>` span per started
-    /// job (capped at [`TRACED_JOB_CAP`]) carrying its allocation.
+    /// Deprecated spelling of the builder entry point with tracing.
+    #[deprecated(
+        note = "use `cluster.schedule(SliceSource::new(jobs)).config(cfg).tracer(t).run()` \
+                (see README: migrating from run/run_metered/run_traced)"
+    )]
     pub fn run_traced(
         &self,
         jobs: &[Job],
@@ -278,124 +313,231 @@ impl Cluster {
         scope: Option<&Scope>,
         tracer: &Tracer,
     ) -> Vec<JobOutcome> {
-        let metrics = scope.map(ClusterMetrics::new);
-        let trace = ClusterTrace {
-            tracer,
-            root: tracer.begin("schedule", "sched", Clock::SchedUs, 0),
-            traced: Cell::new(0),
-        };
-        let outcomes = self.run_impl(jobs, policy, speedups, metrics.as_ref(), Some(&trace));
-        let makespan = outcomes
-            .iter()
-            .map(|o| o.start_s + o.exec_s)
-            .fold(0.0, f64::max);
-        tracer.end_with(
-            trace.root,
-            sched_us(makespan),
-            vec![
-                kv("jobs", outcomes.len()),
-                kv("jobs_traced", trace.traced.get()),
-            ],
-        );
-        outcomes
+        let mut run = self
+            .schedule(SliceSource::new(jobs))
+            .config(SchedulerConfig::from_parts_unchecked(policy, *speedups))
+            .tracer(tracer);
+        if let Some(scope) = scope {
+            run = run.metrics(scope);
+        }
+        run.run()
     }
 
-    #[allow(unused_assignments)] // `now` is (re)written by each event arm
-    fn run_impl(
+    /// The event-driven core: pulls jobs from `source`, keeps
+    /// completions in the ordered [`EventQueue`], and reports every
+    /// started job to `sink` (outcome, min group, backfilled). Returns
+    /// `(jobs started, makespan seconds)`.
+    fn run_core(
         &self,
-        jobs: &[Job],
-        policy: Policy,
-        speedups: &SpeedupModel,
+        source: &mut dyn JobSource,
+        config: &SchedulerConfig,
         metrics: Option<&ClusterMetrics>,
         trace: Option<&ClusterTrace>,
-    ) -> Vec<JobOutcome> {
-        let mut free = self.total;
-        let mut completions: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
-        let mut waiting: Vec<Job> = Vec::new();
-        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
-        let mut next_arrival = 0usize;
-        let mut now = 0.0f64;
+        sink: &mut dyn FnMut(&JobOutcome, u32, bool),
+    ) -> (u64, f64) {
+        let mut state = RunState {
+            free: self.total,
+            events: EventQueue::new(),
+            waiting: VecDeque::new(),
+            started: 0,
+            makespan_s: 0.0,
+            metrics,
+            trace,
+        };
+        let mut pending = source.next_job();
+        let mut last_submit = f64::NEG_INFINITY;
 
         loop {
-            // Advance to the next event: arrival or completion.
-            let arrival_t = jobs.get(next_arrival).map(|j| j.submit_s);
-            let completion_t = completions.peek().map(|Reverse(c)| c.end_s);
+            // Advance to the next event: arrival or completion
+            // (arrivals win ties so a job submitted exactly at a
+            // completion instant sees the freed nodes in its first
+            // scheduling pass).
+            let arrival_t = pending.as_ref().map(|j| j.submit_s);
+            let completion_t = state.events.peek_end();
+            let now;
             match (arrival_t, completion_t) {
-                (None, None) if waiting.is_empty() => break,
+                (None, None) if state.waiting.is_empty() => break,
                 (Some(a), Some(c)) if a <= c => {
                     now = a;
-                    waiting.push(jobs[next_arrival]);
-                    next_arrival += 1;
+                    let job = pending.take().expect("arrival peeked");
+                    debug_assert!(
+                        job.submit_s >= last_submit,
+                        "JobSource must yield nondecreasing submit times \
+                         ({} after {last_submit})",
+                        job.submit_s
+                    );
+                    last_submit = job.submit_s;
+                    state.waiting.push_back(job);
+                    pending = source.next_job();
                 }
                 (Some(a), None) => {
                     now = a;
-                    waiting.push(jobs[next_arrival]);
-                    next_arrival += 1;
+                    let job = pending.take().expect("arrival peeked");
+                    debug_assert!(
+                        job.submit_s >= last_submit,
+                        "JobSource must yield nondecreasing submit times \
+                         ({} after {last_submit})",
+                        job.submit_s
+                    );
+                    last_submit = job.submit_s;
+                    state.waiting.push_back(job);
+                    pending = source.next_job();
                 }
                 (_, Some(_)) => {
-                    let Reverse(c) = completions.pop().expect("peeked");
-                    now = c.end_s;
-                    for (f, freed) in free.iter_mut().zip(c.freed) {
+                    let event = state.events.pop().expect("completion peeked");
+                    now = event.end_s;
+                    for (f, freed) in state.free.iter_mut().zip(event.freed) {
                         *f += freed;
                     }
                 }
-                (None, None) => unreachable!("waiting jobs but no capacity in flight"),
+                (None, None) => {
+                    panic!("waiting jobs can never start: a queued job is wider than the cluster")
+                }
             }
 
-            self.schedule(
-                now,
-                &mut waiting,
-                &mut free,
-                &mut completions,
-                &mut outcomes,
-                policy,
-                speedups,
-                metrics,
-                trace,
-            );
-            if let Some(m) = metrics {
-                m.queue_depth.set(waiting.len() as i64);
+            state.schedule(now, config, sink);
+            if let Some(m) = state.metrics {
+                m.queue_depth.set(state.waiting.len() as i64);
             }
         }
+        (state.started, state.makespan_s)
+    }
+
+    /// Shared front half of `run`/`run_streaming`: builds per-run
+    /// observers, wraps the run in a `schedule` root span when traced.
+    fn execute<S: JobSource>(
+        &self,
+        mut source: S,
+        config: &SchedulerConfig,
+        scope: Option<&Scope>,
+        tracer: Option<&Tracer>,
+        sink: &mut dyn FnMut(&JobOutcome, u32, bool),
+    ) {
+        let metrics = scope.map(ClusterMetrics::new);
+        match tracer {
+            Some(tracer) => {
+                let trace = ClusterTrace {
+                    tracer,
+                    root: tracer.begin("schedule", "sched", Clock::SchedUs, 0),
+                    traced: Cell::new(0),
+                };
+                let (jobs, makespan_s) =
+                    self.run_core(&mut source, config, metrics.as_ref(), Some(&trace), sink);
+                tracer.end_with(
+                    trace.root,
+                    sched_us(makespan_s),
+                    vec![kv("jobs", jobs), kv("jobs_traced", trace.traced.get())],
+                );
+            }
+            None => {
+                self.run_core(&mut source, config, metrics.as_ref(), None, sink);
+            }
+        }
+    }
+}
+
+/// A configured-but-not-yet-run schedule; see [`Cluster::schedule`].
+#[derive(Debug)]
+pub struct ScheduleBuilder<'c, S> {
+    cluster: &'c Cluster,
+    source: S,
+    config: SchedulerConfig,
+    scope: Option<Scope>,
+    tracer: Option<&'c Tracer>,
+}
+
+impl<'c, S: JobSource> ScheduleBuilder<'c, S> {
+    /// Sets the validated policy + speedup configuration (defaults to
+    /// a conventional, margin-oblivious system).
+    pub fn config(mut self, config: SchedulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Meters the run under `scope`: queue depth, start/backfill
+    /// tallies, per-group latency histograms.
+    pub fn metrics(mut self, scope: &Scope) -> Self {
+        self.scope = Some(scope.clone());
+        self
+    }
+
+    /// Records job spans into `tracer` under a `schedule` root span.
+    pub fn tracer(mut self, tracer: &'c Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Runs to completion, collecting one outcome per job (sorted by
+    /// job id). Materializes the outcome list — for fleet-scale runs
+    /// use [`run_streaming`](Self::run_streaming) instead.
+    pub fn run(self) -> Vec<JobOutcome> {
+        let ScheduleBuilder {
+            cluster,
+            source,
+            config,
+            scope,
+            tracer,
+        } = self;
+        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(source.len_hint().unwrap_or(0));
+        cluster.execute(source, &config, scope.as_ref(), tracer, &mut |o, _, _| {
+            outcomes.push(*o)
+        });
         outcomes.sort_by_key(|o| o.job.id);
         outcomes
     }
 
+    /// Runs to completion, folding every outcome into a
+    /// [`StreamSummary`] as it happens. Memory stays O(1) in the job
+    /// count — this is the fleet-scale entry point.
+    pub fn run_streaming(self) -> StreamSummary {
+        let ScheduleBuilder {
+            cluster,
+            source,
+            config,
+            scope,
+            tracer,
+        } = self;
+        let mut summary = StreamSummary::new();
+        cluster.execute(
+            source,
+            &config,
+            scope.as_ref(),
+            tracer,
+            &mut |o, min_group, backfilled| summary.note(o, min_group, backfilled),
+        );
+        summary
+    }
+}
+
+/// Mutable state of one run of the event loop.
+struct RunState<'a> {
+    free: [u32; 3],
+    events: EventQueue,
+    waiting: VecDeque<Job>,
+    started: u64,
+    makespan_s: f64,
+    metrics: Option<&'a ClusterMetrics>,
+    trace: Option<&'a ClusterTrace<'a>>,
+}
+
+impl RunState<'_> {
     /// FCFS + EASY backfill scheduling pass at time `now`.
-    #[allow(clippy::too_many_arguments)]
     fn schedule(
-        &self,
+        &mut self,
         now: f64,
-        waiting: &mut Vec<Job>,
-        free: &mut [u32; 3],
-        completions: &mut BinaryHeap<Reverse<Completion>>,
-        outcomes: &mut Vec<JobOutcome>,
-        policy: Policy,
-        speedups: &SpeedupModel,
-        metrics: Option<&ClusterMetrics>,
-        trace: Option<&ClusterTrace>,
+        config: &SchedulerConfig,
+        sink: &mut dyn FnMut(&JobOutcome, u32, bool),
     ) {
         // Start FCFS-eligible jobs from the head.
-        while let Some(&head) = waiting.first() {
-            if head.nodes <= free.iter().sum::<u32>() {
-                waiting.remove(0);
-                Self::start(
-                    head,
-                    now,
-                    free,
-                    completions,
-                    outcomes,
-                    policy,
-                    speedups,
-                    metrics,
-                    trace,
-                    false,
-                );
+        while let Some(&head) = self.waiting.front() {
+            if head.nodes <= self.free.iter().sum::<u32>() {
+                self.waiting.pop_front();
+                self.start(head, now, config, false, sink);
             } else {
                 break;
             }
         }
-        let Some(&head) = waiting.first() else {
+        let Some(&head) = self.waiting.front() else {
             return;
         };
 
@@ -406,162 +548,146 @@ impl Cluster {
         // nodes the candidate would actually receive — the scheduler
         // knows its groups (that is the whole point of margin
         // awareness).
-        let shadow = Self::shadow_time(head.nodes, free, completions);
+        let shadow = self.shadow_time(head.nodes);
         let mut i = 1;
-        while i < waiting.len() {
-            let candidate = waiting[i];
-            let fits = candidate.nodes <= free.iter().sum::<u32>();
+        while i < self.waiting.len() {
+            let candidate = self.waiting[i];
+            let fits = candidate.nodes <= self.free.iter().sum::<u32>();
             let ends_in_time = fits && {
-                let alloc = match policy {
-                    Policy::MarginAware => Self::allocate_margin_aware(candidate.nodes, free),
-                    Policy::Default => Self::allocate_default(candidate.nodes, free),
+                let alloc = match config.policy() {
+                    Policy::MarginAware => allocate_margin_aware(candidate.nodes, &self.free),
+                    Policy::Default => allocate_default(candidate.nodes, &self.free),
                 };
                 let exec = candidate.duration_s
-                    / speedups.job_speedup(Self::min_group(&alloc), candidate.mem_utilization);
+                    / config
+                        .speedups()
+                        .job_speedup(min_group(&alloc), candidate.mem_utilization);
                 now + exec <= shadow
             };
             if fits && ends_in_time {
-                let job = waiting.remove(i);
-                Self::start(
-                    job,
-                    now,
-                    free,
-                    completions,
-                    outcomes,
-                    policy,
-                    speedups,
-                    metrics,
-                    trace,
-                    true,
-                );
+                let job = self.waiting.remove(i).expect("index in bounds");
+                self.start(job, now, config, true, sink);
             } else {
                 i += 1;
             }
         }
     }
 
-    /// The slowest group present in an allocation (caps an MPI job).
-    fn min_group(alloc: &[u32; 3]) -> u32 {
-        GROUPS
-            .iter()
-            .zip(alloc)
-            .filter(|&(_, &a)| a > 0)
-            .map(|(&g, _)| g)
-            .min()
-            .unwrap_or(0)
-    }
-
-    /// The earliest time at which `needed` nodes will be simultaneously
-    /// free, given current free nodes and running jobs.
-    fn shadow_time(
-        needed: u32,
-        free: &[u32; 3],
-        completions: &BinaryHeap<Reverse<Completion>>,
-    ) -> f64 {
-        let mut available: u32 = free.iter().sum();
+    /// The earliest time at which `needed` nodes will be
+    /// simultaneously free, given current free nodes and running
+    /// jobs. Walks the event queue in order and stops as soon as the
+    /// deficit is covered — no copying, no re-sorting.
+    fn shadow_time(&self, needed: u32) -> f64 {
+        let mut available: u32 = self.free.iter().sum();
         if available >= needed {
             return 0.0;
         }
-        let mut ends: Vec<&Completion> = completions.iter().map(|Reverse(c)| c).collect();
-        ends.sort_by(|a, b| a.end_s.total_cmp(&b.end_s));
-        for c in ends {
-            available += c.freed.iter().sum::<u32>();
+        for event in self.events.in_order() {
+            available += event.freed.iter().sum::<u32>();
             if available >= needed {
-                return c.end_s;
+                return event.end_s;
             }
         }
         f64::INFINITY
     }
 
     /// Allocates and starts one job.
-    #[allow(clippy::too_many_arguments)]
     fn start(
+        &mut self,
         job: Job,
         now: f64,
-        free: &mut [u32; 3],
-        completions: &mut BinaryHeap<Reverse<Completion>>,
-        outcomes: &mut Vec<JobOutcome>,
-        policy: Policy,
-        speedups: &SpeedupModel,
-        metrics: Option<&ClusterMetrics>,
-        trace: Option<&ClusterTrace>,
+        config: &SchedulerConfig,
         backfilled: bool,
+        sink: &mut dyn FnMut(&JobOutcome, u32, bool),
     ) {
-        let alloc = match policy {
-            Policy::MarginAware => Self::allocate_margin_aware(job.nodes, free),
-            Policy::Default => Self::allocate_default(job.nodes, free),
+        let alloc = match config.policy() {
+            Policy::MarginAware => allocate_margin_aware(job.nodes, &self.free),
+            Policy::Default => allocate_default(job.nodes, &self.free),
         };
-        for (f, a) in free.iter_mut().zip(alloc) {
+        for (f, a) in self.free.iter_mut().zip(alloc) {
             *f -= a;
         }
         // The slowest allocated node's group caps the MPI job.
-        let min_group = Self::min_group(&alloc);
-        let exec = job.duration_s / speedups.job_speedup(min_group, job.mem_utilization);
-        completions.push(Reverse(Completion {
-            end_s: now + exec,
-            freed: alloc,
-        }));
+        let min_group = min_group(&alloc);
+        let exec = job.duration_s
+            / config
+                .speedups()
+                .job_speedup(min_group, job.mem_utilization);
+        self.events.push(now + exec, alloc);
         let outcome = JobOutcome {
             job,
             start_s: now,
             exec_s: exec,
         };
-        if let Some(m) = metrics {
+        self.started += 1;
+        self.makespan_s = self.makespan_s.max(now + exec);
+        if let Some(m) = self.metrics {
             m.note_start(&outcome, min_group, backfilled);
         }
-        if let Some(t) = trace {
+        if let Some(t) = self.trace {
             t.note_start(&outcome, min_group, backfilled);
         }
-        outcomes.push(outcome);
+        sink(&outcome, min_group, backfilled);
     }
+}
 
-    /// Margin-aware allocation: the fastest single group that fits
-    /// takes the whole job; otherwise spill fastest-first.
-    fn allocate_margin_aware(nodes: u32, free: &[u32; 3]) -> [u32; 3] {
-        for (i, &f) in free.iter().enumerate() {
-            if f >= nodes {
-                let mut alloc = [0; 3];
-                alloc[i] = nodes;
-                return alloc;
-            }
+/// The slowest group present in an allocation (caps an MPI job).
+fn min_group(alloc: &[u32; 3]) -> u32 {
+    GROUPS
+        .iter()
+        .zip(alloc)
+        .filter(|&(_, &a)| a > 0)
+        .map(|(&g, _)| g)
+        .min()
+        .unwrap_or(0)
+}
+
+/// Margin-aware allocation: the fastest single group that fits
+/// takes the whole job; otherwise spill fastest-first.
+fn allocate_margin_aware(nodes: u32, free: &[u32; 3]) -> [u32; 3] {
+    for (i, &f) in free.iter().enumerate() {
+        if f >= nodes {
+            let mut alloc = [0; 3];
+            alloc[i] = nodes;
+            return alloc;
         }
-        let mut alloc = [0; 3];
-        let mut remaining = nodes;
-        for (a, &f) in alloc.iter_mut().zip(free) {
-            let take = remaining.min(f);
-            *a = take;
-            remaining -= take;
-        }
-        debug_assert_eq!(remaining, 0, "caller checked total capacity");
-        alloc
     }
+    let mut alloc = [0; 3];
+    let mut remaining = nodes;
+    for (a, &f) in alloc.iter_mut().zip(free) {
+        let take = remaining.min(f);
+        *a = take;
+        remaining -= take;
+    }
+    debug_assert_eq!(remaining, 0, "caller checked total capacity");
+    alloc
+}
 
-    /// Margin-oblivious allocation: nodes come in proportion to what
-    /// is free (groups are physically interleaved in the racks).
-    fn allocate_default(nodes: u32, free: &[u32; 3]) -> [u32; 3] {
-        let total: u32 = free.iter().sum();
-        let mut alloc = [0u32; 3];
-        let mut assigned = 0;
-        for i in 0..3 {
-            let share = (nodes as u64 * free[i] as u64 / total as u64) as u32;
-            let take = share.min(free[i]);
-            alloc[i] = take;
-            assigned += take;
-        }
-        // Distribute the rounding remainder wherever room remains.
-        let mut i = 0;
-        while assigned < nodes {
-            if alloc[i] < free[i] {
-                alloc[i] += 1;
-                assigned += 1;
-            } else {
-                i = (i + 1) % 3;
-                continue;
-            }
+/// Margin-oblivious allocation: nodes come in proportion to what
+/// is free (groups are physically interleaved in the racks).
+fn allocate_default(nodes: u32, free: &[u32; 3]) -> [u32; 3] {
+    let total: u32 = free.iter().sum();
+    let mut alloc = [0u32; 3];
+    let mut assigned = 0;
+    for i in 0..3 {
+        let share = (nodes as u64 * free[i] as u64 / total as u64) as u32;
+        let take = share.min(free[i]);
+        alloc[i] = take;
+        assigned += take;
+    }
+    // Distribute the rounding remainder wherever room remains.
+    let mut i = 0;
+    while assigned < nodes {
+        if alloc[i] < free[i] {
+            alloc[i] += 1;
+            assigned += 1;
+        } else {
             i = (i + 1) % 3;
+            continue;
         }
-        alloc
+        i = (i + 1) % 3;
     }
+    alloc
 }
 
 #[cfg(test)]
@@ -578,6 +704,30 @@ mod tests {
         }
     }
 
+    fn aware() -> SchedulerConfig {
+        SchedulerConfig::builder()
+            .margin_aware()
+            .speedups(SpeedupModel::hetero_dmr_default())
+            .build()
+            .unwrap()
+    }
+
+    fn oblivious_hdmr() -> SchedulerConfig {
+        SchedulerConfig::builder()
+            .margin_oblivious()
+            .speedups(SpeedupModel::hetero_dmr_default())
+            .build()
+            .unwrap()
+    }
+
+    fn conventional() -> SchedulerConfig {
+        SchedulerConfig::default()
+    }
+
+    fn run(c: &Cluster, jobs: &[Job], config: SchedulerConfig) -> Vec<JobOutcome> {
+        c.schedule(SliceSource::new(jobs)).config(config).run()
+    }
+
     #[test]
     fn group_split() {
         let c = Cluster::new(100, [0.62, 0.36, 0.02]);
@@ -591,11 +741,7 @@ mod tests {
     fn single_job_runs_immediately() {
         let c = Cluster::new(10, [1.0, 0.0, 0.0]);
         let jobs = [job(0, 5.0, 4, 100.0, 0.1)];
-        let out = c.run(
-            &jobs,
-            Policy::MarginAware,
-            &SpeedupModel::hetero_dmr_default(),
-        );
+        let out = run(&c, &jobs, aware());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].start_s, 5.0);
         assert!((out[0].exec_s - 100.0 / 1.10).abs() < 1e-9);
@@ -605,7 +751,7 @@ mod tests {
     fn fcfs_queues_when_full() {
         let c = Cluster::conventional(4);
         let jobs = [job(0, 0.0, 4, 100.0, 0.1), job(1, 1.0, 4, 50.0, 0.1)];
-        let out = c.run(&jobs, Policy::Default, &SpeedupModel::conventional());
+        let out = run(&c, &jobs, conventional());
         assert_eq!(out[1].start_s, 100.0);
         assert_eq!(out[1].queue_delay_s(), 99.0);
     }
@@ -618,7 +764,7 @@ mod tests {
             job(1, 1.0, 4, 50.0, 0.1),  // head: must wait to 100
             job(2, 2.0, 1, 30.0, 0.1),  // would fit... but 0 free
         ];
-        let out = c.run(&jobs, Policy::Default, &SpeedupModel::conventional());
+        let out = run(&c, &jobs, conventional());
         // Nothing is free until t=100, so no backfill possible here;
         // all start at 100 (head first, then the 1-node job backfills
         // the 4-node... capacity is 4, head takes it).
@@ -635,7 +781,7 @@ mod tests {
             job(2, 2.0, 2, 30.0, 0.1),  // fits in the 2 free, ends at 32 ≤ 100
             job(3, 3.0, 2, 200.0, 0.1), // fits but would overrun the reservation
         ];
-        let out = c.run(&jobs, Policy::Default, &SpeedupModel::conventional());
+        let out = run(&c, &jobs, conventional());
         assert_eq!(out[2].start_s, 2.0, "small job backfills");
         assert_eq!(out[1].start_s, 100.0, "head unharmed");
         assert!(out[3].start_s >= 100.0, "overrunning job must not backfill");
@@ -645,18 +791,14 @@ mod tests {
     fn margin_aware_prefers_one_fast_group() {
         let c = Cluster::new(100, [0.62, 0.36, 0.02]);
         let jobs = [job(0, 0.0, 30, 100.0, 0.1)];
-        let aware = c.run(
-            &jobs,
-            Policy::MarginAware,
-            &SpeedupModel::hetero_dmr_default(),
-        );
+        let aware_out = run(&c, &jobs, aware());
         // All 30 nodes fit in the 62-node fast group → full 1.10.
-        assert!((aware[0].exec_s - 100.0 / 1.10).abs() < 1e-9);
+        assert!((aware_out[0].exec_s - 100.0 / 1.10).abs() < 1e-9);
 
-        let unaware = c.run(&jobs, Policy::Default, &SpeedupModel::hetero_dmr_default());
+        let unaware = run(&c, &jobs, oblivious_hdmr());
         // Proportional mixing pulls in slower-group nodes, capping the
         // job below the fast group's speedup.
-        assert!(unaware[0].exec_s > aware[0].exec_s);
+        assert!(unaware[0].exec_s > aware_out[0].exec_s);
         assert!((unaware[0].exec_s - 100.0 / 1.07).abs() < 1e-9);
     }
 
@@ -666,11 +808,7 @@ mod tests {
         // 70 nodes cannot fit in any single group: 62+8 spill → slowest
         // allocated is the 600 group.
         let jobs = [job(0, 0.0, 70, 100.0, 0.1)];
-        let out = c.run(
-            &jobs,
-            Policy::MarginAware,
-            &SpeedupModel::hetero_dmr_default(),
-        );
+        let out = run(&c, &jobs, aware());
         assert!((out[0].exec_s - 100.0 / 1.07).abs() < 1e-9);
     }
 
@@ -678,11 +816,7 @@ mod tests {
     fn high_utilization_jobs_never_speed_up() {
         let c = Cluster::new(10, [1.0, 0.0, 0.0]);
         let jobs = [job(0, 0.0, 1, 100.0, 0.8)];
-        let out = c.run(
-            &jobs,
-            Policy::MarginAware,
-            &SpeedupModel::hetero_dmr_default(),
-        );
+        let out = run(&c, &jobs, aware());
         assert_eq!(out[0].exec_s, 100.0);
     }
 
@@ -693,12 +827,8 @@ mod tests {
         let c_fast = Cluster::new(8, [1.0, 0.0, 0.0]);
         let c_slow = Cluster::conventional(8);
         let jobs: Vec<Job> = (0..40).map(|i| job(i, i as f64, 4, 100.0, 0.1)).collect();
-        let fast = c_fast.run(
-            &jobs,
-            Policy::MarginAware,
-            &SpeedupModel::hetero_dmr_default(),
-        );
-        let slow = c_slow.run(&jobs, Policy::Default, &SpeedupModel::conventional());
+        let fast = run(&c_fast, &jobs, aware());
+        let slow = run(&c_slow, &jobs, conventional());
         let qf: f64 = fast.iter().map(JobOutcome::queue_delay_s).sum();
         let qs: f64 = slow.iter().map(JobOutcome::queue_delay_s).sum();
         assert!(qf < qs, "queueing must shrink: {qf} vs {qs}");
@@ -732,18 +862,8 @@ mod tests {
         );
         assert_eq!(sweep[0].0, "conventional");
         assert_eq!(sweep[1].0, "margin_aware");
-        assert_eq!(
-            sweep[0].1,
-            conv.run(&trace, Policy::Default, &SpeedupModel::conventional())
-        );
-        assert_eq!(
-            sweep[1].1,
-            hdmr.run(
-                &trace,
-                Policy::MarginAware,
-                &SpeedupModel::hetero_dmr_default()
-            )
-        );
+        assert_eq!(sweep[0].1, run(&conv, &trace, conventional()));
+        assert_eq!(sweep[1].1, run(&hdmr, &trace, aware()));
     }
 
     #[test]
@@ -756,20 +876,14 @@ mod tests {
             job(2, 2.0, 8, 25.0, 0.8),
         ];
         let tracer = Tracer::new();
-        let out = c.run_traced(
-            &jobs,
-            Policy::MarginAware,
-            &SpeedupModel::hetero_dmr_default(),
-            None,
-            &tracer,
-        );
+        let out = c
+            .schedule(SliceSource::new(&jobs))
+            .config(aware())
+            .tracer(&tracer)
+            .run();
         assert_eq!(
             out,
-            c.run(
-                &jobs,
-                Policy::MarginAware,
-                &SpeedupModel::hetero_dmr_default()
-            ),
+            run(&c, &jobs, aware()),
             "tracing must not perturb the schedule"
         );
         let events = tracer.take();
@@ -797,16 +911,97 @@ mod tests {
     fn every_job_completes_exactly_once() {
         let c = Cluster::new(64, [0.62, 0.36, 0.02]);
         let trace = crate::trace::GrizzlyTrace::scaled(500, 64).generate(3);
-        let out = c.run(
-            &trace,
-            Policy::MarginAware,
-            &SpeedupModel::hetero_dmr_default(),
-        );
+        let out = run(&c, &trace, aware());
         assert_eq!(out.len(), trace.len());
         for (o, j) in out.iter().zip(&trace) {
             assert_eq!(o.job.id, j.id);
             assert!(o.start_s >= j.submit_s);
             assert!(o.exec_s <= j.duration_s + 1e-9);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_builder() {
+        let c = Cluster::new(64, [0.62, 0.36, 0.02]);
+        let trace = crate::trace::GrizzlyTrace::scaled(400, 64).generate(11);
+        let speedups = SpeedupModel::hetero_dmr_default();
+        assert_eq!(
+            c.run(&trace, Policy::MarginAware, &speedups),
+            run(&c, &trace, aware())
+        );
+        let registry = telemetry::Registry::new();
+        let metered = c.run_metered(
+            &trace,
+            Policy::MarginAware,
+            &speedups,
+            &registry.scope("old"),
+        );
+        assert_eq!(metered, run(&c, &trace, aware()));
+        let tracer = Tracer::new();
+        let traced = c.run_traced(&trace, Policy::MarginAware, &speedups, None, &tracer);
+        assert_eq!(traced, run(&c, &trace, aware()));
+        assert!(!tracer.take().is_empty());
+    }
+
+    #[test]
+    fn streaming_summary_matches_the_collected_run() {
+        let c = Cluster::new(64, [0.62, 0.36, 0.02]);
+        let trace = crate::trace::GrizzlyTrace::scaled(800, 64).generate(5);
+        let out = run(&c, &trace, aware());
+        let summary = c
+            .schedule(SliceSource::new(&trace))
+            .config(aware())
+            .run_streaming();
+        let reference = crate::stats::RunSummary::from_outcomes(&out);
+        assert_eq!(summary.jobs(), out.len() as u64);
+        assert!((summary.mean_exec_s() - reference.mean_exec_s).abs() < 1e-9);
+        assert!((summary.mean_queue_s() - reference.mean_queue_s).abs() < 1e-9);
+        assert!((summary.mean_turnaround_s() - reference.mean_turnaround_s).abs() < 1e-9);
+        let makespan = out.iter().map(|o| o.start_s + o.exec_s).fold(0.0, f64::max);
+        assert!((summary.makespan_s() - makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metered_runs_never_see_unknown_groups() {
+        let registry = telemetry::Registry::new();
+        let c = Cluster::new(32, [0.5, 0.25, 0.25]);
+        let trace = crate::trace::GrizzlyTrace::scaled(200, 32).generate(2);
+        let out = c
+            .schedule(SliceSource::new(&trace))
+            .config(aware())
+            .metrics(&registry.scope("m"))
+            .run();
+        assert_eq!(out.len(), trace.len());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("m.jobs_started"), trace.len() as u64);
+        assert_eq!(snap.counter("m.unknown_group_starts"), 0);
+    }
+
+    #[test]
+    fn streaming_source_runs_without_materializing() {
+        use workloads::jobs::SyntheticJobs;
+        use workloads::utilization::{Cluster as LanlCluster, UtilizationModel};
+        let gen = SyntheticJobs {
+            jobs: 2_000,
+            max_nodes: 64,
+            capacity_nodes: 64.0,
+            target_utilization: 0.7,
+            utilization: UtilizationModel::for_cluster(LanlCluster::Grizzly),
+        };
+        let c = Cluster::new(64, [0.62, 0.36, 0.02]);
+        let summary = c
+            .schedule(crate::source::from_specs(gen.stream(3)))
+            .config(aware())
+            .run_streaming();
+        assert_eq!(summary.jobs(), 2_000);
+        assert!(summary.mean_exec_s() > 0.0);
+        // Replaying the same stream gives the same summary.
+        let again = c
+            .schedule(crate::source::from_specs(gen.stream(3)))
+            .config(aware())
+            .run_streaming();
+        assert_eq!(summary.mean_turnaround_s(), again.mean_turnaround_s());
+        assert_eq!(summary.makespan_s(), again.makespan_s());
     }
 }

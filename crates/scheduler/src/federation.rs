@@ -1,0 +1,532 @@
+//! Fleet-scale federated scheduling across heterogeneous clusters.
+//!
+//! A [`Federation`] is a set of named member clusters, each with its
+//! own margin-group mix and validated [`SchedulerConfig`]. Jobs from
+//! one fleet-wide stream are routed to members by a *placement
+//! policy*, and each member's cluster simulation runs as an
+//! independent shard on the `runner` worker pool:
+//!
+//! * **Deterministic routing.** Placement is a pure function of
+//!   `(job, members, policy, salt)` — the tie-break hash comes from
+//!   the same counter-seeding discipline as every other RNG stream
+//!   (`runner::seed::iteration_seed(salt, job.id)`), never from
+//!   thread identity. Any shard can therefore regenerate the full
+//!   fleet stream and filter out exactly its own jobs.
+//! * **Deterministic merge.** Shard summaries, telemetry snapshots,
+//!   and trace buffers are merged in member order after the parallel
+//!   section, reusing the telemetry snapshot-merge and tracer-absorb
+//!   paths, so fleet results are byte-identical at any `--jobs`.
+//! * **Flat memory.** Shards consume streaming sources and fold into
+//!   [`StreamSummary`]; nothing materializes the trace.
+//!
+//! The margin-aware placement implements the federation-level analog
+//! of the paper's scheduler patch: route Hetero-DMR-eligible jobs to
+//! clusters whose *fastest margin group* can host them outright
+//! (weighted by margin capacity), and keep ineligible jobs on
+//! conventional capacity, so margin nodes stay available for jobs
+//! that can exploit them.
+
+use crate::cluster::Cluster;
+use crate::config::{ConfigError, SchedulerConfig};
+use crate::job::Job;
+use crate::source::JobSource;
+use crate::stats::StreamSummary;
+use runner::seed::iteration_seed;
+use telemetry::trace::Tracer;
+use telemetry::{Registry, Scope};
+use workloads::utilization::UtilizationModel;
+
+/// One federation member: a named cluster plus its scheduling
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Unique display name (also the member's telemetry scope).
+    pub name: String,
+    /// The cluster hardware (margin-group sizes).
+    pub cluster: Cluster,
+    /// Within-cluster policy and speedup table.
+    pub config: SchedulerConfig,
+}
+
+impl ClusterSpec {
+    /// Bundles a named member.
+    pub fn new(name: impl Into<String>, cluster: Cluster, config: SchedulerConfig) -> ClusterSpec {
+        ClusterSpec {
+            name: name.into(),
+            cluster,
+            config,
+        }
+    }
+}
+
+/// Federation-level job placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Margin-oblivious: members receive jobs in proportion to their
+    /// total capacity, regardless of margin groups.
+    CapacityWeighted,
+    /// Margin-aware: Hetero-DMR-eligible jobs go to members whose
+    /// fastest margin group can host them whole (weighted by margin
+    /// capacity); ineligible jobs ride on conventional capacity.
+    MarginAware,
+}
+
+impl PlacementPolicy {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementPolicy::CapacityWeighted => "capacity_weighted",
+            PlacementPolicy::MarginAware => "margin_aware",
+        }
+    }
+}
+
+/// What one member did during a federation run.
+#[derive(Debug)]
+pub struct MemberRun {
+    /// The member's name.
+    pub name: String,
+    /// Jobs routed to (and completed by) this member.
+    pub routed: u64,
+    /// Achieved node utilization of the member across the run.
+    pub utilization: f64,
+    /// The member's streaming summary.
+    pub summary: StreamSummary,
+}
+
+/// The outcome of a federation run: per-member reports (in member
+/// order) plus the fleet-wide merged summary.
+#[derive(Debug)]
+pub struct FederationRun {
+    /// Per-member results, in member order.
+    pub members: Vec<MemberRun>,
+    /// All members merged (member order).
+    pub fleet: StreamSummary,
+}
+
+/// A set of heterogeneous clusters scheduled as one fleet.
+#[derive(Debug, Clone)]
+pub struct Federation {
+    members: Vec<ClusterSpec>,
+}
+
+impl Federation {
+    /// Validates and builds a federation: at least one member, unique
+    /// names, no empty clusters.
+    pub fn new(members: Vec<ClusterSpec>) -> Result<Federation, ConfigError> {
+        if members.is_empty() {
+            return Err(ConfigError::EmptyFederation);
+        }
+        for (i, m) in members.iter().enumerate() {
+            if m.cluster.nodes() == 0 {
+                return Err(ConfigError::EmptyCluster(m.name.clone()));
+            }
+            if members[..i].iter().any(|prev| prev.name == m.name) {
+                return Err(ConfigError::DuplicateMember(m.name.clone()));
+            }
+        }
+        Ok(Federation { members })
+    }
+
+    /// The member clusters, in federation order.
+    pub fn members(&self) -> &[ClusterSpec] {
+        &self.members
+    }
+
+    /// Aggregate node capacity.
+    pub fn total_nodes(&self) -> u64 {
+        self.members.iter().map(|m| m.cluster.nodes() as u64).sum()
+    }
+
+    /// Routes one job: a pure, deterministic function of the job, the
+    /// member list, the placement policy, and `salt`. Weighted random
+    /// choice via a counter-derived hash — no shared RNG state, so
+    /// every shard computes identical routes independently.
+    pub fn route(&self, job: &Job, placement: PlacementPolicy, salt: u64) -> usize {
+        let n = self.members.len();
+        let placement_weight = |i: usize| -> u64 {
+            let m = &self.members[i];
+            if m.cluster.nodes() < job.nodes {
+                return 0;
+            }
+            match placement {
+                PlacementPolicy::CapacityWeighted => m.cluster.nodes() as u64,
+                PlacementPolicy::MarginAware => {
+                    let sizes = m.cluster.group_sizes();
+                    if UtilizationModel::hetero_dmr_eligible(job.mem_utilization) {
+                        // Candidate iff some margin group hosts the
+                        // whole job (full speedup); weight by margin
+                        // capacity so load spreads proportionally.
+                        if sizes[0] >= job.nodes || sizes[1] >= job.nodes {
+                            (sizes[0] + sizes[1]) as u64
+                        } else {
+                            0
+                        }
+                    } else {
+                        // Ineligible jobs ride conventional capacity,
+                        // leaving margin nodes to jobs that benefit.
+                        sizes[2] as u64
+                    }
+                }
+            }
+        };
+        let capacity_weight = |i: usize| -> u64 {
+            let m = &self.members[i];
+            if m.cluster.nodes() >= job.nodes {
+                m.cluster.nodes() as u64
+            } else {
+                0
+            }
+        };
+
+        let placement_total: u64 = (0..n).map(placement_weight).sum();
+        let (total, weight): (u64, &dyn Fn(usize) -> u64) = if placement_total > 0 {
+            (placement_total, &placement_weight)
+        } else {
+            // No member satisfies the placement preference (e.g. an
+            // all-margin fleet with an ineligible job): fall back to
+            // capacity among members that can host it at all.
+            ((0..n).map(capacity_weight).sum(), &capacity_weight)
+        };
+        if total == 0 {
+            // Wider than every member; send it to the largest cluster,
+            // whose event loop will report the impossibility loudly.
+            return (0..n)
+                .max_by_key(|&i| self.members[i].cluster.nodes())
+                .expect("federation is non-empty");
+        }
+        let mut pick = iteration_seed(salt, job.id as u64) % total;
+        for i in 0..n {
+            let w = weight(i);
+            if pick < w {
+                return i;
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+
+    /// Runs the fleet: `make_source()` must return a fresh source
+    /// over the *entire* fleet stream (each shard regenerates it and
+    /// keeps only its own jobs — cheap for counter-seeded generators,
+    /// and the price of zero cross-shard communication). Shards run
+    /// in parallel on the worker pool; results merge in member order.
+    pub fn run<S, F>(&self, placement: PlacementPolicy, salt: u64, make_source: F) -> FederationRun
+    where
+        S: JobSource,
+        F: Fn() -> S + Sync,
+    {
+        self.run_observed(placement, salt, make_source, None, None)
+    }
+
+    /// [`run`](Self::run) with observability: each shard meters into
+    /// a private registry scoped by member name and traces into a
+    /// private tracer; snapshots and trace buffers are absorbed into
+    /// `scope` / `tracer` in member order after the parallel section,
+    /// so the exported telemetry is worker-count-invariant.
+    pub fn run_observed<S, F>(
+        &self,
+        placement: PlacementPolicy,
+        salt: u64,
+        make_source: F,
+        scope: Option<&Scope>,
+        tracer: Option<&Tracer>,
+    ) -> FederationRun
+    where
+        S: JobSource,
+        F: Fn() -> S + Sync,
+    {
+        let metered = scope.is_some();
+        let traced = tracer.is_some();
+        let shards = runner::parallel_map((0..self.members.len()).collect(), |_, i: usize| {
+            let member = &self.members[i];
+            let registry = metered.then(Registry::new);
+            let member_tracer = traced.then(Tracer::new);
+            let source = RoutedSource {
+                inner: make_source(),
+                federation: self,
+                placement,
+                salt,
+                member: i,
+            };
+            let mut run = member.cluster.schedule(source).config(member.config);
+            let member_scope = registry.as_ref().map(|r| r.scope(&member.name));
+            if let Some(s) = &member_scope {
+                run = run.metrics(s);
+            }
+            if let Some(t) = &member_tracer {
+                run = run.tracer(t);
+            }
+            let summary = run.run_streaming();
+            (
+                summary,
+                registry.map(|r| r.snapshot()),
+                member_tracer.map(|t| t.take()),
+            )
+        });
+
+        let mut fleet = StreamSummary::new();
+        let mut members = Vec::with_capacity(self.members.len());
+        for (member, (summary, snapshot, events)) in self.members.iter().zip(shards) {
+            if let (Some(scope), Some(snapshot)) = (scope, snapshot) {
+                scope.absorb(&snapshot);
+            }
+            if let (Some(tracer), Some(events)) = (tracer, events) {
+                tracer.absorb(events);
+            }
+            fleet.merge_from(&summary);
+            members.push(MemberRun {
+                name: member.name.clone(),
+                routed: summary.jobs(),
+                utilization: summary.utilization(member.cluster.nodes() as f64),
+                summary,
+            });
+        }
+        FederationRun { members, fleet }
+    }
+}
+
+/// Filters a fleet-wide source down to one member's jobs.
+struct RoutedSource<'f, S> {
+    inner: S,
+    federation: &'f Federation,
+    placement: PlacementPolicy,
+    salt: u64,
+    member: usize,
+}
+
+impl<S: JobSource> JobSource for RoutedSource<'_, S> {
+    fn next_job(&mut self) -> Option<Job> {
+        loop {
+            let job = self.inner.next_job()?;
+            if self.federation.route(&job, self.placement, self.salt) == self.member {
+                return Some(job);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::SpeedupModel;
+    use crate::source::from_specs;
+    use workloads::jobs::SyntheticJobs;
+    use workloads::utilization::Cluster as LanlCluster;
+
+    fn aware_config() -> SchedulerConfig {
+        SchedulerConfig::builder()
+            .margin_aware()
+            .speedups(SpeedupModel::hetero_dmr_default())
+            .build()
+            .unwrap()
+    }
+
+    fn small_federation() -> Federation {
+        Federation::new(vec![
+            ClusterSpec::new("margin", Cluster::new(128, [0.7, 0.3, 0.0]), aware_config()),
+            ClusterSpec::new(
+                "legacy",
+                Cluster::conventional(96),
+                SchedulerConfig::default(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn job(id: u32, nodes: u32, util: f64) -> Job {
+        Job {
+            id,
+            submit_s: id as f64,
+            nodes,
+            duration_s: 600.0,
+            mem_utilization: util,
+        }
+    }
+
+    #[test]
+    fn construction_is_validated() {
+        assert_eq!(
+            Federation::new(vec![]).unwrap_err(),
+            ConfigError::EmptyFederation
+        );
+        let dup = Federation::new(vec![
+            ClusterSpec::new("a", Cluster::conventional(4), SchedulerConfig::default()),
+            ClusterSpec::new("a", Cluster::conventional(8), SchedulerConfig::default()),
+        ])
+        .unwrap_err();
+        assert_eq!(dup, ConfigError::DuplicateMember("a".into()));
+        let empty = Federation::new(vec![ClusterSpec::new(
+            "zero",
+            Cluster::conventional(0),
+            SchedulerConfig::default(),
+        )])
+        .unwrap_err();
+        assert_eq!(empty, ConfigError::EmptyCluster("zero".into()));
+        assert_eq!(small_federation().total_nodes(), 224);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_margin_directed() {
+        let fed = small_federation();
+        for id in 0..200 {
+            let eligible = job(id, 8, 0.2);
+            let target = fed.route(&eligible, PlacementPolicy::MarginAware, 42);
+            assert_eq!(
+                target,
+                fed.route(&eligible, PlacementPolicy::MarginAware, 42)
+            );
+            assert_eq!(target, 0, "eligible jobs go to the margin member");
+            let hot = job(id, 8, 0.9);
+            assert_eq!(
+                fed.route(&hot, PlacementPolicy::MarginAware, 42),
+                1,
+                "ineligible jobs ride conventional capacity"
+            );
+        }
+        // Capacity-weighted spreads across both members.
+        let mut counts = [0usize; 2];
+        for id in 0..2_000 {
+            counts[fed.route(&job(id, 1, 0.2), PlacementPolicy::CapacityWeighted, 42)] += 1;
+        }
+        let share = counts[0] as f64 / 2_000.0;
+        assert!(
+            (share - 128.0 / 224.0).abs() < 0.05,
+            "capacity share {share}"
+        );
+    }
+
+    #[test]
+    fn oversized_jobs_fall_back_to_the_largest_member() {
+        let fed = small_federation();
+        // Wider than the margin groups but hostable: falls back to
+        // capacity among hosts.
+        let wide_eligible = job(0, 100, 0.2);
+        assert_eq!(
+            fed.route(&wide_eligible, PlacementPolicy::MarginAware, 1),
+            0
+        );
+        // Wider than every member: largest cluster gets it.
+        let impossible = job(1, 500, 0.2);
+        assert_eq!(
+            fed.route(&impossible, PlacementPolicy::CapacityWeighted, 1),
+            0
+        );
+    }
+
+    fn fleet_stream(fed: &Federation, jobs: u64) -> SyntheticJobs {
+        SyntheticJobs {
+            jobs,
+            max_nodes: 64,
+            capacity_nodes: fed.total_nodes() as f64,
+            target_utilization: 0.7,
+            utilization: UtilizationModel::for_cluster(LanlCluster::Grizzly),
+        }
+    }
+
+    #[test]
+    fn every_job_lands_on_exactly_one_member() {
+        let fed = small_federation();
+        let gen = fleet_stream(&fed, 3_000);
+        let run = fed.run(PlacementPolicy::MarginAware, 9, || {
+            from_specs(gen.stream(9))
+        });
+        assert_eq!(run.members.len(), 2);
+        let per_member: u64 = run.members.iter().map(|m| m.routed).sum();
+        assert_eq!(per_member, 3_000);
+        assert_eq!(run.fleet.jobs(), 3_000);
+        for m in &run.members {
+            assert!(m.routed > 0, "{} got no jobs", m.name);
+            assert!(m.utilization > 0.0);
+        }
+    }
+
+    #[test]
+    fn federation_runs_are_replayable() {
+        let fed = small_federation();
+        let gen = fleet_stream(&fed, 2_000);
+        let a = fed.run(PlacementPolicy::MarginAware, 5, || {
+            from_specs(gen.stream(5))
+        });
+        let b = fed.run(PlacementPolicy::MarginAware, 5, || {
+            from_specs(gen.stream(5))
+        });
+        assert_eq!(a.fleet.jobs(), b.fleet.jobs());
+        assert_eq!(a.fleet.mean_turnaround_s(), b.fleet.mean_turnaround_s());
+        assert_eq!(a.fleet.makespan_s(), b.fleet.makespan_s());
+        for (ma, mb) in a.members.iter().zip(&b.members) {
+            assert_eq!(ma.routed, mb.routed);
+            assert_eq!(ma.summary.mean_queue_s(), mb.summary.mean_queue_s());
+        }
+    }
+
+    #[test]
+    fn observed_runs_merge_telemetry_in_member_order() {
+        let fed = small_federation();
+        let gen = fleet_stream(&fed, 1_000);
+        let registry = Registry::new();
+        let tracer = Tracer::new();
+        let run = fed.run_observed(
+            PlacementPolicy::MarginAware,
+            3,
+            || from_specs(gen.stream(3)),
+            Some(&registry.scope("fleet")),
+            Some(&tracer),
+        );
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("fleet.margin.jobs_started") + snap.counter("fleet.legacy.jobs_started"),
+            1_000
+        );
+        assert_eq!(snap.counter("fleet.margin.unknown_group_starts"), 0);
+        let events = tracer.take();
+        let roots = events.iter().filter(|e| e.name == "schedule").count();
+        assert_eq!(roots, 2, "one schedule root per member");
+        assert_eq!(run.fleet.jobs(), 1_000);
+    }
+
+    #[test]
+    fn margin_aware_placement_beats_capacity_weighted_on_turnaround() {
+        // A *margin-balanced* fleet: margin capacity share (~73 %)
+        // tracks the eligible-job share (~75 % under the Grizzly
+        // utilization model), so the aware placement redirects load
+        // without overcommitting the margin member. (With a margin
+        // share far below the eligible share, aware placement rightly
+        // loses — it would drown the margin cluster.)
+        let fed = Federation::new(vec![
+            ClusterSpec::new(
+                "hdmr",
+                Cluster::new(192, [0.62, 0.36, 0.02]),
+                aware_config(),
+            ),
+            ClusterSpec::new(
+                "legacy",
+                Cluster::conventional(64),
+                SchedulerConfig::default(),
+            ),
+        ])
+        .unwrap();
+        let gen = fleet_stream(&fed, 6_000);
+        let aware = fed.run(PlacementPolicy::MarginAware, 7, || {
+            from_specs(gen.stream(7))
+        });
+        let oblivious = fed.run(PlacementPolicy::CapacityWeighted, 7, || {
+            from_specs(gen.stream(7))
+        });
+        let margin_share = |run: &FederationRun| {
+            let [g800, g600, g0] = run.fleet.started_per_group();
+            (g800 + g600) as f64 / (g800 + g600 + g0) as f64
+        };
+        assert!(
+            margin_share(&aware) > margin_share(&oblivious),
+            "aware placement should start more jobs on margin nodes: {} vs {}",
+            margin_share(&aware),
+            margin_share(&oblivious)
+        );
+        let speedup = aware.fleet.turnaround_speedup_over(&oblivious.fleet);
+        assert!(
+            speedup > 1.0,
+            "margin-aware placement should win: speedup {speedup}"
+        );
+    }
+}

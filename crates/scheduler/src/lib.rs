@@ -16,11 +16,19 @@
 //!   it, because one slow node drags the whole MPI job down.
 
 pub mod cluster;
+pub mod config;
+pub mod federation;
 pub mod job;
+pub mod queue;
+pub mod source;
 pub mod stats;
 pub mod trace;
 
-pub use cluster::{run_variants, Cluster, Policy, SpeedupModel, Variant};
+pub use cluster::{run_variants, Cluster, Policy, ScheduleBuilder, SpeedupModel, Variant};
+pub use config::{ConfigError, SchedulerConfig, SchedulerConfigBuilder};
+pub use federation::{ClusterSpec, Federation, FederationRun, MemberRun, PlacementPolicy};
 pub use job::{Job, JobOutcome};
-pub use stats::{QueueTail, RunSummary};
+pub use queue::EventQueue;
+pub use source::{from_iter, from_specs, IterSource, JobSource, SliceSource, SpecSource};
+pub use stats::{QueueTail, RunSummary, StreamSummary};
 pub use trace::GrizzlyTrace;

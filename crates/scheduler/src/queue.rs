@@ -1,0 +1,185 @@
+//! The scheduler's completion-event queue.
+//!
+//! The original event loop kept completions in a `BinaryHeap` — fine
+//! for pop-min, but the EASY-backfill shadow computation had to copy
+//! and sort *every* in-flight completion on *every* scheduling pass
+//! (O(R log R) per event, R up to the node count). [`EventQueue`] is a
+//! hierarchical ordered queue (a B-tree index keyed on end time) with
+//! three properties the scheduler needs:
+//!
+//! * O(log n) push / pop-min per event;
+//! * in-order traversal with early exit, so the shadow time walks only
+//!   as many completions as it takes to free the head job's nodes;
+//! * a deterministic FIFO tie-break (insertion sequence) for events
+//!   with identical end times, where a heap's tie order is arbitrary.
+
+use std::collections::BTreeMap;
+
+/// A completion event: at `end_s`, `freed` nodes per margin group
+/// return to the pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulation time the allocation ends, seconds.
+    pub end_s: f64,
+    /// Nodes returned per margin group (indexed like `GROUPS`).
+    pub freed: [u32; 3],
+}
+
+/// End-time key with a total order (`f64::total_cmp`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct End(f64);
+
+impl Eq for End {}
+impl Ord for End {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl PartialOrd for End {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Ordered completion-event queue (see module docs).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    tree: BTreeMap<(End, u64), [u32; 3]>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Inserts a completion. Events with equal `end_s` pop in
+    /// insertion order.
+    pub fn push(&mut self, end_s: f64, freed: [u32; 3]) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.tree.insert((End(end_s), seq), freed);
+    }
+
+    /// End time of the earliest event, if any.
+    pub fn peek_end(&self) -> Option<f64> {
+        self.tree.keys().next().map(|(End(t), _)| *t)
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.tree
+            .pop_first()
+            .map(|((End(end_s), _), freed)| Event { end_s, freed })
+    }
+
+    /// Iterates events in end-time order (FIFO within ties) without
+    /// removing them. Callers break out early — that is the point.
+    pub fn in_order(&self) -> impl Iterator<Item = Event> + '_ {
+        self.tree.iter().map(|((End(end_s), _), freed)| Event {
+            end_s: *end_s,
+            freed: *freed,
+        })
+    }
+
+    /// Events in flight.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether no events are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn pops_in_end_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, [1, 0, 0]);
+        q.push(1.0, [0, 1, 0]);
+        q.push(3.0, [0, 0, 1]);
+        assert_eq!(q.peek_end(), Some(1.0));
+        assert_eq!(q.pop().unwrap().end_s, 1.0);
+        assert_eq!(q.pop().unwrap().end_s, 3.0);
+        assert_eq!(q.pop().unwrap().end_s, 5.0);
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, [1, 0, 0]);
+        q.push(2.0, [2, 0, 0]);
+        q.push(2.0, [3, 0, 0]);
+        assert_eq!(q.pop().unwrap().freed, [1, 0, 0]);
+        assert_eq!(q.pop().unwrap().freed, [2, 0, 0]);
+        assert_eq!(q.pop().unwrap().freed, [3, 0, 0]);
+    }
+
+    #[test]
+    fn in_order_matches_drain_order() {
+        let mut q = EventQueue::new();
+        for i in 0..50u32 {
+            // Deliberate collisions: only 10 distinct end times.
+            q.push((i % 10) as f64, [i, 0, 0]);
+        }
+        let scanned: Vec<Event> = q.in_order().collect();
+        assert_eq!(scanned.len(), q.len());
+        let mut drained = Vec::new();
+        while let Some(e) = q.pop() {
+            drained.push(e);
+        }
+        assert_eq!(scanned, drained);
+    }
+
+    /// Differential check against the `BinaryHeap<Reverse<_>>` the
+    /// scheduler used to use: identical multiset, identical end-time
+    /// order (the queue is additionally FIFO within ties, which the
+    /// heap never guaranteed).
+    #[test]
+    fn differential_against_binary_heap() {
+        #[derive(PartialEq)]
+        struct C(f64);
+        impl Eq for C {}
+        impl Ord for C {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+        impl PartialOrd for C {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut q = EventQueue::new();
+        let mut heap: BinaryHeap<Reverse<C>> = BinaryHeap::new();
+        // Deterministic pseudo-random interleaving of pushes and pops.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for step in 0..2_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if step % 3 != 2 {
+                let t = (x >> 40) as f64 / 64.0; // coarse → frequent ties
+                q.push(t, [0, 0, 0]);
+                heap.push(Reverse(C(t)));
+            } else if let Some(Reverse(C(t))) = heap.pop() {
+                assert_eq!(q.pop().unwrap().end_s, t, "pop order diverged");
+            }
+        }
+        while let Some(Reverse(C(t))) = heap.pop() {
+            assert_eq!(q.pop().unwrap().end_s, t);
+        }
+        assert!(q.is_empty());
+    }
+}

@@ -1,7 +1,10 @@
 //! Run-level statistics (Figure 17's execution / queueing /
-//! turnaround bars).
+//! turnaround bars), plus the memory-bounded streaming summary that
+//! fleet-scale runs fold outcomes into.
 
+use crate::cluster::GROUPS;
 use crate::job::JobOutcome;
+use telemetry::Histogram;
 
 /// Aggregate metrics of one scheduled run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,6 +109,249 @@ impl QueueTail {
     }
 }
 
+/// Streaming run statistics: everything Figure-17-style reporting
+/// needs, folded in one outcome at a time with O(1) memory. Queue
+/// delays keep a log₂-bucketed [`Histogram`] (65 fixed buckets) for
+/// approximate tail quantiles, so a 10 M-job run costs the same RSS
+/// as a 100-job run. Summaries merge across federation shards in
+/// member order, keeping fleet-level results deterministic.
+#[derive(Debug, Default)]
+pub struct StreamSummary {
+    jobs: u64,
+    backfilled: u64,
+    started_per_group: [u64; 3],
+    exec_sum_s: f64,
+    queue_sum_s: f64,
+    turnaround_sum_s: f64,
+    /// Consumed node-seconds (nodes × accelerated execution time).
+    node_seconds: f64,
+    first_submit_s: f64,
+    makespan_s: f64,
+    queue_delay_ms: Histogram,
+}
+
+impl StreamSummary {
+    /// An empty summary (identity under [`merge_from`](Self::merge_from)).
+    pub fn new() -> StreamSummary {
+        StreamSummary {
+            first_submit_s: f64::INFINITY,
+            ..StreamSummary::default()
+        }
+    }
+
+    /// Folds one started job in.
+    pub fn note(&mut self, outcome: &JobOutcome, min_group: u32, backfilled: bool) {
+        self.jobs += 1;
+        if backfilled {
+            self.backfilled += 1;
+        }
+        if let Some(idx) = GROUPS.iter().position(|&g| g == min_group) {
+            self.started_per_group[idx] += 1;
+        }
+        self.exec_sum_s += outcome.exec_s;
+        self.queue_sum_s += outcome.queue_delay_s();
+        self.turnaround_sum_s += outcome.turnaround_s();
+        self.node_seconds += outcome.job.nodes as f64 * outcome.exec_s;
+        self.first_submit_s = self.first_submit_s.min(outcome.job.submit_s);
+        self.makespan_s = self.makespan_s.max(outcome.start_s + outcome.exec_s);
+        self.queue_delay_ms
+            .record((outcome.queue_delay_s() * 1e3).max(0.0) as u64);
+    }
+
+    /// Folds another summary in (sums add, extremes combine, the
+    /// delay histograms fold bucket-wise). Order-insensitive up to
+    /// float addition, so merge in a canonical order for
+    /// byte-reproducible results.
+    pub fn merge_from(&mut self, other: &StreamSummary) {
+        self.jobs += other.jobs;
+        self.backfilled += other.backfilled;
+        for (mine, theirs) in self
+            .started_per_group
+            .iter_mut()
+            .zip(other.started_per_group)
+        {
+            *mine += theirs;
+        }
+        self.exec_sum_s += other.exec_sum_s;
+        self.queue_sum_s += other.queue_sum_s;
+        self.turnaround_sum_s += other.turnaround_sum_s;
+        self.node_seconds += other.node_seconds;
+        self.first_submit_s = self.first_submit_s.min(other.first_submit_s);
+        self.makespan_s = self.makespan_s.max(other.makespan_s);
+        self.queue_delay_ms.merge_from(&other.queue_delay_ms);
+    }
+
+    /// Jobs folded in.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Jobs started by backfill rather than FCFS.
+    pub fn backfilled(&self) -> u64 {
+        self.backfilled
+    }
+
+    /// Starts whose slowest node was in each margin group (indexed
+    /// like `GROUPS`: 800, 600, none).
+    pub fn started_per_group(&self) -> [u64; 3] {
+        self.started_per_group
+    }
+
+    /// Mean execution time, seconds.
+    pub fn mean_exec_s(&self) -> f64 {
+        self.exec_sum_s / self.jobs.max(1) as f64
+    }
+
+    /// Mean queueing delay, seconds.
+    pub fn mean_queue_s(&self) -> f64 {
+        self.queue_sum_s / self.jobs.max(1) as f64
+    }
+
+    /// Mean turnaround, seconds.
+    pub fn mean_turnaround_s(&self) -> f64 {
+        self.turnaround_sum_s / self.jobs.max(1) as f64
+    }
+
+    /// Time the last job finished, seconds.
+    pub fn makespan_s(&self) -> f64 {
+        self.makespan_s
+    }
+
+    /// Approximate queue-delay quantile in seconds (log₂-bucket upper
+    /// bound), 0 for an empty summary.
+    pub fn queue_quantile_s(&self, q: f64) -> f64 {
+        self.queue_delay_ms
+            .approx_quantile(q)
+            .map(|ms| ms as f64 / 1e3)
+            .unwrap_or(0.0)
+    }
+
+    /// Turnaround speedup over a baseline (>1 is faster) — the
+    /// paper's headline metric, streaming edition.
+    pub fn turnaround_speedup_over(&self, baseline: &StreamSummary) -> f64 {
+        baseline.mean_turnaround_s() / self.mean_turnaround_s()
+    }
+
+    /// Achieved node utilization against `capacity_nodes` over the
+    /// run's span (first submit → makespan).
+    pub fn utilization(&self, capacity_nodes: f64) -> f64 {
+        if self.jobs == 0 || capacity_nodes <= 0.0 {
+            return 0.0;
+        }
+        let span = (self.makespan_s - self.first_submit_s).max(f64::EPSILON);
+        self.node_seconds / (capacity_nodes * span)
+    }
+
+    /// The fixed-size [`RunSummary`] view (for code that compares
+    /// against materialized runs).
+    pub fn as_run_summary(&self) -> RunSummary {
+        RunSummary {
+            mean_exec_s: self.mean_exec_s(),
+            mean_queue_s: self.mean_queue_s(),
+            mean_turnaround_s: self.mean_turnaround_s(),
+            jobs: self.jobs as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use crate::job::Job;
+
+    fn outcome(id: u32, submit: f64, start: f64, exec: f64, nodes: u32) -> JobOutcome {
+        JobOutcome {
+            job: Job {
+                id,
+                submit_s: submit,
+                nodes,
+                duration_s: exec,
+                mem_utilization: 0.1,
+            },
+            start_s: start,
+            exec_s: exec,
+        }
+    }
+
+    #[test]
+    fn streaming_means_match_the_batch_summary() {
+        let outcomes = [
+            outcome(0, 0.0, 10.0, 100.0, 2),
+            outcome(1, 5.0, 30.0, 200.0, 4),
+            outcome(2, 9.0, 40.0, 50.0, 1),
+        ];
+        let batch = RunSummary::from_outcomes(&outcomes);
+        let mut s = StreamSummary::new();
+        for o in &outcomes {
+            s.note(o, 800, false);
+        }
+        assert_eq!(s.jobs(), 3);
+        assert!((s.mean_exec_s() - batch.mean_exec_s).abs() < 1e-12);
+        assert!((s.mean_queue_s() - batch.mean_queue_s).abs() < 1e-12);
+        assert!((s.mean_turnaround_s() - batch.mean_turnaround_s).abs() < 1e-12);
+        assert_eq!(s.as_run_summary(), batch);
+        assert_eq!(s.started_per_group(), [3, 0, 0]);
+        assert_eq!(s.makespan_s(), 230.0);
+    }
+
+    #[test]
+    fn merge_equals_noting_everything_into_one() {
+        let outcomes: Vec<JobOutcome> = (0..40)
+            .map(|i| outcome(i, i as f64, i as f64 + (i % 7) as f64, 60.0 + i as f64, 1))
+            .collect();
+        let mut whole = StreamSummary::new();
+        let mut left = StreamSummary::new();
+        let mut right = StreamSummary::new();
+        for (i, o) in outcomes.iter().enumerate() {
+            let group = GROUPS[i % 3];
+            whole.note(o, group, i % 2 == 0);
+            if i < 17 {
+                left.note(o, group, i % 2 == 0);
+            } else {
+                right.note(o, group, i % 2 == 0);
+            }
+        }
+        let mut merged = StreamSummary::new();
+        merged.merge_from(&left);
+        merged.merge_from(&right);
+        assert_eq!(merged.jobs(), whole.jobs());
+        assert_eq!(merged.backfilled(), whole.backfilled());
+        assert_eq!(merged.started_per_group(), whole.started_per_group());
+        assert!((merged.mean_turnaround_s() - whole.mean_turnaround_s()).abs() < 1e-9);
+        assert_eq!(merged.makespan_s(), whole.makespan_s());
+        assert_eq!(merged.queue_quantile_s(0.95), whole.queue_quantile_s(0.95));
+    }
+
+    #[test]
+    fn quantiles_are_log2_upper_bounds() {
+        let mut s = StreamSummary::new();
+        for i in 0..100 {
+            s.note(&outcome(i, 0.0, i as f64, 10.0, 1), 0, false);
+        }
+        // Delays 0..99 s → p50 ≈ 50 000 ms lands in the 2^16 bucket.
+        let p50 = s.queue_quantile_s(0.5);
+        assert!((49.0..=66.0).contains(&p50), "p50 {p50}");
+        assert!(s.queue_quantile_s(0.99) >= s.queue_quantile_s(0.5));
+        assert_eq!(StreamSummary::new().queue_quantile_s(0.5), 0.0);
+    }
+
+    #[test]
+    fn utilization_and_speedup() {
+        let mut busy = StreamSummary::new();
+        busy.note(&outcome(0, 0.0, 0.0, 50.0, 1), 0, false);
+        busy.note(&outcome(1, 0.0, 50.0, 50.0, 1), 0, false);
+        assert!((busy.utilization(1.0) - 1.0).abs() < 1e-9);
+        assert!((busy.utilization(2.0) - 0.5).abs() < 1e-9);
+        assert_eq!(StreamSummary::new().utilization(8.0), 0.0);
+
+        let mut slow = StreamSummary::new();
+        slow.note(&outcome(0, 0.0, 0.0, 100.0, 1), 0, false);
+        let mut fast = StreamSummary::new();
+        fast.note(&outcome(0, 0.0, 0.0, 80.0, 1), 0, false);
+        assert!((fast.turnaround_speedup_over(&slow) - 1.25).abs() < 1e-12);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,11 +428,12 @@ mod tests {
 
     #[test]
     fn grizzly_trace_achieves_the_papers_utilization() {
-        use crate::cluster::{Cluster, Policy, SpeedupModel};
+        use crate::cluster::Cluster;
+        use crate::source::SliceSource;
         use crate::trace::GrizzlyTrace;
         let trace = GrizzlyTrace::scaled(6_000, 1_490).generate(5);
         let cluster = Cluster::conventional(1_490);
-        let outcomes = cluster.run(&trace, Policy::Default, &SpeedupModel::conventional());
+        let outcomes = cluster.schedule(SliceSource::new(&trace)).run();
         let u = achieved_utilization(&outcomes, 1_490);
         // The offered load targets 78%; achieved lands nearby
         // (scheduling losses push it slightly below, queue drain at the

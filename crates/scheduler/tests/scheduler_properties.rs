@@ -2,7 +2,27 @@
 //! oversubscribed, causality holds, and the policies only ever help.
 
 use proptest::prelude::*;
-use scheduler::{Cluster, GrizzlyTrace, Job, Policy, RunSummary, SpeedupModel};
+use scheduler::{
+    Cluster, GrizzlyTrace, Job, Policy, RunSummary, SchedulerConfig, SliceSource, SpeedupModel,
+};
+
+/// Schedule `jobs` on `cluster` through the builder entry point.
+fn run(
+    cluster: &Cluster,
+    jobs: &[Job],
+    policy: Policy,
+    speedups: SpeedupModel,
+) -> Vec<scheduler::JobOutcome> {
+    let config = SchedulerConfig::builder()
+        .policy(policy)
+        .speedups(speedups)
+        .build()
+        .expect("test tables are valid");
+    cluster
+        .schedule(SliceSource::new(jobs))
+        .config(config)
+        .run()
+}
 
 fn arbitrary_jobs(max_nodes: u32) -> impl Strategy<Value = Vec<Job>> {
     proptest::collection::vec(
@@ -32,7 +52,7 @@ proptest! {
     fn outcomes_are_causal(jobs in arbitrary_jobs(64), aware in any::<bool>()) {
         let cluster = Cluster::new(64, [0.62, 0.36, 0.02]);
         let policy = if aware { Policy::MarginAware } else { Policy::Default };
-        let outcomes = cluster.run(&jobs, policy, &SpeedupModel::hetero_dmr_default());
+        let outcomes = run(&cluster, &jobs, policy, SpeedupModel::hetero_dmr_default());
         prop_assert_eq!(outcomes.len(), jobs.len());
         for o in &outcomes {
             prop_assert!(o.start_s >= o.job.submit_s, "started before submission");
@@ -48,7 +68,7 @@ proptest! {
     fn capacity_never_exceeded(jobs in arbitrary_jobs(64)) {
         let nodes = 64u32;
         let cluster = Cluster::new(nodes, [0.62, 0.36, 0.02]);
-        let outcomes = cluster.run(&jobs, Policy::MarginAware, &SpeedupModel::hetero_dmr_default());
+        let outcomes = run(&cluster, &jobs, Policy::MarginAware, SpeedupModel::hetero_dmr_default());
         // Check occupancy at each start instant.
         for probe in &outcomes {
             let t = probe.start_s;
@@ -71,15 +91,17 @@ proptest! {
         let trace = GrizzlyTrace::scaled(400, 128).generate(seed);
         let conventional = Cluster::conventional(128);
         let hetero = Cluster::new(128, [0.62, 0.36, 0.02]);
-        let base = RunSummary::from_outcomes(&conventional.run(
+        let base = RunSummary::from_outcomes(&run(
+            &conventional,
             &trace,
             Policy::Default,
-            &SpeedupModel::conventional(),
+            SpeedupModel::conventional(),
         ));
-        let fast = RunSummary::from_outcomes(&hetero.run(
+        let fast = RunSummary::from_outcomes(&run(
+            &hetero,
             &trace,
             Policy::MarginAware,
-            &SpeedupModel::hetero_dmr_default(),
+            SpeedupModel::hetero_dmr_default(),
         ));
         prop_assert!(fast.mean_exec_s <= base.mean_exec_s + 1e-6);
         prop_assert!(fast.mean_turnaround_s <= base.mean_turnaround_s * 1.3,
@@ -96,16 +118,18 @@ proptest! {
         let (mut base_total, mut fast_total) = (0.0, 0.0);
         for s in 0..8u64 {
             let trace = GrizzlyTrace::scaled(300, 128).generate(base_seed * 100 + s);
-            base_total += RunSummary::from_outcomes(&conventional.run(
+            base_total += RunSummary::from_outcomes(&run(
+                &conventional,
                 &trace,
                 Policy::Default,
-                &SpeedupModel::conventional(),
+                SpeedupModel::conventional(),
             ))
             .mean_turnaround_s;
-            fast_total += RunSummary::from_outcomes(&hetero.run(
+            fast_total += RunSummary::from_outcomes(&run(
+                &hetero,
                 &trace,
                 Policy::MarginAware,
-                &SpeedupModel::hetero_dmr_default(),
+                SpeedupModel::hetero_dmr_default(),
             ))
             .mean_turnaround_s;
         }
@@ -130,7 +154,7 @@ proptest! {
             })
             .collect();
         let cluster = Cluster::conventional(64);
-        let outcomes = cluster.run(&jobs, Policy::Default, &SpeedupModel::conventional());
+        let outcomes = run(&cluster, &jobs, Policy::Default, SpeedupModel::conventional());
         for pair in outcomes.windows(2) {
             prop_assert!(pair[0].start_s <= pair[1].start_s + 1e-9);
         }

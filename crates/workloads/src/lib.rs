@@ -16,12 +16,14 @@
 //! machine-hours): the fraction of jobs whose nodes all stay below
 //! 25 % / 50 % memory utilization for the job's whole lifetime.
 
+pub mod jobs;
 pub mod phases;
 pub mod recorded;
 pub mod suite;
 pub mod trace;
 pub mod utilization;
 
+pub use jobs::{JobSpec, JobStream, SyntheticJobs};
 pub use phases::PhaseSchedule;
 pub use recorded::{read_trace, write_trace};
 pub use suite::{Suite, SuiteParams};

@@ -7,7 +7,9 @@
 
 use hetero_dmr::monte_carlo::MonteCarlo;
 use margin::composition::SelectionPolicy;
-use scheduler::{Cluster, GrizzlyTrace, Policy, RunSummary, SpeedupModel};
+use scheduler::{
+    Cluster, GrizzlyTrace, Policy, RunSummary, SchedulerConfig, SliceSource, SpeedupModel,
+};
 
 fn main() {
     let jobs: usize = std::env::args()
@@ -36,13 +38,21 @@ fn main() {
     let hetero = Cluster::new(nodes, [groups.at_800, groups.at_600, groups.at_0]);
     let speedups = SpeedupModel::hetero_dmr_default();
 
-    let base = RunSummary::from_outcomes(&conventional.run(
-        &trace,
-        Policy::Default,
-        &SpeedupModel::conventional(),
-    ));
-    let aware = RunSummary::from_outcomes(&hetero.run(&trace, Policy::MarginAware, &speedups));
-    let oblivious = RunSummary::from_outcomes(&hetero.run(&trace, Policy::Default, &speedups));
+    let run = |cluster: &Cluster, policy: Policy, speedups: SpeedupModel| {
+        let config = SchedulerConfig::builder()
+            .policy(policy)
+            .speedups(speedups)
+            .build()
+            .expect("speedup tables are valid");
+        let outcomes = cluster
+            .schedule(SliceSource::new(&trace))
+            .config(config)
+            .run();
+        RunSummary::from_outcomes(&outcomes)
+    };
+    let base = run(&conventional, Policy::Default, SpeedupModel::conventional());
+    let aware = run(&hetero, Policy::MarginAware, speedups);
+    let oblivious = run(&hetero, Policy::Default, speedups);
 
     println!(
         "\n{:<28} {:>12} {:>12} {:>12}",

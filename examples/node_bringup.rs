@@ -16,7 +16,9 @@ use hetero_dmr::protocol::HeteroDmrChannel;
 use margin::population::ModulePopulation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use scheduler::{Cluster, GrizzlyTrace, Policy, RunSummary, SpeedupModel};
+use scheduler::{
+    Cluster, GrizzlyTrace, Policy, RunSummary, SchedulerConfig, SliceSource, SpeedupModel,
+};
 
 fn main() {
     // ── 1. Boot-time profiling ───────────────────────────────────────
@@ -70,16 +72,24 @@ fn main() {
     let trace = GrizzlyTrace::scaled(6_000, 256).generate(0xB007);
     let conventional = Cluster::conventional(256);
     let upgraded = Cluster::new(256, [0.62, 0.36, 0.02]);
-    let base = RunSummary::from_outcomes(&conventional.run(
-        &trace,
-        Policy::Default,
-        &SpeedupModel::conventional(),
-    ));
-    let fast = RunSummary::from_outcomes(&upgraded.run(
-        &trace,
+    let run = |cluster: &Cluster, policy: Policy, speedups: SpeedupModel| {
+        let config = SchedulerConfig::builder()
+            .policy(policy)
+            .speedups(speedups)
+            .build()
+            .expect("speedup tables are valid");
+        let outcomes = cluster
+            .schedule(SliceSource::new(&trace))
+            .config(config)
+            .run();
+        RunSummary::from_outcomes(&outcomes)
+    };
+    let base = run(&conventional, Policy::Default, SpeedupModel::conventional());
+    let fast = run(
+        &upgraded,
         Policy::MarginAware,
-        &SpeedupModel::hetero_dmr_default(),
-    ));
+        SpeedupModel::hetero_dmr_default(),
+    );
     println!(
         "\ncluster of such nodes: turnaround {:.0} s -> {:.0} s ({:.2}x)",
         base.mean_turnaround_s,

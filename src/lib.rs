@@ -34,8 +34,9 @@
 //! [`Scenario`]/[`Runner`] (experiment orchestration),
 //! [`MemoryConfig`] (validated memory-shape builder),
 //! [`ModulePopulation`] (the characterization study),
-//! [`ClusterSim`] (the HPC cluster simulator), and [`Registry`]
-//! (telemetry).
+//! [`ClusterSim`] (the HPC cluster simulator), [`SchedulerConfig`]
+//! (validated scheduling policy + speedup table), [`Federation`]
+//! (fleet-scale federated scheduling), and [`Registry`] (telemetry).
 //!
 //! # Quickstart: deterministic parallel experiments
 //!
@@ -84,6 +85,29 @@
 //! assert_eq!(shape.ranks_per_channel(), 4);
 //! assert!(MemoryConfig::builder().channels(3).build().is_err());
 //! ```
+//!
+//! Cluster simulations stream jobs through the scheduler's builder
+//! entry point — sources are pulled lazily, so traces never need to be
+//! materialized (see `scheduler::source` and `workloads::jobs`):
+//!
+//! ```
+//! use hetero_dmr_repro::{ClusterSim, SchedulerConfig};
+//! use hetero_dmr_repro::scheduler::{SliceSource, Job};
+//!
+//! let cluster = ClusterSim::new(64, [0.62, 0.36, 0.02]);
+//! let jobs = vec![Job {
+//!     id: 0,
+//!     submit_s: 0.0,
+//!     nodes: 8,
+//!     duration_s: 600.0,
+//!     mem_utilization: 0.2,
+//! }];
+//! let outcomes = cluster
+//!     .schedule(SliceSource::new(&jobs))
+//!     .config(SchedulerConfig::default())
+//!     .run();
+//! assert_eq!(outcomes.len(), 1);
+//! ```
 
 pub use dram;
 pub use ecc;
@@ -100,4 +124,5 @@ pub use margin::population::ModulePopulation;
 pub use memsim::config::MemoryConfig;
 pub use runner::{RunOutcome, RunStatus, Runner, Scenario, ScenarioBuilder, TaskCtx};
 pub use scheduler::Cluster as ClusterSim;
+pub use scheduler::{Federation, PlacementPolicy, SchedulerConfig, StreamSummary};
 pub use telemetry::{Registry, Snapshot};

@@ -7,7 +7,9 @@ use hetero_dmr::{EvalConfig, MemoryDesign, NodeModel, UsageBucket};
 use margin::composition::SelectionPolicy;
 use margin::population::ModulePopulation;
 use memsim::config::HierarchyConfig;
-use scheduler::{Cluster, GrizzlyTrace, Policy, RunSummary, SpeedupModel};
+use scheduler::{
+    Cluster, GrizzlyTrace, Policy, RunSummary, SchedulerConfig, SliceSource, SpeedupModel,
+};
 use workloads::utilization::{Cluster as Lanl, UtilizationModel};
 use workloads::Suite;
 
@@ -102,13 +104,24 @@ fn monte_carlo_feeds_scheduler_and_orderings_hold() {
     let cluster_hdmr = Cluster::new(256, [groups.at_800, groups.at_600, groups.at_0]);
     let speed = SpeedupModel::hetero_dmr_default();
 
-    let base = RunSummary::from_outcomes(&cluster_conv.run(
-        &trace,
+    let run = |cluster: &Cluster, policy: Policy, speedups: &SpeedupModel| {
+        let config = SchedulerConfig::builder()
+            .policy(policy)
+            .speedups(*speedups)
+            .build()
+            .expect("test tables are valid");
+        cluster
+            .schedule(SliceSource::new(&trace))
+            .config(config)
+            .run()
+    };
+    let base = RunSummary::from_outcomes(&run(
+        &cluster_conv,
         Policy::Default,
         &SpeedupModel::conventional(),
     ));
-    let aware = RunSummary::from_outcomes(&cluster_hdmr.run(&trace, Policy::MarginAware, &speed));
-    let unaware = RunSummary::from_outcomes(&cluster_hdmr.run(&trace, Policy::Default, &speed));
+    let aware = RunSummary::from_outcomes(&run(&cluster_hdmr, Policy::MarginAware, &speed));
+    let unaware = RunSummary::from_outcomes(&run(&cluster_hdmr, Policy::Default, &speed));
 
     // Figure 17's structure: exec down, queueing down more, margin-
     // aware at least as good as the default scheduler.
