@@ -26,6 +26,18 @@ cargo clippy --offline --workspace \
 echo "== benches compile =="
 cargo bench --offline --workspace --no-run
 
+echo "== windowed differential (cursor API partition invariance) =="
+# Splitting a node run into windows must be byte-identical to the
+# single-shot run — SimResult and telemetry both. Runs the node-level
+# window suite explicitly so a cursor regression names itself here
+# rather than hiding inside the full test sweep above.
+cargo test --offline -q -p memsim --test differential windowed -- --nocapture
+
+echo "== batched stepping gate (controller vs frozen reference) =="
+# The indexed controller must sustain at least the naive reference's
+# ops/s on an identical op sequence (asserts >= 1x internally).
+cargo bench --offline -p hdmr-bench --bench stepping
+
 echo "== bench smoke (wall-clock guardrail) =="
 # Fails when a smoke target regresses >20% against the newest recorded
 # BENCH_PR*.json baseline; skips silently when none is recorded.
@@ -51,6 +63,15 @@ sed -i "s|$DET_DIR/ser|METRICS|" "$DET_DIR/ser.out"
 diff -u "$DET_DIR/ser.out" "$DET_DIR/par.out"
 diff -u "$DET_DIR/ser/all.metrics.jsonl" "$DET_DIR/par/all.metrics.jsonl"
 echo "wall-clock: --jobs $(nproc) ran in ${t_par}s, --jobs 1 in ${t_ser}s"
+
+echo "== windows-invariance (windowed vs unwindowed experiments) =="
+# --windows batches the hot loop's telemetry flushes; stdout and the
+# metrics export must be byte-identical to the unwindowed serial run.
+"$EXP" all --quick --ops 1200 --jobs 1 --windows 7 \
+    --metrics "$DET_DIR/win" > "$DET_DIR/win.out"
+sed -i "s|$DET_DIR/win|METRICS|" "$DET_DIR/win.out"
+diff -u "$DET_DIR/ser.out" "$DET_DIR/win.out"
+diff -u "$DET_DIR/ser/all.metrics.jsonl" "$DET_DIR/win/all.metrics.jsonl"
 
 echo "== trace + drift report smoke =="
 # A traced single-target run must be byte-identical across --jobs

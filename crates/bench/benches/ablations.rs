@@ -117,6 +117,7 @@ fn ablation_naive_dmr(c: &mut Criterion) {
         EvalConfig {
             ops_per_core: 2_000,
             seed: 0xAB1A,
+            windows: 1,
         },
     );
     model.set_shared_cache(false);

@@ -18,6 +18,7 @@ pub fn bench_model(h: HierarchyConfig) -> NodeModel {
         EvalConfig {
             ops_per_core: 4_000,
             seed: 0xBE7C,
+            windows: 1,
         },
     );
     // Benchmarks measure real simulation cost; results shared across

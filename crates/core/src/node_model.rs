@@ -64,13 +64,19 @@ impl UsageBucket {
     }
 }
 
-/// Simulation length and seeding.
+/// Simulation length, seeding, and window partitioning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalConfig {
     /// Memory operations simulated per core.
     pub ops_per_core: usize,
     /// Base RNG seed (per-core streams derive from it).
     pub seed: u64,
+    /// Time windows each simulation is split into (1 = one straight
+    /// run). The cursor API guarantees any partition is byte-identical
+    /// to an unwindowed run; windows only set the granularity at which
+    /// per-window tallies flush into telemetry and at which the
+    /// time-parallel runner path could overlap work.
+    pub windows: u32,
 }
 
 impl Default for EvalConfig {
@@ -78,6 +84,7 @@ impl Default for EvalConfig {
         EvalConfig {
             ops_per_core: 20_000,
             seed: 0xD1A2,
+            windows: 1,
         }
     }
 }
@@ -139,7 +146,7 @@ fn simulate(
     for (i, stream) in streams.iter().enumerate() {
         node.prewarm_core(i, stream.warmup_blocks(warm, suite.params().write_fraction));
     }
-    let result = node.run(streams);
+    let result = run_windowed(node, streams, config.windows);
     if let (Some(t), Some(span)) = (trace, span) {
         t.end_with(
             span,
@@ -148,6 +155,30 @@ fn simulate(
         );
     }
     result
+}
+
+/// Executes a prepared node to completion, split into `windows` time
+/// windows driven through [`runner::windows::window_chain`]. The
+/// cursor API makes any partition byte-identical to `node.run(..)`,
+/// so windowing changes *when* tallies flush into telemetry — once
+/// per window boundary instead of once per op — never *what* they
+/// total to. The final window's budget is unbounded, so an uneven
+/// op count still runs to completion.
+fn run_windowed(mut node: NodeSim, streams: Vec<TraceGen>, windows: u32) -> SimResult {
+    if windows <= 1 {
+        return node.run(streams);
+    }
+    let windows = windows as usize;
+    let total_ops: u64 = streams.iter().map(|s| s.remaining() as u64).sum();
+    let budget = total_ops.div_ceil(windows as u64).max(1);
+    let cursor = node.begin(streams);
+    let ((mut node, cursor), _) =
+        runner::windows::window_chain((node, cursor), windows, |(mut node, mut cursor), i| {
+            let cap = if i + 1 == windows { u64::MAX } else { budget };
+            node.run_steps(&mut cursor, cap);
+            ((node, cursor), ())
+        });
+    node.finish(cursor)
 }
 
 /// [`simulate`] with its telemetry captured in a private registry, so
@@ -201,7 +232,14 @@ pub fn shared_cache_stats() -> (u64, u64) {
 fn cache_fingerprint(hierarchy: &HierarchyConfig, config: &EvalConfig) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = hierarchy.fingerprint();
-    for w in [config.ops_per_core as u64, config.seed] {
+    // `windows` provably cannot change a run's outcome (the window
+    // differential tests pin that), but it stays in the fingerprint so
+    // the cache can never paper over a regression in that guarantee.
+    for w in [
+        config.ops_per_core as u64,
+        config.seed,
+        config.windows as u64,
+    ] {
         h = (h ^ w).wrapping_mul(PRIME);
     }
     h
@@ -569,6 +607,7 @@ mod tests {
             EvalConfig {
                 ops_per_core: 6_000,
                 seed: 42,
+                windows: 1,
             },
         )
     }
@@ -736,6 +775,7 @@ mod tests {
         let cfg = |seed| EvalConfig {
             ops_per_core: 3_000,
             seed,
+            windows: 1,
         };
         let a = NodeModel::new(HierarchyConfig::hierarchy1(), cfg(7));
         let b = NodeModel::new(HierarchyConfig::hierarchy1(), cfg(8));
@@ -777,6 +817,7 @@ mod tests {
                 EvalConfig {
                     ops_per_core: 2_000,
                     seed: 0xACE5,
+                    windows: 1,
                 },
             )
         };
@@ -811,6 +852,37 @@ mod tests {
         let hits = hit_tracer.take();
         assert!(hits.iter().any(|e| e.name == "cache.hit"));
         assert!(!hits.iter().any(|e| e.name.starts_with("sim.")));
+    }
+
+    /// Satellite of the batched/windowed hot loop: window boundaries
+    /// flush per-window tally locals into the shared telemetry
+    /// handles, so a windowed run must end with *identical* counters —
+    /// and an identical `SimResult` — to the unwindowed run, not just
+    /// close ones.
+    #[test]
+    fn windowed_run_matches_unwindowed_bit_for_bit() {
+        let cfg = |windows| EvalConfig {
+            ops_per_core: 3_000,
+            seed: 0x51DE,
+            windows,
+        };
+        let run = |windows| {
+            let mut m = NodeModel::new(HierarchyConfig::hierarchy1(), cfg(windows));
+            m.set_shared_cache(false);
+            let r = telemetry::Registry::new();
+            m.set_metrics_scope(r.scope("node"));
+            let result = m.run(MemoryDesign::HeteroDmr { margin_mts: 800 }, Suite::Lulesh);
+            (result, r.snapshot())
+        };
+        let (plain_result, plain_metrics) = run(1);
+        for windows in [2, 5, 64] {
+            let (result, metrics) = run(windows);
+            assert_eq!(result, plain_result, "{windows} windows: SimResult drifted");
+            assert_eq!(
+                metrics, plain_metrics,
+                "{windows} windows: telemetry counters drifted"
+            );
+        }
     }
 
     #[test]

@@ -42,6 +42,10 @@ run with --list for every individual target name.
 options:
   --seed N       master RNG seed (default 0xD1A2)
   --ops N        memory operations per core in node-level runs
+  --windows N    split every node simulation into N time windows
+                 (default 1); stdout, metrics and traces are
+                 byte-identical for every N — windows only batch the
+                 hot loop's telemetry flushes
   --jobs N       worker threads for running targets (0 or default:
                  one per CPU); output is identical for every N
   --quick        shrink every run for a fast smoke pass
@@ -111,6 +115,13 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage_error("--ops needs an integer"));
+            }
+            "--windows" => {
+                ctx.windows = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&w| w >= 1)
+                    .unwrap_or_else(|| usage_error("--windows needs an integer >= 1"));
             }
             "--jobs" => {
                 jobs = iter

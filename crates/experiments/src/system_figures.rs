@@ -89,6 +89,7 @@ pub fn fig17(ctx: &mut Ctx) {
             EvalConfig {
                 ops_per_core: ctx.ops_per_core,
                 seed: ctx.seed,
+                windows: ctx.windows,
             },
         );
         m.set_shared_cache(ctx.model_cache);

@@ -312,6 +312,43 @@ fn single_target_traces_are_jobs_invariant_and_well_formed() {
     }
 }
 
+/// Windowed execution (`--windows`) composes with every other
+/// determinism contract: for a windowed node-simulation target,
+/// stdout, the metrics JSONL, *and* the trace bytes agree between
+/// `--jobs 1` and `--jobs 8`, and the windowed stdout/JSONL equal the
+/// unwindowed run's bytes (windows may only change flush batching,
+/// never observables).
+#[test]
+fn windowed_runs_are_jobs_invariant_and_match_unwindowed() {
+    let target = "fig5";
+    let windowed: &[&str] = &["--windows", "5"];
+    let dir = tmp_dir("windowed");
+    let (w_serial_out, w_serial_jsonl) = run_with_jobs_and(target, "1", &dir, windowed);
+    let (w_par_out, w_par_jsonl) = run_with_jobs_and(target, "8", &dir, windowed);
+    assert_eq!(w_serial_out, w_par_out, "windowed stdout jobs 1 vs 8");
+    assert_eq!(w_serial_jsonl, w_par_jsonl, "windowed JSONL jobs 1 vs 8");
+
+    let (plain_out, plain_jsonl) = run_with_jobs(target, "1", &dir);
+    assert_eq!(
+        w_serial_out, plain_out,
+        "stdout differs between --windows 5 and unwindowed"
+    );
+    assert_eq!(
+        w_serial_jsonl, plain_jsonl,
+        "metrics JSONL differs between --windows 5 and unwindowed"
+    );
+
+    let trace_dir = tmp_dir("windowed_trace");
+    let t_serial = run_with_trace_and(target, "1", &trace_dir, windowed);
+    let t_parallel = run_with_trace_and(target, "8", &trace_dir, windowed);
+    assert_eq!(t_serial, t_parallel, "windowed trace jobs 1 vs 8");
+    let t_plain = run_with_trace(target, "1", &trace_dir);
+    assert_eq!(
+        t_serial, t_plain,
+        "trace bytes differ between --windows 5 and unwindowed"
+    );
+}
+
 /// Odd worker counts and a second pass over cheap whole-table targets:
 /// task-level parallelism must merge per-target registries in
 /// canonical order no matter which worker finishes first.

@@ -10,37 +10,30 @@ pub struct AccessResult {
     pub writeback: Option<u64>,
 }
 
-/// One cache line slot. `lru == 0` marks an empty slot — the access
-/// tick is pre-incremented, so a resident line's recency is always
-/// nonzero. Empty slots carry [`TAG_EMPTY`] so the hit path can scan
-/// on the tag alone: a real tag is `addr >> (6 + index_bits)`, which
-/// can never reach `u64::MAX`.
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    dirty: bool,
-    /// Higher = more recently used; 0 = slot empty.
-    lru: u64,
-}
-
-/// Tag sentinel for empty slots (unreachable by any real address).
+/// Tag sentinel for empty slots (unreachable by any real address: a
+/// real tag is `addr >> (6 + index_bits)`, which can never reach
+/// `u64::MAX`).
 const TAG_EMPTY: u64 = u64::MAX;
-
-const EMPTY: Line = Line {
-    tag: TAG_EMPTY,
-    dirty: false,
-    lru: 0,
-};
 
 /// A set-associative write-back, write-allocate cache.
 ///
-/// Operates on 64-byte block addresses (`addr >> 6`). Lines live in
-/// one contiguous `ways`-strided array (a set is a slice of it), so an
-/// access probes a single cache-resident span instead of chasing a
-/// per-set allocation.
+/// Operates on 64-byte block addresses (`addr >> 6`). State is
+/// struct-of-arrays: one contiguous `ways`-strided tag array, a
+/// parallel recency array, and a packed dirty bitmask. The hit path —
+/// the overwhelmingly common case — scans only the tag array: a
+/// 16-way set is two cache lines of tags instead of six lines of
+/// tag/lru/dirty records, and the compare loop is branch-light enough
+/// to vectorize. Recency (`lru == 0` marks an empty slot; the access
+/// tick is pre-incremented so resident lines are always nonzero) and
+/// dirty bits are only touched for the one line an access actually
+/// changes.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    lines: Vec<Line>,
+    tags: Vec<u64>,
+    /// Higher = more recently used; 0 = slot empty.
+    lru: Vec<u64>,
+    /// Packed dirty bits, one per line slot.
+    dirty: Vec<u64>,
     ways: usize,
     set_count: usize,
     set_mask: u64,
@@ -66,8 +59,11 @@ impl Cache {
             set_count > 0 && set_count.is_power_of_two(),
             "cache must have a power-of-two number of sets (got {set_count})"
         );
+        let lines = set_count * ways;
         Cache {
-            lines: vec![EMPTY; set_count * ways],
+            tags: vec![TAG_EMPTY; lines],
+            lru: vec![0; lines],
+            dirty: vec![0; lines.div_ceil(64)],
             ways,
             set_count,
             set_mask: (set_count - 1) as u64,
@@ -121,24 +117,52 @@ impl Cache {
         ((tag << shift_back) | set_bits) >> self.set_shift
     }
 
-    /// The matching slot, or the insertion slot (first empty, else
-    /// LRU victim). The hit scan compares tags alone — [`TAG_EMPTY`]
-    /// makes empty slots unmatchable — so the common (hit) path is a
-    /// single compare per way; the insertion scan only runs on a
-    /// miss.
     #[inline]
-    fn probe(set: &[Line], tag: u64) -> Result<usize, usize> {
-        if let Some(at) = set.iter().position(|l| l.tag == tag) {
+    fn is_dirty(&self, line: usize) -> bool {
+        self.dirty[line >> 6] & (1u64 << (line & 63)) != 0
+    }
+
+    #[inline]
+    fn set_dirty(&mut self, line: usize, dirty: bool) {
+        let word = &mut self.dirty[line >> 6];
+        let bit = 1u64 << (line & 63);
+        if dirty {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
+    }
+
+    /// The matching slot, or the insertion slot (first empty, else LRU
+    /// victim). The hit scan compares tags alone — [`TAG_EMPTY`] makes
+    /// empty slots unmatchable — so the common (hit) path is a single
+    /// compare per way.
+    ///
+    /// Occupied slots always form a prefix of the set (insertions take
+    /// the leftmost empty slot and a tag is never reset to empty), so
+    /// a miss in a set whose last slot is still empty resolves from
+    /// the tag array alone — cold fills and prewarm never touch the
+    /// recency array to *find* their slot; the LRU scan runs only for
+    /// full sets.
+    #[inline]
+    fn probe(&self, base: usize, tag: u64) -> Result<usize, usize> {
+        let tags = &self.tags[base..base + self.ways];
+        if let Some(at) = tags.iter().position(|&t| t == tag) {
             return Ok(at);
         }
+        if tags[self.ways - 1] == TAG_EMPTY {
+            let at = tags
+                .iter()
+                .position(|&t| t == TAG_EMPTY)
+                .expect("last slot is empty");
+            return Err(at); // first empty slot wins
+        }
+        let lru = &self.lru[base..base + self.ways];
         let mut slot = 0;
         let mut slot_lru = u64::MAX;
-        for (i, line) in set.iter().enumerate() {
-            if line.lru == 0 {
-                return Err(i); // first empty slot wins
-            }
-            if line.lru < slot_lru {
-                slot_lru = line.lru;
+        for (i, &l) in lru.iter().enumerate() {
+            if l < slot_lru {
+                slot_lru = l;
                 slot = i;
             }
         }
@@ -152,11 +176,13 @@ impl Cache {
         let tick = self.tick;
         let (set_idx, tag) = self.index(addr);
         let base = set_idx * self.ways;
-        match Self::probe(&self.lines[base..base + self.ways], tag) {
+        match self.probe(base, tag) {
             Ok(at) => {
-                let line = &mut self.lines[base + at];
-                line.lru = tick;
-                line.dirty |= is_write;
+                let line = base + at;
+                self.lru[line] = tick;
+                if is_write {
+                    self.set_dirty(line, true);
+                }
                 self.hits += 1;
                 AccessResult {
                     hit: true,
@@ -165,14 +191,12 @@ impl Cache {
             }
             Err(slot) => {
                 self.misses += 1;
-                let victim = self.lines[base + slot];
-                let writeback =
-                    (victim.lru != 0 && victim.dirty).then(|| self.block_of(set_idx, victim.tag));
-                self.lines[base + slot] = Line {
-                    tag,
-                    dirty: is_write,
-                    lru: tick,
-                };
+                let line = base + slot;
+                let writeback = (self.lru[line] != 0 && self.is_dirty(line))
+                    .then(|| self.block_of(set_idx, self.tags[line]));
+                self.tags[line] = tag;
+                self.lru[line] = tick;
+                self.set_dirty(line, is_write);
                 AccessResult {
                     hit: false,
                     writeback,
@@ -188,21 +212,19 @@ impl Cache {
         let tick = self.tick;
         let (set_idx, tag) = self.index(addr);
         let base = set_idx * self.ways;
-        match Self::probe(&self.lines[base..base + self.ways], tag) {
+        match self.probe(base, tag) {
             Ok(at) => {
                 // Already present: refresh recency only.
-                self.lines[base + at].lru = tick;
+                self.lru[base + at] = tick;
                 None
             }
             Err(slot) => {
-                let victim = self.lines[base + slot];
-                let writeback =
-                    (victim.lru != 0 && victim.dirty).then(|| self.block_of(set_idx, victim.tag));
-                self.lines[base + slot] = Line {
-                    tag,
-                    dirty: false,
-                    lru: tick,
-                };
+                let line = base + slot;
+                let writeback = (self.lru[line] != 0 && self.is_dirty(line))
+                    .then(|| self.block_of(set_idx, self.tags[line]));
+                self.tags[line] = tag;
+                self.lru[line] = tick;
+                self.set_dirty(line, false);
                 writeback
             }
         }
@@ -218,18 +240,19 @@ impl Cache {
         let tick = self.tick;
         let (set_idx, tag) = self.index(addr);
         let base = set_idx * self.ways;
-        match Self::probe(&self.lines[base..base + self.ways], tag) {
+        match self.probe(base, tag) {
             Ok(at) => {
-                let line = &mut self.lines[base + at];
-                line.lru = tick;
-                line.dirty |= dirty;
+                let line = base + at;
+                self.lru[line] = tick;
+                if dirty {
+                    self.set_dirty(line, true);
+                }
             }
             Err(slot) => {
-                self.lines[base + slot] = Line {
-                    tag,
-                    dirty,
-                    lru: tick,
-                };
+                let line = base + slot;
+                self.tags[line] = tag;
+                self.lru[line] = tick;
+                self.set_dirty(line, dirty);
             }
         }
     }
@@ -239,9 +262,7 @@ impl Cache {
         let (set_idx, tag) = self.index(addr);
         let base = set_idx * self.ways;
         // Tag-only compare: TAG_EMPTY keeps empty slots unmatchable.
-        self.lines[base..base + self.ways]
-            .iter()
-            .any(|l| l.tag == tag)
+        self.tags[base..base + self.ways].contains(&tag)
     }
 
     /// Collects up to `limit` least-recently-used *dirty* blocks across
@@ -250,35 +271,32 @@ impl Cache {
     /// enters write mode (Section III-E: "first cleans least-recently
     /// used blocks as they are unlikely to be re-written").
     pub fn clean_lru_dirty(&mut self, limit: usize) -> Vec<u64> {
-        let mut dirty: Vec<(u64, u64)> = Vec::new();
-        for set_idx in 0..self.set_count {
-            let base = set_idx * self.ways;
-            for line in &self.lines[base..base + self.ways] {
-                if line.lru != 0 && line.dirty {
-                    dirty.push((line.lru, self.block_of(set_idx, line.tag)));
+        let mut dirty: Vec<(u64, usize)> = Vec::new();
+        for (word_idx, &word) in self.dirty.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let line = word_idx * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if line < self.lru.len() && self.lru[line] != 0 {
+                    dirty.push((self.lru[line], line));
                 }
             }
         }
         dirty.sort_unstable_by_key(|&(lru, _)| lru);
         dirty.truncate(limit);
-        let chosen: Vec<u64> = dirty.iter().map(|&(_, b)| b).collect();
-        for &b in &chosen {
-            let addr = b << self.set_shift;
-            let (set_idx, tag) = self.index(addr);
-            let base = set_idx * self.ways;
-            if let Some(line) = self.lines[base..base + self.ways]
-                .iter_mut()
-                .find(|l| l.lru != 0 && l.tag == tag)
-            {
-                line.dirty = false;
-            }
+        let mut chosen = Vec::with_capacity(dirty.len());
+        for &(_, line) in &dirty {
+            self.set_dirty(line, false);
+            chosen.push(self.block_of(line / self.ways, self.tags[line]));
         }
         chosen
     }
 
     /// Number of dirty lines currently resident.
     pub fn dirty_count(&self) -> usize {
-        self.lines.iter().filter(|l| l.lru != 0 && l.dirty).count()
+        // Dirty bits are only ever set on resident lines, and eviction
+        // rewrites the slot's bit — so the popcount is exact.
+        self.dirty.iter().map(|w| w.count_ones() as usize).sum()
     }
 }
 
@@ -399,5 +417,16 @@ mod tests {
         }
         // Now the set is full: the next miss evicts LRU (block 0).
         assert_eq!(c.access(4 * 64, false).writeback, Some(0));
+    }
+
+    #[test]
+    fn dirty_count_survives_eviction_overwrite() {
+        let mut c = Cache::new(128, 2); // 1 set, 2 ways
+        c.access(0, true); // dirty A
+        c.access(64, true); // dirty B
+        assert_eq!(c.dirty_count(), 2);
+        let res = c.access(128, false); // evicts dirty A with a clean line
+        assert_eq!(res.writeback, Some(0));
+        assert_eq!(c.dirty_count(), 1, "evicted line's dirty bit cleared");
     }
 }

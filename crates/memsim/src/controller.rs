@@ -17,34 +17,45 @@
 //!
 //! # Scheduling structures
 //!
-//! The FR-FCFS pick runs on indexed structures instead of linear
-//! scans (the original scan-and-sort forms survive as
+//! The hot path is batched and data-oriented (the original
+//! scan-and-sort forms survive as
 //! [`crate::reference::ReferenceController`], the differential-test
 //! referee):
 //!
-//! * the oldest request (key `(arrival, slot)` — the slot component
-//!   reproduces the old first-position tie-break exactly, because
-//!   slots mirror the `swap_remove` positions the scans used to walk)
-//!   is a cached minimum: submissions can only lower it in `O(1)`,
-//!   and the one pass that must touch every queued request anyway —
-//!   bank-fairness aging after a pick — recomputes it for free,
-//! * per-bank row groups map an open row to its waiting requests, so
-//!   the row-hit pick touches only banks that can serve one,
+//! * the read queue is struct-of-arrays: parallel `Vec`s of arrival
+//!   time, row, serving-bank index, bypass count, and token, and the
+//!   single per-pick pass — a fused sweep that ages bypassed requests
+//!   and rebuilds both cached pick candidates — is one tight
+//!   branch-light loop over dense integer arrays instead of
+//!   pointer-chasing index walks,
+//! * both FR-FCFS candidates — the oldest request and the oldest row
+//!   hit, keyed `(arrival, slot)` where the slot component reproduces
+//!   the old first-position tie-break exactly, because slots mirror
+//!   the `swap_remove` positions the scans used to walk — are cached
+//!   minima, making the pick itself `O(1)`: submissions can only
+//!   lower them (one compare, plus one bank probe for the hit
+//!   candidate), and the fused sweep recomputes them for free,
 //! * completions live in a token→slot slab (`Vec` + free list) rather
 //!   than a `HashMap`,
-//! * the write queue is a `BTreeMap` keyed by the old per-drain sort
-//!   key `(rank, bank, row, column)` with multiplicity, so draining
-//!   iterates in sorted order without sorting, and
+//! * pending writes live in a sorted `Vec` keyed `(rank·bank, row,
+//!   column)` with an unsorted append tail and a drain cursor:
+//!   enqueue is a push, a drain sorts the live region once
+//!   (duplicates land adjacent, reproducing the retired `BTreeMap`'s
+//!   multiplicity groups in the same key order) and pops the oldest
+//!   key in `O(1)` by advancing the cursor, and
 //! * refresh catch-up is computed in closed form instead of walking
 //!   one tREFI at a time.
+//!
+//! Statistics accrue into plain per-controller locals (no atomics in
+//! the loop); [`ChannelController::stats`] folds the pending tallies
+//! in on read, and run/window/bind boundaries flush them to the
+//! telemetry handles in one batch.
 
 use crate::address::DramCoord;
 use crate::config::{ChannelMode, MemoryConfig};
 use dram::timing::TimingParams;
 use dram::Picos;
-use std::collections::{BTreeMap, HashMap};
-use std::hash::{BuildHasherDefault, Hasher};
-use telemetry::{Counter, Histogram, Scope};
+use telemetry::{bucket_index, Counter, Histogram, Scope, BUCKETS};
 
 /// How many younger row-hit requests may bypass an older request
 /// before age wins — Table IV's "FR-FCFS scheduling policy with bank
@@ -55,37 +66,13 @@ const MAX_BYPASS: u32 = 64;
 /// never resolve these, so no completion slot is consumed.
 const UNTRACKED_TOKEN: u64 = u64::MAX;
 
-/// Minimal multiply-xor hasher for the small integer keys of the
-/// per-bank row groups (the default SipHash is overkill there).
-#[derive(Debug, Clone, Copy, Default)]
-struct RowHasher(u64);
+/// Sentinel for "no row open" in a bank's row-buffer slot. Real rows
+/// come from address bits and can never reach `u64::MAX`.
+const ROW_NONE: u64 = u64::MAX;
 
-impl RowHasher {
-    fn mix(&mut self, word: u64) {
-        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
-    }
-}
-
-impl Hasher for RowHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.mix(b as u64);
-        }
-    }
-    fn write_u64(&mut self, word: u64) {
-        self.mix(word);
-    }
-}
-
-type RowGroups = HashMap<u64, Vec<(Picos, u32)>, BuildHasherDefault<RowHasher>>;
-
-/// The controller's live metric handles. Counting happens directly on
-/// these (relaxed atomics — one `fetch_add` per event); the legacy
-/// [`ControllerStats`] is materialized from them on demand, so there
-/// is a single source of truth rather than parallel bookkeeping.
+/// The controller's live metric handles. The hot loop never touches
+/// these directly — events accrue into [`PendingTallies`] and reach
+/// the handles in one batch per flush point.
 ///
 /// Handles start *detached* (visible only through
 /// [`ChannelController::stats`]); [`bind`](ControllerMetrics::bind)
@@ -172,31 +159,128 @@ impl ControllerMetrics {
         }
     }
 
-    /// The legacy aggregate view, materialized from the handles.
-    fn stats(&self) -> ControllerStats {
-        ControllerStats {
-            reads: self.reads.get(),
-            writes: self.writes.get(),
-            activates: self.activates.get(),
-            row_hits: self.row_hits.get(),
-            wb_cache_hits: self.wb_cache_hits.get(),
-            write_mode_entries: self.write_mode_entries.get(),
-            bus_busy_ps: self.bus_busy_ps.get(),
-            read_latency_sum_ps: self.read_latency_sum_ps.get(),
-            refreshes: self.refreshes.get(),
-            broadcast_extra_cells: self.broadcast_extra_cells.get(),
-        }
-    }
-
     /// The per-read latency distribution (arrival → last data beat).
+    /// Pending (unflushed) window tallies are not yet visible here;
+    /// they are published by the next flush point (run end, window
+    /// boundary, or telemetry bind).
     pub fn read_latency_histogram(&self) -> &Histogram {
         &self.read_latency_ps
     }
 }
 
+/// Plain per-controller event tallies: the batched loop's counter
+/// window. Everything here is a local integer add; the flush points
+/// (run end, window boundary, telemetry bind) publish to the shared
+/// [`ControllerMetrics`] handles in one batch.
+#[derive(Debug, Clone)]
+struct PendingTallies {
+    reads: u64,
+    writes: u64,
+    activates: u64,
+    row_hits: u64,
+    wb_cache_hits: u64,
+    write_mode_entries: u64,
+    bus_busy_ps: Picos,
+    read_latency_sum_ps: Picos,
+    refreshes: u64,
+    broadcast_extra_cells: u64,
+    /// Locally bucketed read-latency samples (same log₂ buckets as
+    /// [`Histogram`]), published via `Histogram::merge_parts`. The
+    /// histogram's share of the latency sum is tracked separately from
+    /// `read_latency_sum_ps` so each flushes exactly once.
+    latency_buckets: Box<[u64; BUCKETS]>,
+    latency_hist_sum: u64,
+    latency_min: u64,
+    latency_max: u64,
+}
+
+impl Default for PendingTallies {
+    fn default() -> Self {
+        PendingTallies {
+            reads: 0,
+            writes: 0,
+            activates: 0,
+            row_hits: 0,
+            wb_cache_hits: 0,
+            write_mode_entries: 0,
+            bus_busy_ps: 0,
+            read_latency_sum_ps: 0,
+            refreshes: 0,
+            broadcast_extra_cells: 0,
+            latency_buckets: Box::new([0; BUCKETS]),
+            latency_hist_sum: 0,
+            latency_min: u64::MAX,
+            latency_max: 0,
+        }
+    }
+}
+
+impl PendingTallies {
+    #[inline]
+    fn record_latency(&mut self, latency: u64) {
+        self.read_latency_sum_ps += latency;
+        self.latency_buckets[bucket_index(latency)] += 1;
+        self.latency_hist_sum += latency;
+        self.latency_min = self.latency_min.min(latency);
+        self.latency_max = self.latency_max.max(latency);
+    }
+
+    /// Publishes every pending tally into the shared handles and
+    /// resets the window.
+    fn flush(&mut self, metrics: &ControllerMetrics) {
+        let add = |counter: &Counter, v: &mut u64| {
+            if *v > 0 {
+                counter.add(*v);
+                *v = 0;
+            }
+        };
+        add(&metrics.reads, &mut self.reads);
+        add(&metrics.writes, &mut self.writes);
+        add(&metrics.activates, &mut self.activates);
+        add(&metrics.row_hits, &mut self.row_hits);
+        add(&metrics.wb_cache_hits, &mut self.wb_cache_hits);
+        add(&metrics.write_mode_entries, &mut self.write_mode_entries);
+        add(&metrics.bus_busy_ps, &mut self.bus_busy_ps);
+        add(&metrics.read_latency_sum_ps, &mut self.read_latency_sum_ps);
+        add(&metrics.refreshes, &mut self.refreshes);
+        add(
+            &metrics.broadcast_extra_cells,
+            &mut self.broadcast_extra_cells,
+        );
+        if self.latency_min != u64::MAX {
+            metrics.read_latency_ps.merge_parts(
+                &self.latency_buckets[..],
+                self.latency_hist_sum,
+                self.latency_min,
+                self.latency_max,
+            );
+            self.latency_buckets.fill(0);
+            self.latency_hist_sum = 0;
+            self.latency_min = u64::MAX;
+            self.latency_max = 0;
+        }
+    }
+
+    /// The aggregate view over this pending window alone.
+    fn stats(&self) -> ControllerStats {
+        ControllerStats {
+            reads: self.reads,
+            writes: self.writes,
+            activates: self.activates,
+            row_hits: self.row_hits,
+            wb_cache_hits: self.wb_cache_hits,
+            write_mode_entries: self.write_mode_entries,
+            bus_busy_ps: self.bus_busy_ps,
+            read_latency_sum_ps: self.read_latency_sum_ps,
+            refreshes: self.refreshes,
+            broadcast_extra_cells: self.broadcast_extra_cells,
+        }
+    }
+}
+
 /// Aggregate controller statistics — a snapshot view over
-/// [`ControllerMetrics`], kept as a plain value type for result
-/// assembly and comparisons.
+/// [`ControllerMetrics`] plus the pending window tallies, kept as a
+/// plain value type for result assembly and comparisons.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ControllerStats {
     /// Demand + prefetch reads served from DRAM.
@@ -300,11 +384,12 @@ impl ResidencyStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 struct BankState {
-    open_row: Option<u64>,
+    /// Open row, or [`ROW_NONE`] when the bank is precharged.
+    open_row: u64,
     /// When the currently open row was activated (meaningful only
-    /// while `open_row` is `Some`); closes accrue `active_bank_ps`.
+    /// while a row is open); closes accrue `active_bank_ps`.
     open_since: Picos,
     /// Earliest next ACT (gated by tRP after precharge / tRFC).
     act_allowed_at: Picos,
@@ -317,16 +402,17 @@ struct BankState {
     last_use: Picos,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct PendingRead {
-    /// Completion slot for tracked reads, [`UNTRACKED_TOKEN`] otherwise.
-    token: u64,
-    coord: DramCoord,
-    arrival: Picos,
-    bypasses: u32,
-    tracked: bool,
-    /// Precomputed serving-bank index (read-rank restriction applied).
-    bank_idx: u32,
+impl Default for BankState {
+    fn default() -> Self {
+        BankState {
+            open_row: ROW_NONE,
+            open_since: 0,
+            act_allowed_at: 0,
+            next_column_at: 0,
+            pre_allowed_at: 0,
+            last_use: 0,
+        }
+    }
 }
 
 /// A completion slot in the token slab.
@@ -340,6 +426,11 @@ enum Completion {
     Done(Picos),
 }
 
+/// Pending-write sort key: `(rank·bank, row, column)` — rank and bank
+/// packed into one word (both are far below 2³²), ordering identical
+/// to the old `(rank, bank, row, column)` `BTreeMap` key.
+type WriteKey = (u64, u64, u64);
+
 /// One channel's memory controller.
 #[derive(Debug)]
 pub struct ChannelController {
@@ -351,29 +442,39 @@ pub struct ChannelController {
     write_mode_until: Picos,
     /// Per-rank next scheduled refresh.
     next_refresh: Vec<Picos>,
-    /// Pending writes keyed by the drain order `(rank, bank, row,
-    /// column)` with multiplicity — already in the order a drain
-    /// serves them.
-    write_queue: BTreeMap<(usize, usize, u64, u64), u64>,
+    /// Pending writes: `[write_cursor..sorted_len)` is sorted by key,
+    /// `[sorted_len..]` is the unsorted append tail. A drain compacts
+    /// and re-sorts the live region once, then pops groups of equal
+    /// keys (the old `BTreeMap` multiplicity) by advancing the cursor.
+    write_queue: Vec<WriteKey>,
+    write_cursor: usize,
+    /// Length of the sorted prefix of `write_queue` (cursor included).
+    write_sorted_len: usize,
     write_queue_len: usize,
-    /// Read queue awaiting FR-FCFS scheduling (slot storage; order is
-    /// carried by the indexes below).
-    pending_reads: Vec<PendingRead>,
+    /// Struct-of-arrays read queue awaiting FR-FCFS scheduling; the
+    /// four parallel `Vec`s share slot indexes and `swap_remove`
+    /// together. `rq_token` doubles as the tracked flag
+    /// ([`UNTRACKED_TOKEN`] = fire-and-forget).
+    rq_arrival: Vec<Picos>,
+    rq_row: Vec<u64>,
+    rq_bank: Vec<u32>,
+    rq_bypasses: Vec<u32>,
+    rq_token: Vec<u64>,
     /// Cached minimum `(arrival, slot)` over the queue — the oldest
     /// request with the original first-position tie-break. Kept exact
     /// in `O(1)`: a submission can only lower it, and the post-pick
-    /// aging pass (which walks the queue regardless) recomputes it.
+    /// aging sweep (which walks the queue regardless) recomputes it.
     oldest: Option<(Picos, u32)>,
-    /// Per serving-bank map from row to the `(arrival, slot)` pairs
-    /// waiting on it.
-    bank_groups: Vec<RowGroups>,
-    /// Pending-read count per serving bank, to skip empty banks in
-    /// the row-hit pick.
-    bank_pending: Vec<u32>,
-    /// Retired row-group vectors, reused to avoid reallocation.
-    group_pool: Vec<Vec<(Picos, u32)>>,
+    /// Cached minimum `(arrival, slot)` over queued requests whose
+    /// serving bank currently holds their row open — the FR-FCFS
+    /// row-hit pick. Exact between picks because bank state only
+    /// changes inside [`schedule_one_read`](Self::schedule_one_read)
+    /// (whose fused sweep rebuilds this against the post-serve bank
+    /// states) and inside write drains (which run with the read queue
+    /// empty); submissions update it in `O(1)` with one bank probe.
+    best_hit: Option<(Picos, u32)>,
     /// First bank index a read can be served from (read-rank
-    /// restriction); banks below it never hold row-hit candidates.
+    /// restriction); every queued `rq_bank` is ≥ this by construction.
     read_bank_start: usize,
     /// Queued untracked (prefetch) reads, for the drop threshold.
     untracked_queued: usize,
@@ -388,6 +489,7 @@ pub struct ChannelController {
     /// Set once [`finalize_residency`](Self::finalize_residency) has
     /// closed the books; further calls are no-ops.
     residency_final: bool,
+    pend: PendingTallies,
     metrics: ControllerMetrics,
 }
 
@@ -403,12 +505,16 @@ impl Clone for ChannelController {
             write_mode_until: self.write_mode_until,
             next_refresh: self.next_refresh.clone(),
             write_queue: self.write_queue.clone(),
+            write_cursor: self.write_cursor,
+            write_sorted_len: self.write_sorted_len,
             write_queue_len: self.write_queue_len,
-            pending_reads: self.pending_reads.clone(),
+            rq_arrival: self.rq_arrival.clone(),
+            rq_row: self.rq_row.clone(),
+            rq_bank: self.rq_bank.clone(),
+            rq_bypasses: self.rq_bypasses.clone(),
+            rq_token: self.rq_token.clone(),
             oldest: self.oldest,
-            bank_groups: self.bank_groups.clone(),
-            bank_pending: self.bank_pending.clone(),
-            group_pool: Vec::new(),
+            best_hit: self.best_hit,
             read_bank_start: self.read_bank_start,
             untracked_queued: self.untracked_queued,
             completions: self.completions.clone(),
@@ -416,6 +522,7 @@ impl Clone for ChannelController {
             page_timeout_ps: self.page_timeout_ps,
             residency: self.residency,
             residency_final: self.residency_final,
+            pend: self.pend.clone(),
             metrics: self.metrics.fork(),
         }
     }
@@ -435,13 +542,17 @@ impl ChannelController {
             bus_free_at: 0,
             write_mode_until: 0,
             next_refresh: (0..ranks).map(|r| refi + r as Picos * 100_000).collect(),
-            write_queue: BTreeMap::new(),
+            write_queue: Vec::new(),
+            write_cursor: 0,
+            write_sorted_len: 0,
             write_queue_len: 0,
-            pending_reads: Vec::new(),
+            rq_arrival: Vec::new(),
+            rq_row: Vec::new(),
+            rq_bank: Vec::new(),
+            rq_bypasses: Vec::new(),
+            rq_token: Vec::new(),
             oldest: None,
-            bank_groups: vec![RowGroups::default(); bank_count],
-            bank_pending: vec![0; bank_count],
-            group_pool: Vec::new(),
+            best_hit: None,
             read_bank_start,
             untracked_queued: 0,
             completions: Vec::new(),
@@ -449,6 +560,7 @@ impl ChannelController {
             page_timeout_ps,
             residency: ResidencyStats::default(),
             residency_final: false,
+            pend: PendingTallies::default(),
             metrics: ControllerMetrics::default(),
         }
     }
@@ -458,14 +570,35 @@ impl ChannelController {
         &self.mode
     }
 
-    /// Statistics so far, materialized from the live metric handles.
+    /// Statistics so far: the flushed handles plus the pending window,
+    /// so the view is exact at any point.
     pub fn stats(&self) -> ControllerStats {
-        self.metrics.stats()
+        let p = self.pend.stats();
+        ControllerStats {
+            reads: self.metrics.reads.get() + p.reads,
+            writes: self.metrics.writes.get() + p.writes,
+            activates: self.metrics.activates.get() + p.activates,
+            row_hits: self.metrics.row_hits.get() + p.row_hits,
+            wb_cache_hits: self.metrics.wb_cache_hits.get() + p.wb_cache_hits,
+            write_mode_entries: self.metrics.write_mode_entries.get() + p.write_mode_entries,
+            bus_busy_ps: self.metrics.bus_busy_ps.get() + p.bus_busy_ps,
+            read_latency_sum_ps: self.metrics.read_latency_sum_ps.get() + p.read_latency_sum_ps,
+            refreshes: self.metrics.refreshes.get() + p.refreshes,
+            broadcast_extra_cells: self.metrics.broadcast_extra_cells.get()
+                + p.broadcast_extra_cells,
+        }
     }
 
     /// The live metric handles (e.g. the read-latency histogram).
     pub fn metrics(&self) -> &ControllerMetrics {
         &self.metrics
+    }
+
+    /// Publishes the pending window tallies into the metric handles.
+    /// Called at run and window boundaries; cheap when nothing is
+    /// pending.
+    pub fn flush_metrics(&mut self) {
+        self.pend.flush(&self.metrics);
     }
 
     /// Bank time-in-state residency accrued so far. Open rows and
@@ -480,8 +613,10 @@ impl ChannelController {
     /// rows, credits the parked (read-rank-restricted) ranks with
     /// self-refresh time, stamps the bank count and horizon, and
     /// publishes the totals through the telemetry tap. Idempotent —
-    /// only the first call accrues.
+    /// only the first call accrues. Also flushes the pending counter
+    /// window (this is the end-of-run boundary).
     pub fn finalize_residency(&mut self, end: Picos) -> ResidencyStats {
+        self.flush_metrics();
         if !self.residency_final {
             self.residency_final = true;
             let banks_per_rank = self.mem.banks_per_rank;
@@ -491,7 +626,7 @@ impl ChannelController {
             };
             for idx in 0..self.banks.len() {
                 let bank = &mut self.banks[idx];
-                if bank.open_row.is_some() {
+                if bank.open_row != ROW_NONE {
                     // Parked ranks precharge when they re-enter
                     // self-refresh after their last write burst;
                     // everyone else holds the row to the horizon.
@@ -502,7 +637,7 @@ impl ChannelController {
                     };
                     self.residency.active_bank_ps += close.saturating_sub(bank.open_since);
                     self.residency.pre_edges += 1;
-                    bank.open_row = None;
+                    bank.open_row = ROW_NONE;
                 }
             }
             // Parked ranks self-refresh whenever the channel is not in
@@ -528,17 +663,19 @@ impl ChannelController {
         self.residency
     }
 
-    /// Rebind this controller's metrics into `scope` (folding in any
-    /// values already recorded), so registry snapshots see them.
+    /// Rebind this controller's metrics into `scope` (flushing and
+    /// folding in any values already recorded), so registry snapshots
+    /// see them.
     pub fn attach_telemetry(&mut self, scope: &Scope) {
+        self.flush_metrics();
         self.metrics.bind(scope);
     }
 
     /// Record a read served by the channel's write-back cache instead
     /// of DRAM. The cache sits outside the controller, but the tally
     /// belongs with the rest of the channel's read statistics.
-    pub fn note_wb_cache_hit(&self) {
-        self.metrics.wb_cache_hits.inc();
+    pub fn note_wb_cache_hit(&mut self) {
+        self.pend.wb_cache_hits += 1;
     }
 
     /// Pending (queued, not yet drained) writes.
@@ -580,7 +717,7 @@ impl ChannelController {
         for b in 0..self.mem.banks_per_rank {
             let idx = self.bank_index(rank, b);
             let bank = &mut self.banks[idx];
-            if bank.open_row.is_some() {
+            if bank.open_row != ROW_NONE {
                 // Refresh implies an all-bank precharge at the window
                 // edge; the open row's active time ends there.
                 self.residency.active_bank_ps += due.saturating_sub(bank.open_since);
@@ -588,12 +725,12 @@ impl ChannelController {
             }
             bank.act_allowed_at = bank.act_allowed_at.max(end);
             bank.next_column_at = bank.next_column_at.max(end);
-            bank.open_row = None;
+            bank.open_row = ROW_NONE;
         }
         self.next_refresh[rank] = due + (catch_up + 1) * refi;
         self.residency.refresh_bank_ps +=
             (catch_up + 1) * t.t_rfc_ps() * self.mem.banks_per_rank as Picos;
-        self.metrics.refreshes.add(catch_up + 1);
+        self.pend.refreshes += catch_up + 1;
     }
 
     /// The rank a *read* is served from, honouring the Free-Module
@@ -606,64 +743,6 @@ impl ChannelController {
             }
             None => home_rank,
         }
-    }
-
-    /// Adds slot `pos`'s oldest-tracking and row-group entries.
-    fn index_insert(&mut self, pos: u32) {
-        let r = self.pending_reads[pos as usize];
-        let key = (r.arrival, pos);
-        if self.oldest.is_none_or(|b| key < b) {
-            self.oldest = Some(key);
-        }
-        self.bank_pending[r.bank_idx as usize] += 1;
-        let groups = &mut self.bank_groups[r.bank_idx as usize];
-        let pool = &mut self.group_pool;
-        groups
-            .entry(r.coord.row)
-            .or_insert_with(|| pool.pop().unwrap_or_default())
-            .push((r.arrival, pos));
-    }
-
-    /// Drops slot `pos`'s row-group entry. The cached `oldest` is
-    /// deliberately left stale — every removal happens inside
-    /// [`Self::schedule_one_read`], whose aging pass rebuilds it.
-    fn index_remove(&mut self, pos: u32) {
-        let r = self.pending_reads[pos as usize];
-        self.bank_pending[r.bank_idx as usize] -= 1;
-        let groups = &mut self.bank_groups[r.bank_idx as usize];
-        let list = groups.get_mut(&r.coord.row).expect("slot is indexed");
-        let at = list
-            .iter()
-            .position(|&(_, p)| p == pos)
-            .expect("slot is indexed");
-        list.swap_remove(at);
-        if list.is_empty() {
-            let empty = groups.remove(&r.coord.row).expect("just found");
-            self.group_pool.push(empty);
-        }
-    }
-
-    /// Removes and returns the request in slot `pos`, keeping the
-    /// indexes consistent with the `swap_remove` relocation.
-    fn remove_pending(&mut self, pos: u32) -> PendingRead {
-        self.index_remove(pos);
-        let last = self.pending_reads.len() as u32 - 1;
-        if pos != last {
-            let moved = self.pending_reads[last as usize];
-            let list = self.bank_groups[moved.bank_idx as usize]
-                .get_mut(&moved.coord.row)
-                .expect("slot is indexed");
-            let at = list
-                .iter()
-                .position(|&(_, p)| p == last)
-                .expect("slot is indexed");
-            list[at] = (moved.arrival, pos);
-        }
-        let r = self.pending_reads.swap_remove(pos as usize);
-        if !r.tracked {
-            self.untracked_queued -= 1;
-        }
-        r
     }
 
     /// Enqueues a read into the FR-FCFS read queue. Returns a token to
@@ -692,16 +771,21 @@ impl ChannelController {
             UNTRACKED_TOKEN
         };
         let bank_idx = self.bank_index(self.read_rank(coord.rank), coord.bank) as u32;
-        let pos = self.pending_reads.len() as u32;
-        self.pending_reads.push(PendingRead {
-            token,
-            coord,
-            arrival,
-            bypasses: 0,
-            tracked,
-            bank_idx,
-        });
-        self.index_insert(pos);
+        let pos = self.rq_arrival.len() as u32;
+        self.rq_arrival.push(arrival);
+        self.rq_row.push(coord.row);
+        self.rq_bank.push(bank_idx);
+        self.rq_bypasses.push(0);
+        self.rq_token.push(token);
+        let key = (arrival, pos);
+        if self.oldest.is_none_or(|b| key < b) {
+            self.oldest = Some(key);
+        }
+        if self.banks[bank_idx as usize].open_row == coord.row
+            && self.best_hit.is_none_or(|b| key < b)
+        {
+            self.best_hit = Some(key);
+        }
         token
     }
 
@@ -709,60 +793,87 @@ impl ChannelController {
     /// otherwise, with the bank-fairness bypass cap) and records
     /// completions for tracked tokens.
     pub fn process_reads(&mut self) {
-        while !self.pending_reads.is_empty() {
+        while !self.rq_arrival.is_empty() {
             self.schedule_one_read();
         }
     }
 
     /// Schedules exactly one queued read (FR-FCFS pick).
     fn schedule_one_read(&mut self) {
-        let pick = self.pick_next_read();
-        let request = self.remove_pending(pick);
-        // Requests that the pick bypassed age toward the cap; the same
-        // pass rebuilds the cached oldest key over the shrunk queue.
-        let mut oldest: Option<(Picos, u32)> = None;
-        for (i, r) in self.pending_reads.iter_mut().enumerate() {
-            if r.arrival < request.arrival {
-                r.bypasses += 1;
+        let pick = self.pick_next_read() as usize;
+        // Remove the pick from every parallel array; slots relocate by
+        // `swap_remove`, mirroring the old AoS queue exactly.
+        let arrival = self.rq_arrival.swap_remove(pick);
+        let row = self.rq_row.swap_remove(pick);
+        let bank_idx = self.rq_bank.swap_remove(pick);
+        self.rq_bypasses.swap_remove(pick);
+        let token = self.rq_token.swap_remove(pick);
+        if token == UNTRACKED_TOKEN {
+            self.untracked_queued -= 1;
+        }
+        // Serve before sweeping: the DRAM work below is what changes
+        // bank state, and the sweep's row-hit rebuild must see the
+        // state the *next* pick will be scheduled against. (The sweep
+        // itself only reads arrivals, which the serve never touches,
+        // so the two orders produce identical numbers.)
+        let done = self.serve_read(bank_idx as usize, row, arrival);
+        if token != UNTRACKED_TOKEN {
+            self.completions[token as usize] = Completion::Done(done);
+        }
+        // One fused pass over the shrunk queue: age every request the
+        // pick bypassed toward the fairness cap, rebuild the cached
+        // oldest key, and rebuild the cached row-hit key against the
+        // post-serve bank states. Strict `<` keeps the first occurrence
+        // of each minimum arrival, which is exactly the minimum
+        // `(arrival, slot)` pair.
+        let ChannelController {
+            banks,
+            rq_arrival,
+            rq_row,
+            rq_bank,
+            rq_bypasses,
+            ..
+        } = self;
+        let mut best_arrival = Picos::MAX;
+        let mut best_slot = u32::MAX;
+        let mut hit_arrival = Picos::MAX;
+        let mut hit_slot = u32::MAX;
+        for (i, ((&a, byp), (&qrow, &qbank))) in rq_arrival
+            .iter()
+            .zip(rq_bypasses.iter_mut())
+            .zip(rq_row.iter().zip(rq_bank.iter()))
+            .enumerate()
+        {
+            *byp += (a < arrival) as u32;
+            if a < best_arrival {
+                best_arrival = a;
+                best_slot = i as u32;
             }
-            let key = (r.arrival, i as u32);
-            if oldest.is_none_or(|b| key < b) {
-                oldest = Some(key);
+            // `ROW_NONE` (closed bank) never equals a real row.
+            if banks[qbank as usize].open_row == qrow && a < hit_arrival {
+                hit_arrival = a;
+                hit_slot = i as u32;
             }
         }
-        self.oldest = oldest;
-        let done = self.serve_read(request.coord, request.arrival);
-        if request.tracked {
-            self.completions[request.token as usize] = Completion::Done(done);
-        }
+        self.oldest = (best_slot != u32::MAX).then_some((best_arrival, best_slot));
+        self.best_hit = (hit_slot != u32::MAX).then_some((hit_arrival, hit_slot));
     }
 
     /// FR-FCFS pick: the oldest row-hit request, unless the oldest
     /// overall has been bypassed too often (bank fairness), in which
-    /// case age wins.
+    /// case age wins. `O(1)`: both candidates are cached minima —
+    /// rebuilt by the fused post-pick sweep and lowered incrementally
+    /// by submissions (every queued bank index respects the read-rank
+    /// restriction by construction).
     fn pick_next_read(&self) -> u32 {
         let (_, oldest) = self.oldest.expect("nonempty queue");
-        if self.pending_reads[oldest as usize].bypasses >= MAX_BYPASS {
+        if self.rq_bypasses[oldest as usize] >= MAX_BYPASS {
             return oldest;
         }
-        let mut best: Option<(Picos, u32)> = None;
-        for idx in self.read_bank_start..self.banks.len() {
-            if self.bank_pending[idx] == 0 {
-                continue;
-            }
-            let Some(row) = self.banks[idx].open_row else {
-                continue;
-            };
-            let Some(list) = self.bank_groups[idx].get(&row) else {
-                continue;
-            };
-            for &key in list {
-                if best.is_none_or(|b| key < b) {
-                    best = Some(key);
-                }
-            }
+        match self.best_hit {
+            Some((_, slot)) => slot,
+            None => oldest,
         }
-        best.map_or(oldest, |(_, pos)| pos)
     }
 
     /// The completion time of a previously submitted tracked read.
@@ -782,7 +893,7 @@ impl ChannelController {
                 return done;
             }
             assert!(
-                !self.pending_reads.is_empty(),
+                !self.rq_arrival.is_empty(),
                 "token submitted, tracked, and not yet resolved"
             );
             self.schedule_one_read();
@@ -790,10 +901,13 @@ impl ChannelController {
     }
 
     /// Performs the DRAM work of one read at its scheduling point.
-    fn serve_read(&mut self, coord: DramCoord, arrival: Picos) -> Picos {
+    /// `bank_idx` is the precomputed serving-bank index (read-rank
+    /// restriction already applied).
+    fn serve_read(&mut self, bank_idx: usize, row: u64, arrival: Picos) -> Picos {
         let now = arrival.max(self.write_mode_until);
         let t = self.mode.read_timing;
-        let rank = self.read_rank(coord.rank);
+        let rank = bank_idx / self.mem.banks_per_rank;
+        let bank = bank_idx % self.mem.banks_per_rank;
         self.apply_refresh(rank, now);
 
         // FMR: the block also lives in a paired rank; read whichever
@@ -810,21 +924,17 @@ impl ChannelController {
                 None => (rank + total / 2) % total,
             };
             self.apply_refresh(mirror, now);
-            let a = self.bank_index(rank, coord.bank);
-            let b = self.bank_index(mirror, coord.bank);
-            self.faster_bank(a, b, coord.row, now)
+            let b = self.bank_index(mirror, bank);
+            self.faster_bank(bank_idx, b, row, now)
         } else {
-            self.bank_index(rank, coord.bank)
+            bank_idx
         };
 
-        let (data_end, hit) = self.column_access(idx, coord.row, now, &t, true);
-        self.metrics.reads.inc();
-        if hit {
-            self.metrics.row_hits.inc();
-        }
+        let (data_end, hit) = self.column_access(idx, row, now, &t, true);
+        self.pend.reads += 1;
+        self.pend.row_hits += hit as u64;
         let latency = data_end.saturating_sub(arrival);
-        self.metrics.read_latency_sum_ps.add(latency);
-        self.metrics.read_latency_ps.record(latency);
+        self.pend.record_latency(latency);
         data_end
     }
 
@@ -836,7 +946,7 @@ impl ChannelController {
     fn faster_bank(&self, home: usize, mirror: usize, row: u64, now: Picos) -> usize {
         let open = |i: usize| {
             let bank = &self.banks[i];
-            bank.open_row == Some(row) && now.saturating_sub(bank.last_use) <= self.page_timeout_ps
+            bank.open_row == row && now.saturating_sub(bank.last_use) <= self.page_timeout_ps
         };
         match (open(home), open(mirror)) {
             (true, _) => home,
@@ -871,39 +981,37 @@ impl ChannelController {
         // Hybrid page policy: a row idle past the timeout was closed in
         // the background (precharge already complete by access time if
         // the idle gap also covered tRP).
-        if bank.open_row.is_some() && now.saturating_sub(bank.last_use) > page_timeout {
+        if bank.open_row != ROW_NONE && now.saturating_sub(bank.last_use) > page_timeout {
             let closed_at = bank.pre_allowed_at.max(bank.last_use + page_timeout);
-            bank.open_row = None;
+            bank.open_row = ROW_NONE;
             bank.act_allowed_at = bank.act_allowed_at.max(closed_at + t.t_rp_ps());
             self.residency.active_bank_ps += closed_at.saturating_sub(bank.open_since);
             self.residency.pre_edges += 1;
         }
 
         let cas = if is_read { t.t_cas_ps() } else { t.t_cwl_ps() };
-        let (cmd_time, hit) = match bank.open_row {
-            Some(open) if open == row => (now.max(bank.next_column_at), true),
-            Some(_) => {
-                // Conflict: PRE + ACT + column.
-                let pre_at = now.max(bank.pre_allowed_at);
-                let act_at = pre_at + t.t_rp_ps();
-                self.metrics.activates.inc();
-                self.residency.active_bank_ps += pre_at.saturating_sub(bank.open_since);
-                self.residency.pre_edges += 1;
-                self.residency.act_edges += 1;
-                bank.open_row = Some(row);
-                bank.open_since = act_at;
-                bank.pre_allowed_at = act_at + t.t_ras_ps();
-                (act_at + t.t_rcd_ps(), false)
-            }
-            None => {
-                let act_at = now.max(bank.act_allowed_at);
-                self.metrics.activates.inc();
-                self.residency.act_edges += 1;
-                bank.open_row = Some(row);
-                bank.open_since = act_at;
-                bank.pre_allowed_at = act_at + t.t_ras_ps();
-                (act_at + t.t_rcd_ps(), false)
-            }
+        let (cmd_time, hit) = if bank.open_row == row {
+            (now.max(bank.next_column_at), true)
+        } else if bank.open_row != ROW_NONE {
+            // Conflict: PRE + ACT + column.
+            let pre_at = now.max(bank.pre_allowed_at);
+            let act_at = pre_at + t.t_rp_ps();
+            self.pend.activates += 1;
+            self.residency.active_bank_ps += pre_at.saturating_sub(bank.open_since);
+            self.residency.pre_edges += 1;
+            self.residency.act_edges += 1;
+            bank.open_row = row;
+            bank.open_since = act_at;
+            bank.pre_allowed_at = act_at + t.t_ras_ps();
+            (act_at + t.t_rcd_ps(), false)
+        } else {
+            let act_at = now.max(bank.act_allowed_at);
+            self.pend.activates += 1;
+            self.residency.act_edges += 1;
+            bank.open_row = row;
+            bank.open_since = act_at;
+            bank.pre_allowed_at = act_at + t.t_ras_ps();
+            (act_at + t.t_rcd_ps(), false)
         };
         // Serialize the burst on the data bus; the command is delayed
         // as needed so its data slot aligns with a free bus.
@@ -911,7 +1019,7 @@ impl ChannelController {
         let data_end = data_start + t.burst_ps();
         let effective_cmd = data_start - cas;
         self.bus_free_at = data_end;
-        self.metrics.bus_busy_ps.add(t.burst_ps());
+        self.pend.bus_busy_ps += t.burst_ps();
 
         let bank = &mut self.banks[idx];
         bank.last_use = data_end;
@@ -930,16 +1038,16 @@ impl ChannelController {
     /// write recovery, with no bus occupancy of its own.
     fn shadow_write(&mut self, idx: usize, row: u64, end: Picos, t: &TimingParams) {
         let bank = &mut self.banks[idx];
-        if bank.open_row != Some(row) {
-            self.metrics.activates.inc();
-            if bank.open_row.is_some() {
+        if bank.open_row != row {
+            self.pend.activates += 1;
+            if bank.open_row != ROW_NONE {
                 self.residency.active_bank_ps += end.saturating_sub(bank.open_since);
                 self.residency.pre_edges += 1;
             }
             self.residency.act_edges += 1;
             bank.open_since = end;
         }
-        bank.open_row = Some(row);
+        bank.open_row = row;
         bank.last_use = end;
         bank.next_column_at = bank.next_column_at.max(end);
         bank.pre_allowed_at = bank.pre_allowed_at.max(end + t.t_wr_ps());
@@ -949,10 +1057,8 @@ impl ChannelController {
     /// victim writeback cache, or a drained victim / LLC-cleaning
     /// block fed in just before a drain).
     pub fn enqueue_write(&mut self, coord: DramCoord) {
-        *self
-            .write_queue
-            .entry((coord.rank, coord.bank, coord.row, coord.column))
-            .or_insert(0) += 1;
+        let rank_bank = ((coord.rank as u64) << 32) | coord.bank as u64;
+        self.write_queue.push((rank_bank, coord.row, coord.column));
         self.write_queue_len += 1;
     }
 
@@ -970,12 +1076,27 @@ impl ChannelController {
         if self.write_queue_len == 0 {
             return now;
         }
-        self.metrics.write_mode_entries.inc();
+        self.pend.write_mode_entries += 1;
 
         // Transition into write mode: wait for the bus, pay turnaround.
         let entered = now.max(self.bus_free_at);
         let start = entered + t.t_wtr_ps() + self.mode.turnaround_penalty_ps;
         self.bus_free_at = start;
+
+        // Bring the queue into drain form: compact out the consumed
+        // prefix, then sort the live region (the previously sorted
+        // remainder plus the unsorted tail). Equal keys land adjacent,
+        // so popping runs off the front reproduces the old sorted
+        // `(key, multiplicity)` iteration exactly.
+        if self.write_cursor > 0 {
+            let consumed = self.write_cursor;
+            self.write_queue.drain(..consumed);
+            self.write_cursor = 0;
+            self.write_sorted_len = self.write_sorted_len.saturating_sub(consumed);
+        }
+        if self.write_sorted_len < self.write_queue.len() {
+            self.write_queue.sort_unstable();
+        }
 
         // FR-FCFS freely reorders the drained batch for row locality:
         // the queue iterates grouped by bank and row, so most writes
@@ -984,64 +1105,52 @@ impl ChannelController {
         let mut clock = start;
         let mut left = batch as u64;
         while left > 0 {
-            let (key, count) = self.write_queue.pop_first().expect("len says nonempty");
-            let take = count.min(left);
-            if take < count {
-                self.write_queue.insert(key, count - take);
+            let key = self.write_queue[self.write_cursor];
+            // Multiplicity: how many identical keys follow (they are
+            // adjacent after the sort).
+            let mut count = 1u64;
+            while self.write_cursor + (count as usize) < self.write_queue.len()
+                && self.write_queue[self.write_cursor + count as usize] == key
+            {
+                count += 1;
             }
+            let take = count.min(left);
+            self.write_cursor += take as usize;
             left -= take;
-            let (rank, bank, row, column) = key;
-            let coord = DramCoord {
-                // Every write in one controller shares the channel and
-                // nothing downstream reads it.
-                channel: 0,
-                rank,
-                bank,
-                row,
-                column,
-            };
+            let (rank_bank, row, _column) = key;
+            let rank = (rank_bank >> 32) as usize;
+            let bank = (rank_bank & 0xFFFF_FFFF) as usize;
             for _ in 0..take {
-                self.apply_refresh(coord.rank, start);
+                self.apply_refresh(rank, start);
                 // Writes pipeline: each issues as soon as its bank and
                 // the data bus allow (the bus serializes bursts; banks
                 // overlap).
-                let (end, hit) = self.column_access(
-                    self.bank_index(coord.rank, coord.bank),
-                    coord.row,
-                    start,
-                    &t,
-                    false,
-                );
-                self.metrics.writes.inc();
-                if hit {
-                    self.metrics.row_hits.inc();
-                }
+                let (end, hit) =
+                    self.column_access(self.bank_index(rank, bank), row, start, &t, false);
+                self.pend.writes += 1;
+                self.pend.row_hits += hit as u64;
                 if self.mode.broadcast_copies > 0 {
-                    self.metrics
-                        .broadcast_extra_cells
-                        .add(self.mode.broadcast_copies as u64);
+                    self.pend.broadcast_extra_cells += self.mode.broadcast_copies as u64;
                     // The broadcast transaction also lands in the copy
                     // rank(s): no extra bus time, but the copy bank's
                     // row buffer now holds the written row and the
                     // bank is busy through write recovery.
                     let total = self.mem.ranks_per_channel();
                     let copy_rank = match self.mode.read_ranks {
-                        Some(n) if n > 0 => total - n + coord.rank % n,
-                        _ => (coord.rank + total / 2) % total,
+                        Some(n) if n > 0 => total - n + rank % n,
+                        _ => (rank + total / 2) % total,
                     };
-                    if copy_rank != coord.rank {
-                        self.shadow_write(
-                            self.bank_index(copy_rank, coord.bank),
-                            coord.row,
-                            end,
-                            &t,
-                        );
+                    if copy_rank != rank {
+                        self.shadow_write(self.bank_index(copy_rank, bank), row, end, &t);
                     }
                 }
                 clock = clock.max(end);
             }
         }
         self.write_queue_len -= batch;
+        // Everything from the cursor on is sorted; future enqueues
+        // append an unsorted tail after it.
+        self.write_sorted_len = self.write_queue.len();
 
         // Transition back to read mode.
         let resume = clock + t.t_wtr_ps() + self.mode.turnaround_penalty_ps;
@@ -1214,6 +1323,36 @@ mod tests {
     }
 
     #[test]
+    fn partial_drain_keeps_sorted_remainder_and_new_tail_ordered() {
+        // A batch-limited drain leaves a sorted remainder; fresh
+        // enqueues append an unsorted tail. The next drain must serve
+        // the union in full key order (the old BTreeMap guarantee) —
+        // checked against the frozen scan-and-sort referee.
+        let mut mode = ChannelMode::commercial_baseline();
+        mode.write_batch = 4;
+        let h = HierarchyConfig::hierarchy1();
+        let mut c = controller(mode);
+        let mut r =
+            crate::reference::ReferenceController::new(mode, h.memory, h.core.page_timeout_ps());
+        for col in [9u64, 1, 7, 3, 5, 8, 2] {
+            c.enqueue_write(coord(0, 0, 1, col));
+            r.enqueue_write(coord(0, 0, 1, col));
+        }
+        assert_eq!(c.drain_writes(0), r.drain_writes(0)); // serves 1,2,3,5
+        assert_eq!(c.pending_writes(), 3);
+        c.enqueue_write(coord(0, 0, 1, 0)); // unsorted tail, lowest key
+        r.enqueue_write(coord(0, 0, 1, 0));
+        assert_eq!(
+            c.drain_writes(10_000_000),
+            r.drain_writes(10_000_000),
+            "second drain must serve remainder + tail in key order"
+        );
+        assert_eq!(c.pending_writes(), 0);
+        assert_eq!(c.stats().writes, 8);
+        assert_eq!(c.stats(), r.stats());
+    }
+
+    #[test]
     fn read_rank_restriction_hits_free_module_only() {
         let mut mode = ChannelMode::commercial_baseline();
         mode.read_ranks = Some(2); // ranks 2 and 3 hold the copies
@@ -1338,5 +1477,29 @@ mod tests {
         assert_ne!(a, b);
         c.resolve_read(b);
         c.resolve_read(a);
+    }
+
+    #[test]
+    fn stats_fold_pending_and_flush_is_idempotent() {
+        // stats() must be exact before, between, and after flushes —
+        // the flushed handles and the pending window always partition
+        // the event totals.
+        let mut c = controller(ChannelMode::commercial_baseline());
+        let t0 = read_now(&mut c, coord(0, 0, 3, 0), 0);
+        let before = c.stats();
+        assert_eq!(before.reads, 1);
+        c.flush_metrics();
+        assert_eq!(c.stats(), before);
+        c.flush_metrics();
+        assert_eq!(c.stats(), before);
+        let _ = read_now(&mut c, coord(0, 0, 3, 1), t0);
+        let after = c.stats();
+        assert_eq!(after.reads, 2);
+        assert_eq!(after.row_hits, before.row_hits + 1);
+        // The histogram agrees with the scalar view once flushed.
+        c.flush_metrics();
+        let hist = c.metrics().read_latency_histogram();
+        assert_eq!(hist.count(), after.reads);
+        assert_eq!(hist.sum(), after.read_latency_sum_ps);
     }
 }

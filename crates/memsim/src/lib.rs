@@ -42,6 +42,6 @@ pub mod wbcache;
 
 pub use config::{ChannelMode, CoreConfig, HierarchyConfig, MemoryConfig};
 pub use controller::ResidencyStats;
-pub use node::NodeSim;
+pub use node::{NodeSim, RunCursor};
 pub use result::SimResult;
 pub use trace::{AccessStream, MemOp};

@@ -42,6 +42,9 @@ pub struct NodeSim {
     scratch_writebacks: Vec<u64>,
     scratch_prefetches: Vec<u64>,
     metrics: NodeMetrics,
+    /// Plain-integer tallies for the current window; flushed into
+    /// `metrics` at window boundaries (no atomics in the step loop).
+    tally: NodeTally,
     /// Causal trace sink (see [`NodeSim::attach_trace`]): write-drain
     /// batches become simulation-time spans.
     trace: Option<Tracer>,
@@ -70,6 +73,65 @@ impl NodeMetrics {
         self.prefetch_reads = rebind("prefetch_reads", &self.prefetch_reads);
         self.writebacks = rebind("writebacks", &self.writebacks);
         self.drains = rebind("drains", &self.drains);
+    }
+}
+
+/// The step loop's counter window: plain adds, published in one batch
+/// per window boundary ([`NodeSim::run_steps`] return, telemetry
+/// attach, or result assembly).
+#[derive(Debug, Default)]
+struct NodeTally {
+    ops: u64,
+    demand_misses: u64,
+    prefetch_reads: u64,
+    writebacks: u64,
+    drains: u64,
+}
+
+impl NodeTally {
+    fn flush(&mut self, metrics: &NodeMetrics) {
+        let add = |counter: &Counter, v: &mut u64| {
+            if *v > 0 {
+                counter.add(*v);
+                *v = 0;
+            }
+        };
+        add(&metrics.ops, &mut self.ops);
+        add(&metrics.demand_misses, &mut self.demand_misses);
+        add(&metrics.prefetch_reads, &mut self.prefetch_reads);
+        add(&metrics.writebacks, &mut self.writebacks);
+        add(&metrics.drains, &mut self.drains);
+    }
+}
+
+/// Resumable position inside a [`NodeSim`] run: the per-core streams
+/// plus the scheduler's view of each core's clock. Produced by
+/// [`NodeSim::begin`], advanced by [`NodeSim::run_steps`], consumed by
+/// [`NodeSim::finish`].
+///
+/// Splitting one run into several `run_steps` calls is *exactly*
+/// equivalent to one big call: the scheduler state lives entirely in
+/// this cursor and the node, so stdout/JSONL/trace bytes and
+/// `SimResult` stats are byte-identical for any window partition —
+/// the property the time-parallel runner path relies on.
+#[derive(Debug)]
+pub struct RunCursor<S> {
+    streams: Vec<S>,
+    /// Per-core clock mirror; [`Picos::MAX`] marks an exhausted stream.
+    nows: Vec<Picos>,
+    remaining: usize,
+    steps: u64,
+}
+
+impl<S> RunCursor<S> {
+    /// Whether every stream has been consumed.
+    pub fn done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Total operations stepped through this cursor so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
     }
 }
 
@@ -130,6 +192,7 @@ impl NodeSim {
             scratch_writebacks: Vec::new(),
             scratch_prefetches: Vec::new(),
             metrics: NodeMetrics::default(),
+            tally: NodeTally::default(),
             trace: None,
         }
     }
@@ -138,6 +201,7 @@ impl NodeSim {
     /// `ch<N>.controller`) into a registry scope, folding in whatever
     /// was recorded before attachment.
     pub fn attach_telemetry(&mut self, scope: &Scope) {
+        self.tally.flush(&self.metrics);
         self.metrics.bind(scope);
         for (i, ctrl) in self.controllers.iter_mut().enumerate() {
             let ch_scope = scope.scope(&format!("ch{i}.controller"));
@@ -191,36 +255,108 @@ impl NodeSim {
     /// # Panics
     ///
     /// Panics unless exactly one stream per core is supplied.
-    pub fn run<S: AccessStream>(&mut self, mut streams: Vec<S>) -> SimResult {
+    pub fn run<S: AccessStream>(&mut self, streams: Vec<S>) -> SimResult {
+        let mut cursor = self.begin(streams);
+        self.run_steps(&mut cursor, u64::MAX);
+        self.finish(cursor)
+    }
+
+    /// Opens a resumable run over one access stream per core. Advance
+    /// it with [`run_steps`](Self::run_steps), close it with
+    /// [`finish`](Self::finish).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one stream per core is supplied.
+    pub fn begin<S: AccessStream>(&mut self, streams: Vec<S>) -> RunCursor<S> {
         assert_eq!(
             streams.len(),
             self.cores.len(),
             "need exactly one access stream per core"
         );
-        let mut live: Vec<bool> = vec![true; streams.len()];
-        let mut remaining = streams.len();
+        RunCursor {
+            nows: self.cores.iter().map(|c| c.now).collect(),
+            remaining: streams.len(),
+            streams,
+            steps: 0,
+        }
+    }
 
-        while remaining > 0 {
-            // Advance the core that is furthest behind in time.
-            let core_idx = (0..self.cores.len())
-                .filter(|&i| live[i])
-                .min_by_key(|&i| self.cores[i].now)
-                .expect("at least one live core");
-            match streams[core_idx].next_op() {
-                Some(op) => self.step(core_idx, &op),
-                None => {
-                    live[core_idx] = false;
-                    remaining -= 1;
+    /// Advances the run by at most `budget` operations (a *window*),
+    /// returning how many were executed (less than `budget` only when
+    /// every stream ran dry). Window boundaries flush the node's and
+    /// every controller's pending tallies in one batch — the only
+    /// point where the batched loop touches shared metric handles.
+    ///
+    /// The scheduler always steps the core that is furthest behind
+    /// (ties to the lowest index), like the classic per-op
+    /// `min_by_key` loop — but between full scans it *runs ahead* on
+    /// the picked core for as long as that core remains the argmin
+    /// against the cached second-minimum, which only one step in the
+    /// old loop could ever change anyway. One scan therefore covers a
+    /// whole burst of steps on the lagging core.
+    pub fn run_steps<S: AccessStream>(&mut self, cursor: &mut RunCursor<S>, budget: u64) -> u64 {
+        let mut done = 0u64;
+        'windows: while cursor.remaining > 0 && done < budget {
+            // One scan: minimum and second-minimum (now, index), both
+            // with first-occurrence (lowest index) tie-breaks.
+            let mut min_idx = usize::MAX;
+            let mut min_now = Picos::MAX;
+            let mut snd_idx = usize::MAX;
+            let mut snd_now = Picos::MAX;
+            for (i, &t) in cursor.nows.iter().enumerate() {
+                if t < min_now {
+                    snd_now = min_now;
+                    snd_idx = min_idx;
+                    min_now = t;
+                    min_idx = i;
+                } else if t < snd_now {
+                    snd_now = t;
+                    snd_idx = i;
+                }
+            }
+            let core_idx = min_idx;
+            loop {
+                match cursor.streams[core_idx].next_op() {
+                    Some(op) => {
+                        self.step(core_idx, &op);
+                        let t = self.cores[core_idx].now;
+                        cursor.nows[core_idx] = t;
+                        done += 1;
+                        if done >= budget {
+                            break 'windows;
+                        }
+                        // Still the argmin? (Strictly ahead of the
+                        // runner-up, or tied with a lower index.)
+                        if t > snd_now || (t == snd_now && core_idx > snd_idx) {
+                            break;
+                        }
+                    }
+                    None => {
+                        cursor.nows[core_idx] = Picos::MAX;
+                        cursor.remaining -= 1;
+                        break;
+                    }
                 }
             }
         }
+        cursor.steps += done;
+        self.flush_window();
+        done
+    }
 
-        self.finish()
+    /// Publishes the current window's tallies (node and per-channel)
+    /// into the metric handles.
+    fn flush_window(&mut self) {
+        self.tally.flush(&self.metrics);
+        for ctrl in &mut self.controllers {
+            ctrl.flush_metrics();
+        }
     }
 
     /// Processes one memory operation on one core.
     fn step(&mut self, core_idx: usize, op: &crate::trace::MemOp) {
-        self.metrics.ops.inc();
+        self.tally.ops += 1;
         if op.is_write {
             self.stores_since_drain += 1;
         }
@@ -247,7 +383,7 @@ impl NodeSim {
                 let coord = self.mapping.map(pf << 6);
                 // Prefetch traffic consumes DRAM bandwidth but never
                 // stalls the core.
-                self.metrics.prefetch_reads.inc();
+                self.tally.prefetch_reads += 1;
                 let _ = self.controllers[coord.channel].submit_read(coord, issue_t + l3_lat, false);
             }
         }
@@ -255,7 +391,7 @@ impl NodeSim {
         self.scratch_prefetches = prefetches;
 
         if let Some(block) = outcome.demand_miss {
-            self.metrics.demand_misses.inc();
+            self.tally.demand_misses += 1;
             let coord = self.mapping.map(block << 6);
             let arrival = issue_t + l3_lat;
             let served_by_wb = self.wbcaches[coord.channel]
@@ -286,7 +422,7 @@ impl NodeSim {
     /// Routes an LLC writeback toward its channel: into the victim
     /// writeback cache when there is room, else the write queue.
     fn handle_writeback(&mut self, block: u64) {
-        self.metrics.writebacks.inc();
+        self.tally.writebacks += 1;
         let coord = self.mapping.map(block << 6);
         self.push_write(coord.channel, block, coord);
         if self.mirror_writes && self.controllers.len() > 1 {
@@ -347,7 +483,7 @@ impl NodeSim {
     }
 
     fn drain_channel(&mut self, ch: usize, now: Picos, clean_llc: bool) -> Picos {
-        self.metrics.drains.inc();
+        self.tally.drains += 1;
         let pending_at_entry = self.controllers[ch].pending_writes()
             + self.wbcaches[ch].as_ref().map_or(0, WritebackCache::len);
         // The drained victim-cache blocks and this channel's cleaned
@@ -397,7 +533,15 @@ impl NodeSim {
     /// Final drain of all pending writes and outstanding loads, then
     /// result assembly. The drain's duration counts toward execution
     /// time — the benchmark is not done until its writebacks are.
-    fn finish(&mut self) -> SimResult {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor still has unconsumed operations (run
+    /// [`run_steps`](Self::run_steps) until it returns short first).
+    pub fn finish<S>(&mut self, cursor: RunCursor<S>) -> SimResult {
+        assert!(cursor.done(), "finish called with operations remaining");
+        drop(cursor);
+        self.tally.flush(&self.metrics);
         let now = self.cores.iter().map(|c| c.now).max().unwrap_or(0);
         let mut drained_until = now;
         for ch in 0..self.controllers.len() {

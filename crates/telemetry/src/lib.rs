@@ -47,5 +47,7 @@ pub use export::{
     escape_json, format_console_table, format_csv, format_jsonl, parse_csv_line, parse_jsonl, slug,
 };
 pub use manifest::RunManifest;
-pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS, GAUGE_SCALE};
+pub use metric::{
+    bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS, GAUGE_SCALE,
+};
 pub use registry::{MetricValue, Registry, Scope, Snapshot, SnapshotEntry, WALL_SUFFIX};

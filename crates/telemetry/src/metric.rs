@@ -129,9 +129,12 @@ impl Default for HistogramInner {
 #[derive(Clone, Debug, Default)]
 pub struct Histogram(Arc<HistogramInner>);
 
-/// The bucket index a value lands in.
+/// The bucket index a value lands in — public so hot loops can
+/// pre-aggregate samples into a plain `[u64; BUCKETS]` array and
+/// bulk-publish via [`Histogram::merge_parts`] instead of paying an
+/// atomic RMW per sample.
 #[inline]
-pub(crate) fn bucket_index(value: u64) -> usize {
+pub fn bucket_index(value: u64) -> usize {
     if value == 0 {
         0
     } else {
@@ -240,6 +243,29 @@ impl Histogram {
         inner.sum.fetch_add(snap.sum, Ordering::Relaxed);
         inner.min.fetch_min(snap.min, Ordering::Relaxed);
         inner.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
+    /// Bulk-publish locally pre-aggregated samples: `buckets[i]` holds
+    /// the count of samples whose [`bucket_index`] is `i` (shorter
+    /// slices cover a prefix), `sum` their total, and `min`/`max` the
+    /// extremes (`min == u64::MAX` means "no samples", matching the
+    /// unrecorded sentinel). One call replaces thousands of per-sample
+    /// [`record`](Self::record)s — the batched simulation loops accrue
+    /// into plain arrays and flush here at window boundaries.
+    pub fn merge_parts(&self, buckets: &[u64], sum: u64, min: u64, max: u64) {
+        let inner = &*self.0;
+        let mut any = false;
+        for (mine, &n) in inner.buckets.iter().zip(buckets.iter()) {
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+                any = true;
+            }
+        }
+        if any {
+            inner.sum.fetch_add(sum, Ordering::Relaxed);
+            inner.min.fetch_min(min, Ordering::Relaxed);
+            inner.max.fetch_max(max, Ordering::Relaxed);
+        }
     }
 
     /// Fold another histogram's contents into this one.

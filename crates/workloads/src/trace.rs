@@ -104,7 +104,7 @@ impl TraceGen {
         let p = &self.params;
         // Exponentially distributed compute gap.
         let u: f64 = 1.0 - self.rng.random::<f64>();
-        let mut gap = (-p.mean_gap * u.ln()).round() as u32;
+        let mut gap = round_half_away(-p.mean_gap * u.ln()) as u32;
         // Occasional MPI stall: a long, memory-speed-insensitive pause.
         if self.rng.random_bool(1.0 / MPI_PERIOD_OPS) {
             let f = p.mpi_stall_fraction.min(0.45);
@@ -145,6 +145,17 @@ impl TraceGen {
     }
 }
 
+/// Exactly `g.round()` for the non-negative values the gap sampler
+/// produces, but built from a truncation (one instruction) instead of
+/// a libm call: `g.trunc()` is exact, `g - g.trunc()` is exact (both
+/// are multiples of `ulp(g)` and less than one apart), so the
+/// half-away-from-zero decision is bit-identical to `round`'s.
+#[inline]
+fn round_half_away(g: f64) -> f64 {
+    let t = g.trunc();
+    t + ((g - t) >= 0.5) as u32 as f64
+}
+
 impl Iterator for TraceGen {
     type Item = MemOp;
 
@@ -175,6 +186,26 @@ impl ExactSizeIterator for TraceGen {}
 mod tests {
     use super::*;
     use crate::suite::Suite;
+
+    #[test]
+    fn round_half_away_matches_round() {
+        // The fast path must be bit-identical to `f64::round` on the
+        // sampler's domain (non-negative), including exact halves and
+        // values produced by the actual gap expression.
+        for i in 0..200_000u64 {
+            let g = i as f64 * 0.437 + (i % 7) as f64 * 0.5;
+            assert_eq!(round_half_away(g), g.round(), "g={g}");
+        }
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200_000 {
+            let u: f64 = 1.0 - rng.random::<f64>();
+            let g = -137.0 * u.ln();
+            assert_eq!(round_half_away(g), g.round(), "g={g}");
+        }
+        for g in [0.0, 0.5, 0.49999999999999994, 1.5, 2.5, 4503599627370495.5] {
+            assert_eq!(round_half_away(g), g.round(), "g={g}");
+        }
+    }
 
     #[test]
     fn produces_exactly_n_ops() {

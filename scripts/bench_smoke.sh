@@ -12,12 +12,12 @@
 #       machine after intentional performance changes.
 #
 # The baseline file defaults to the newest BENCH_PR*.json present
-# (BENCH_PR8.json for a fresh record); override with BENCH_BASE=...
+# (BENCH_PR9.json for a fresh record); override with BENCH_BASE=...
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 EXP=target/release/experiments
-BASE=${BENCH_BASE:-BENCH_PR8.json}
+BASE=${BENCH_BASE:-BENCH_PR9.json}
 SMOKE_TARGETS=(fig14 fig5 energy adaptive fleet)
 # The federated sweep is sized for the 10M-job acceptance run; smoke
 # timing uses a 2M-job stream so best-of-two stays under ~10 s.
@@ -134,6 +134,33 @@ record() {
     echo "wrote $BASE"
 }
 
+# Simulator throughput across every recorded baseline, oldest first:
+# one line per BENCH_PR*.json with its full-run ops/s and the ratio to
+# the previous row. Reads only the recorded files — nothing is re-run —
+# so the table is a provenance trail, not a measurement. Ratios between
+# PRs recorded on different machine states (thermal drift, container
+# moves) compare what the files say, no more.
+trend_table() {
+    local files f ops_s prev=""
+    files=$(ls BENCH_PR*.json 2>/dev/null | sort -V || true)
+    [ -z "$files" ] && return 0
+    echo "ops/s trend across recorded baselines:"
+    for f in $files; do
+        ops_s=$(sed -n 's/.*"ops_per_sec": *\([0-9]*\).*/\1/p' "$f")
+        if [ -z "$ops_s" ]; then
+            printf '  %-16s (no full-run ops/s recorded)\n' "$f"
+            continue
+        fi
+        if [ -n "$prev" ] && [ "$prev" -gt 0 ]; then
+            printf '  %-16s %10d ops/s  (%s.%02dx vs prev)\n' "$f" "$ops_s" \
+                "$(( ops_s / prev ))" "$(( (ops_s * 100 / prev) % 100 ))"
+        else
+            printf '  %-16s %10d ops/s\n' "$f" "$ops_s"
+        fi
+        prev=$ops_s
+    done
+}
+
 check() {
     if [ ! -f "$BASE" ] && [ -z "${BENCH_BASE:-}" ]; then
         # Fall back to the newest recorded baseline of an earlier PR.
@@ -141,6 +168,7 @@ check() {
         latest=$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1 || true)
         [ -n "$latest" ] && BASE=$latest
     fi
+    trend_table
     if [ ! -f "$BASE" ]; then
         echo "no $BASE recorded; skipping bench smoke"
         return 0
@@ -163,6 +191,32 @@ check() {
             echo "$t: ${got} ms (recorded ${rec} ms, limit ${limit} ms)"
         fi
     done
+
+    # Throughput gate: re-run the full `all --jobs 1` sweep once and
+    # hold its ops/s to within max_regression_pct of the newest
+    # baseline. One run (not best-of-two) keeps check() affordable;
+    # the same tolerance absorbs the extra noise.
+    local rec_ops_s dir full_s full_e full_ms ops got_ops_s floor
+    rec_ops_s=$(sed -n 's/.*"ops_per_sec": *\([0-9]*\).*/\1/p' "$BASE")
+    if [ -n "$rec_ops_s" ] && [ "$rec_ops_s" -gt 0 ]; then
+        dir=$(mktemp -d)
+        full_s=$(now_ms)
+        "$EXP" all --jobs 1 --metrics "$dir" > /dev/null
+        full_e=$(now_ms)
+        full_ms=$(( full_e - full_s ))
+        ops=$(grep '\.ops"' "$dir/all.metrics.jsonl" \
+            | sed 's/.*"value"://; s/}//' \
+            | awk '{s+=$1} END {print s+0}')
+        rm -rf "$dir"
+        got_ops_s=$(( ops * 1000 / full_ms ))
+        floor=$(( rec_ops_s * (100 - pct) / 100 ))
+        if [ "$got_ops_s" -lt "$floor" ]; then
+            echo "REGRESSION: full run sustained ${got_ops_s} ops/s, recorded ${rec_ops_s} ops/s (floor ${floor} ops/s = -${pct}%)"
+            fail=1
+        else
+            echo "full run: ${got_ops_s} ops/s (recorded ${rec_ops_s} ops/s, floor ${floor} ops/s)"
+        fi
+    fi
     return $fail
 }
 

@@ -19,6 +19,7 @@ fn small_model() -> NodeModel {
         EvalConfig {
             ops_per_core: 5_000,
             seed: 0xE2E,
+            windows: 1,
         },
     )
 }
