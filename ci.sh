@@ -122,4 +122,23 @@ grep -q "0 envelope violations" "$DET_DIR/adaptive.out"
 grep -q "## Adaptive margin" "$DET_DIR/adaptive/report.md"
 grep -q "0 breach(es)" "$DET_DIR/adaptive/report.md"
 
+echo "== health plane smoke =="
+# The streaming health plane: the run must open incidents and print the
+# CUSUM-leads-retreat headline (the target's internal assert enforces a
+# lead of >= 1 epoch), the series and incident exports must be
+# byte-identical between the parallel and serial runs, the report must
+# render the Health section, and the drift table must stay clean.
+"$EXP" health --quick --metrics "$DET_DIR/health" \
+    --series "$DET_DIR/health" > "$DET_DIR/health.out"
+grep -q "incident ledger" "$DET_DIR/health.out"
+grep -q "before the governor's UE retreat" "$DET_DIR/health.out"
+test -s "$DET_DIR/health/health.incidents.jsonl"
+"$EXP" health --quick --jobs 1 --series "$DET_DIR/health1" > /dev/null
+diff -u "$DET_DIR/health1/health.series.jsonl" "$DET_DIR/health/health.series.jsonl"
+diff -u "$DET_DIR/health1/health.incidents.jsonl" \
+    "$DET_DIR/health/health.incidents.jsonl"
+"$EXP" report "$DET_DIR/health" --out "$DET_DIR/health/report.md"
+grep -q "## Health" "$DET_DIR/health/report.md"
+grep -q "0 breach(es)" "$DET_DIR/health/report.md"
+
 echo "CI OK"

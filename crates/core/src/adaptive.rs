@@ -36,6 +36,7 @@ use margin::stress::sample_poisson;
 use margin::temperature::TemperatureTransient;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use telemetry::series::{Series, SeriesStore};
 use telemetry::trace::{kv, Clock, Tracer};
 use telemetry::{Counter, Scope};
 use workloads::PhaseSchedule;
@@ -155,6 +156,19 @@ pub struct AdaptiveGovernor {
     retreats: Counter,
     holds: Counter,
     tracer: Option<Tracer>,
+    series: Option<GovernorSeries>,
+}
+
+/// Health-plane rollups of the closed loop's per-epoch telemetry
+/// (see [`AdaptiveGovernor::attach_series`]).
+#[derive(Debug, Clone)]
+struct GovernorSeries {
+    /// Corrected errors observed, per epoch window.
+    ce: Series,
+    /// Uncorrectable errors observed, per epoch window.
+    ue: Series,
+    /// Operating bin after the epoch's decision.
+    bin: Series,
 }
 
 impl AdaptiveGovernor {
@@ -180,6 +194,7 @@ impl AdaptiveGovernor {
             retreats: Counter::default(),
             holds: Counter::default(),
             tracer: None,
+            series: None,
         }
     }
 
@@ -202,6 +217,21 @@ impl AdaptiveGovernor {
     /// Emits `governor.step` / `governor.retreat` spans onto `tracer`.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = Some(tracer);
+    }
+
+    /// Streams each observed epoch into sim-time series under
+    /// `prefix`: `<prefix>.ce` and `<prefix>.ue` (errors per epoch)
+    /// and `<prefix>.bin` (operating bin after the decision), one
+    /// epoch-wide window each on the simulation-picosecond clock —
+    /// the same timestamps the governor's trace spans carry, so a
+    /// detector breach in these series can be walked back to
+    /// `governor.step` / `governor.retreat` spans.
+    pub fn attach_series(&mut self, store: &SeriesStore, prefix: &str) {
+        self.series = Some(GovernorSeries {
+            ce: store.series(&format!("{prefix}.ce"), EPOCH_PS),
+            ue: store.series(&format!("{prefix}.ue"), EPOCH_PS),
+            bin: store.series(&format!("{prefix}.bin"), EPOCH_PS),
+        });
     }
 
     /// Current operating bin.
@@ -308,6 +338,11 @@ impl AdaptiveGovernor {
                 self.lower_ceiling(from);
                 self.retreats.inc();
             }
+        }
+        if let Some(series) = &self.series {
+            series.ce.record(start, ce);
+            series.ue.record(start, ue);
+            series.bin.record(start, self.bin as u64);
         }
         self.emit_trace(epoch, from, decision, ce, ue);
         debug_assert!(self.bin <= self.ceiling && self.ceiling <= self.config.max_bin);
@@ -648,6 +683,38 @@ mod tests {
         assert_eq!(snap.counter("adaptive.steps_up"), 2);
         assert_eq!(snap.counter("adaptive.holds"), 1);
         assert_eq!(snap.counter("adaptive.errors"), 0, "budget attached too");
+    }
+
+    #[test]
+    fn series_tap_records_one_window_per_epoch() {
+        let store = SeriesStore::new();
+        let mut g = AdaptiveGovernor::new(quiet_config());
+        g.attach_series(&store, "gov");
+        g.observe_epoch(0, 3, 0); // strengthen → bin 1
+        g.observe_epoch(1, 7, 0); // cool-down hold
+        g.observe_epoch(2, 0, 1); // retreat → bin 0
+        let snap = store.snapshot();
+        let windows = |name: &str| snap.get(name).unwrap().windows.clone();
+        let ce = windows("gov.ce");
+        assert_eq!(ce.len(), 3);
+        assert_eq!(ce[0].0, 0);
+        assert_eq!(ce[1].0, EPOCH_PS);
+        assert_eq!(ce.iter().map(|(_, w)| w.sum).collect::<Vec<_>>(), [3, 7, 0]);
+        assert_eq!(
+            windows("gov.ue")
+                .iter()
+                .map(|(_, w)| w.sum)
+                .collect::<Vec<_>>(),
+            [0, 0, 1]
+        );
+        assert_eq!(
+            windows("gov.bin")
+                .iter()
+                .map(|(_, w)| w.sum)
+                .collect::<Vec<_>>(),
+            [1, 1, 0],
+            "bin after each decision"
+        );
     }
 
     #[test]

@@ -84,6 +84,15 @@ pub struct Ctx {
     pub metrics_dir: Option<String>,
     /// Where `--trace` writes the Chrome trace + span tree.
     pub trace_dir: Option<String>,
+    /// Where `--series` writes the health plane's windowed time-series
+    /// (and the health target its incident ledger).
+    pub series_dir: Option<String>,
+    /// The series store instrumented components stream windowed
+    /// rollups into; present exactly when `series_dir` is. Like
+    /// `registry`, task contexts each get their *own* store
+    /// ([`Ctx::for_task`]); the runner merges the snapshots in
+    /// canonical target order.
+    pub series: Option<telemetry::series::SeriesStore>,
     /// The causal tracer every instrumented component records into;
     /// present exactly when `trace_dir` is. Like `registry`, task
     /// contexts each get their *own* tracer ([`Ctx::for_task`]); the
@@ -114,6 +123,8 @@ impl Default for Ctx {
             csv_dir: None,
             metrics_dir: None,
             trace_dir: None,
+            series_dir: None,
+            series: None,
             tracer: None,
             log_level: LogLevel::Summary,
             registry: None,
@@ -151,6 +162,13 @@ impl Ctx {
         self.tracer = Some(Tracer::new());
     }
 
+    /// Turns on windowed time-series collection, exported to `dir` at
+    /// exit.
+    pub fn enable_series(&mut self, dir: String) {
+        self.series_dir = Some(dir);
+        self.series = Some(telemetry::series::SeriesStore::new());
+    }
+
     /// A context for one experiment task: same knobs, but a fresh
     /// output buffer and (when metrics/tracing are on) a fresh private
     /// registry and tracer, so tasks running on different worker
@@ -159,10 +177,15 @@ impl Ctx {
         Ctx {
             registry: self.registry.is_some().then(Registry::new),
             tracer: self.tracer.is_some().then(Tracer::new),
+            series: self
+                .series
+                .is_some()
+                .then(telemetry::series::SeriesStore::new),
             out: String::new(),
             csv_dir: self.csv_dir.clone(),
             metrics_dir: self.metrics_dir.clone(),
             trace_dir: self.trace_dir.clone(),
+            series_dir: self.series_dir.clone(),
             ..*self
         }
     }
@@ -252,6 +275,25 @@ mod tests {
         // Without metrics, tasks carry no registry at all.
         let plain = Ctx::default().for_task();
         assert!(plain.registry.is_none());
+    }
+
+    #[test]
+    fn series_store_is_task_private_like_the_registry() {
+        let mut ctx = Ctx::default();
+        assert!(ctx.series.is_none(), "off by default");
+        ctx.enable_series("/tmp/unused".into());
+        let task = ctx.for_task();
+        task.series
+            .as_ref()
+            .unwrap()
+            .series("t.sig", 10)
+            .record(3, 1);
+        assert!(
+            ctx.series.as_ref().unwrap().snapshot().is_empty(),
+            "task series never leak into the parent store"
+        );
+        assert_eq!(task.series.as_ref().unwrap().snapshot().len(), 1);
+        assert!(Ctx::default().for_task().series.is_none());
     }
 
     #[test]

@@ -19,6 +19,7 @@ mod characterization;
 mod context;
 mod extras;
 mod fleet;
+mod health;
 mod node_figures;
 mod power;
 mod report;
@@ -61,6 +62,11 @@ options:
                  <target> is a single target), DIR/<target>.spans.txt
                  (span tree) and DIR/timing.jsonl (wall clock,
                  quarantined from the deterministic files)
+  --series DIR   record windowed sim-time health series; writes
+                 DIR/<target>.series.jsonl (one window per line,
+                 deterministic for a fixed seed at any --jobs); the
+                 'health' target also writes its incident ledger to
+                 DIR/health.incidents.jsonl
   --log-level L  stderr verbosity: off, summary (default) or verbose
                  (stdout and exported files are never affected)
   --no-model-cache
@@ -156,6 +162,12 @@ fn main() {
                     .unwrap_or_else(|| usage_error("--trace needs a directory"));
                 ctx.enable_trace(dir.clone());
             }
+            "--series" => {
+                let dir = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--series needs a directory"));
+                ctx.enable_series(dir.clone());
+            }
             "--log-level" => {
                 ctx.log_level = iter
                     .next()
@@ -203,6 +215,10 @@ fn main() {
     }
     if let Err(e) = write_trace(&ctx, &target, &outcomes) {
         eprintln!("cannot write trace: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = write_series(&ctx, &target, &outcomes) {
+        eprintln!("cannot write series: {e}");
         std::process::exit(1);
     }
     // Timing is inherently non-deterministic, so it goes to stderr
@@ -277,10 +293,23 @@ fn write_metrics(
         telemetry::format_jsonl(&sim),
     )?;
     let (cache_hits, cache_misses) = hetero_dmr::shared_cache_stats();
+    // Job spans the scheduler tracer dropped past its traced_job_cap,
+    // summed across every metered schedule in the run — the manifest
+    // records how much of each trace the cap truncated.
+    let trace_dropped_jobs: u64 = sim
+        .entries
+        .iter()
+        .filter(|e| e.name.ends_with(".trace_dropped_jobs"))
+        .map(|e| match &e.value {
+            telemetry::MetricValue::Counter(v) => *v,
+            _ => 0,
+        })
+        .sum();
     let manifest = telemetry::RunManifest::new(target, ctx.seed)
         .knob("ops_per_core", ctx.ops_per_core)
         .knob("trials", ctx.trials)
         .knob("trace_jobs", ctx.trace_jobs)
+        .knob("trace_dropped_jobs", trace_dropped_jobs)
         .knob("quick", ctx.quick_run)
         .knob("jobs", runner::jobs())
         .knob("model_cache", ctx.model_cache)
@@ -339,5 +368,27 @@ fn write_trace(ctx: &Ctx, target: &str, outcomes: &[RunOutcome]) -> std::io::Res
     }
     std::fs::write(format!("{dir}/timing.jsonl"), timing)?;
     println!("trace: {spans} span(s) -> {dir}/{target}.trace.json (+ spans.txt)");
+    Ok(())
+}
+
+/// Exports the run's windowed time-series when `--series` was
+/// requested. Per-task series snapshots merge in canonical target
+/// order, and window aggregation is order-independent, so the JSONL
+/// file is byte-identical across runs of the same seed at any
+/// `--jobs` / `--windows`.
+fn write_series(ctx: &Ctx, target: &str, outcomes: &[RunOutcome]) -> std::io::Result<()> {
+    let Some(dir) = &ctx.series_dir else {
+        return Ok(());
+    };
+    std::fs::create_dir_all(dir)?;
+    let parts: Vec<telemetry::series::SeriesSnapshot> =
+        outcomes.iter().filter_map(|o| o.series.clone()).collect();
+    let merged = telemetry::series::SeriesSnapshot::merged(&parts);
+    std::fs::write(format!("{dir}/{target}.series.jsonl"), merged.to_jsonl())?;
+    println!(
+        "series: {} series / {} window(s) -> {dir}/{target}.series.jsonl",
+        merged.len(),
+        merged.window_count()
+    );
     Ok(())
 }

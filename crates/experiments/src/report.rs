@@ -11,8 +11,10 @@
 
 use std::fmt::Write as _;
 use telemetry::json::{self, Json};
+use telemetry::monitor::parse_incidents_jsonl;
+use telemetry::series::parse_series_jsonl;
 use telemetry::trace::{check_well_nested, parse_chrome_trace, ChromeEvent};
-use telemetry::{parse_csv_line, parse_jsonl, MetricValue, Snapshot};
+use telemetry::{parse_csv_line, parse_jsonl, Histogram, MetricValue, Snapshot};
 
 /// How a reference value is derived from a results CSV.
 enum RefKind {
@@ -251,6 +253,8 @@ fn generate(dir: &str, refs: &str) -> Result<(String, usize), String> {
     render_energy(&mut md, &snapshot);
     render_adaptive(&mut md, &snapshot);
     render_fleet(&mut md, &snapshot);
+    render_queue_delays(&mut md, &snapshot);
+    render_health(&mut md, dir, &target)?;
     let breaches = render_drift(&mut md, &snapshot, refs);
     Ok((md, breaches))
 }
@@ -330,23 +334,41 @@ fn render_trace(md: &mut String, events: &[ChromeEvent]) {
         "{} event(s): {spans} span(s), {instants} instant(s), well-nested.\n",
         events.len()
     );
-    // Family tallies: count and (for spans) total duration.
-    let mut families: Vec<(String, usize, u64)> = Vec::new();
+    // Family tallies: count, total duration, and log₂-resolution
+    // duration quantiles (durations fold into a histogram so the
+    // quantile math is the same one the metrics layer uses).
+    let mut families: Vec<(String, usize, u64, Histogram)> = Vec::new();
     for ev in events {
         let stem = name_stem(&ev.name).to_string();
-        match families.iter_mut().find(|(n, _, _)| *n == stem) {
-            Some((_, count, dur)) => {
+        match families.iter_mut().find(|(n, _, _, _)| *n == stem) {
+            Some((_, count, dur, hist)) => {
                 *count += 1;
                 *dur += ev.dur;
+                hist.record(ev.dur);
             }
-            None => families.push((stem, 1, ev.dur)),
+            None => {
+                let hist = Histogram::new();
+                hist.record(ev.dur);
+                families.push((stem, 1, ev.dur, hist));
+            }
         }
     }
     families.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    let _ = writeln!(md, "| span family | events | total duration |");
-    let _ = writeln!(md, "|---|---|---|");
-    for (name, count, dur) in &families {
-        let _ = writeln!(md, "| {name} | {count} | {dur} |");
+    let _ = writeln!(
+        md,
+        "| span family | events | total duration | p50 | p95 | p99 |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
+    for (name, count, dur, hist) in &families {
+        let snap = hist.snapshot();
+        let q = |q: f64| snap.approx_quantile(q).unwrap_or(0);
+        let _ = writeln!(
+            md,
+            "| {name} | {count} | {dur} | {} | {} | {} |",
+            q(0.50),
+            q(0.95),
+            q(0.99)
+        );
     }
     md.push('\n');
     // Mode-transition / down-bin timeline (the down-bin triage view):
@@ -565,6 +587,134 @@ fn render_fleet(md: &mut String, snapshot: &Snapshot) {
         }
         md.push('\n');
     }
+}
+
+/// Queue-delay latency distributions: every `*.queue_delay_ms`
+/// histogram in the snapshot (the scheduler meters one per margin
+/// group and the fleet shards one per member), with log₂-resolution
+/// quantiles from the snapshot's sparse buckets.
+fn render_queue_delays(md: &mut String, snapshot: &Snapshot) {
+    let mut rows: Vec<(&str, &telemetry::HistogramSnapshot)> = Vec::new();
+    for entry in &snapshot.entries {
+        let Some(scope) = entry.name.strip_suffix(".queue_delay_ms") else {
+            continue;
+        };
+        if let MetricValue::Histogram(h) = &entry.value {
+            if h.count > 0 {
+                rows.push((scope, h));
+            }
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    let _ = writeln!(md, "## Queue delays\n");
+    let _ = writeln!(md, "| scope | jobs | mean ms | p50 | p95 | p99 |");
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
+    for (scope, h) in &rows {
+        let q = |q: f64| h.approx_quantile(q).unwrap_or(0);
+        let _ = writeln!(
+            md,
+            "| {scope} | {} | {:.1} | {} | {} | {} |",
+            h.count,
+            h.mean(),
+            q(0.50),
+            q(0.95),
+            q(0.99)
+        );
+    }
+    md.push('\n');
+}
+
+/// A unicode sparkline of per-window sums, normalized to the series
+/// peak (at most `cap` windows, oldest first).
+fn sparkline(windows: &[(u64, telemetry::series::WindowAgg)], cap: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let peak = windows.iter().map(|(_, w)| w.sum).max().unwrap_or(0).max(1);
+    windows
+        .iter()
+        .take(cap)
+        .map(|(_, w)| BARS[((w.sum * (BARS.len() as u64 - 1)) / peak) as usize])
+        .collect()
+}
+
+/// The streaming health plane: per-window sparktables from the
+/// `--series` export and the incident ledger's timeline, when the run
+/// produced them.
+fn render_health(md: &mut String, dir: &str, target: &str) -> Result<(), String> {
+    let series_path = format!("{dir}/{target}.series.jsonl");
+    let series = match std::fs::read_to_string(&series_path) {
+        Ok(text) => {
+            parse_series_jsonl(&text)
+                .map_err(|e| format!("{series_path}: {e}"))?
+                .entries
+        }
+        Err(_) => Vec::new(),
+    };
+    let incidents_path = format!("{dir}/health.incidents.jsonl");
+    let ledger = match std::fs::read_to_string(&incidents_path) {
+        Ok(text) => {
+            Some(parse_incidents_jsonl(&text).map_err(|e| format!("{incidents_path}: {e}"))?)
+        }
+        Err(_) => None,
+    };
+    if series.is_empty() && ledger.is_none() {
+        return Ok(());
+    }
+    let _ = writeln!(md, "## Health\n");
+    if !series.is_empty() {
+        const SPARK_CAP: usize = 48;
+        let _ = writeln!(
+            md,
+            "Windowed time-series rollups (sparklines show per-window \
+             sums over the first {SPARK_CAP} windows, scaled to each \
+             series' peak):\n"
+        );
+        let _ = writeln!(md, "| series | windows | total | activity |");
+        let _ = writeln!(md, "|---|---|---|---|");
+        for entry in &series {
+            let total: u64 = entry.windows.iter().map(|(_, w)| w.sum).sum();
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {} |",
+                entry.name,
+                entry.windows.len(),
+                total,
+                sparkline(&entry.windows, SPARK_CAP)
+            );
+        }
+        md.push('\n');
+    }
+    if let Some(ledger) = ledger {
+        let _ = writeln!(
+            md,
+            "Incident ledger: {} incident(s), {} still open.\n",
+            ledger.len(),
+            ledger.open_count()
+        );
+        let _ = writeln!(
+            md,
+            "| id | detector | scope | severity | state | first | last | windows | peak |"
+        );
+        let _ = writeln!(md, "|---|---|---|---|---|---|---|---|---|");
+        for inc in ledger.incidents() {
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                inc.id,
+                inc.detector,
+                inc.scope,
+                inc.severity.label(),
+                inc.state.label(),
+                inc.first,
+                inc.last,
+                inc.windows,
+                inc.peak_milli / 1_000
+            );
+        }
+        md.push('\n');
+    }
+    Ok(())
 }
 
 /// The paper-drift table. Returns the number of tolerance breaches.
@@ -820,6 +970,106 @@ mod tests {
         let mut empty = String::new();
         render_fleet(&mut empty, &Snapshot::default());
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn span_family_table_pins_quantile_columns() {
+        let span = |name: &str, dur: u64| ChromeEvent {
+            name: name.into(),
+            ph: "X".into(),
+            dur,
+            ..ChromeEvent::default()
+        };
+        let mut events = vec![span("job.1", 100), span("job.2", 200), span("schedule", 50)];
+        events.extend((0..8).map(|i| span(&format!("job.{}", i + 3), 100)));
+        let mut md = String::new();
+        render_trace(&mut md, &events);
+        assert!(
+            md.contains("| span family | events | total duration | p50 | p95 | p99 |"),
+            "{md}"
+        );
+        // Ten job spans: nine at 100 (bucket hi 127), one at 200
+        // (bucket hi 255): p50 = 127, p95 = p99 = 255.
+        assert!(md.contains("| job | 10 | 1100 | 127 | 255 | 255 |"), "{md}");
+        assert!(md.contains("| schedule | 1 | 50 | 63 | 63 | 63 |"), "{md}");
+    }
+
+    #[test]
+    fn queue_delay_table_pins_quantile_columns() {
+        let r = telemetry::Registry::new();
+        let h = r
+            .scope("fleet.margin_aware.grizzly.group800")
+            .histogram("queue_delay_ms");
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(10_000);
+        // Empty histograms and non-queue-delay metrics stay out.
+        r.scope("fleet.margin_aware.legacy.group0")
+            .histogram("queue_delay_ms");
+        r.scope("fleet.margin_aware.grizzly.group800")
+            .histogram("exec_ms")
+            .record(5);
+        let mut md = String::new();
+        render_queue_delays(&mut md, &r.snapshot());
+        assert!(md.contains("## Queue delays"));
+        assert!(md.contains("| scope | jobs | mean ms | p50 | p95 | p99 |"));
+        // 99 samples in the 64..=127 bucket, one in 8192..=16383:
+        // p50 = p95 = 127, p99 = 127 (99th of 100 is still the low
+        // bucket), mean = 199.0.
+        assert!(
+            md.contains("| fleet.margin_aware.grizzly.group800 | 100 | 199.0 | 127 | 127 | 127 |"),
+            "{md}"
+        );
+        assert!(!md.contains("legacy"), "{md}");
+        assert!(!md.contains("exec_ms"), "{md}");
+        let mut empty = String::new();
+        render_queue_delays(&mut empty, &Snapshot::default());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn health_section_renders_sparklines_and_incidents() {
+        use telemetry::monitor::{Detector, IncidentLedger, Severity};
+        use telemetry::series::SeriesStore;
+        let dir = std::env::temp_dir().join("hdmr_report_health_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = SeriesStore::new();
+        let s = store.series("health.demo.ce", 10);
+        for (t, v) in [(5u64, 1u64), (15, 4), (25, 8), (35, 2)] {
+            s.record(t, v);
+        }
+        let snap = store.snapshot();
+        std::fs::write(dir.join("health.series.jsonl"), snap.to_jsonl()).unwrap();
+        let detectors = [Detector::threshold(
+            "thr",
+            "health.demo.ce",
+            Severity::Warning,
+            4,
+        )];
+        let ledger = IncidentLedger::evaluate(&snap, &detectors);
+        assert_eq!(ledger.len(), 1);
+        std::fs::write(dir.join("health.incidents.jsonl"), ledger.to_jsonl()).unwrap();
+
+        let mut md = String::new();
+        render_health(&mut md, dir.to_str().unwrap(), "health").unwrap();
+        assert!(md.contains("## Health"));
+        assert!(md.contains("| series | windows | total | activity |"));
+        // Sums 1/4/8/2 normalized to peak 8 -> bars 0,3,7,1.
+        assert!(md.contains("| health.demo.ce | 4 | 15 | ▁▄█▂ |"), "{md}");
+        assert!(md.contains("Incident ledger: 1 incident(s)"), "{md}");
+        assert!(
+            md.contains("| 1 | thr | health.demo.ce | warning |"),
+            "{md}"
+        );
+        // A directory without exports renders nothing.
+        let bare = dir.join("bare");
+        std::fs::create_dir_all(&bare).unwrap();
+        let mut empty = String::new();
+        render_health(&mut empty, bare.to_str().unwrap(), "health").unwrap();
+        assert!(empty.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

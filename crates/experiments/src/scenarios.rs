@@ -8,7 +8,7 @@
 
 use crate::context::Ctx;
 use crate::{
-    adaptive, characterization, extras, fleet, node_figures, power, system_figures, tables,
+    adaptive, characterization, extras, fleet, health, node_figures, power, system_figures, tables,
 };
 use runner::Scenario;
 
@@ -36,6 +36,7 @@ pub const TARGETS: &[&str] = &[
     "configurator",
     "adaptive",
     "fleet",
+    "health",
     "extras",
 ];
 
@@ -65,6 +66,7 @@ fn target_fn(name: &str) -> Option<TargetFn> {
         "configurator" => power::configurator,
         "adaptive" => adaptive::adaptive,
         "fleet" => fleet::fleet_target,
+        "health" => health::health,
         "extras" => extras::extras,
         _ => return None,
     })
@@ -91,6 +93,7 @@ pub fn build(template: &Ctx, names: &[&str]) -> Vec<Scenario> {
                 f(&mut ctx);
                 tc.out = std::mem::take(&mut ctx.out);
                 tc.snapshot = ctx.registry.as_ref().map(|r| r.snapshot());
+                tc.series = ctx.series.as_ref().map(|s| s.snapshot());
                 if let Some(r) = &ctx.registry {
                     let log = r.events();
                     tc.events_recorded = log.total_pushed();

@@ -349,6 +349,68 @@ fn windowed_runs_are_jobs_invariant_and_match_unwindowed() {
     );
 }
 
+/// The health plane's determinism contract is three-way: stdout, the
+/// windowed series JSONL, and the incident ledger must all be
+/// byte-identical between `--jobs 1` and `--jobs 8`, and `--windows`
+/// (which only re-batches hot-loop telemetry flushes) must not move
+/// a single byte of any of them. Both exports must also round-trip
+/// through the telemetry parsers, and the headline — the CUSUM alarm
+/// leading the governor's UE retreat — must be on stdout.
+#[test]
+fn health_series_and_incidents_are_jobs_invariant() {
+    let dir = tmp_dir("health");
+    let run = |jobs: &str, extra: &[&str]| -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args([
+                "health",
+                "--seed",
+                "7",
+                "--quick",
+                "--jobs",
+                jobs,
+                "--series",
+                dir.to_str().unwrap(),
+            ])
+            .args(extra)
+            .output()
+            .expect("spawn experiments binary");
+        assert!(out.status.success(), "health --jobs {jobs} failed: {out:?}");
+        let series = std::fs::read(dir.join("health.series.jsonl")).expect("series written");
+        let incidents =
+            std::fs::read(dir.join("health.incidents.jsonl")).expect("incidents written");
+        let _ = std::fs::remove_dir_all(&dir);
+        (out.stdout, series, incidents)
+    };
+    // The same dir for every run keeps the stdout `series:` summary
+    // line (which echoes the path) directly comparable.
+    let serial = run("1", &[]);
+    let parallel = run("8", &[]);
+    assert_eq!(serial.0, parallel.0, "health stdout jobs 1 vs 8");
+    assert_eq!(serial.1, parallel.1, "health series JSONL jobs 1 vs 8");
+    assert_eq!(serial.2, parallel.2, "health incident ledger jobs 1 vs 8");
+
+    let windowed = run("1", &["--windows", "5"]);
+    assert_eq!(serial.0, windowed.0, "health stdout --windows 5");
+    assert_eq!(serial.1, windowed.1, "health series JSONL --windows 5");
+    assert_eq!(serial.2, windowed.2, "health incident ledger --windows 5");
+
+    let stdout = String::from_utf8(serial.0).expect("stdout is utf8");
+    assert!(
+        stdout.contains("before the governor's UE retreat"),
+        "lead-time headline missing:\n{stdout}"
+    );
+    let text = String::from_utf8(serial.1).expect("series is utf8");
+    let snap = telemetry::series::parse_series_jsonl(&text).expect("series export parses");
+    assert!(
+        snap.get("health.slow-degradation.ce").is_some(),
+        "slow-degradation CE series missing from the export"
+    );
+    let text = String::from_utf8(serial.2).expect("ledger is utf8");
+    let ledger = telemetry::monitor::parse_incidents_jsonl(&text).expect("ledger parses");
+    assert!(!ledger.is_empty(), "health must open at least one incident");
+}
+
 /// Odd worker counts and a second pass over cheap whole-table targets:
 /// task-level parallelism must merge per-target registries in
 /// canonical order no matter which worker finishes first.

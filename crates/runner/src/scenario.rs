@@ -31,6 +31,9 @@ pub struct TaskCtx {
     pub out: String,
     /// The task's telemetry, captured from a task-private registry.
     pub snapshot: Option<Snapshot>,
+    /// The task's windowed time-series, captured from a task-private
+    /// series store (the health plane's snapshot analogue).
+    pub series: Option<telemetry::series::SeriesSnapshot>,
     /// Event-log pressure from the task's registry: total pushes and
     /// ring evictions (see `telemetry::EventLog::dropped`).
     pub events_recorded: u64,
@@ -170,6 +173,8 @@ pub struct RunOutcome {
     pub out: String,
     /// The task's telemetry snapshot, if it captured one.
     pub snapshot: Option<Snapshot>,
+    /// The task's windowed time-series, if it captured them.
+    pub series: Option<telemetry::series::SeriesSnapshot>,
     /// The task's causal trace, when the scenario carried a tracer.
     /// Deterministic: every timestamp comes from a simulation clock
     /// or the tracer's tick counter, never from wall time.
@@ -237,6 +242,7 @@ impl Runner {
                 seed,
                 out: String::new(),
                 snapshot: None,
+                series: None,
                 events_recorded: 0,
                 events_dropped: 0,
                 events: Vec::new(),
@@ -268,6 +274,7 @@ impl Runner {
                 status,
                 out: ctx.out,
                 snapshot: ctx.snapshot,
+                series: ctx.series,
                 trace,
                 events_recorded: ctx.events_recorded,
                 events_dropped: ctx.events_dropped,

@@ -85,6 +85,10 @@ struct ClusterMetrics {
     /// unless an allocator bug invents a margin group (see
     /// [`ClusterMetrics::note_start`]).
     unknown_group_starts: Counter,
+    /// Job spans the tracer declined past the configured
+    /// `traced_job_cap` — the cap used to truncate silently; now the
+    /// run manifest can say how much of the schedule the trace covers.
+    trace_dropped_jobs: Counter,
     /// Indexed like [`GROUPS`]: 800, 600, 0.
     queue_delay_ms: [Histogram; 3],
     exec_ms: [Histogram; 3],
@@ -98,6 +102,7 @@ impl ClusterMetrics {
             jobs_started: scope.counter("jobs_started"),
             jobs_backfilled: scope.counter("jobs_backfilled"),
             unknown_group_starts: scope.counter("unknown_group_starts"),
+            trace_dropped_jobs: scope.counter("trace_dropped_jobs"),
             queue_delay_ms: per_group("queue_delay_ms"),
             exec_ms: per_group("exec_ms"),
         }
@@ -124,10 +129,12 @@ impl ClusterMetrics {
     }
 }
 
-/// Per-run cap on individually traced job spans: enough to read a
-/// schedule's shape in a trace viewer without ballooning the file on
-/// multi-thousand-job traces. The `schedule` root span's args record
-/// both the cap'd and the true job count.
+/// Default per-run cap on individually traced job spans: enough to
+/// read a schedule's shape in a trace viewer without ballooning the
+/// file on multi-thousand-job traces. Override per run via
+/// [`SchedulerConfigBuilder::traced_job_cap`](crate::SchedulerConfig);
+/// the `schedule` root span's args record the traced, dropped, and
+/// true job counts.
 pub const TRACED_JOB_CAP: usize = 256;
 
 /// Causal tracing for one scheduling run: job spans on the schedule
@@ -135,7 +142,9 @@ pub const TRACED_JOB_CAP: usize = 256;
 struct ClusterTrace<'a> {
     tracer: &'a Tracer,
     root: SpanId,
+    cap: usize,
     traced: Cell<usize>,
+    dropped: Cell<usize>,
 }
 
 /// Schedule seconds → the trace's microsecond clock.
@@ -145,7 +154,8 @@ fn sched_us(seconds: f64) -> u64 {
 
 impl ClusterTrace<'_> {
     fn note_start(&self, outcome: &JobOutcome, min_group: u32, backfilled: bool) {
-        if self.traced.get() >= TRACED_JOB_CAP {
+        if self.traced.get() >= self.cap {
+            self.dropped.set(self.dropped.get() + 1);
             return;
         }
         self.traced.set(self.traced.get() + 1);
@@ -268,6 +278,7 @@ impl Cluster {
             config: SchedulerConfig::default(),
             scope: None,
             tracer: None,
+            series: None,
         }
     }
 
@@ -419,14 +430,23 @@ impl Cluster {
                 let trace = ClusterTrace {
                     tracer,
                     root: tracer.begin("schedule", "sched", Clock::SchedUs, 0),
+                    cap: config.traced_job_cap(),
                     traced: Cell::new(0),
+                    dropped: Cell::new(0),
                 };
                 let (jobs, makespan_s) =
                     self.run_core(&mut source, config, metrics.as_ref(), Some(&trace), sink);
+                if let Some(m) = metrics.as_ref() {
+                    m.trace_dropped_jobs.add(trace.dropped.get() as u64);
+                }
                 tracer.end_with(
                     trace.root,
                     sched_us(makespan_s),
-                    vec![kv("jobs", jobs), kv("jobs_traced", trace.traced.get())],
+                    vec![
+                        kv("jobs", jobs),
+                        kv("jobs_traced", trace.traced.get()),
+                        kv("jobs_trace_dropped", trace.dropped.get()),
+                    ],
                 );
             }
             None => {
@@ -444,6 +464,7 @@ pub struct ScheduleBuilder<'c, S> {
     config: SchedulerConfig,
     scope: Option<Scope>,
     tracer: Option<&'c Tracer>,
+    series: Option<telemetry::series::Series>,
 }
 
 impl<'c, S: JobSource> ScheduleBuilder<'c, S> {
@@ -467,6 +488,14 @@ impl<'c, S: JobSource> ScheduleBuilder<'c, S> {
         self
     }
 
+    /// Streams every job's queue delay into `series`, windowed by
+    /// submit time (see [`StreamSummary::tap_series`]). Only
+    /// [`run_streaming`](Self::run_streaming) consumes the tap.
+    pub fn series(mut self, series: telemetry::series::Series) -> Self {
+        self.series = Some(series);
+        self
+    }
+
     /// Runs to completion, collecting one outcome per job (sorted by
     /// job id). Materializes the outcome list — for fleet-scale runs
     /// use [`run_streaming`](Self::run_streaming) instead.
@@ -477,6 +506,7 @@ impl<'c, S: JobSource> ScheduleBuilder<'c, S> {
             config,
             scope,
             tracer,
+            series: _,
         } = self;
         let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(source.len_hint().unwrap_or(0));
         cluster.execute(source, &config, scope.as_ref(), tracer, &mut |o, _, _| {
@@ -496,8 +526,12 @@ impl<'c, S: JobSource> ScheduleBuilder<'c, S> {
             config,
             scope,
             tracer,
+            series,
         } = self;
         let mut summary = StreamSummary::new();
+        if let Some(series) = series {
+            summary.tap_series(series);
+        }
         cluster.execute(
             source,
             &config,
@@ -892,6 +926,7 @@ mod tests {
         assert_eq!(root.name, "schedule");
         assert!(root.args.contains(&kv("jobs", 3)));
         assert!(root.args.contains(&kv("jobs_traced", 3)));
+        assert!(root.args.contains(&kv("jobs_trace_dropped", 0)));
         let job_spans: Vec<_> = events
             .iter()
             .filter(|e| e.name.starts_with("job."))
@@ -905,6 +940,42 @@ mod tests {
         let j0 = job_spans.iter().find(|e| e.name == "job.0").unwrap();
         assert!(j0.args.contains(&kv("nodes", 4)));
         assert!(j0.args.contains(&kv("backfilled", false)));
+    }
+
+    #[test]
+    fn traced_job_cap_is_configurable_and_drops_are_counted() {
+        let c = Cluster::new(8, [0.5, 0.25, 0.25]);
+        let jobs = [
+            job(0, 0.0, 4, 100.0, 0.1),
+            job(1, 1.0, 4, 50.0, 0.3),
+            job(2, 2.0, 8, 25.0, 0.8),
+        ];
+        let capped = SchedulerConfig::builder()
+            .margin_aware()
+            .speedups(SpeedupModel::hetero_dmr_default())
+            .traced_job_cap(1)
+            .build()
+            .unwrap();
+        let registry = telemetry::Registry::new();
+        let tracer = Tracer::new();
+        let out = c
+            .schedule(SliceSource::new(&jobs))
+            .config(capped)
+            .metrics(&registry.scope("m"))
+            .tracer(&tracer)
+            .run();
+        assert_eq!(out, run(&c, &jobs, aware()), "the cap only affects spans");
+        let events = tracer.take();
+        let root = &events[0];
+        assert!(root.args.contains(&kv("jobs", 3)));
+        assert!(root.args.contains(&kv("jobs_traced", 1)));
+        assert!(root.args.contains(&kv("jobs_trace_dropped", 2)));
+        assert_eq!(
+            events.iter().filter(|e| e.name.starts_with("job.")).count(),
+            1
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("m.trace_dropped_jobs"), 2);
     }
 
     #[test]

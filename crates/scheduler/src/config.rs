@@ -106,6 +106,7 @@ impl std::error::Error for ConfigError {}
 pub struct SchedulerConfig {
     policy: Policy,
     speedups: SpeedupModel,
+    traced_job_cap: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -114,6 +115,7 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             policy: Policy::Default,
             speedups: SpeedupModel::conventional(),
+            traced_job_cap: crate::cluster::TRACED_JOB_CAP,
         }
     }
 }
@@ -124,6 +126,7 @@ impl SchedulerConfig {
         SchedulerConfigBuilder {
             policy: Policy::Default,
             speedups: SpeedupModel::conventional(),
+            traced_job_cap: crate::cluster::TRACED_JOB_CAP,
         }
     }
 
@@ -137,10 +140,21 @@ impl SchedulerConfig {
         &self.speedups
     }
 
+    /// How many jobs get per-job trace spans before the tracer starts
+    /// dropping them (the drop count is still metered; see
+    /// `trace_dropped_jobs`).
+    pub fn traced_job_cap(&self) -> usize {
+        self.traced_job_cap
+    }
+
     /// Compatibility escape hatch for the deprecated `Cluster::run*`
     /// wrappers, which historically accepted any table unchecked.
     pub(crate) fn from_parts_unchecked(policy: Policy, speedups: SpeedupModel) -> SchedulerConfig {
-        SchedulerConfig { policy, speedups }
+        SchedulerConfig {
+            policy,
+            speedups,
+            traced_job_cap: crate::cluster::TRACED_JOB_CAP,
+        }
     }
 }
 
@@ -149,12 +163,21 @@ impl SchedulerConfig {
 pub struct SchedulerConfigBuilder {
     policy: Policy,
     speedups: SpeedupModel,
+    traced_job_cap: usize,
 }
 
 impl SchedulerConfigBuilder {
     /// Sets the node-selection policy.
     pub fn policy(mut self, policy: Policy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Caps how many jobs receive individual trace spans (default
+    /// [`crate::cluster::TRACED_JOB_CAP`]). Raising it fattens traces;
+    /// drops beyond the cap are counted either way.
+    pub fn traced_job_cap(mut self, cap: usize) -> Self {
+        self.traced_job_cap = cap;
         self
     }
 
@@ -211,6 +234,7 @@ impl SchedulerConfigBuilder {
         Ok(SchedulerConfig {
             policy: self.policy,
             speedups: self.speedups,
+            traced_job_cap: self.traced_job_cap,
         })
     }
 }
@@ -307,6 +331,19 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ConfigError::GroupInversion { bucket: 0, .. }));
         assert!(err.to_string().contains("smaller margin"));
+    }
+
+    #[test]
+    fn traced_job_cap_defaults_and_overrides() {
+        assert_eq!(
+            SchedulerConfig::default().traced_job_cap(),
+            crate::cluster::TRACED_JOB_CAP
+        );
+        let c = SchedulerConfig::builder()
+            .traced_job_cap(7)
+            .build()
+            .unwrap();
+        assert_eq!(c.traced_job_cap(), 7);
     }
 
     #[test]

@@ -32,9 +32,14 @@ use crate::job::Job;
 use crate::source::JobSource;
 use crate::stats::StreamSummary;
 use runner::seed::iteration_seed;
+use telemetry::series::SeriesStore;
 use telemetry::trace::Tracer;
 use telemetry::{Registry, Scope};
 use workloads::utilization::UtilizationModel;
+
+/// Window width of the per-member queue-delay series taps: one hour
+/// on the scheduler's millisecond submit-time clock.
+pub const QUEUE_SERIES_WIDTH_MS: u64 = 3_600_000;
 
 /// One federation member: a named cluster plus its scheduling
 /// configuration.
@@ -216,14 +221,18 @@ impl Federation {
         S: JobSource,
         F: Fn() -> S + Sync,
     {
-        self.run_observed(placement, salt, make_source, None, None)
+        self.run_observed(placement, salt, make_source, None, None, None)
     }
 
     /// [`run`](Self::run) with observability: each shard meters into
-    /// a private registry scoped by member name and traces into a
-    /// private tracer; snapshots and trace buffers are absorbed into
-    /// `scope` / `tracer` in member order after the parallel section,
-    /// so the exported telemetry is worker-count-invariant.
+    /// a private registry scoped by member name, traces into a
+    /// private tracer, and (when `series` is given) streams its
+    /// queue delays into a private series store as
+    /// `<prefix>.<member>.queue_delay_ms` with
+    /// [`QUEUE_SERIES_WIDTH_MS`]-wide windows; snapshots, trace
+    /// buffers, and series windows are absorbed into `scope` /
+    /// `tracer` / the series store in member order after the parallel
+    /// section, so the exported telemetry is worker-count-invariant.
     pub fn run_observed<S, F>(
         &self,
         placement: PlacementPolicy,
@@ -231,6 +240,7 @@ impl Federation {
         make_source: F,
         scope: Option<&Scope>,
         tracer: Option<&Tracer>,
+        series: Option<(&SeriesStore, &str)>,
     ) -> FederationRun
     where
         S: JobSource,
@@ -238,10 +248,19 @@ impl Federation {
     {
         let metered = scope.is_some();
         let traced = tracer.is_some();
+        let series_prefix = series.map(|(_, prefix)| prefix);
         let shards = runner::parallel_map((0..self.members.len()).collect(), |_, i: usize| {
             let member = &self.members[i];
             let registry = metered.then(Registry::new);
             let member_tracer = traced.then(Tracer::new);
+            let member_series = series_prefix.map(|prefix| {
+                let store = SeriesStore::new();
+                let tap = store.series(
+                    &format!("{prefix}.{}.queue_delay_ms", member.name),
+                    QUEUE_SERIES_WIDTH_MS,
+                );
+                (store, tap)
+            });
             let source = RoutedSource {
                 inner: make_source(),
                 federation: self,
@@ -257,22 +276,29 @@ impl Federation {
             if let Some(t) = &member_tracer {
                 run = run.tracer(t);
             }
+            if let Some((_, tap)) = &member_series {
+                run = run.series(tap.clone());
+            }
             let summary = run.run_streaming();
             (
                 summary,
                 registry.map(|r| r.snapshot()),
                 member_tracer.map(|t| t.take()),
+                member_series.map(|(store, _)| store.snapshot()),
             )
         });
 
         let mut fleet = StreamSummary::new();
         let mut members = Vec::with_capacity(self.members.len());
-        for (member, (summary, snapshot, events)) in self.members.iter().zip(shards) {
+        for (member, (summary, snapshot, events, windows)) in self.members.iter().zip(shards) {
             if let (Some(scope), Some(snapshot)) = (scope, snapshot) {
                 scope.absorb(&snapshot);
             }
             if let (Some(tracer), Some(events)) = (tracer, events) {
                 tracer.absorb(events);
+            }
+            if let (Some((store, _)), Some(windows)) = (series, windows) {
+                store.absorb(&windows);
             }
             fleet.merge_from(&summary);
             members.push(MemberRun {
@@ -466,12 +492,14 @@ mod tests {
         let gen = fleet_stream(&fed, 1_000);
         let registry = Registry::new();
         let tracer = Tracer::new();
+        let store = SeriesStore::new();
         let run = fed.run_observed(
             PlacementPolicy::MarginAware,
             3,
             || from_specs(gen.stream(3)),
             Some(&registry.scope("fleet")),
             Some(&tracer),
+            Some((&store, "fleet")),
         );
         let snap = registry.snapshot();
         assert_eq!(
@@ -483,6 +511,14 @@ mod tests {
         let roots = events.iter().filter(|e| e.name == "schedule").count();
         assert_eq!(roots, 2, "one schedule root per member");
         assert_eq!(run.fleet.jobs(), 1_000);
+        // The series taps caught every job's queue delay, per member.
+        let windows = store.snapshot();
+        let tapped: u64 = ["margin", "legacy"]
+            .iter()
+            .filter_map(|m| windows.get(&format!("fleet.{m}.queue_delay_ms")))
+            .map(|e| e.total_count())
+            .sum();
+        assert_eq!(tapped, 1_000, "one sample per routed job");
     }
 
     #[test]

@@ -128,6 +128,10 @@ pub struct StreamSummary {
     first_submit_s: f64,
     makespan_s: f64,
     queue_delay_ms: Histogram,
+    /// Optional health-plane tap: when set, every noted job also
+    /// records its queue delay (ms) into this sim-time series at the
+    /// job's submit time, feeding the SLO burn-rate detectors.
+    series: Option<telemetry::series::Series>,
 }
 
 impl StreamSummary {
@@ -137,6 +141,14 @@ impl StreamSummary {
             first_submit_s: f64::INFINITY,
             ..StreamSummary::default()
         }
+    }
+
+    /// Streams queue delays into `series` as jobs are noted: the
+    /// sample time is the job's submit time on the schedule-ms clock,
+    /// the value its queue delay in ms. Window aggregation is
+    /// order-independent, so tapped summaries stay merge-deterministic.
+    pub fn tap_series(&mut self, series: telemetry::series::Series) {
+        self.series = Some(series);
     }
 
     /// Folds one started job in.
@@ -154,8 +166,11 @@ impl StreamSummary {
         self.node_seconds += outcome.job.nodes as f64 * outcome.exec_s;
         self.first_submit_s = self.first_submit_s.min(outcome.job.submit_s);
         self.makespan_s = self.makespan_s.max(outcome.start_s + outcome.exec_s);
-        self.queue_delay_ms
-            .record((outcome.queue_delay_s() * 1e3).max(0.0) as u64);
+        let delay_ms = (outcome.queue_delay_s() * 1e3).max(0.0) as u64;
+        self.queue_delay_ms.record(delay_ms);
+        if let Some(series) = &self.series {
+            series.record((outcome.job.submit_s * 1e3).max(0.0) as u64, delay_ms);
+        }
     }
 
     /// Folds another summary in (sums add, extremes combine, the
@@ -333,6 +348,27 @@ mod stream_tests {
         assert!((49.0..=66.0).contains(&p50), "p50 {p50}");
         assert!(s.queue_quantile_s(0.99) >= s.queue_quantile_s(0.5));
         assert_eq!(StreamSummary::new().queue_quantile_s(0.5), 0.0);
+    }
+
+    #[test]
+    fn series_tap_buckets_queue_delays_by_submit_time() {
+        let store = telemetry::series::SeriesStore::new();
+        let mut s = StreamSummary::new();
+        // 10 s windows on the schedule-ms clock.
+        s.tap_series(store.series("q.queue_delay_ms", 10_000));
+        s.note(&outcome(0, 1.0, 3.0, 10.0, 1), 800, false); // 2 s delay @ t=1 s
+        s.note(&outcome(1, 2.0, 6.0, 10.0, 1), 800, false); // 4 s delay @ t=2 s
+        s.note(&outcome(2, 15.0, 15.0, 10.0, 1), 800, false); // 0 delay @ t=15 s
+        let snap = store.snapshot();
+        let entry = snap.get("q.queue_delay_ms").unwrap();
+        assert_eq!(entry.windows.len(), 2);
+        let (start, w) = &entry.windows[0];
+        assert_eq!((*start, w.count, w.sum), (0, 2, 6_000));
+        let (start, w) = &entry.windows[1];
+        assert_eq!((*start, w.count, w.sum), (10_000, 1, 0));
+        // The tap does not perturb the summary itself.
+        assert_eq!(s.jobs(), 3);
+        assert!((s.mean_queue_s() - 2.0).abs() < 1e-12);
     }
 
     #[test]

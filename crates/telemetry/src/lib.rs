@@ -22,6 +22,11 @@
 //!   exports them as Chrome trace-event JSON or a span-tree dump;
 //!   [`json`] is the matching hand-rolled parser used by readers
 //!   (report generation, trace validation, round-trip tests).
+//! - [`series`] rolls samples into fixed-width sim-time windows
+//!   (count/sum/min/max + log2 sketch) that shard and merge with the
+//!   same worker-order discipline as snapshots; [`monitor`] evaluates
+//!   anomaly detectors over those windows and keeps the incident
+//!   ledger that links breaches back to trace spans.
 //!
 //! # Determinism
 //!
@@ -39,7 +44,9 @@ mod export;
 pub mod json;
 mod manifest;
 mod metric;
+pub mod monitor;
 mod registry;
+pub mod series;
 pub mod trace;
 
 pub use event::{Event, EventLog, Span};

@@ -329,7 +329,7 @@ impl Histogram {
 
 /// A point-in-time copy of a [`Histogram`]: only non-empty buckets
 /// are materialized, as `(lo, hi, count)` with inclusive bounds.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
@@ -345,6 +345,26 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Upper bound of the bucket at which the cumulative count first
+    /// reaches `q` (0.0..=1.0) of the total — the snapshot twin of
+    /// [`Histogram::approx_quantile`], for quantiles over parsed or
+    /// merged snapshots (report tables work on these, never on live
+    /// handles).
+    pub fn approx_quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for &(_lo, hi, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= target {
+                return Some(hi);
+            }
+        }
+        Some(u64::MAX)
     }
 
     /// Fold `other` into this snapshot, exactly: bucket lists (sorted
@@ -545,5 +565,18 @@ mod tests {
         assert!(a.approx_quantile(0.5).unwrap() <= 7);
         assert_eq!(a.approx_quantile(1.0), Some(255));
         assert_eq!(Histogram::new().approx_quantile(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_quantiles_match_the_live_histogram() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100, 200, 5_000, 70_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.approx_quantile(q), h.approx_quantile(q), "q={q}");
+        }
+        assert_eq!(HistogramSnapshot::default().approx_quantile(0.5), None);
     }
 }

@@ -1,0 +1,768 @@
+//! Anomaly detectors and the causal incident ledger — the alerting
+//! layer of the health plane.
+//!
+//! Detectors consume a [`SeriesSnapshot`](crate::series::SeriesSnapshot)
+//! window by window in sim-time order and flag breaching windows;
+//! consecutive breaches group into [`Incident`]s with an
+//! open/ack/resolve lifecycle. All detector state is integer
+//! fixed-point (milli units, [`STAT_SCALE`]), so a verdict is a pure
+//! function of the series — byte-identical across `--jobs` values and
+//! window batching, exactly like the snapshots the series are built
+//! from.
+//!
+//! Missing windows between a series' first and last sample count as
+//! zero-sum windows: a counter series that goes quiet *is* a signal
+//! (rates dropped), and skipping gaps would make verdicts depend on
+//! which windows happened to be materialized.
+//!
+//! The ledger closes the alert→cause loop:
+//! [`link_spans`](IncidentLedger::link_spans) attaches the ids of
+//! trace spans active during each incident's breaching interval, so a
+//! report can navigate from "CUSUM fired on `governor.ce`" to the
+//! governor decisions and ECC re-reads recorded in those same windows.
+
+use crate::export::escape_json;
+use crate::json::{self, Json};
+use crate::series::{SeriesEntry, SeriesSnapshot};
+use crate::trace::{Clock, TraceEvent};
+use std::fmt::Write as _;
+
+/// Fixed-point scale for detector statistics: values carry three
+/// decimal places through integer arithmetic.
+pub const STAT_SCALE: i64 = 1000;
+
+/// Spans linked per incident are capped (smallest ids first) so a
+/// busy window cannot balloon the ledger.
+pub const LINKED_SPAN_CAP: usize = 16;
+
+/// How loud an incident is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Critical,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Severity> {
+        Some(match s {
+            "warning" => Severity::Warning,
+            "critical" => Severity::Critical,
+            _ => return None,
+        })
+    }
+}
+
+/// The per-window decision rule of a [`Detector`]. Every rule reads
+/// the window's *sum* (the natural signal for the counter-style series
+/// the simulators emit) and keeps integer state only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// Breach when a window's sum reaches `limit`.
+    Threshold { limit: u64 },
+    /// SLO burn rate: breach when the rolling sum over the last
+    /// `windows` windows consumes at least `factor_milli`/1000 of the
+    /// rolling budget (`budget_per_window × windows in the roll`).
+    BurnRate {
+        budget_per_window: u64,
+        windows: usize,
+        factor_milli: u64,
+    },
+    /// EWMA drift: track `ewma ← ewma + α(x − ewma)` in milli units
+    /// (`α = alpha_milli/1000`); after `warmup` windows, breach when a
+    /// window's sum exceeds the tracked mean by more than `band_milli`.
+    EwmaDrift {
+        alpha_milli: u64,
+        band_milli: u64,
+        warmup: usize,
+    },
+    /// One-sided CUSUM change-point: accumulate
+    /// `s ← max(0, s + x − k)` in milli units and breach while
+    /// `s ≥ h`. Catches slow drifts long before any single window
+    /// looks alarming.
+    Cusum { k_milli: u64, h_milli: u64 },
+}
+
+impl DetectorKind {
+    /// Short rule-family label (`"cusum"`, `"ewma"`, …) for display.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DetectorKind::Threshold { .. } => "threshold",
+            DetectorKind::BurnRate { .. } => "burn_rate",
+            DetectorKind::EwmaDrift { .. } => "ewma",
+            DetectorKind::Cusum { .. } => "cusum",
+        }
+    }
+}
+
+/// A named rule bound to one series (its scope).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Detector {
+    /// Display name, unique per suite (`"cusum.ce"`).
+    pub name: String,
+    /// The series this detector watches.
+    pub series: String,
+    /// Severity of the incidents it opens.
+    pub severity: Severity,
+    pub kind: DetectorKind,
+}
+
+impl Detector {
+    pub fn threshold(name: &str, series: &str, severity: Severity, limit: u64) -> Detector {
+        Detector {
+            name: name.into(),
+            series: series.into(),
+            severity,
+            kind: DetectorKind::Threshold { limit },
+        }
+    }
+
+    pub fn burn_rate(
+        name: &str,
+        series: &str,
+        severity: Severity,
+        budget_per_window: u64,
+        windows: usize,
+        factor_milli: u64,
+    ) -> Detector {
+        Detector {
+            name: name.into(),
+            series: series.into(),
+            severity,
+            kind: DetectorKind::BurnRate {
+                budget_per_window,
+                windows: windows.max(1),
+                factor_milli,
+            },
+        }
+    }
+
+    pub fn ewma(
+        name: &str,
+        series: &str,
+        severity: Severity,
+        alpha_milli: u64,
+        band_milli: u64,
+        warmup: usize,
+    ) -> Detector {
+        Detector {
+            name: name.into(),
+            series: series.into(),
+            severity,
+            kind: DetectorKind::EwmaDrift {
+                alpha_milli: alpha_milli.min(STAT_SCALE as u64),
+                band_milli,
+                warmup,
+            },
+        }
+    }
+
+    pub fn cusum(
+        name: &str,
+        series: &str,
+        severity: Severity,
+        k_milli: u64,
+        h_milli: u64,
+    ) -> Detector {
+        Detector {
+            name: name.into(),
+            series: series.into(),
+            severity,
+            kind: DetectorKind::Cusum { k_milli, h_milli },
+        }
+    }
+
+    /// Evaluates this detector over `entry`, returning one verdict per
+    /// window in the contiguous `[first, last]` index range (gaps count
+    /// as zero-sum windows).
+    pub fn evaluate(&self, entry: &SeriesEntry) -> Vec<WindowVerdict> {
+        let Some(&(first_start, _)) = entry
+            .windows
+            .first()
+            .map(|w| (w.0, ()))
+            .as_ref()
+            .map(|_| entry.windows.first().unwrap())
+        else {
+            return Vec::new();
+        };
+        let last_start = entry.windows.last().expect("nonempty").0;
+        let width = entry.width.max(1);
+        let mut verdicts = Vec::new();
+        let mut materialized = entry.windows.iter().peekable();
+
+        // Rolling state, all integer.
+        let mut roll: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        let mut roll_sum = 0u64;
+        let mut ewma_milli = 0i64;
+        let mut seen = 0usize;
+        let mut cusum_milli = 0i64;
+
+        let mut start = first_start;
+        loop {
+            let sum = match materialized.peek() {
+                Some(&&(s, ref w)) if s == start => {
+                    materialized.next();
+                    w.sum
+                }
+                _ => 0,
+            };
+            let x_milli = sum as i64 * STAT_SCALE;
+            let (stat_milli, threshold_milli, breached) = match &self.kind {
+                DetectorKind::Threshold { limit } => {
+                    (x_milli, *limit as i64 * STAT_SCALE, sum >= *limit)
+                }
+                DetectorKind::BurnRate {
+                    budget_per_window,
+                    windows,
+                    factor_milli,
+                } => {
+                    roll.push_back(sum);
+                    roll_sum += sum;
+                    if roll.len() > *windows {
+                        roll_sum -= roll.pop_front().expect("nonempty roll");
+                    }
+                    let budget = (*budget_per_window).max(1) * roll.len() as u64;
+                    let burn_milli = (roll_sum as i64 * STAT_SCALE) / budget as i64;
+                    (
+                        burn_milli,
+                        *factor_milli as i64,
+                        burn_milli >= *factor_milli as i64,
+                    )
+                }
+                DetectorKind::EwmaDrift {
+                    alpha_milli,
+                    band_milli,
+                    warmup,
+                } => {
+                    let deviation = x_milli - ewma_milli;
+                    let breached = seen >= *warmup && deviation > *band_milli as i64;
+                    ewma_milli += *alpha_milli as i64 * (x_milli - ewma_milli) / STAT_SCALE;
+                    seen += 1;
+                    (deviation, *band_milli as i64, breached)
+                }
+                DetectorKind::Cusum { k_milli, h_milli } => {
+                    cusum_milli = (cusum_milli + x_milli - *k_milli as i64).max(0);
+                    (cusum_milli, *h_milli as i64, cusum_milli >= *h_milli as i64)
+                }
+            };
+            verdicts.push(WindowVerdict {
+                start,
+                end: start + width - 1,
+                sum,
+                stat_milli,
+                threshold_milli,
+                breached,
+            });
+            if start == last_start {
+                break;
+            }
+            start += width;
+        }
+        verdicts
+    }
+}
+
+/// One window's detector evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowVerdict {
+    /// Inclusive sim-time range of the window.
+    pub start: u64,
+    pub end: u64,
+    /// The window's sum (the signal).
+    pub sum: u64,
+    /// Detector statistic and threshold, milli fixed-point.
+    pub stat_milli: i64,
+    pub threshold_milli: i64,
+    pub breached: bool,
+}
+
+/// Lifecycle of an [`Incident`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IncidentState {
+    /// Still breaching in the final window of its series.
+    Open,
+    /// Open and acknowledged by an operator.
+    Acked,
+    /// A clean window followed the last breach.
+    Resolved,
+}
+
+impl IncidentState {
+    pub fn label(self) -> &'static str {
+        match self {
+            IncidentState::Open => "open",
+            IncidentState::Acked => "acked",
+            IncidentState::Resolved => "resolved",
+        }
+    }
+
+    fn parse(s: &str) -> Option<IncidentState> {
+        Some(match s {
+            "open" => IncidentState::Open,
+            "acked" => IncidentState::Acked,
+            "resolved" => IncidentState::Resolved,
+            _ => return None,
+        })
+    }
+}
+
+/// A maximal run of breaching windows for one (detector, series) key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Incident {
+    /// Ledger-assigned id, dense from 1 in (detector order, time
+    /// order) — deterministic.
+    pub id: u64,
+    pub detector: String,
+    /// The breached series (the incident's scope).
+    pub scope: String,
+    pub severity: Severity,
+    pub state: IncidentState,
+    /// Inclusive sim-time range: start of the first breaching window
+    /// through end of the last.
+    pub first: u64,
+    pub last: u64,
+    /// Breaching windows in the run.
+    pub windows: u64,
+    /// Peak detector statistic over the run, and the threshold it
+    /// crossed (milli fixed-point).
+    pub peak_milli: i64,
+    pub threshold_milli: i64,
+    /// Ids of trace spans active in `[first, last]` (see
+    /// [`IncidentLedger::link_spans`]), capped at [`LINKED_SPAN_CAP`].
+    pub spans: Vec<u64>,
+    /// Operator note attached on ack.
+    pub note: Option<String>,
+}
+
+/// The incident ledger: every incident a detector suite raised over a
+/// series snapshot, in deterministic order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IncidentLedger {
+    incidents: Vec<Incident>,
+}
+
+impl IncidentLedger {
+    /// Runs `detectors` (in order) over `snapshot` and groups their
+    /// breaching windows into incidents. Detectors watching absent
+    /// series contribute nothing.
+    pub fn evaluate(snapshot: &SeriesSnapshot, detectors: &[Detector]) -> IncidentLedger {
+        let mut ledger = IncidentLedger::default();
+        for det in detectors {
+            let Some(entry) = snapshot.get(&det.series) else {
+                continue;
+            };
+            let verdicts = det.evaluate(entry);
+            let mut open: Option<Incident> = None;
+            for v in &verdicts {
+                match (&mut open, v.breached) {
+                    (None, true) => {
+                        open = Some(Incident {
+                            id: ledger.incidents.len() as u64 + 1,
+                            detector: det.name.clone(),
+                            scope: det.series.clone(),
+                            severity: det.severity,
+                            state: IncidentState::Open,
+                            first: v.start,
+                            last: v.end,
+                            windows: 1,
+                            peak_milli: v.stat_milli,
+                            threshold_milli: v.threshold_milli,
+                            spans: Vec::new(),
+                            note: None,
+                        });
+                    }
+                    (Some(inc), true) => {
+                        inc.last = v.end;
+                        inc.windows += 1;
+                        inc.peak_milli = inc.peak_milli.max(v.stat_milli);
+                    }
+                    (Some(_), false) => {
+                        let mut inc = open.take().expect("open incident");
+                        inc.state = IncidentState::Resolved;
+                        ledger.incidents.push(inc);
+                    }
+                    (None, false) => {}
+                }
+            }
+            if let Some(inc) = open {
+                // Still breaching at end of data: stays open.
+                ledger.incidents.push(inc);
+            }
+        }
+        ledger
+    }
+
+    /// All incidents, most context first (ledger order).
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Appends another ledger's incidents, renumbering their ids to
+    /// continue this ledger's dense sequence. Absorbing per-scope
+    /// ledgers in a canonical order keeps the combined ledger
+    /// deterministic, mirroring the snapshot-merge discipline.
+    pub fn absorb(&mut self, other: IncidentLedger) {
+        for mut inc in other.incidents {
+            inc.id = self.incidents.len() as u64 + 1;
+            self.incidents.push(inc);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.incidents.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.incidents.is_empty()
+    }
+
+    /// Incidents still open (or acked) at end of data.
+    pub fn open_count(&self) -> usize {
+        self.incidents
+            .iter()
+            .filter(|i| i.state != IncidentState::Resolved)
+            .count()
+    }
+
+    /// Acknowledges incident `id` with an operator note. Returns false
+    /// for unknown or already-resolved incidents.
+    pub fn ack(&mut self, id: u64, note: &str) -> bool {
+        match self.incidents.iter_mut().find(|i| i.id == id) {
+            Some(inc) if inc.state == IncidentState::Open => {
+                inc.state = IncidentState::Acked;
+                inc.note = Some(note.to_string());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Manually resolves incident `id` (e.g. after remediation).
+    /// Returns false for unknown or already-resolved incidents.
+    pub fn resolve(&mut self, id: u64) -> bool {
+        match self.incidents.iter_mut().find(|i| i.id == id) {
+            Some(inc) if inc.state != IncidentState::Resolved => {
+                inc.state = IncidentState::Resolved;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Attaches to each incident the ids of `clock`-domain spans whose
+    /// interval overlaps the incident's breaching range — the
+    /// alert→cause link. Ids are taken in event order (which is causal
+    /// order within a trace buffer), capped at [`LINKED_SPAN_CAP`].
+    pub fn link_spans(&mut self, events: &[TraceEvent], clock: Clock) {
+        for inc in &mut self.incidents {
+            for ev in events {
+                if ev.clock == clock && ev.start <= inc.last && ev.end >= inc.first {
+                    inc.spans.push(ev.id);
+                    if inc.spans.len() >= LINKED_SPAN_CAP {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One JSON object per incident, in ledger order:
+    ///
+    /// ```text
+    /// {"id":1,"detector":"cusum.ce","scope":"governor.ce",
+    ///  "severity":"critical","state":"open","first":0,"last":95,
+    ///  "windows":12,"peak_milli":41000,"threshold_milli":20000,
+    ///  "spans":[3,17],"note":null}
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for inc in &self.incidents {
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"detector\":\"{}\",\"scope\":\"{}\",\"severity\":\"{}\",\"state\":\"{}\",\"first\":{},\"last\":{},\"windows\":{},\"peak_milli\":{},\"threshold_milli\":{},\"spans\":[",
+                inc.id,
+                escape_json(&inc.detector),
+                escape_json(&inc.scope),
+                inc.severity.label(),
+                inc.state.label(),
+                inc.first,
+                inc.last,
+                inc.windows,
+                inc.peak_milli,
+                inc.threshold_milli,
+            );
+            for (i, id) in inc.spans.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{id}");
+            }
+            match &inc.note {
+                Some(n) => {
+                    let _ = write!(out, "],\"note\":\"{}\"}}", escape_json(n));
+                }
+                None => out.push_str("],\"note\":null}"),
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses [`IncidentLedger::to_jsonl`] output back into a ledger.
+pub fn parse_incidents_jsonl(text: &str) -> Result<IncidentLedger, String> {
+    let mut ledger = IncidentLedger::default();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let ctx = |field: &str| format!("line {}: bad or missing '{field}'", idx + 1);
+        let str_field = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ctx(key))
+        };
+        let u64_field = |key: &str| doc.get(key).and_then(Json::as_u64).ok_or_else(|| ctx(key));
+        let i64_field = |key: &str| doc.get(key).and_then(Json::as_i64).ok_or_else(|| ctx(key));
+        let severity = Severity::parse(&str_field("severity")?).ok_or_else(|| ctx("severity"))?;
+        let state = IncidentState::parse(&str_field("state")?).ok_or_else(|| ctx("state"))?;
+        let spans = doc
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ctx("spans"))?
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| ctx("spans")))
+            .collect::<Result<Vec<u64>, String>>()?;
+        let note = match doc.get("note") {
+            Some(Json::Null) | None => None,
+            Some(v) => Some(v.as_str().ok_or_else(|| ctx("note"))?.to_string()),
+        };
+        ledger.incidents.push(Incident {
+            id: u64_field("id")?,
+            detector: str_field("detector")?,
+            scope: str_field("scope")?,
+            severity,
+            state,
+            first: u64_field("first")?,
+            last: u64_field("last")?,
+            windows: u64_field("windows")?,
+            peak_milli: i64_field("peak_milli")?,
+            threshold_milli: i64_field("threshold_milli")?,
+            spans,
+            note,
+        });
+    }
+    Ok(ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::SeriesStore;
+    use crate::trace::Tracer;
+
+    /// A counter series over windows of width 10: per-window sums
+    /// given as a slice indexed from t=0.
+    fn series_of(sums: &[u64]) -> SeriesSnapshot {
+        let store = SeriesStore::new();
+        let s = store.series("sig", 10);
+        for (i, &sum) in sums.iter().enumerate() {
+            if sum > 0 {
+                s.record(i as u64 * 10, sum);
+            } else if i == 0 || i == sums.len() - 1 {
+                // Materialize the endpoints so gap-filling is exercised.
+                s.record(i as u64 * 10, 0);
+            }
+        }
+        store.snapshot()
+    }
+
+    #[test]
+    fn threshold_groups_consecutive_breaches() {
+        let snap = series_of(&[0, 5, 6, 0, 7, 0]);
+        let det = [Detector::threshold("t", "sig", Severity::Warning, 5)];
+        let ledger = IncidentLedger::evaluate(&snap, &det);
+        assert_eq!(ledger.len(), 2);
+        let first = &ledger.incidents()[0];
+        assert_eq!((first.first, first.last, first.windows), (10, 29, 2));
+        assert_eq!(first.state, IncidentState::Resolved);
+        assert_eq!(first.peak_milli, 6 * STAT_SCALE);
+        let second = &ledger.incidents()[1];
+        assert_eq!((second.first, second.last), (40, 49));
+        assert_eq!(second.state, IncidentState::Resolved, "clean window after");
+        assert_eq!(ledger.open_count(), 0);
+    }
+
+    #[test]
+    fn breach_at_end_of_data_stays_open() {
+        let snap = series_of(&[0, 0, 9]);
+        let det = [Detector::threshold("t", "sig", Severity::Critical, 5)];
+        let mut ledger = IncidentLedger::evaluate(&snap, &det);
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.incidents()[0].state, IncidentState::Open);
+        assert_eq!(ledger.open_count(), 1);
+        // Lifecycle: ack, then resolve.
+        let id = ledger.incidents()[0].id;
+        assert!(ledger.ack(id, "paging oncall"));
+        assert_eq!(ledger.incidents()[0].state, IncidentState::Acked);
+        assert!(!ledger.ack(id, "twice"), "only open incidents ack");
+        assert!(ledger.resolve(id));
+        assert_eq!(ledger.incidents()[0].state, IncidentState::Resolved);
+        assert!(!ledger.resolve(id));
+        assert_eq!(ledger.open_count(), 0);
+    }
+
+    #[test]
+    fn gaps_count_as_zero_windows() {
+        // Breach at t=0 and t=50, nothing materialized between: the
+        // zero-filled gap resolves the first incident.
+        let store = SeriesStore::new();
+        let s = store.series("sig", 10);
+        s.record(0, 9);
+        s.record(50, 9);
+        let det = [Detector::threshold("t", "sig", Severity::Warning, 5)];
+        let ledger = IncidentLedger::evaluate(&store.snapshot(), &det);
+        assert_eq!(ledger.len(), 2, "gap splits the incidents");
+        assert_eq!(ledger.incidents()[0].state, IncidentState::Resolved);
+        assert_eq!(ledger.incidents()[1].state, IncidentState::Open);
+    }
+
+    #[test]
+    fn cusum_fires_on_slow_drift_before_any_single_window_alarms() {
+        // Sums drift 10, 12, 14, ... — no window ever doubles, but the
+        // cumulative excess over k=15 grows without bound.
+        let sums: Vec<u64> = (0..20).map(|i| 10 + i).collect();
+        let snap = series_of(&sums);
+        let threshold = Detector::threshold("big", "sig", Severity::Critical, 100);
+        let cusum = Detector::cusum("drift", "sig", Severity::Warning, 15 * 1000, 30 * 1000);
+        let ledger = IncidentLedger::evaluate(&snap, &[threshold, cusum]);
+        assert_eq!(ledger.len(), 1, "only the CUSUM fires");
+        let inc = &ledger.incidents()[0];
+        assert_eq!(inc.detector, "drift");
+        // s crosses 30 once the per-window excess accumulates: windows
+        // 6.. contribute +1, +2, ... — verify it fires mid-series and
+        // stays open to the end.
+        assert!(inc.first > 0 && inc.first < 190);
+        assert_eq!(inc.state, IncidentState::Open);
+    }
+
+    #[test]
+    fn ewma_flags_step_changes_after_warmup() {
+        let mut sums = vec![10u64; 10];
+        sums.extend([100u64; 3]);
+        let snap = series_of(&sums);
+        let det = [Detector::ewma(
+            "e",
+            "sig",
+            Severity::Warning,
+            200,
+            50 * 1000,
+            3,
+        )];
+        let ledger = IncidentLedger::evaluate(&snap, &det);
+        assert_eq!(ledger.len(), 1);
+        let inc = &ledger.incidents()[0];
+        assert_eq!(inc.first, 100, "fires on the step window");
+        // The EWMA catches up to the new level eventually; with α=0.2
+        // the deviation stays above the band for the 3 step windows.
+        assert!(inc.windows >= 1);
+    }
+
+    #[test]
+    fn burn_rate_integrates_over_the_roll() {
+        // Budget 10/window, roll of 4, factor 1.0: four windows of 12
+        // burn 1.2× budget; isolated spikes within budget don't.
+        let snap = series_of(&[12, 12, 12, 12, 0, 0, 40, 0, 0, 0]);
+        let det = [Detector::burn_rate(
+            "slo",
+            "sig",
+            Severity::Critical,
+            10,
+            4,
+            1000,
+        )];
+        let ledger = IncidentLedger::evaluate(&snap, &det);
+        assert!(!ledger.is_empty());
+        let inc = &ledger.incidents()[0];
+        assert_eq!(inc.detector, "slo");
+        assert!(inc.first <= 30, "fires within the first roll");
+        assert_eq!(inc.severity, Severity::Critical);
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_across_sharding() {
+        let sums: Vec<u64> = (0..50).map(|i| (i * 7) % 40).collect();
+        let whole = series_of(&sums);
+        // Same samples recorded across two shards and merged.
+        let a = SeriesStore::new();
+        let b = SeriesStore::new();
+        for (i, &sum) in sums.iter().enumerate() {
+            let t = i as u64 * 10;
+            let target = if i % 2 == 0 { &a } else { &b };
+            if sum > 0 || i == 0 || i == sums.len() - 1 {
+                target.series("sig", 10).record(t, sum);
+            }
+        }
+        let merged = SeriesSnapshot::merged(&[a.snapshot(), b.snapshot()]);
+        let dets = [
+            Detector::threshold("t", "sig", Severity::Warning, 30),
+            Detector::cusum("c", "sig", Severity::Warning, 20 * 1000, 60 * 1000),
+        ];
+        let l1 = IncidentLedger::evaluate(&whole, &dets);
+        let l2 = IncidentLedger::evaluate(&merged, &dets);
+        assert_eq!(l1, l2);
+        assert_eq!(l1.to_jsonl(), l2.to_jsonl());
+    }
+
+    #[test]
+    fn incidents_link_overlapping_spans() {
+        let snap = series_of(&[0, 9, 0]);
+        let det = [Detector::threshold("t", "sig", Severity::Warning, 5)];
+        let mut ledger = IncidentLedger::evaluate(&snap, &det);
+        assert_eq!(ledger.len(), 1);
+        let tracer = Tracer::new();
+        // Overlaps the breaching window [10, 19].
+        tracer.complete("in", "test", Clock::SimPs, 12, 15, Vec::new());
+        // Outside it.
+        tracer.complete("out", "test", Clock::SimPs, 30, 40, Vec::new());
+        // Right clock, touching the boundary.
+        tracer.instant("edge", "test", Clock::SimPs, 19, Vec::new());
+        // Wrong clock domain.
+        tracer.complete("other", "test", Clock::SchedUs, 12, 15, Vec::new());
+        let events = tracer.take();
+        ledger.link_spans(&events, Clock::SimPs);
+        assert_eq!(ledger.incidents()[0].spans, vec![0, 2]);
+    }
+
+    #[test]
+    fn ledger_jsonl_round_trips() {
+        let snap = series_of(&[9, 0, 9]);
+        let det = [
+            Detector::threshold("t", "sig", Severity::Critical, 5),
+            Detector::cusum("c \"q\"", "sig", Severity::Warning, 1000, 4000),
+        ];
+        let mut ledger = IncidentLedger::evaluate(&snap, &det);
+        ledger.ack(1, "looking, \"np\"");
+        let text = ledger.to_jsonl();
+        let back = parse_incidents_jsonl(&text).unwrap();
+        assert_eq!(back, ledger);
+        assert_eq!(back.to_jsonl(), text);
+        assert!(parse_incidents_jsonl("{\"id\":\"x\"}\n").is_err());
+        assert!(parse_incidents_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn absent_series_contribute_nothing() {
+        let snap = series_of(&[9]);
+        let det = [Detector::threshold("t", "nope", Severity::Warning, 1)];
+        assert!(IncidentLedger::evaluate(&snap, &det).is_empty());
+    }
+}

@@ -504,7 +504,7 @@ pub fn span_tree(groups: &[TraceGroup]) -> String {
 }
 
 /// A trace event re-parsed from Chrome trace JSON.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ChromeEvent {
     pub name: String,
     pub cat: String,

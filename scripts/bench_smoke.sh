@@ -12,13 +12,13 @@
 #       machine after intentional performance changes.
 #
 # The baseline file defaults to the newest BENCH_PR*.json present
-# (BENCH_PR9.json for a fresh record); override with BENCH_BASE=...
+# (BENCH_PR10.json for a fresh record); override with BENCH_BASE=...
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 EXP=target/release/experiments
-BASE=${BENCH_BASE:-BENCH_PR9.json}
-SMOKE_TARGETS=(fig14 fig5 energy adaptive fleet)
+BASE=${BENCH_BASE:-BENCH_PR10.json}
+SMOKE_TARGETS=(fig14 fig5 energy adaptive fleet health)
 # The federated sweep is sized for the 10M-job acceptance run; smoke
 # timing uses a 2M-job stream so best-of-two stays under ~10 s.
 FLEET_SMOKE_JOBS=2000000
